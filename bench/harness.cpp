@@ -1,0 +1,145 @@
+#include "bench/harness.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace rfabm::bench {
+
+std::vector<core::OperatingConditions> HarnessOptions::envs() const {
+    std::vector<core::OperatingConditions> out;
+    out.push_back(core::nominal_conditions());
+    // Extreme combinations of the paper's ranges: T in {-10, 70} C,
+    // supplies at -10% / +10% (tracking regulator).
+    const std::vector<std::pair<double, double>> combos =
+        fast ? std::vector<std::pair<double, double>>{{-10.0, -1.0}, {70.0, 1.0}}
+             : std::vector<std::pair<double, double>>{
+                   {-10.0, -1.0}, {-10.0, 1.0}, {70.0, -1.0}, {70.0, 1.0}};
+    for (const auto& [t, s] : combos) {
+        core::OperatingConditions c;
+        c.temperature_c = t;
+        c.vdd_pdet = core::kNominalVddPdet + 0.25 * s;
+        c.vdd_fdet = core::kNominalVddFdet + 0.30 * s;
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<circuit::ProcessCorner> HarnessOptions::dies() const {
+    const std::size_t n = fast ? std::min<std::size_t>(monte_carlo_dies, 2) : monte_carlo_dies;
+    rfabm::rf::Xoshiro256 rng(seed);
+    std::vector<circuit::ProcessCorner> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(circuit::sample_corner(rng));
+    return out;
+}
+
+HarnessOptions parse_options(int argc, char** argv) {
+    HarnessOptions opts;
+    if (const char* env = std::getenv("RFABM_FAST"); env != nullptr && env[0] == '1') {
+        opts.fast = true;
+    }
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--fast") == 0) {
+            opts.fast = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            opts.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--dies") == 0 && i + 1 < argc) {
+            opts.monte_carlo_dies = std::strtoull(argv[++i], nullptr, 10);
+        }
+    }
+    return opts;
+}
+
+NominalReference acquire_reference(const core::RfAbmChipConfig& config,
+                                   const std::vector<double>& powers_dbm,
+                                   const std::vector<double>& freqs_ghz, double carrier_hz,
+                                   double freq_power_dbm) {
+    core::RfAbmChip chip{config};
+    core::MeasurementController controller(chip);
+    controller.open_session();
+    core::dc_calibrate(controller);
+    NominalReference ref;
+    ref.carrier_hz = carrier_hz;
+    ref.power_curve = core::acquire_power_curve(controller, powers_dbm, carrier_hz);
+    ref.freq_curve = core::acquire_frequency_curve(controller, freqs_ghz, freq_power_dbm);
+    return ref;
+}
+
+DieCalibration calibrate_die(const core::RfAbmChipConfig& config,
+                             const circuit::ProcessCorner& corner) {
+    core::RfAbmChip chip{config, core::nominal_conditions(), corner};
+    core::MeasurementController controller(chip);
+    controller.open_session();
+    const core::DcCalibration cal = core::dc_calibrate(controller);
+    return DieCalibration{corner, cal.tune_p.bench_volts, cal.tune_f.bench_volts};
+}
+
+DutSession::DutSession(const core::RfAbmChipConfig& config, const DieCalibration& cal,
+                       const core::OperatingConditions& env)
+    : chip(config, env, cal.corner), controller(chip) {
+    controller.open_session();
+    controller.apply_tune_p(cal.tune_p);
+    controller.apply_tune_f(cal.tune_f);
+}
+
+rfabm::rf::MonotoneCurve acquire_trimmed_power_curve(core::MeasurementController& controller,
+                                                     const std::vector<double>& powers_dbm,
+                                                     double carrier_hz) {
+    core::RfAbmChip& chip = controller.chip();
+    std::vector<rfabm::rf::CurvePoint> points;
+    points.reserve(powers_dbm.size());
+    for (double dbm : powers_dbm) {
+        chip.set_rf(dbm, carrier_hz);
+        points.push_back({dbm, controller.measure_power_vout()});
+    }
+    chip.rf_off();
+    // Longest strictly increasing run containing the grid midpoint.
+    const std::size_t mid = points.size() / 2;
+    std::size_t lo = mid;
+    std::size_t hi = mid;
+    while (lo > 0 && points[lo - 1].y < points[lo].y) --lo;
+    while (hi + 1 < points.size() && points[hi + 1].y > points[hi].y) ++hi;
+    return rfabm::rf::MonotoneCurve(
+        std::vector<rfabm::rf::CurvePoint>(points.begin() + static_cast<std::ptrdiff_t>(lo),
+                                           points.begin() + static_cast<std::ptrdiff_t>(hi) + 1));
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers) {
+    widths_.reserve(headers.size());
+    std::string line;
+    for (const auto& h : headers) {
+        widths_.push_back(std::max<std::size_t>(h.size(), 9));
+        line += h;
+        line.append(widths_.back() - h.size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+    std::printf("%s\n", std::string(line.size(), '-').c_str());
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::size_t w = i < widths_.size() ? widths_[i] : 9;
+        line += cells[i];
+        // Pad to the column width, but never merge adjacent cells.
+        line.append(cells[i].size() < w + 2 ? w + 2 - cells[i].size() : 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+}
+
+std::string TablePrinter::num(double v, int precision) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+void banner(const char* experiment, const char* paper_artifact, const HarnessOptions& opts) {
+    std::printf("================================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("reproduces: %s  (Syri et al., DATE 2005)\n", paper_artifact);
+    std::printf("mode: %s  seed: %llu  MC dies: %zu\n", opts.fast ? "FAST" : "full",
+                static_cast<unsigned long long>(opts.seed), opts.dies().size());
+    std::printf("================================================================\n");
+}
+
+}  // namespace rfabm::bench

@@ -1,0 +1,102 @@
+// Shared experiment-harness machinery for the per-figure/per-table benches.
+//
+// Every evaluation experiment in the paper follows the same protocol:
+//   1. acquire the "simulated response" — calibration curves measured on the
+//      nominal device at nominal conditions (the paper's reference),
+//   2. DC-calibrate each device-under-test once, at nominal conditions,
+//      through the 1149.4 bus (tuneP / tunef),
+//   3. re-measure that device across environmental corners using the nominal
+//      reference curves,
+//   4. report the error against the known bench truth.
+// The "with process variation" series uses Monte-Carlo dies; the "without"
+// series uses the nominal die.  All randomness is seeded and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuit/montecarlo.hpp"
+#include "circuit/process.hpp"
+#include "core/calibration.hpp"
+#include "core/chip.hpp"
+#include "core/environment.hpp"
+#include "core/measurement.hpp"
+#include "rf/curve.hpp"
+
+namespace rfabm::bench {
+
+/// Harness-wide options, parsed from argv (--fast, --seed N, --dies N) and
+/// the RFABM_FAST environment variable.
+struct HarnessOptions {
+    bool fast = false;
+    std::uint64_t seed = 20050307;  // DATE'05 session date, why not
+    std::size_t monte_carlo_dies = 5;
+
+    /// Environmental corners to sweep (nominal first).
+    std::vector<core::OperatingConditions> envs() const;
+    /// Monte-Carlo dies (nominal corner NOT included).
+    std::vector<circuit::ProcessCorner> dies() const;
+};
+
+HarnessOptions parse_options(int argc, char** argv);
+
+/// The nominal reference: curves measured on the nominal device, plus its
+/// tuning voltages.
+struct NominalReference {
+    rfabm::rf::MonotoneCurve power_curve;  ///< dBm -> Vout at the band centre
+    rfabm::rf::MonotoneCurve freq_curve;   ///< GHz -> Vout on the RF path
+    double carrier_hz = 1.5e9;
+};
+
+/// Acquire the reference on a freshly built nominal chip.
+NominalReference acquire_reference(const core::RfAbmChipConfig& config,
+                                   const std::vector<double>& powers_dbm,
+                                   const std::vector<double>& freqs_ghz, double carrier_hz,
+                                   double freq_power_dbm = 6.0);
+
+/// One DUT's one-time DC calibration state (the control unit's DAC values).
+struct DieCalibration {
+    circuit::ProcessCorner corner;
+    double tune_p = 0.0;
+    double tune_f = 2.0;
+};
+
+/// Run the paper's one-time DC calibration of a die at nominal conditions.
+DieCalibration calibrate_die(const core::RfAbmChipConfig& config,
+                             const circuit::ProcessCorner& corner);
+
+/// Build a chip session for a calibrated die at given conditions: opens the
+/// 1149.4 session and programs the stored tuning voltages over the bus.
+struct DutSession {
+    DutSession(const core::RfAbmChipConfig& config, const DieCalibration& cal,
+               const core::OperatingConditions& env);
+
+    core::RfAbmChip chip;
+    core::MeasurementController controller;
+};
+
+/// Simple aligned table printer for harness output.
+class TablePrinter {
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+    void row(const std::vector<std::string>& cells);
+    static std::string num(double v, int precision = 2);
+
+  private:
+    std::vector<std::size_t> widths_;
+};
+
+/// Acquire a power calibration curve but trim fold-over at the ends: deep
+/// compression can make the raw Vout(P) characteristic non-monotone outside
+/// the usable range, and a bench delimits the curve to the monotone core
+/// around the band centre before using it.
+rfabm::rf::MonotoneCurve acquire_trimmed_power_curve(core::MeasurementController& controller,
+                                                     const std::vector<double>& powers_dbm,
+                                                     double carrier_hz);
+
+/// Print the standard harness banner.
+void banner(const char* experiment, const char* paper_artifact, const HarnessOptions& opts);
+
+}  // namespace rfabm::bench

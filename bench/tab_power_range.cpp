@@ -1,0 +1,111 @@
+// Reproduces the section-3 power-range claims (T1 in DESIGN.md):
+//   * basic RF-ABM:        -18 dBm ... +6 dBm
+//   * preamplified RF-ABM: -25 dBm ... -3 dBm
+// Method: like the paper's bench (which characterized one fabricated chip),
+// sweep Pin over a wide grid on the DC-calibrated nominal die across the
+// environmental corners and find the largest contiguous range where the
+// worst-case error stays within the accuracy criterion (2 dB, the paper's
+// headline error level).  Ends reaching the sweep grid are reported as
+// open ("<=" / ">=").
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "rf/sweep.hpp"
+
+namespace {
+
+constexpr double kAccuracyDb = 2.0;
+
+struct RangeResult {
+    double lo = 0.0;
+    double hi = 0.0;
+    bool found = false;
+    bool lo_open = false;  ///< range extends past the bottom of the grid
+    bool hi_open = false;  ///< range extends past the top of the grid
+};
+
+RangeResult find_range(const std::vector<double>& powers, const std::vector<double>& worst) {
+    // Largest contiguous run containing the grid midpoint with error <= spec.
+    RangeResult r;
+    const std::size_t mid = powers.size() / 2;
+    if (worst[mid] > kAccuracyDb) return r;
+    std::size_t lo = mid;
+    std::size_t hi = mid;
+    while (lo > 0 && worst[lo - 1] <= kAccuracyDb) --lo;
+    while (hi + 1 < powers.size() && worst[hi + 1] <= kAccuracyDb) ++hi;
+    r.lo = powers[lo];
+    r.hi = powers[hi];
+    r.lo_open = lo == 0;
+    r.hi_open = hi + 1 == powers.size();
+    r.found = true;
+    return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace rfabm;
+    const bench::HarnessOptions opts = bench::parse_options(argc, argv);
+    bench::banner("tab_power_range: usable power range, basic vs preamplified ABM",
+                  "Section 3 range claims (T1)", opts);
+
+    struct Variant {
+        const char* name;
+        bool with_preamp;
+        double grid_lo;
+        double grid_hi;
+        double paper_lo;
+        double paper_hi;
+    };
+    const Variant variants[] = {
+        {"basic ABM", false, -26.0, 14.0, -18.0, 6.0},
+        {"preamplified ABM", true, -34.0, 4.0, -25.0, -3.0},
+    };
+
+    for (const Variant& v : variants) {
+        core::RfAbmChipConfig config;
+        config.with_preamp = v.with_preamp;
+        const std::vector<double> powers = rf::arange(v.grid_lo, v.grid_hi, 1.0);
+        std::printf("\n-- %s --\n", v.name);
+        std::printf("acquiring reference curve...\n");
+        core::RfAbmChip nominal_chip{config};
+        core::MeasurementController nominal_ctl(nominal_chip);
+        nominal_ctl.open_session();
+        core::dc_calibrate(nominal_ctl);
+        const rf::MonotoneCurve curve = bench::acquire_trimmed_power_curve(
+            nominal_ctl, rf::arange(v.grid_lo - 1.0, v.grid_hi + 1.0, 1.0), 1.5e9);
+
+        // Single characterized die, as on the paper's bench.
+        const bench::DieCalibration cal =
+            bench::calibrate_die(config, circuit::ProcessCorner{});
+        std::vector<double> worst(powers.size(), 0.0);
+        for (const auto& env : opts.envs()) {
+            bench::DutSession dut(config, cal, env);
+            for (std::size_t i = 0; i < powers.size(); ++i) {
+                dut.chip.set_rf(powers[i], 1.5e9);
+                const auto m = dut.controller.measure_power(curve);
+                worst[i] = std::max(worst[i], std::fabs(m.dbm - powers[i]));
+            }
+        }
+
+        bench::TablePrinter table({"Pin/dBm", "worst_err_dB", "within_spec"});
+        for (std::size_t i = 0; i < powers.size(); ++i) {
+            table.row({bench::TablePrinter::num(powers[i], 0),
+                       bench::TablePrinter::num(worst[i]),
+                       worst[i] <= kAccuracyDb ? "yes" : "no"});
+        }
+        const RangeResult r = find_range(powers, worst);
+        if (r.found) {
+            std::printf("\n%s measured range (err <= %.1f dB): %s%+.0f ... %s%+.0f dBm\n",
+                        v.name, kAccuracyDb, r.lo_open ? "<=" : "", r.lo,
+                        r.hi_open ? ">=" : "", r.hi);
+        } else {
+            std::printf("\n%s measured range: (criterion not met at mid-grid)\n", v.name);
+        }
+        std::printf("%s paper range:                     %+.0f ... %+.0f dBm\n", v.name,
+                    v.paper_lo, v.paper_hi);
+    }
+    return 0;
+}

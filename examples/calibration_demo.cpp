@@ -1,0 +1,72 @@
+// DC-calibration demo: the paper's headline enabler, §4: "DC-calibration
+// developed in this study decreases measurement errors considerably."
+//
+// Takes one slow-corner die and one fast-corner die, measures a -10 dBm tone
+// against the nominal reference curve (a) with the factory-default tuning
+// codes and (b) after the tuneP/tunef procedures run over the 1149.4 bus.
+#include <cstdio>
+
+#include "circuit/process.hpp"
+#include "core/calibration.hpp"
+#include "core/chip.hpp"
+#include "core/measurement.hpp"
+#include "rf/sweep.hpp"
+
+int main() {
+    using namespace rfabm;
+    std::printf("== DC calibration demo ==\n");
+
+    const core::RfAbmChipConfig config{};
+
+    // Reference curves from the nominal device.
+    std::printf("acquiring nominal reference curves...\n");
+    rf::MonotoneCurve pcurve;
+    rf::MonotoneCurve fcurve;
+    {
+        core::RfAbmChip chip{config};
+        core::MeasurementController controller(chip);
+        controller.open_session();
+        core::dc_calibrate(controller);
+        pcurve = core::acquire_power_curve(controller, rf::arange(-20.0, 7.0, 1.0), 1.5e9);
+        fcurve = core::acquire_frequency_curve(controller, rf::arange(0.9, 2.1, 0.1), 6.0);
+    }
+
+    struct Die {
+        const char* name;
+        circuit::CornerName corner;
+    };
+    for (const Die die : {Die{"slow-slow (SS)", circuit::CornerName::kSS},
+                          Die{"fast-fast (FF)", circuit::CornerName::kFF}}) {
+        const auto corner = circuit::named_corner(die.corner);
+        std::printf("\n-- die: %s --\n", die.name);
+
+        core::RfAbmChip chip{config, core::nominal_conditions(), corner};
+        core::MeasurementController controller(chip);
+        controller.open_session();
+
+        // (a) factory defaults: no tuning procedure.
+        chip.set_rf(-10.0, 1.5e9);
+        const auto raw_p = controller.measure_power(pcurve);
+        chip.set_rf(6.0, 1.8e9);
+        const auto raw_f = controller.measure_frequency(fcurve);
+        std::printf("  uncalibrated: -10 dBm reads %+6.2f dBm (err %+5.2f dB); "
+                    "1.8 GHz reads %5.3f GHz (err %+4.0f MHz)\n",
+                    raw_p.dbm, raw_p.dbm + 10.0, raw_f.ghz, (raw_f.ghz - 1.8) * 1e3);
+
+        // (b) run the paper's DC calibration over the analog bus.
+        const auto cal = core::dc_calibrate(controller);
+        std::printf("  tuneP -> %.3f V, tunef -> %.3f V\n", cal.tune_p.bench_volts,
+                    cal.tune_f.bench_volts);
+
+        chip.set_rf(-10.0, 1.5e9);
+        const auto cal_p = controller.measure_power(pcurve);
+        chip.set_rf(6.0, 1.8e9);
+        const auto cal_f = controller.measure_frequency(fcurve);
+        std::printf("  calibrated:   -10 dBm reads %+6.2f dBm (err %+5.2f dB); "
+                    "1.8 GHz reads %5.3f GHz (err %+4.0f MHz)\n",
+                    cal_p.dbm, cal_p.dbm + 10.0, cal_f.ghz, (cal_f.ghz - 1.8) * 1e3);
+    }
+    std::printf("\ndone: calibration absorbs the die-to-die threshold and bias-current "
+                "spread, as the paper reports.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Netlist-driven simulation: the circuit substrate as a standalone tool.
+//
+// Parses a SPICE-flavoured deck of the paper's detector concept (one branch
+// of Fig. 2), then runs the three analyses — operating point, AC sweep,
+// transient settle — and prints the results.  No C++ circuit construction
+// required.
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/measure.hpp"
+#include "circuit/netlist_parser.hpp"
+#include "circuit/transient.hpp"
+
+int main() {
+    using namespace rfabm::circuit;
+    std::printf("== netlist-driven simulation ==\n");
+
+    Circuit ckt;
+    const std::size_t n = parse_netlist(ckt, R"(
+* MOS half-wave rectifier power detector (paper Fig. 2, signal branch)
+.model nch NMOS KP=100u VTO=0.5 LAMBDA=0.03
+
+VDD vdd 0 DC 2.5
+VRF rf  0 SIN(0 0.2 1.5g) AC 1
+VB  vb  0 DC 0.5            ; gate bias exactly at threshold
+
+CC  rf  vg 2p               ; input coupling
+RB  vb  vg 10k
+MD  vdd vdd mid nch W=20u L=0.5u   ; diode-connected load
+RD  mid d 2k
+M1  d   vg 0 nch W=20u L=0.5u      ; the rectifier
+CL  d   0  2p
+)");
+    std::printf("parsed %zu devices\n\n", n);
+
+    // 1. DC operating point.
+    const DcResult op = solve_dc(ckt);
+    std::printf("operating point:\n");
+    for (const char* name : {"vg", "mid", "d"}) {
+        std::printf("  v(%-3s) = %8.4f V\n", name, op.solution.v(*ckt.find_node(name)));
+    }
+
+    // 2. AC: the input coupling network is flat from tens of MHz up.
+    const auto ac = run_ac(ckt, op.solution, {10e6, 100e6, 1.5e9}, *ckt.find_node("vg"));
+    std::printf("\ncoupling response |v(vg)/v(rf)|:\n");
+    for (const auto& pt : ac) {
+        std::printf("  %8.0f MHz: %.3f\n", pt.hz / 1e6, std::abs(pt.value));
+    }
+
+    // 3. Transient: settle and read the rectified DC level.
+    TransientOptions topts;
+    topts.dt = 1.0 / 1.5e9 / 24.0;
+    TransientEngine engine(ckt, topts);
+    SettleOptions sopts;
+    sopts.period = 1.0 / 1.5e9;
+    sopts.cycles_per_window = 12;
+    const NodeId d = *ckt.find_node("d");
+    const double v_idle = op.solution.v(d);
+    const auto settled = settle_cycle_average(engine, d, kGround, sopts);
+    std::printf("\ntransient: drain settles from %.4f V to %.4f V "
+                "(rectified drop %.1f mV, settled=%s)\n",
+                v_idle, settled.value, (v_idle - settled.value) * 1e3,
+                settled.settled ? "yes" : "no");
+    return 0;
+}

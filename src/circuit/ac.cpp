@@ -1,0 +1,46 @@
+#include "circuit/ac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/mna.hpp"
+
+namespace rfabm::circuit {
+
+std::vector<AcPoint> run_ac(Circuit& circuit, const Solution& op,
+                            const std::vector<double>& freqs, NodeId probe_p, NodeId probe_n) {
+    circuit.finalize();
+    std::vector<AcPoint> out;
+    out.reserve(freqs.size());
+    ComplexMna sys;
+    for (double hz : freqs) {
+        const double omega = 2.0 * M_PI * hz;
+        sys.reset(circuit.num_nodes(), circuit.num_branches());
+        for (const auto& dev : circuit.devices()) dev->stamp_ac(sys, omega, op);
+        // Keep the matrix regular for nodes that are AC-floating.
+        for (NodeId n = 1; n < static_cast<NodeId>(circuit.num_nodes()); ++n) {
+            sys.add_node_diagonal(n, {kGminDefault, 0.0});
+        }
+        std::vector<std::complex<double>> x = sys.rhs();
+        lu_solve_in_place(sys.matrix(), x);
+        auto value_of = [&](NodeId node) -> std::complex<double> {
+            return node == kGround ? std::complex<double>{0.0, 0.0}
+                                   : x[static_cast<std::size_t>(node) - 1];
+        };
+        out.push_back({hz, value_of(probe_p) - value_of(probe_n)});
+    }
+    return out;
+}
+
+std::vector<double> logspace_hz(double f_start, double f_stop, int per_decade) {
+    if (f_start <= 0.0 || f_stop < f_start || per_decade <= 0) {
+        throw std::invalid_argument("logspace_hz: invalid range");
+    }
+    std::vector<double> out;
+    const double step = std::pow(10.0, 1.0 / per_decade);
+    for (double f = f_start; f < f_stop * (1.0 + 1e-12); f *= step) out.push_back(f);
+    if (out.empty() || out.back() < f_stop * (1.0 - 1e-9)) out.push_back(f_stop);
+    return out;
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,35 @@
+// AC small-signal analysis.
+//
+// Linearizes every device around a previously solved DC operating point and
+// solves the complex MNA system at each requested frequency.  Used to
+// characterize the preamplifier (gain, bandwidth) and the detector input
+// network.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/solution.hpp"
+
+namespace rfabm::circuit {
+
+/// One AC analysis sample.
+struct AcPoint {
+    double hz = 0.0;
+    std::complex<double> value;  ///< complex probe voltage (phasor)
+};
+
+/// Solve the small-signal response at each frequency in @p freqs and return
+/// the differential probe phasor v(p) - v(n).  Exactly the sources configured
+/// with set_ac() drive the system.  Throws SingularMatrixError via the solver
+/// if the linearized system is singular.
+std::vector<AcPoint> run_ac(Circuit& circuit, const Solution& op,
+                            const std::vector<double>& freqs, NodeId probe_p,
+                            NodeId probe_n = kGround);
+
+/// Logarithmically spaced frequencies, @p per_decade points per decade from
+/// @p f_start to at least @p f_stop.
+std::vector<double> logspace_hz(double f_start, double f_stop, int per_decade);
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,70 @@
+#include "circuit/circuit.hpp"
+
+namespace rfabm::circuit {
+
+NodeId Circuit::node(const std::string& name) {
+    const auto it = node_ids_.find(name);
+    if (it != node_ids_.end()) return it->second;
+    const NodeId id = static_cast<NodeId>(names_.size());
+    names_.push_back(name);
+    node_ids_.emplace(name, id);
+    return id;
+}
+
+NodeId Circuit::make_node(const std::string& hint) {
+    std::string name = "$" + hint + std::to_string(names_.size());
+    while (node_ids_.contains(name)) name += "_";
+    return node(name);
+}
+
+std::optional<NodeId> Circuit::find_node(const std::string& name) const {
+    const auto it = node_ids_.find(name);
+    if (it == node_ids_.end()) return std::nullopt;
+    return it->second;
+}
+
+const std::string& Circuit::node_name(NodeId node) const {
+    return names_.at(static_cast<std::size_t>(node));
+}
+
+Device* Circuit::find_device(const std::string& name) {
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : devices_[it->second].get();
+}
+
+const Device* Circuit::find_device(const std::string& name) const {
+    const auto it = index_.find(name);
+    return it == index_.end() ? nullptr : devices_[it->second].get();
+}
+
+void Circuit::finalize() {
+    if (finalized_) return;
+    std::size_t next = 0;
+    for (const auto& dev : devices_) {
+        dev->set_first_branch(next);
+        next += dev->branch_count();
+    }
+    num_branches_ = next;
+    finalized_ = true;
+}
+
+void Circuit::set_temperature_c(double celsius) {
+    temperature_k_ = celsius + 273.15;
+    for (const auto& dev : devices_) dev->set_temperature(temperature_k_);
+}
+
+double Circuit::temperature_c() const { return temperature_k_ - 273.15; }
+
+void Circuit::set_process(const ProcessCorner& corner) {
+    corner_ = corner;
+    for (const auto& dev : devices_) dev->apply_process(corner_);
+}
+
+bool Circuit::has_nonlinear() const {
+    for (const auto& dev : devices_) {
+        if (dev->is_nonlinear()) return true;
+    }
+    return false;
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,97 @@
+#include "circuit/dc.hpp"
+
+#include "circuit/devices/sources.hpp"
+#include "circuit/mna.hpp"
+
+namespace rfabm::circuit {
+
+DcResult solve_dc(Circuit& circuit, const DcOptions& options, const Solution* initial) {
+    circuit.finalize();
+    DcResult result;
+    result.solution = initial != nullptr ? *initial
+                                         : Solution(circuit.num_nodes(), circuit.num_branches());
+    if (result.solution.size() != circuit.num_nodes() - 1 + circuit.num_branches()) {
+        result.solution = Solution(circuit.num_nodes(), circuit.num_branches());
+    }
+
+    MnaSystem scratch;
+    StampContext ctx;
+    ctx.mode = AnalysisMode::kDc;
+    ctx.gmin = options.gmin;
+
+    // 1. Plain Newton.
+    {
+        Solution x = result.solution;
+        const NewtonOutcome out = newton_iterate(circuit, ctx, x, options.newton, scratch);
+        if (out.converged) {
+            result.solution = std::move(x);
+            result.iterations = out.iterations;
+            return result;
+        }
+    }
+
+    // 2. Gmin stepping: start with a heavily damped matrix and relax.
+    if (options.allow_gmin_stepping) {
+        Solution x(circuit.num_nodes(), circuit.num_branches());
+        bool ok = true;
+        NewtonOptions step_opts = options.newton;
+        for (double g = 1e-2; g >= options.gmin * 0.99; g *= 0.1) {
+            step_opts.extra_diag_gmin = g > options.gmin ? g : 0.0;
+            const NewtonOutcome out = newton_iterate(circuit, ctx, x, step_opts, scratch);
+            if (!out.converged) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            // Final polish without extra gmin.
+            step_opts.extra_diag_gmin = 0.0;
+            const NewtonOutcome out = newton_iterate(circuit, ctx, x, step_opts, scratch);
+            if (out.converged) {
+                result.solution = std::move(x);
+                result.iterations = out.iterations;
+                result.used_gmin_stepping = true;
+                return result;
+            }
+        }
+    }
+
+    // 3. Source stepping: homotopy from a dead circuit to full drive.
+    if (options.allow_source_stepping) {
+        Solution x(circuit.num_nodes(), circuit.num_branches());
+        bool ok = true;
+        for (double scale : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+            ctx.source_scale = scale;
+            const NewtonOutcome out = newton_iterate(circuit, ctx, x, options.newton, scratch);
+            if (!out.converged) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            result.solution = std::move(x);
+            result.used_source_stepping = true;
+            return result;
+        }
+    }
+
+    throw ConvergenceError("DC operating point did not converge");
+}
+
+std::vector<double> dc_sweep(Circuit& circuit, VSource& source, const std::vector<double>& levels,
+                             NodeId probe_p, NodeId probe_n, const DcOptions& options) {
+    std::vector<double> out;
+    out.reserve(levels.size());
+    Solution warm;
+    bool have_warm = false;
+    for (double level : levels) {
+        source.set_dc(level);
+        const DcResult r = solve_dc(circuit, options, have_warm ? &warm : nullptr);
+        warm = r.solution;
+        have_warm = true;
+        out.push_back(warm.v(probe_p) - warm.v(probe_n));
+    }
+    return out;
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,48 @@
+// DC operating-point analysis and DC transfer sweeps.
+#pragma once
+
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "circuit/newton.hpp"
+#include "circuit/solution.hpp"
+
+namespace rfabm::circuit {
+
+/// Thrown when every convergence aid (plain Newton, gmin stepping, source
+/// stepping) fails to find an operating point.
+class ConvergenceError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Options for solve_dc().
+struct DcOptions {
+    NewtonOptions newton{};
+    double gmin = kGminDefault;
+    bool allow_gmin_stepping = true;
+    bool allow_source_stepping = true;
+};
+
+/// Outcome of solve_dc().
+struct DcResult {
+    Solution solution;
+    int iterations = 0;           ///< Newton iterations of the final solve
+    bool used_gmin_stepping = false;
+    bool used_source_stepping = false;
+};
+
+/// Solve the DC operating point.  @p initial (if given) warm-starts Newton —
+/// essential for fast corner/sweep loops.  Throws ConvergenceError on failure.
+DcResult solve_dc(Circuit& circuit, const DcOptions& options = {},
+                  const Solution* initial = nullptr);
+
+/// Sweep a VSource DC level and record v(probe_p) - v(probe_n) at each point,
+/// warm-starting each solve from the previous one.
+class VSource;
+std::vector<double> dc_sweep(Circuit& circuit, VSource& source,
+                             const std::vector<double>& levels, NodeId probe_p,
+                             NodeId probe_n = kGround, const DcOptions& options = {});
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,22 @@
+#include "circuit/device.hpp"
+
+namespace rfabm::circuit {
+
+void Device::stamp_ac(ComplexMna& sys, double omega, const Solution& op) {
+    (void)sys;
+    (void)omega;
+    (void)op;
+}
+
+void Device::init_state(const Solution& op) { (void)op; }
+
+void Device::accept_step(const Solution& x, const StampContext& ctx) {
+    (void)x;
+    (void)ctx;
+}
+
+void Device::set_temperature(double temperature_k) { (void)temperature_k; }
+
+void Device::apply_process(const ProcessCorner& corner) { (void)corner; }
+
+}  // namespace rfabm::circuit

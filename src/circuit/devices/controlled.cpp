@@ -1,0 +1,39 @@
+#include "circuit/devices/controlled.hpp"
+
+namespace rfabm::circuit {
+
+Vccs::Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId cp, NodeId cn, double gm)
+    : Device(std::move(name)), out_p_(out_p), out_n_(out_n), cp_(cp), cn_(cn), gm_(gm) {}
+
+void Vccs::stamp(MnaSystem& sys, const StampContext&) {
+    sys.add_transconductance(out_p_, out_n_, cp_, cn_, gm_);
+}
+
+void Vccs::stamp_ac(ComplexMna& sys, double, const Solution&) {
+    sys.add_transconductance(out_p_, out_n_, cp_, cn_, {gm_, 0.0});
+}
+
+Vcvs::Vcvs(std::string name, NodeId p, NodeId n, NodeId cp, NodeId cn, double gain)
+    : Device(std::move(name)), p_(p), n_(n), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::stamp(MnaSystem& sys, const StampContext&) {
+    const std::size_t br = first_branch();
+    sys.add_branch_to_node(p_, br, +1.0);
+    sys.add_branch_to_node(n_, br, -1.0);
+    sys.add_node_to_branch(br, p_, +1.0);
+    sys.add_node_to_branch(br, n_, -1.0);
+    sys.add_node_to_branch(br, cp_, -gain_);
+    sys.add_node_to_branch(br, cn_, +gain_);
+}
+
+void Vcvs::stamp_ac(ComplexMna& sys, double, const Solution&) {
+    const std::size_t br = first_branch();
+    sys.add_branch_to_node(p_, br, {1.0, 0.0});
+    sys.add_branch_to_node(n_, br, {-1.0, 0.0});
+    sys.add_node_to_branch(br, p_, {1.0, 0.0});
+    sys.add_node_to_branch(br, n_, {-1.0, 0.0});
+    sys.add_node_to_branch(br, cp_, {-gain_, 0.0});
+    sys.add_node_to_branch(br, cn_, {gain_, 0.0});
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,45 @@
+// Linear controlled sources: VCCS (transconductance) and VCVS (voltage gain).
+// Used by behavioural macro-models (e.g. the preamplifier's ideal core in
+// unit tests) and by the AC test fixtures.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace rfabm::circuit {
+
+/// Voltage-controlled current source: i = gm * (v(cp) - v(cn)) flowing from
+/// out_p to out_n through the device.
+class Vccs : public Device {
+  public:
+    Vccs(std::string name, NodeId out_p, NodeId out_n, NodeId cp, NodeId cn, double gm);
+
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+
+    void set_gm(double gm) { gm_ = gm; }
+    double gm() const { return gm_; }
+
+  private:
+    NodeId out_p_, out_n_, cp_, cn_;
+    double gm_;
+};
+
+/// Voltage-controlled voltage source: v(p) - v(n) = gain * (v(cp) - v(cn)).
+/// One MNA branch.
+class Vcvs : public Device {
+  public:
+    Vcvs(std::string name, NodeId p, NodeId n, NodeId cp, NodeId cn, double gain);
+
+    std::size_t branch_count() const override { return 1; }
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+
+    void set_gain(double gain) { gain_ = gain; }
+    double gain() const { return gain_; }
+
+  private:
+    NodeId p_, n_, cp_, cn_;
+    double gain_;
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,69 @@
+#include "circuit/devices/diode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfabm::circuit {
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode), params_(params),
+      is_eff_(params.is), vt_(params.n * thermal_voltage(kNominalTemperatureK)) {
+    vcrit_ = vt_ * std::log(vt_ / (std::sqrt(2.0) * is_eff_));
+}
+
+void Diode::set_temperature(double temperature_k) {
+    vt_ = params_.n * thermal_voltage(temperature_k);
+    // IS(T) = IS * (T/T0)^XTI * exp(-Eg q / k * (1/T - 1/T0))
+    const double t0 = kNominalTemperatureK;
+    const double ratio = temperature_k / t0;
+    const double eg_term =
+        -params_.eg * kElectronCharge / kBoltzmann * (1.0 / temperature_k - 1.0 / t0);
+    is_eff_ = params_.is * std::pow(ratio, params_.temperature_exp) * std::exp(eg_term);
+    vcrit_ = vt_ * std::log(vt_ / (std::sqrt(2.0) * is_eff_));
+}
+
+double Diode::current(double vd) const {
+    // Clamp the exponent so even un-limited probes stay finite.
+    const double x = std::min(vd / vt_, 80.0);
+    return is_eff_ * (std::exp(x) - 1.0);
+}
+
+double Diode::limit_voltage(double v_new) const {
+    const double v_old = v_last_;
+    if (v_new > vcrit_ && std::fabs(v_new - v_old) > 2.0 * vt_) {
+        if (v_old > 0.0) {
+            const double arg = 1.0 + (v_new - v_old) / vt_;
+            v_new = arg > 0.0 ? v_old + vt_ * std::log(arg) : vcrit_;
+        } else {
+            v_new = vt_ * std::log(v_new / vt_);
+        }
+    }
+    return v_new;
+}
+
+void Diode::stamp(MnaSystem& sys, const StampContext& ctx) {
+    const double vd_raw = ctx.x->v(anode_) - ctx.x->v(cathode_);
+    const double vd = limit_voltage(vd_raw);
+    if (ctx.limited != nullptr && std::fabs(vd - vd_raw) > 1e-9) *ctx.limited = true;
+    v_last_ = vd;
+
+    const double x = std::min(vd / vt_, 80.0);
+    const double e = std::exp(x);
+    const double id = is_eff_ * (e - 1.0);
+    const double gd = std::max(is_eff_ * e / vt_, ctx.gmin);
+    const double ieq = id - gd * vd;
+
+    sys.add_conductance(anode_, cathode_, gd);
+    sys.add_current(anode_, cathode_, ieq);
+}
+
+void Diode::stamp_ac(ComplexMna& sys, double, const Solution& op) {
+    const double vd = op.v(anode_) - op.v(cathode_);
+    const double x = std::min(vd / vt_, 80.0);
+    const double gd = std::max(is_eff_ * std::exp(x) / vt_, kGminDefault);
+    sys.add_conductance(anode_, cathode_, {gd, 0.0});
+}
+
+void Diode::init_state(const Solution& op) { v_last_ = op.v(anode_) - op.v(cathode_); }
+
+}  // namespace rfabm::circuit

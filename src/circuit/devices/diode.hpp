@@ -1,0 +1,48 @@
+// Junction diode (Shockley model with SPICE-style junction limiting).
+//
+// The paper notes its target process offered no diode-based power detectors —
+// the detector itself is MOS-only — but the simulator supports diodes so the
+// classical diode detector can serve as a reference baseline in tests and
+// benchmarks, and for ESD/clamp modelling in the pin circuitry.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace rfabm::circuit {
+
+/// Diode parameters (level-1 SPICE subset).
+struct DiodeParams {
+    double is = 1e-14;        ///< saturation current (A) at nominal temperature
+    double n = 1.0;           ///< emission coefficient
+    double temperature_exp = 3.0;  ///< IS(T) power-law exponent
+    double eg = 1.11;         ///< bandgap (eV) for IS temperature scaling
+};
+
+/// Junction diode from anode to cathode.
+class Diode : public Device {
+  public:
+    Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params = {});
+
+    bool is_nonlinear() const override { return true; }
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+    void init_state(const Solution& op) override;
+    void set_temperature(double temperature_k) override;
+
+    /// Diode current at the junction voltage @p vd (after temperature scaling).
+    double current(double vd) const;
+
+  private:
+    /// Junction-voltage limiting (SPICE pnjlim) keeping exp() in range.
+    double limit_voltage(double v_new) const;
+
+    NodeId anode_;
+    NodeId cathode_;
+    DiodeParams params_;
+    double is_eff_;      ///< temperature-scaled saturation current
+    double vt_;          ///< n * kT/q
+    double vcrit_;       ///< limiting knee
+    mutable double v_last_ = 0.0;  ///< previous iterate's junction voltage
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,164 @@
+#include "circuit/devices/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfabm::circuit {
+
+namespace {
+
+/// Per-iteration Newton step clamp on device voltages.  Limiting only slows
+/// large excursions; the converged solution is unchanged because the limited
+/// voltage equals the iterate at convergence.  Sets @p limited when the clamp
+/// engages so the Newton loop keeps iterating.
+double limit_step(double v_new, double v_old, double max_delta, bool* limited) {
+    const double delta = v_new - v_old;
+    if (delta > max_delta || delta < -max_delta) {
+        if (limited != nullptr) *limited = true;
+        return v_old + (delta > 0.0 ? max_delta : -max_delta);
+    }
+    return v_new;
+}
+
+constexpr double kMaxVgsStep = 0.5;  // volts per Newton iteration
+constexpr double kMaxVdsStep = 1.0;
+
+}  // namespace
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, MosfetParams params)
+    : Device(std::move(name)), d_(drain), g_(gate), s_(source), params_(params) {
+    if (params_.w <= 0.0 || params_.l <= 0.0 || params_.kp <= 0.0 || params_.vt0 < 0.0) {
+        throw std::invalid_argument("Mosfet: W, L, KP must be positive and VT0 >= 0");
+    }
+    update_effective();
+}
+
+void Mosfet::update_effective() {
+    const double dt = temperature_k_ - kNominalTemperatureK;
+    vth_eff_ = params_.vt0 + vt_shift_ - params_.tc_vt * dt;
+    kp_eff_ = params_.kp * kp_factor_ *
+              std::pow(kNominalTemperatureK / temperature_k_, params_.mobility_exp);
+}
+
+void Mosfet::set_temperature(double temperature_k) {
+    temperature_k_ = temperature_k;
+    update_effective();
+}
+
+void Mosfet::apply_process(const ProcessCorner& corner) {
+    if (params_.type == MosType::kNmos) {
+        vt_shift_ = corner.nmos_vt_shift;
+        kp_factor_ = corner.nmos_kp_factor;
+    } else {
+        vt_shift_ = corner.pmos_vt_shift;
+        kp_factor_ = corner.pmos_kp_factor;
+    }
+    update_effective();
+}
+
+MosOperatingPoint Mosfet::evaluate(double vgs, double vds) const {
+    MosOperatingPoint op;
+    // Source/drain symmetry: for vds < 0 the physical source and drain swap.
+    if (vds < 0.0) {
+        MosOperatingPoint sw = evaluate(vgs - vds, -vds);
+        sw.id = -sw.id;
+        sw.vgs = vgs;
+        sw.vds = vds;
+        // gm/gds of the swapped frame are not remapped here; callers needing
+        // reverse-bias small-signal data should evaluate in the swapped frame.
+        return sw;
+    }
+    op.vgs = vgs;
+    op.vds = vds;
+    const double vov = vgs - vth_eff_;
+    const double beta = kp_eff_ * params_.w / params_.l;
+    const double lam = params_.lambda;
+    if (vov <= 0.0) {
+        // Cutoff: square-law model conducts nothing (the paper's eq. (1)
+        // derivation assumes exactly this).
+        return op;
+    }
+    if (vds < vov) {
+        // Triode, with (1 + lambda*vds) retained for gds continuity.
+        const double core = vov * vds - 0.5 * vds * vds;
+        const double mod = 1.0 + lam * vds;
+        op.id = beta * core * mod;
+        op.gm = beta * vds * mod;
+        op.gds = beta * ((vov - vds) * mod + core * lam);
+        op.saturated = false;
+    } else {
+        const double mod = 1.0 + lam * vds;
+        op.id = 0.5 * beta * vov * vov * mod;
+        op.gm = beta * vov * mod;
+        op.gds = 0.5 * beta * vov * vov * lam;
+        op.saturated = true;
+    }
+    return op;
+}
+
+void Mosfet::stamp(MnaSystem& sys, const StampContext& ctx) {
+    const double pol = params_.type == MosType::kNmos ? 1.0 : -1.0;
+    const double vd = pol * ctx.x->v(d_);
+    const double vg = pol * ctx.x->v(g_);
+    const double vs = pol * ctx.x->v(s_);
+
+    // Effective drain is the higher terminal in the polarity frame.
+    const bool swapped = vd < vs;
+    const NodeId deff = swapped ? s_ : d_;
+    const NodeId seff = swapped ? d_ : s_;
+    const double vdeff = swapped ? vs : vd;
+    const double vseff = swapped ? vd : vs;
+
+    double vgs = vg - vseff;
+    double vds = vdeff - vseff;
+    vgs = limit_step(vgs, vgs_last_, kMaxVgsStep, ctx.limited);
+    vds = limit_step(vds, vds_last_, kMaxVdsStep, ctx.limited);
+    vgs_last_ = vgs;
+    vds_last_ = vds;
+
+    const MosOperatingPoint op = evaluate(vgs, vds);
+    const double gds = op.gds + ctx.gmin;
+    const double ieq = op.id - op.gm * vgs - gds * vds;
+
+    // Conductances stamp identically in both polarity frames (current and
+    // voltage flip together); only the constant term flips with polarity.
+    sys.add_conductance(deff, seff, gds);
+    sys.add_transconductance(deff, seff, g_, seff, op.gm);
+    sys.add_current(deff, seff, pol * ieq);
+}
+
+void Mosfet::stamp_ac(ComplexMna& sys, double, const Solution& op_state) {
+    const MosOperatingPoint op = operating_point(op_state);
+    const double pol = params_.type == MosType::kNmos ? 1.0 : -1.0;
+    const double vd = pol * op_state.v(d_);
+    const double vs = pol * op_state.v(s_);
+    const bool swapped = vd < vs;
+    const NodeId deff = swapped ? s_ : d_;
+    const NodeId seff = swapped ? d_ : s_;
+    // Small-signal: conductances only; evaluate() of the effective frame.
+    const MosOperatingPoint eff =
+        swapped ? evaluate(op.vgs - op.vds, -op.vds) : op;
+    sys.add_conductance(deff, seff, {eff.gds + kGminDefault, 0.0});
+    sys.add_transconductance(deff, seff, g_, seff, {eff.gm, 0.0});
+}
+
+void Mosfet::init_state(const Solution& op) {
+    const double pol = params_.type == MosType::kNmos ? 1.0 : -1.0;
+    const double vd = pol * op.v(d_);
+    const double vg = pol * op.v(g_);
+    const double vs = pol * op.v(s_);
+    const bool swapped = vd < vs;
+    vgs_last_ = vg - (swapped ? vd : vs);
+    vds_last_ = std::fabs(vd - vs);
+}
+
+MosOperatingPoint Mosfet::operating_point(const Solution& x) const {
+    const double pol = params_.type == MosType::kNmos ? 1.0 : -1.0;
+    const double vd = pol * x.v(d_);
+    const double vg = pol * x.v(g_);
+    const double vs = pol * x.v(s_);
+    return evaluate(vg - vs, vd - vs);
+}
+
+}  // namespace rfabm::circuit

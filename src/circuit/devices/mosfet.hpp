@@ -1,0 +1,84 @@
+// Level-1 (Shichman-Hodges) MOSFET.
+//
+// This is the device the paper's power detector depends on: eq. (1) of the
+// paper is derived from exactly this square-law model, with the gate biased at
+// the threshold voltage so the transistor half-wave rectifies the RF input.
+// The model includes the two temperature effects and the two process effects
+// that dominate the paper's error budget:
+//   * VT(T)  = VT0 - tc_vt * (T - T0)          (threshold drift)
+//   * K'(T)  = K'  * (T0 / T)^mobility_exp     (mobility degradation)
+//   * process: VT0 shift and K' scale per ProcessCorner.
+// Channel-length modulation (lambda) is applied in both triode and saturation
+// so the output conductance is continuous across the boundary.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace rfabm::circuit {
+
+enum class MosType { kNmos, kPmos };
+
+/// Level-1 model card.  VT0 is given as a magnitude (positive for both
+/// polarities); signs are handled internally.
+struct MosfetParams {
+    MosType type = MosType::kNmos;
+    double w = 10e-6;          ///< channel width (m)
+    double l = 1e-6;           ///< channel length (m)
+    double kp = 100e-6;        ///< transconductance parameter K' = mu*Cox (A/V^2)
+    double vt0 = 0.5;          ///< zero-bias threshold magnitude (V)
+    double lambda = 0.04;      ///< channel-length modulation (1/V)
+    double tc_vt = 1.5e-3;     ///< threshold temperature coefficient (V/K)
+    double mobility_exp = 1.5; ///< mobility temperature exponent
+};
+
+/// Operating-point snapshot for inspection and AC linearization.
+struct MosOperatingPoint {
+    double id = 0.0;   ///< drain current (positive into the drain for NMOS)
+    double vgs = 0.0;  ///< polarity-frame gate-source voltage
+    double vds = 0.0;  ///< polarity-frame drain-source voltage
+    double gm = 0.0;
+    double gds = 0.0;
+    bool saturated = false;
+};
+
+/// Three-terminal MOSFET (bulk tied to source; no body effect).
+class Mosfet : public Device {
+  public:
+    Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, MosfetParams params = {});
+
+    bool is_nonlinear() const override { return true; }
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+    void init_state(const Solution& op) override;
+    void set_temperature(double temperature_k) override;
+    void apply_process(const ProcessCorner& corner) override;
+
+    /// Effective threshold magnitude after temperature and process.
+    double vth() const { return vth_eff_; }
+    /// Effective transconductance parameter after temperature and process.
+    double kp() const { return kp_eff_; }
+    const MosfetParams& params() const { return params_; }
+
+    /// Evaluate the model at explicit polarity-frame voltages (vgs, vds >= 0
+    /// handled internally via source/drain symmetry).  Used by tests and by
+    /// the analytic detector model.
+    MosOperatingPoint evaluate(double vgs, double vds) const;
+
+    /// Operating point extracted from a solved state.
+    MosOperatingPoint operating_point(const Solution& x) const;
+
+  private:
+    void update_effective();
+
+    NodeId d_, g_, s_;
+    MosfetParams params_;
+    double temperature_k_ = kNominalTemperatureK;
+    double vt_shift_ = 0.0;   ///< process VT0 shift
+    double kp_factor_ = 1.0;  ///< process K' factor
+    double vth_eff_ = 0.0;
+    double kp_eff_ = 0.0;
+    double vgs_last_ = 0.0;   ///< limiting history (polarity/effective frame)
+    double vds_last_ = 0.0;
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,41 @@
+#include "circuit/devices/sources.hpp"
+
+namespace rfabm::circuit {
+
+VSource::VSource(std::string name, NodeId p, NodeId n, Waveform wave)
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
+
+void VSource::stamp(MnaSystem& sys, const StampContext& ctx) {
+    const std::size_t br = first_branch();
+    const double value = (ctx.mode == AnalysisMode::kDc ? wave_.dc_value() : wave_.value(ctx.time)) *
+                         ctx.source_scale;
+    sys.add_branch_to_node(p_, br, +1.0);
+    sys.add_branch_to_node(n_, br, -1.0);
+    sys.add_node_to_branch(br, p_, +1.0);
+    sys.add_node_to_branch(br, n_, -1.0);
+    sys.add_branch_rhs(br, value);
+}
+
+void VSource::stamp_ac(ComplexMna& sys, double, const Solution&) {
+    const std::size_t br = first_branch();
+    sys.add_branch_to_node(p_, br, {1.0, 0.0});
+    sys.add_branch_to_node(n_, br, {-1.0, 0.0});
+    sys.add_node_to_branch(br, p_, {1.0, 0.0});
+    sys.add_node_to_branch(br, n_, {-1.0, 0.0});
+    sys.add_branch_rhs(br, {ac_magnitude_, 0.0});
+}
+
+ISource::ISource(std::string name, NodeId p, NodeId n, Waveform wave)
+    : Device(std::move(name)), p_(p), n_(n), wave_(std::move(wave)) {}
+
+void ISource::stamp(MnaSystem& sys, const StampContext& ctx) {
+    const double value = (ctx.mode == AnalysisMode::kDc ? wave_.dc_value() : wave_.value(ctx.time)) *
+                         ctx.source_scale;
+    sys.add_current(p_, n_, value);
+}
+
+void ISource::stamp_ac(ComplexMna& sys, double, const Solution&) {
+    sys.add_current(p_, n_, {ac_magnitude_, 0.0});
+}
+
+}  // namespace rfabm::circuit

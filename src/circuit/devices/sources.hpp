@@ -1,0 +1,70 @@
+// Independent voltage and current sources.
+#pragma once
+
+#include "circuit/device.hpp"
+#include "circuit/waveform.hpp"
+
+namespace rfabm::circuit {
+
+/// Independent voltage source from p (+) to n (-); one MNA branch whose
+/// current flows p -> n through the source (SPICE convention: a source
+/// delivering power to a load reads a negative branch current).
+class VSource : public Device {
+  public:
+    VSource(std::string name, NodeId p, NodeId n, Waveform wave);
+
+    std::size_t branch_count() const override { return 1; }
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+
+    /// Replace the waveform (e.g. a sweep changing the DC level or RF power).
+    void set_waveform(Waveform wave) { wave_ = std::move(wave); }
+    const Waveform& waveform() const { return wave_; }
+
+    /// Convenience: replace with a plain DC level.
+    void set_dc(double volts) { wave_ = Waveform::dc(volts); }
+
+    /// AC analysis magnitude (phase 0); 0 disables the AC stimulus.
+    void set_ac(double magnitude) { ac_magnitude_ = magnitude; }
+    double ac_magnitude() const { return ac_magnitude_; }
+
+    /// Branch current of the source in @p x (positive = flowing p -> n
+    /// internally).
+    double current(const Solution& x) const { return x.branch_current(first_branch()); }
+
+    NodeId p() const { return p_; }
+    NodeId n() const { return n_; }
+
+  private:
+    NodeId p_;
+    NodeId n_;
+    Waveform wave_;
+    double ac_magnitude_ = 0.0;
+};
+
+/// Independent current source pushing its current from p to n through the
+/// device (so it raises the potential of n relative to p into a resistor).
+class ISource : public Device {
+  public:
+    ISource(std::string name, NodeId p, NodeId n, Waveform wave);
+
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+
+    void set_waveform(Waveform wave) { wave_ = std::move(wave); }
+    void set_dc(double amps) { wave_ = Waveform::dc(amps); }
+    const Waveform& waveform() const { return wave_; }
+
+    void set_ac(double magnitude) { ac_magnitude_ = magnitude; }
+
+    NodeId p() const { return p_; }
+    NodeId n() const { return n_; }
+
+  private:
+    NodeId p_;
+    NodeId n_;
+    Waveform wave_;
+    double ac_magnitude_ = 0.0;
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,44 @@
+// Externally controlled analog switch.
+//
+// This is the workhorse of the IEEE 1149.4 infrastructure: every ABM switch
+// (SD, SB1, SB2, SG, SH, SL), every TBIC bus switch and the ".4 MUX" switch
+// matrix map onto instances of this device.  The digital test logic (boundary
+// register, serial select register) drives set_closed() between transient
+// steps; electrically the switch is Ron when closed and Roff when open, which
+// is how transmission gates behave to first order.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace rfabm::circuit {
+
+/// Two-state analog switch between nodes a and b.
+class Switch : public Device {
+  public:
+    /// @p ron / @p roff are the closed/open resistances.  Defaults model an
+    /// on-die CMOS transmission gate.
+    Switch(std::string name, NodeId a, NodeId b, double ron = 100.0, double roff = 1e9);
+
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+    void apply_process(const ProcessCorner& corner) override;
+
+    void set_closed(bool closed) { closed_ = closed; }
+    bool closed() const { return closed_; }
+
+    double ron() const { return ron_eff_; }
+    double roff() const { return roff_; }
+
+    NodeId a() const { return a_; }
+    NodeId b() const { return b_; }
+
+  private:
+    NodeId a_;
+    NodeId b_;
+    double ron_nominal_;
+    double ron_eff_;
+    double roff_;
+    bool closed_ = false;
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,53 @@
+// Steady-state measurement helpers built on TransientEngine.
+//
+// The RF-ABM detectors turn an RF input into a (rippled) DC level; the bench
+// procedure is "apply the stimulus, wait for the output to settle, read the
+// DC value".  settle_cycle_average() reproduces that: it advances the
+// transient in windows of whole RF cycles, computes the time-weighted average
+// of a (differential) probe over each window, and stops when consecutive
+// window averages agree.
+#pragma once
+
+#include "circuit/transient.hpp"
+
+namespace rfabm::circuit {
+
+/// Options for settle_cycle_average().
+struct SettleOptions {
+    double period = 0.0;        ///< fundamental period of the stimulus (s); required
+    int cycles_per_window = 8;  ///< averaging window length in periods
+    double rel_tol = 2e-4;      ///< window-to-window relative agreement
+    double abs_tol = 20e-6;     ///< ... plus this absolute floor (V)
+    int min_windows = 3;        ///< never report before this many windows
+    int max_windows = 400;      ///< give up (settled=false) after this many
+    /// How many consecutive window pairs must agree before the value counts
+    /// as settled.  >1 guards against slow drifts (e.g. bias-network recovery
+    /// after a large drive change) masquerading as convergence.
+    int consecutive = 1;
+    /// Compare the current window against the one @p lookback windows back.
+    /// A slow drift accumulates over the lookback span and is caught without
+    /// tightening the tolerance (which would cost many extra windows on
+    /// every ordinary read).
+    int lookback = 1;
+};
+
+/// Result of settle_cycle_average().
+struct SettleResult {
+    double value = 0.0;   ///< final window average of v(p) - v(n)
+    bool settled = false; ///< true if the convergence criterion was met
+    double time = 0.0;    ///< engine time when measurement finished
+    int windows = 0;      ///< windows consumed
+};
+
+/// Run @p engine until the window-averaged differential voltage v(p) - v(n)
+/// settles.  The engine must expose an initialized or initializable state;
+/// init() is called if needed.  Throws std::invalid_argument for a
+/// non-positive period.
+SettleResult settle_cycle_average(TransientEngine& engine, NodeId p, NodeId n,
+                                  const SettleOptions& options);
+
+/// Average of v(p) - v(n) over the next @p duration seconds (trapezoidal in
+/// time over accepted steps).  Used once a waveform is known to be settled.
+double window_average(TransientEngine& engine, NodeId p, NodeId n, double duration);
+
+}  // namespace rfabm::circuit

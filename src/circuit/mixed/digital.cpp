@@ -1,0 +1,76 @@
+#include "circuit/mixed/digital.hpp"
+
+#include <stdexcept>
+
+namespace rfabm::mixed {
+
+SignalId DigitalDomain::signal(const std::string& name) {
+    const auto it = names_.find(name);
+    if (it != names_.end()) return it->second;
+    const SignalId id = values_.size();
+    names_.emplace(name, id);
+    values_.push_back(0);
+    previous_.push_back(0);
+    return id;
+}
+
+SignalId DigitalDomain::find_signal(const std::string& name) const {
+    const auto it = names_.find(name);
+    if (it == names_.end()) throw std::invalid_argument("no such digital signal: " + name);
+    return it->second;
+}
+
+void DigitalDomain::add_comparator(circuit::NodeId p, circuit::NodeId n, double threshold,
+                                   double hysteresis, SignalId out) {
+    comparators_.push_back({p, n, threshold, hysteresis, out});
+}
+
+void DigitalDomain::bind_switch(circuit::Switch& sw, SignalId id, bool invert) {
+    bindings_.push_back({&sw, id, invert});
+}
+
+void DigitalDomain::on_step(double time, const circuit::Solution& x, circuit::Circuit&) {
+    previous_ = values_;
+    // 1. Comparators sample the fresh analog solution.
+    for (const auto& c : comparators_) {
+        const double v = x.v(c.p) - x.v(c.n);
+        const bool was = values_[c.out] != 0;
+        bool now = was;
+        if (v > c.threshold + c.hysteresis) {
+            now = true;
+        } else if (v < c.threshold - c.hysteresis) {
+            now = false;
+        }
+        values_[c.out] = now ? 1 : 0;
+    }
+    // 2. Logic evaluates.
+    for (const auto& block : blocks_) block->tick(*this, time);
+    // 3. Signals drive analog switches (effective next analog step).
+    for (const auto& b : bindings_) {
+        const bool v = values_[b.id] != 0;
+        b.sw->set_closed(b.invert ? !v : v);
+    }
+}
+
+void DigitalDomain::settle_bindings() {
+    for (const auto& b : bindings_) {
+        const bool v = values_[b.id] != 0;
+        b.sw->set_closed(b.invert ? !v : v);
+    }
+}
+
+DividerBlock::DividerBlock(SignalId input, SignalId output, unsigned divide)
+    : input_(input), output_(output), divide_(divide) {
+    if (divide < 2 || (divide & (divide - 1)) != 0) {
+        throw std::invalid_argument("DividerBlock: divide must be a power of two >= 2");
+    }
+}
+
+void DividerBlock::tick(DigitalDomain& domain, double) {
+    if (domain.rising(input_)) count_ = (count_ + 1) % divide_;
+    // High for the second half of the count so the power-on output is low
+    // (no spurious edge before the first input activity).
+    domain.set(output_, count_ >= divide_ / 2);
+}
+
+}  // namespace rfabm::mixed

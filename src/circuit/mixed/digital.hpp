@@ -1,0 +1,127 @@
+// Mixed-signal co-simulation: a digital domain evolved in lock-step with the
+// analog transient.
+//
+// The paper's circuits are genuinely mixed-signal: the frequency detector's
+// logic control block (LCB) sequences charge/transfer/reset switches off the
+// RF zero crossings, the f/8 prescaler is a digital divider clocked by a
+// comparator, and the IEEE 1149.4 switch network is driven by boundary-scan
+// logic.  DigitalDomain is a TransientEngine StepObserver that, after every
+// accepted analog step:
+//   1. samples every registered comparator (analog -> digital, with
+//      hysteresis),
+//   2. ticks the logic blocks in registration order,
+//   3. applies signal values to bound analog switches (taking effect on the
+//      next analog step — a one-step gate delay, physically sensible).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/devices/switch_device.hpp"
+#include "circuit/transient.hpp"
+
+namespace rfabm::mixed {
+
+/// Handle to a boolean signal inside a DigitalDomain.
+using SignalId = std::size_t;
+
+class DigitalDomain;
+
+/// A clocked logic block; tick() runs once per accepted analog step.
+class LogicBlock {
+  public:
+    virtual ~LogicBlock() = default;
+    virtual void tick(DigitalDomain& domain, double time) = 0;
+};
+
+/// The digital half of the co-simulation.
+class DigitalDomain : public circuit::StepObserver {
+  public:
+    DigitalDomain() = default;
+
+    /// Get or create a named signal (initial value false).
+    SignalId signal(const std::string& name);
+
+    /// Look up an existing signal; throws std::invalid_argument if missing.
+    SignalId find_signal(const std::string& name) const;
+
+    bool value(SignalId id) const { return values_.at(id) != 0; }
+    void set(SignalId id, bool v) { values_.at(id) = v ? 1 : 0; }
+
+    /// Edge queries relative to the previous analog step.
+    bool rising(SignalId id) const { return values_.at(id) != 0 && previous_.at(id) == 0; }
+    bool falling(SignalId id) const { return values_.at(id) == 0 && previous_.at(id) != 0; }
+
+    /// Register a comparator: out <- (v(p) - v(n) > threshold), with
+    /// symmetric hysteresis of +/- @p hysteresis around the threshold.
+    void add_comparator(circuit::NodeId p, circuit::NodeId n, double threshold,
+                        double hysteresis, SignalId out);
+
+    /// Register a logic block (domain takes ownership); returns a reference
+    /// for configuration.
+    template <typename B, typename... Args>
+    B& add_block(Args&&... args) {
+        auto block = std::make_unique<B>(std::forward<Args>(args)...);
+        B& ref = *block;
+        blocks_.push_back(std::move(block));
+        return ref;
+    }
+
+    /// Drive @p sw from @p id (closed when the signal is true, or when false
+    /// if @p invert).
+    void bind_switch(circuit::Switch& sw, SignalId id, bool invert = false);
+
+    /// StepObserver hook.
+    void on_step(double time, const circuit::Solution& x, circuit::Circuit& circuit) override;
+
+    /// Manually evaluate blocks + bindings outside a transient (e.g. to apply
+    /// an initial switch configuration before init()).
+    void settle_bindings();
+
+    std::size_t num_signals() const { return values_.size(); }
+
+  private:
+    struct ComparatorEntry {
+        circuit::NodeId p;
+        circuit::NodeId n;
+        double threshold;
+        double hysteresis;
+        SignalId out;
+    };
+    struct SwitchBinding {
+        circuit::Switch* sw;
+        SignalId id;
+        bool invert;
+    };
+
+    std::unordered_map<std::string, SignalId> names_;
+    std::vector<char> values_;
+    std::vector<char> previous_;
+    std::vector<ComparatorEntry> comparators_;
+    std::vector<std::unique_ptr<LogicBlock>> blocks_;
+    std::vector<SwitchBinding> bindings_;
+};
+
+/// Divide-by-2^k prescaler: output is a square wave at f_in / 2^k, advanced on
+/// rising edges of the input signal.
+class DividerBlock : public LogicBlock {
+  public:
+    /// @p divide must be a power of two >= 2.
+    DividerBlock(SignalId input, SignalId output, unsigned divide);
+
+    void tick(DigitalDomain& domain, double time) override;
+
+    unsigned divide_ratio() const { return divide_; }
+    /// Reset the internal edge counter (e.g. at measurement start).
+    void reset() { count_ = 0; }
+
+  private:
+    SignalId input_;
+    SignalId output_;
+    unsigned divide_;
+    unsigned count_ = 0;
+};
+
+}  // namespace rfabm::mixed

@@ -1,0 +1,353 @@
+#include "circuit/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "circuit/devices/controlled.hpp"
+#include "circuit/devices/diode.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+
+namespace rfabm::circuit {
+
+namespace {
+
+std::string lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+/// Split a card into tokens; parentheses become their own tokens so
+/// "SIN(0 1 1e9)" tokenizes as SIN ( 0 1 1e9 ).
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::string current;
+    auto flush = [&] {
+        if (!current.empty()) {
+            tokens.push_back(current);
+            current.clear();
+        }
+    };
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+            flush();
+        } else if (c == '(' || c == ')' || c == '=') {
+            flush();
+            tokens.push_back(std::string(1, c));
+        } else {
+            current += c;
+        }
+    }
+    flush();
+    return tokens;
+}
+
+/// name=value pairs from the tail of a token list (handles "K = 1" spacing).
+std::map<std::string, std::string> parse_pairs(const std::vector<std::string>& tokens,
+                                               std::size_t start, std::size_t line,
+                                               std::vector<std::string>* loose = nullptr) {
+    std::map<std::string, std::string> pairs;
+    for (std::size_t i = start; i < tokens.size();) {
+        if (i + 1 < tokens.size() && tokens[i + 1] == "=") {
+            if (i + 2 >= tokens.size()) throw NetlistError(line, "dangling '=' after " + tokens[i]);
+            pairs[lower(tokens[i])] = tokens[i + 2];
+            i += 3;
+        } else {
+            if (loose != nullptr) {
+                loose->push_back(tokens[i]);
+            } else {
+                throw NetlistError(line, "unexpected token '" + tokens[i] + "'");
+            }
+            ++i;
+        }
+    }
+    return pairs;
+}
+
+struct MosModel {
+    MosfetParams params;
+};
+
+}  // namespace
+
+double parse_eng_value(std::string_view token) {
+    const std::string s = lower(token);
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(s, &pos);
+    } catch (const std::exception&) {
+        throw std::invalid_argument("not a number: " + std::string(token));
+    }
+    const std::string suffix = s.substr(pos);
+    if (suffix.empty()) return value;
+    // "meg" must be checked before "m".
+    if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+    switch (suffix[0]) {
+        case 'f': return value * 1e-15;
+        case 'p': return value * 1e-12;
+        case 'n': return value * 1e-9;
+        case 'u': return value * 1e-6;
+        case 'm': return value * 1e-3;
+        case 'k': return value * 1e3;
+        case 'g': return value * 1e9;
+        case 't': return value * 1e12;
+        default: break;
+    }
+    throw std::invalid_argument("bad value suffix: " + std::string(token));
+}
+
+std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
+    // --- gather logical lines (handle '+' continuation, strip comments) -----
+    struct Card {
+        std::string text;
+        std::size_t line;
+    };
+    std::vector<Card> cards;
+    {
+        std::istringstream stream{std::string(text)};
+        std::string raw;
+        std::size_t lineno = 0;
+        while (std::getline(stream, raw)) {
+            ++lineno;
+            const std::size_t comment = raw.find_first_of("*;");
+            if (comment != std::string::npos) raw.erase(comment);
+            // Trim.
+            const auto begin = raw.find_first_not_of(" \t\r");
+            if (begin == std::string::npos) continue;
+            const auto end = raw.find_last_not_of(" \t\r");
+            std::string body = raw.substr(begin, end - begin + 1);
+            if (body.empty()) continue;
+            if (body[0] == '+') {
+                if (cards.empty()) throw NetlistError(lineno, "continuation without a card");
+                cards.back().text += " " + body.substr(1);
+            } else {
+                cards.push_back({body, lineno});
+            }
+        }
+    }
+
+    auto value_of = [](const std::string& tok, std::size_t line) {
+        try {
+            return parse_eng_value(tok);
+        } catch (const std::invalid_argument& e) {
+            throw NetlistError(line, e.what());
+        }
+    };
+
+    // --- first pass: .model cards -------------------------------------------
+    std::map<std::string, MosModel> models;
+    for (const Card& card : cards) {
+        auto tokens = tokenize(card.text);
+        if (tokens.empty() || lower(tokens[0]) != ".model") continue;
+        if (tokens.size() < 3) throw NetlistError(card.line, ".model needs a name and a type");
+        MosModel model;
+        const std::string type = lower(tokens[2]);
+        if (type == "nmos") {
+            model.params.type = MosType::kNmos;
+        } else if (type == "pmos") {
+            model.params.type = MosType::kPmos;
+        } else {
+            throw NetlistError(card.line, "unknown model type: " + tokens[2]);
+        }
+        const auto pairs = parse_pairs(tokens, 3, card.line);
+        for (const auto& [key, val] : pairs) {
+            const double v = value_of(val, card.line);
+            if (key == "kp") {
+                model.params.kp = v;
+            } else if (key == "vto" || key == "vt0") {
+                model.params.vt0 = v;
+            } else if (key == "lambda") {
+                model.params.lambda = v;
+            } else if (key == "w") {
+                model.params.w = v;
+            } else if (key == "l") {
+                model.params.l = v;
+            } else {
+                throw NetlistError(card.line, "unknown .model parameter: " + key);
+            }
+        }
+        models[lower(tokens[1])] = model;
+    }
+
+    // --- second pass: devices -----------------------------------------------
+    std::size_t created = 0;
+    for (const Card& card : cards) {
+        auto tokens = tokenize(card.text);
+        if (tokens.empty()) continue;
+        const std::string head = lower(tokens[0]);
+        if (head == ".model") continue;
+        if (head == ".end") break;
+        if (head[0] == '.') throw NetlistError(card.line, "unknown directive: " + tokens[0]);
+
+        const std::string& name = tokens[0];
+        auto node = [&](std::size_t idx) -> NodeId {
+            if (idx >= tokens.size()) throw NetlistError(card.line, "missing node on " + name);
+            return circuit.node(lower(tokens[idx]));
+        };
+        auto require = [&](std::size_t idx, const char* what) -> const std::string& {
+            if (idx >= tokens.size()) {
+                throw NetlistError(card.line, std::string("missing ") + what + " on " + name);
+            }
+            return tokens[idx];
+        };
+
+        switch (std::tolower(static_cast<unsigned char>(head[0]))) {
+            case 'r': {
+                const double v = value_of(require(3, "value"), card.line);
+                const bool offchip = tokens.size() > 4 && lower(tokens[4]) == "offchip";
+                circuit.add<Resistor>(name, node(1), node(2), v,
+                                      offchip ? Placement::kOffChip : Placement::kOnDie);
+                break;
+            }
+            case 'c': {
+                const double v = value_of(require(3, "value"), card.line);
+                const bool offchip = tokens.size() > 4 && lower(tokens[4]) == "offchip";
+                circuit.add<Capacitor>(name, node(1), node(2), v,
+                                       offchip ? Placement::kOffChip : Placement::kOnDie);
+                break;
+            }
+            case 'l': {
+                circuit.add<Inductor>(name, node(1), node(2),
+                                      value_of(require(3, "value"), card.line));
+                break;
+            }
+            case 'v':
+            case 'i': {
+                const NodeId p = node(1);
+                const NodeId n = node(2);
+                const std::string kind = lower(require(3, "source kind"));
+                Waveform wave;
+                std::size_t next = 4;
+                auto paren_args = [&](std::size_t first) {
+                    std::vector<double> args;
+                    std::size_t i = first;
+                    if (i >= tokens.size() || tokens[i] != "(") {
+                        throw NetlistError(card.line, "expected '(' after " + kind);
+                    }
+                    for (++i; i < tokens.size() && tokens[i] != ")"; ++i) {
+                        args.push_back(value_of(tokens[i], card.line));
+                    }
+                    if (i >= tokens.size()) throw NetlistError(card.line, "missing ')'");
+                    next = i + 1;
+                    return args;
+                };
+                if (kind == "dc") {
+                    wave = Waveform::dc(value_of(require(4, "DC value"), card.line));
+                    next = 5;
+                } else if (kind == "sin") {
+                    const auto a = paren_args(4);
+                    if (a.size() < 3) throw NetlistError(card.line, "SIN needs >= 3 args");
+                    wave = Waveform::sine(a[0], a[1], a[2], a.size() > 3 ? a[3] : 0.0,
+                                          a.size() > 4 ? a[4] : 0.0);
+                } else if (kind == "pulse") {
+                    const auto a = paren_args(4);
+                    if (a.size() < 7) throw NetlistError(card.line, "PULSE needs 7 args");
+                    PulseWave pw;
+                    pw.v1 = a[0];
+                    pw.v2 = a[1];
+                    pw.delay = a[2];
+                    pw.rise = a[3];
+                    pw.fall = a[4];
+                    pw.width = a[5];
+                    pw.period = a[6];
+                    wave = Waveform::pulse(pw);
+                } else {
+                    throw NetlistError(card.line, "unknown source kind: " + kind);
+                }
+                double ac = 0.0;
+                if (next < tokens.size() && lower(tokens[next]) == "ac") {
+                    ac = value_of(require(next + 1, "AC magnitude"), card.line);
+                }
+                if (std::tolower(static_cast<unsigned char>(head[0])) == 'v') {
+                    auto& src = circuit.add<VSource>(name, p, n, wave);
+                    src.set_ac(ac);
+                } else {
+                    auto& src = circuit.add<ISource>(name, p, n, wave);
+                    src.set_ac(ac);
+                }
+                break;
+            }
+            case 'd': {
+                DiodeParams params;
+                const auto pairs = parse_pairs(tokens, 3, card.line);
+                for (const auto& [key, val] : pairs) {
+                    if (key == "is") {
+                        params.is = value_of(val, card.line);
+                    } else if (key == "n") {
+                        params.n = value_of(val, card.line);
+                    } else {
+                        throw NetlistError(card.line, "unknown diode parameter: " + key);
+                    }
+                }
+                circuit.add<Diode>(name, node(1), node(2), params);
+                break;
+            }
+            case 'm': {
+                const std::string model_name = lower(require(4, "model name"));
+                const auto it = models.find(model_name);
+                if (it == models.end()) {
+                    throw NetlistError(card.line, "undefined model: " + model_name);
+                }
+                MosfetParams params = it->second.params;
+                const auto pairs = parse_pairs(tokens, 5, card.line);
+                for (const auto& [key, val] : pairs) {
+                    if (key == "w") {
+                        params.w = value_of(val, card.line);
+                    } else if (key == "l") {
+                        params.l = value_of(val, card.line);
+                    } else {
+                        throw NetlistError(card.line, "unknown MOS parameter: " + key);
+                    }
+                }
+                circuit.add<Mosfet>(name, node(1), node(2), node(3), params);
+                break;
+            }
+            case 's': {
+                const std::string state = lower(require(3, "ON/OFF"));
+                if (state != "on" && state != "off") {
+                    throw NetlistError(card.line, "switch state must be ON or OFF");
+                }
+                double ron = 100.0;
+                double roff = 1e9;
+                const auto pairs = parse_pairs(tokens, 4, card.line);
+                for (const auto& [key, val] : pairs) {
+                    if (key == "ron") {
+                        ron = value_of(val, card.line);
+                    } else if (key == "roff") {
+                        roff = value_of(val, card.line);
+                    } else {
+                        throw NetlistError(card.line, "unknown switch parameter: " + key);
+                    }
+                }
+                auto& sw = circuit.add<Switch>(name, node(1), node(2), ron, roff);
+                sw.set_closed(state == "on");
+                break;
+            }
+            case 'e': {
+                circuit.add<Vcvs>(name, node(1), node(2), node(3), node(4),
+                                  value_of(require(5, "gain"), card.line));
+                break;
+            }
+            case 'g': {
+                circuit.add<Vccs>(name, node(1), node(2), node(3), node(4),
+                                  value_of(require(5, "gm"), card.line));
+                break;
+            }
+            default:
+                throw NetlistError(card.line, "unknown device type: " + name);
+        }
+        ++created;
+    }
+    return created;
+}
+
+}  // namespace rfabm::circuit

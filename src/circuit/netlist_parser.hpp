@@ -1,0 +1,57 @@
+// SPICE-flavoured netlist parser.
+//
+// Builds a Circuit from text, so test fixtures, examples and user decks can
+// be written as netlists instead of C++ construction code.  The grammar is a
+// pragmatic subset of SPICE:
+//
+//   * one card per line; '*' or ';' starts a comment; '+' continues the
+//     previous card; blank lines ignored; case-insensitive keywords
+//   * engineering suffixes on numbers: f p n u m k meg g t (e.g. 2.2k, 10p)
+//   * node names are arbitrary tokens; "0" and "gnd" are ground
+//
+// Supported cards (first letter selects the device type, as in SPICE):
+//
+//   Rname n1 n2 value [OFFCHIP]
+//   Cname n1 n2 value [OFFCHIP]
+//   Lname n1 n2 value
+//   Vname n+ n- DC value | SIN(offset ampl freq [phase delay])
+//                        | PULSE(v1 v2 delay rise fall width period)  [AC mag]
+//   Iname n+ n- DC value | SIN(...)
+//   Dname anode cathode [IS=..] [N=..]
+//   Mname d g s modelname [W=..] [L=..]
+//   Sname n1 n2 ON|OFF [RON=..] [ROFF=..]
+//   Ename p n cp cn gain            (VCVS)
+//   Gname p n cp cn gm              (VCCS)
+//   .model name NMOS|PMOS [KP=..] [VTO=..] [LAMBDA=..] [W=..] [L=..]
+//   .end                            (optional, stops parsing)
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+
+namespace rfabm::circuit {
+
+/// Thrown on malformed input; carries the 1-based line number.
+class NetlistError : public std::runtime_error {
+  public:
+    NetlistError(std::size_t line, const std::string& message)
+        : std::runtime_error("netlist line " + std::to_string(line) + ": " + message),
+          line_(line) {}
+    std::size_t line() const { return line_; }
+
+  private:
+    std::size_t line_;
+};
+
+/// Parse @p text into @p circuit (devices are added to whatever is already
+/// there).  Returns the number of devices created.
+std::size_t parse_netlist(Circuit& circuit, std::string_view text);
+
+/// Parse a single engineering-notation value ("2.2k", "10p", "1meg", "-0.5").
+/// Throws std::invalid_argument on garbage.
+double parse_eng_value(std::string_view token);
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,62 @@
+#include "circuit/newton.hpp"
+
+#include <cmath>
+
+#include "circuit/matrix.hpp"
+
+namespace rfabm::circuit {
+
+namespace {
+
+bool check_converged(const Solution& prev, const std::vector<double>& next,
+                     std::size_t num_nodes, const NewtonOptions& opt) {
+    const auto& old_vals = prev.raw();
+    for (std::size_t i = 0; i < next.size(); ++i) {
+        const double delta = std::fabs(next[i] - old_vals[i]);
+        const double scale = std::max(std::fabs(next[i]), std::fabs(old_vals[i]));
+        const double abs_tol = i < num_nodes - 1 ? opt.vntol : opt.abstol;
+        if (delta > opt.reltol * scale + abs_tol) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+NewtonOutcome newton_iterate(Circuit& circuit, StampContext ctx, Solution& x,
+                             const NewtonOptions& options, MnaSystem& scratch) {
+    circuit.finalize();
+    const std::size_t num_nodes = circuit.num_nodes();
+    NewtonOutcome outcome;
+
+    std::vector<double> candidate;
+    bool limited = false;
+    ctx.limited = &limited;
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        outcome.iterations = iter + 1;
+        scratch.reset(num_nodes, circuit.num_branches());
+        ctx.x = &x;
+        limited = false;
+        for (const auto& dev : circuit.devices()) dev->stamp(scratch, ctx);
+        if (options.extra_diag_gmin > 0.0) {
+            for (NodeId n = 1; n < static_cast<NodeId>(num_nodes); ++n) {
+                scratch.add_node_diagonal(n, options.extra_diag_gmin);
+            }
+        }
+        candidate = scratch.rhs();
+        try {
+            lu_solve_in_place(scratch.matrix(), candidate);
+        } catch (const SingularMatrixError&) {
+            outcome.singular = true;
+            return outcome;
+        }
+        const bool converged = !limited && check_converged(x, candidate, num_nodes, options);
+        x.raw() = candidate;
+        if (converged) {
+            outcome.converged = true;
+            return outcome;
+        }
+    }
+    return outcome;
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,35 @@
+// Newton-Raphson iteration shared by the DC and transient analyses.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/device.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/solution.hpp"
+
+namespace rfabm::circuit {
+
+/// Convergence tolerances for Newton iteration (SPICE-style: per-unknown
+/// relative + absolute test, voltages and branch currents separately).
+struct NewtonOptions {
+    int max_iterations = 100;
+    double reltol = 1e-4;
+    double vntol = 1e-6;    ///< absolute node-voltage tolerance (V)
+    double abstol = 1e-9;   ///< absolute branch-current tolerance (A)
+    double extra_diag_gmin = 0.0;  ///< added to every node diagonal (gmin stepping)
+};
+
+/// Result of a Newton solve attempt.
+struct NewtonOutcome {
+    bool converged = false;
+    int iterations = 0;
+    bool singular = false;  ///< LU hit a structurally/numerically singular pivot
+};
+
+/// Iterate the MNA system described by @p ctx (whose x pointer is managed by
+/// this function) starting from @p x until convergence.  @p x is updated in
+/// place with the best iterate.  @p scratch is reused across calls to avoid
+/// reallocation in transient inner loops.
+NewtonOutcome newton_iterate(Circuit& circuit, StampContext ctx, Solution& x,
+                             const NewtonOptions& options, MnaSystem& scratch);
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,57 @@
+#include "circuit/process.hpp"
+
+#include "rf/random.hpp"
+
+namespace rfabm::circuit {
+
+ProcessCorner named_corner(CornerName name, const ProcessSpread& spread) {
+    ProcessCorner c;
+    const double vt3 = 3.0 * spread.vt_sigma;
+    const double kp3 = 3.0 * spread.kp_sigma;
+    auto fast = [&](double& vt, double& kp) {
+        vt = -vt3;
+        kp = 1.0 + kp3;
+    };
+    auto slow = [&](double& vt, double& kp) {
+        vt = +vt3;
+        kp = 1.0 - kp3;
+    };
+    switch (name) {
+        case CornerName::kTT:
+            break;
+        case CornerName::kFF:
+            fast(c.nmos_vt_shift, c.nmos_kp_factor);
+            fast(c.pmos_vt_shift, c.pmos_kp_factor);
+            c.res_factor = 1.0 - 3.0 * spread.res_sigma;
+            c.cap_factor = 1.0 - 3.0 * spread.cap_sigma;
+            break;
+        case CornerName::kSS:
+            slow(c.nmos_vt_shift, c.nmos_kp_factor);
+            slow(c.pmos_vt_shift, c.pmos_kp_factor);
+            c.res_factor = 1.0 + 3.0 * spread.res_sigma;
+            c.cap_factor = 1.0 + 3.0 * spread.cap_sigma;
+            break;
+        case CornerName::kFS:
+            fast(c.nmos_vt_shift, c.nmos_kp_factor);
+            slow(c.pmos_vt_shift, c.pmos_kp_factor);
+            break;
+        case CornerName::kSF:
+            slow(c.nmos_vt_shift, c.nmos_kp_factor);
+            fast(c.pmos_vt_shift, c.pmos_kp_factor);
+            break;
+    }
+    return c;
+}
+
+ProcessCorner sample_corner(rfabm::rf::Xoshiro256& rng, const ProcessSpread& spread) {
+    ProcessCorner c;
+    c.nmos_vt_shift = rng.truncated_normal(0.0, spread.vt_sigma, 3.0);
+    c.pmos_vt_shift = rng.truncated_normal(0.0, spread.vt_sigma, 3.0);
+    c.nmos_kp_factor = 1.0 + rng.truncated_normal(0.0, spread.kp_sigma, 3.0);
+    c.pmos_kp_factor = 1.0 + rng.truncated_normal(0.0, spread.kp_sigma, 3.0);
+    c.res_factor = 1.0 + rng.truncated_normal(0.0, spread.res_sigma, 3.0);
+    c.cap_factor = 1.0 + rng.truncated_normal(0.0, spread.cap_sigma, 3.0);
+    return c;
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,59 @@
+// Process-variation model.
+//
+// The paper's measurement errors are dominated by three environmental axes:
+// temperature, supply voltage and process spread.  Temperature and supply are
+// operating conditions (applied per-analysis); process spread is a property of
+// the fabricated die.  A ProcessCorner captures the die-level parameter shifts
+// that eqs. (1) and (2) of the paper are sensitive to: MOS threshold voltage,
+// transconductance factor K', sheet resistance and capacitance density.
+#pragma once
+
+#include <cstdint>
+
+namespace rfabm::rf {
+class Xoshiro256;
+}
+
+namespace rfabm::circuit {
+
+/// Die-level process parameter shifts, applied multiplicatively/additively to
+/// every device's nominal parameters.  Default-constructed == nominal (TT).
+struct ProcessCorner {
+    double nmos_vt_shift = 0.0;   ///< added to NMOS VT0 (volts)
+    double pmos_vt_shift = 0.0;   ///< added to |PMOS VT0| (volts)
+    double nmos_kp_factor = 1.0;  ///< multiplies NMOS transconductance K'
+    double pmos_kp_factor = 1.0;  ///< multiplies PMOS transconductance K'
+    double res_factor = 1.0;      ///< multiplies every resistor value
+    double cap_factor = 1.0;      ///< multiplies every capacitor value
+
+    /// True when every field is at its nominal value.
+    bool is_nominal() const {
+        return nmos_vt_shift == 0.0 && pmos_vt_shift == 0.0 && nmos_kp_factor == 1.0 &&
+               pmos_kp_factor == 1.0 && res_factor == 1.0 && cap_factor == 1.0;
+    }
+};
+
+/// 3-sigma spreads of a generic 0.25 um-class CMOS process; the magnitudes are
+/// chosen so that the simulated corner errors land near the paper's reported
+/// ~2 dB / ~0.1 GHz (see DESIGN.md section 4).
+struct ProcessSpread {
+    double vt_sigma = 0.015;   ///< 1-sigma VT0 shift (V); 3-sigma = 45 mV
+    double kp_sigma = 0.05;    ///< 1-sigma relative K' spread; 3-sigma = 15%
+    double res_sigma = 0.05;   ///< 1-sigma relative resistor spread
+    double cap_sigma = 0.0333; ///< 1-sigma relative capacitor spread
+};
+
+/// Named digital-style corners for quick bracketing sweeps.
+enum class CornerName : std::uint8_t { kTT, kFF, kSS, kFS, kSF };
+
+/// Build the ProcessCorner for a named corner with the given spread
+/// (evaluated at 3 sigma).  FF = fast NMOS + fast PMOS (low VT, high K'),
+/// SS = slow/slow, FS = fast NMOS slow PMOS, SF = the converse.
+ProcessCorner named_corner(CornerName name, const ProcessSpread& spread = {});
+
+/// Draw a random die from the spread (Gaussian truncated at 3 sigma; NMOS and
+/// PMOS thresholds drawn independently, passive spreads fully correlated
+/// within the die as is typical for sheet/oxide variation).
+ProcessCorner sample_corner(rfabm::rf::Xoshiro256& rng, const ProcessSpread& spread = {});
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,41 @@
+// Solution vector of an MNA system: node voltages followed by branch currents.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/types.hpp"
+
+namespace rfabm::circuit {
+
+/// A solved (or in-progress Newton iterate) MNA state.  Unknown ordering is
+/// node voltages for nodes 1..num_nodes-1, then one current per MNA branch.
+class Solution {
+  public:
+    Solution() = default;
+    Solution(std::size_t num_nodes, std::size_t num_branches)
+        : num_nodes_(num_nodes), values_(num_nodes - 1 + num_branches, 0.0) {}
+
+    /// Voltage of @p node; ground reads as exactly 0.
+    double v(NodeId node) const {
+        return node == kGround ? 0.0 : values_[static_cast<std::size_t>(node) - 1];
+    }
+
+    /// Current of MNA branch @p branch (0-based).
+    double branch_current(std::size_t branch) const { return values_[num_nodes_ - 1 + branch]; }
+
+    /// Number of circuit nodes including ground.
+    std::size_t num_nodes() const { return num_nodes_; }
+
+    /// Number of unknowns (matrix dimension).
+    std::size_t size() const { return values_.size(); }
+
+    std::vector<double>& raw() { return values_; }
+    const std::vector<double>& raw() const { return values_; }
+
+  private:
+    std::size_t num_nodes_ = 1;
+    std::vector<double> values_;
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,69 @@
+#include "circuit/trace.hpp"
+
+#include <cmath>
+
+namespace rfabm::circuit {
+
+CsvTracer::CsvTracer(std::vector<Probe> probes, std::size_t decimation)
+    : probes_(std::move(probes)), decimation_(decimation == 0 ? 1 : decimation),
+      columns_(probes_.size()) {}
+
+void CsvTracer::on_step(double time, const Solution& x, Circuit&) {
+    if (counter_++ % decimation_ != 0) return;
+    time_.push_back(time);
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        columns_[i].push_back(x.v(probes_[i].node));
+    }
+}
+
+void CsvTracer::write(std::ostream& out) const {
+    out << "time";
+    for (const Probe& p : probes_) out << ',' << p.name;
+    out << '\n';
+    for (std::size_t row = 0; row < time_.size(); ++row) {
+        out << time_[row];
+        for (const auto& col : columns_) out << ',' << col[row];
+        out << '\n';
+    }
+}
+
+void CsvTracer::clear() {
+    counter_ = 0;
+    time_.clear();
+    for (auto& c : columns_) c.clear();
+}
+
+VcdTracer::VcdTracer(const rfabm::mixed::DigitalDomain& domain, std::vector<Signal> signals)
+    : domain_(domain), signals_(std::move(signals)), last_(signals_.size(), 0) {}
+
+void VcdTracer::on_step(double time, const Solution&, Circuit&) {
+    const auto t_ps = static_cast<std::uint64_t>(std::llround(time * 1e12));
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        const char now = domain_.value(signals_[i].id) ? 1 : 0;
+        if (!primed_ || now != last_[i]) {
+            changes_.push_back({t_ps, i, now != 0});
+            last_[i] = now;
+        }
+    }
+    primed_ = true;
+}
+
+void VcdTracer::write(std::ostream& out) const {
+    out << "$timescale 1ps $end\n$scope module rfabm $end\n";
+    for (std::size_t i = 0; i < signals_.size(); ++i) {
+        // VCD identifier: printable chars starting at '!'.
+        out << "$var wire 1 " << static_cast<char>('!' + i) << ' ' << signals_[i].name
+            << " $end\n";
+    }
+    out << "$upscope $end\n$enddefinitions $end\n";
+    std::uint64_t current = ~0ull;
+    for (const Change& c : changes_) {
+        if (c.time_ps != current) {
+            out << '#' << c.time_ps << '\n';
+            current = c.time_ps;
+        }
+        out << (c.value ? '1' : '0') << static_cast<char>('!' + c.signal) << '\n';
+    }
+}
+
+}  // namespace rfabm::circuit

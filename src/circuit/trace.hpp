@@ -1,0 +1,73 @@
+// Waveform tracing: CSV export of analog probes and VCD export of digital
+// signals, for inspecting the mixed-signal co-simulation in external viewers
+// (gtkwave, pandas, gnuplot ...).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "circuit/mixed/digital.hpp"
+#include "circuit/transient.hpp"
+
+namespace rfabm::circuit {
+
+/// Records named analog probes each step and writes CSV ("time,probe1,...").
+class CsvTracer : public StepObserver {
+  public:
+    struct Probe {
+        std::string name;
+        NodeId node;
+    };
+
+    explicit CsvTracer(std::vector<Probe> probes, std::size_t decimation = 1);
+
+    void on_step(double time, const Solution& x, Circuit& circuit) override;
+
+    /// Write the recorded samples as CSV.
+    void write(std::ostream& out) const;
+
+    std::size_t num_samples() const { return time_.size(); }
+    void clear();
+
+  private:
+    std::vector<Probe> probes_;
+    std::size_t decimation_;
+    std::size_t counter_ = 0;
+    std::vector<double> time_;
+    std::vector<std::vector<double>> columns_;
+};
+
+/// Records digital signals each step and writes an IEEE 1364 VCD file.
+/// Timescale is 1 ps; times are rounded to that grid.
+class VcdTracer : public StepObserver {
+  public:
+    struct Signal {
+        std::string name;
+        rfabm::mixed::SignalId id;
+    };
+
+    VcdTracer(const rfabm::mixed::DigitalDomain& domain, std::vector<Signal> signals);
+
+    void on_step(double time, const Solution& x, Circuit& circuit) override;
+
+    /// Write header + value changes.
+    void write(std::ostream& out) const;
+
+    std::size_t num_changes() const { return changes_.size(); }
+
+  private:
+    struct Change {
+        std::uint64_t time_ps;
+        std::size_t signal;
+        bool value;
+    };
+
+    const rfabm::mixed::DigitalDomain& domain_;
+    std::vector<Signal> signals_;
+    std::vector<char> last_;
+    bool primed_ = false;
+    std::vector<Change> changes_;
+};
+
+}  // namespace rfabm::circuit

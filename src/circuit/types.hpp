@@ -1,0 +1,38 @@
+// Fundamental identifiers and constants for the MNA circuit simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace rfabm::circuit {
+
+/// Circuit node identifier.  Node 0 is always ground; analyses solve for the
+/// voltages of nodes 1..N and the currents of MNA branch equations.
+using NodeId = std::int32_t;
+
+/// The ground (reference) node.
+inline constexpr NodeId kGround = 0;
+
+/// Minimum conductance added across nonlinear junctions to keep the MNA
+/// matrix nonsingular when devices are cut off.
+inline constexpr double kGminDefault = 1e-12;
+
+/// Boltzmann constant over electron charge at 300.15 K gives the thermal
+/// voltage used by junction devices; computed from temperature at stamp time.
+inline constexpr double kBoltzmann = 1.380649e-23;   // J/K
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+
+/// Reference temperature for device parameter specifications (27 C).
+inline constexpr double kNominalTemperatureK = 300.15;
+
+/// Thermal voltage kT/q at temperature @p tK.
+inline constexpr double thermal_voltage(double tK) {
+    return kBoltzmann * tK / kElectronCharge;
+}
+
+/// Time-integration scheme for transient analysis.
+enum class Integration {
+    kBackwardEuler,  ///< L-stable, first order; used for the first step and after events.
+    kTrapezoidal,    ///< Second order; default for smooth intervals.
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,74 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfabm::circuit {
+
+Waveform Waveform::pwl(std::vector<std::pair<double, double>> points) {
+    if (points.empty()) throw std::invalid_argument("PWL waveform requires points");
+    std::sort(points.begin(), points.end());
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].first == points[i - 1].first) {
+            throw std::invalid_argument("PWL waveform has duplicate time");
+        }
+    }
+    return Waveform(PwlWave{std::move(points)});
+}
+
+namespace {
+
+double eval_pulse(const PulseWave& p, double t) {
+    if (t < p.delay) return p.v1;
+    double local = t - p.delay;
+    if (p.period > 0.0) local = std::fmod(local, p.period);
+    if (local < p.rise) return p.v1 + (p.v2 - p.v1) * (local / p.rise);
+    local -= p.rise;
+    if (local < p.width) return p.v2;
+    local -= p.width;
+    if (local < p.fall) return p.v2 + (p.v1 - p.v2) * (local / p.fall);
+    return p.v1;
+}
+
+double eval_pwl(const PwlWave& w, double t) {
+    const auto& pts = w.points;
+    if (t <= pts.front().first) return pts.front().second;
+    if (t >= pts.back().first) return pts.back().second;
+    const auto it = std::upper_bound(pts.begin(), pts.end(), t,
+                                     [](double v, const auto& p) { return v < p.first; });
+    const auto& hi = *it;
+    const auto& lo = *(it - 1);
+    const double f = (t - lo.first) / (hi.first - lo.first);
+    return lo.second + f * (hi.second - lo.second);
+}
+
+}  // namespace
+
+double Waveform::value(double t) const {
+    return std::visit(
+        [t](const auto& w) -> double {
+            using T = std::decay_t<decltype(w)>;
+            if constexpr (std::is_same_v<T, DcWave>) {
+                return w.level;
+            } else if constexpr (std::is_same_v<T, SineWave>) {
+                if (t < w.delay) return w.offset;
+                return w.offset +
+                       w.amplitude * std::sin(2.0 * M_PI * w.frequency * (t - w.delay) + w.phase);
+            } else if constexpr (std::is_same_v<T, PulseWave>) {
+                return eval_pulse(w, t);
+            } else {
+                return eval_pwl(w, t);
+            }
+        },
+        storage_);
+}
+
+double Waveform::fundamental_hz() const {
+    if (const auto* s = std::get_if<SineWave>(&storage_)) return s->frequency;
+    if (const auto* p = std::get_if<PulseWave>(&storage_)) {
+        return p->period > 0.0 ? 1.0 / p->period : 0.0;
+    }
+    return 0.0;
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,79 @@
+// Time-domain waveform descriptions for independent sources.
+//
+// A Waveform is a cheap value type: sources copy it and evaluate value(t)
+// every Newton iteration.  The variants mirror the SPICE source set the
+// experiments need: DC, sinusoid (the RF stimulus), pulse (clocks for the
+// digital test logic) and piecewise-linear (arbitrary ramps).
+#pragma once
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace rfabm::circuit {
+
+/// Constant level.
+struct DcWave {
+    double level = 0.0;
+};
+
+/// offset + amplitude * sin(2*pi*freq*(t - delay) + phase), zero-sine before delay.
+struct SineWave {
+    double offset = 0.0;
+    double amplitude = 0.0;
+    double frequency = 0.0;  ///< Hz
+    double phase = 0.0;      ///< radians
+    double delay = 0.0;      ///< seconds
+};
+
+/// SPICE-style periodic trapezoid pulse.
+struct PulseWave {
+    double v1 = 0.0;      ///< initial level
+    double v2 = 0.0;      ///< pulsed level
+    double delay = 0.0;   ///< time of first rising edge start
+    double rise = 1e-12;  ///< rise time
+    double fall = 1e-12;  ///< fall time
+    double width = 0.0;   ///< time at v2
+    double period = 0.0;  ///< repetition period (0 = single pulse)
+};
+
+/// Piecewise-linear: sorted (time, value) breakpoints, clamped at the ends.
+struct PwlWave {
+    std::vector<std::pair<double, double>> points;
+};
+
+/// Tagged union over the waveform kinds with a uniform value(t) accessor.
+class Waveform {
+  public:
+    Waveform() : storage_(DcWave{}) {}
+
+    static Waveform dc(double level) { return Waveform(DcWave{level}); }
+    static Waveform sine(double offset, double amplitude, double frequency, double phase = 0.0,
+                         double delay = 0.0) {
+        return Waveform(SineWave{offset, amplitude, frequency, phase, delay});
+    }
+    static Waveform pulse(PulseWave p) { return Waveform(std::move(p)); }
+    static Waveform pwl(std::vector<std::pair<double, double>> points);
+
+    /// Instantaneous value at time @p t.
+    double value(double t) const;
+
+    /// Value used by DC operating-point analysis (t = 0 by convention).
+    double dc_value() const { return value(0.0); }
+
+    /// True if the waveform is a plain DC level.
+    bool is_dc() const { return std::holds_alternative<DcWave>(storage_); }
+
+    /// For sine waves, the carrier frequency; 0 otherwise.  Used by settling
+    /// helpers to derive the averaging period.
+    double fundamental_hz() const;
+
+  private:
+    template <typename T>
+    explicit Waveform(T w) : storage_(std::move(w)) {}
+
+    std::variant<DcWave, SineWave, PulseWave, PwlWave> storage_;
+};
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,116 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+
+namespace rfabm::core {
+
+namespace {
+
+double quantize(double v, double step) { return std::round(v / step) * step; }
+
+}  // namespace
+
+TunePResult calibrate_tune_p(MeasurementController& controller,
+                             const CalibrationOptions& options) {
+    RfAbmChip& chip = controller.chip();
+    chip.rf_off();
+    chip.fin_off();
+    if (!controller.session_open()) controller.open_session();
+
+    TunePResult result;
+    // Vout(tuneP) is monotone increasing: above threshold Q1 conducts and the
+    // differential output rises.  Binary-search the conduction onset.
+    double lo = options.tune_p_lo;
+    double hi = options.tune_p_hi;
+    for (int i = 0; i < options.max_iterations; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        controller.apply_tune_p(mid);
+        // The zero-signal offset IS the tare reading (RF is muted here).
+        const double vout = controller.tare_power();
+        ++result.iterations;
+        if (vout > options.target_offset_v) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo < options.dac_step) break;
+    }
+    result.bench_volts = quantize(0.5 * (lo + hi), options.dac_step);
+    controller.apply_tune_p(result.bench_volts);
+    result.vout_offset = controller.tare_power();
+    return result;
+}
+
+TuneFResult calibrate_tune_f(MeasurementController& controller,
+                             const CalibrationOptions& options) {
+    RfAbmChip& chip = controller.chip();
+    if (!controller.session_open()) controller.open_session();
+    chip.set_rf(options.p_ref_dbm, options.f_ref_hz);
+
+    TuneFResult result;
+    // Nominal design target at the divided reference frequency, evaluated
+    // with the *default* tune voltage and nominal parameters — the value a
+    // datasheet would quote.
+    const double f_div = options.f_ref_hz / chip.config().prescaler_divide;
+    const double vtune_nominal = 2.0;
+    result.target = chip.fdet().analytic_vout(f_div, vtune_nominal);
+
+    // FVC output is monotone increasing in the tune voltage (Vc = I/(2 C1 f)).
+    double lo = options.tune_f_lo;
+    double hi = options.tune_f_hi;
+    for (int i = 0; i < options.max_iterations; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        controller.apply_tune_f(mid);
+        const double vout = controller.measure_freq_vout();
+        ++result.iterations;
+        if (vout > result.target) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        if (hi - lo < options.tune_f_dac_step) break;
+    }
+    result.bench_volts = quantize(0.5 * (lo + hi), options.tune_f_dac_step);
+    controller.apply_tune_f(result.bench_volts);
+    result.vout = controller.measure_freq_vout();
+    chip.rf_off();
+    return result;
+}
+
+DcCalibration dc_calibrate(MeasurementController& controller,
+                           const CalibrationOptions& options) {
+    DcCalibration cal;
+    cal.tune_p = calibrate_tune_p(controller, options);
+    cal.tune_f = calibrate_tune_f(controller, options);
+    return cal;
+}
+
+rfabm::rf::MonotoneCurve acquire_power_curve(MeasurementController& controller,
+                                             const std::vector<double>& powers_dbm,
+                                             double carrier_hz) {
+    RfAbmChip& chip = controller.chip();
+    std::vector<rfabm::rf::CurvePoint> points;
+    points.reserve(powers_dbm.size());
+    for (double dbm : powers_dbm) {
+        chip.set_rf(dbm, carrier_hz);
+        points.push_back({dbm, controller.measure_power_vout()});
+    }
+    chip.rf_off();
+    return rfabm::rf::MonotoneCurve(std::move(points));
+}
+
+rfabm::rf::MonotoneCurve acquire_frequency_curve(MeasurementController& controller,
+                                                 const std::vector<double>& freqs_ghz,
+                                                 double power_dbm) {
+    RfAbmChip& chip = controller.chip();
+    std::vector<rfabm::rf::CurvePoint> points;
+    points.reserve(freqs_ghz.size());
+    for (double ghz : freqs_ghz) {
+        chip.set_rf(power_dbm, ghz * 1e9);
+        points.push_back({ghz, controller.measure_freq_vout()});
+    }
+    chip.rf_off();
+    return rfabm::rf::MonotoneCurve(std::move(points));
+}
+
+}  // namespace rfabm::core

@@ -1,0 +1,90 @@
+// DC calibration — the paper's headline accuracy enabler.
+//
+// Section 3: "ABM structures were DC-calibrated before measurements using
+// tuning connections (tuneP and tunef)", and section 4 credits DC
+// calibration with cutting the corner error roughly in half.  Two
+// procedures, both driven entirely through the 1149.4 analog bus:
+//
+//   tuneP  - bias Q1's gate *exactly at the threshold voltage*: with RF off,
+//            binary-search the tuning voltage until the detector's
+//            differential output sits at a small positive target (the onset
+//            of conduction).  This nulls the die's VT0 offset, which is why
+//            eq. (1) afterwards depends only on K' and R spreads.
+//   tunef  - trim the FVC gain: with a strong reference tone applied, search
+//            the tunef voltage until the FVC output matches the nominal
+//            design value at the reference frequency, nulling the Ic*C1
+//            product error of the die.
+//
+// Both searches quantize to a DAC step, modelling the control unit's finite
+// tuning resolution.  Calibration curves (power -> Vout, frequency -> Vout)
+// are acquired on the *nominal* device, matching the paper's "error vs.
+// simulated response" metric.
+#pragma once
+
+#include "core/measurement.hpp"
+#include "rf/curve.hpp"
+
+namespace rfabm::core {
+
+/// Knobs of the calibration procedures.
+struct CalibrationOptions {
+    /// tuneP: zero-signal output target.  Sets the onset current of Q1 (gate
+    /// ~15-20 mV above threshold) so the detector has no dead zone at the
+    /// bottom of the power range even after worst-case environmental drift of
+    /// the tracking bias.
+    double target_offset_v = 25e-3;
+    double tune_p_lo = -0.5;        ///< tuneP search window (bench volts)
+    double tune_p_hi = 1.5;
+    double dac_step = 5e-3;         ///< control-unit DAC resolution (V)
+    int max_iterations = 14;        ///< binary-search depth
+
+    double f_ref_hz = 1.5e9;        ///< tunef reference tone (RF path)
+    double p_ref_dbm = 6.0;         ///< strong enough for the prescaler
+    double tune_f_lo = 1.0;
+    double tune_f_hi = 3.0;
+    double tune_f_dac_step = 10e-3;
+};
+
+/// Result of the tuneP procedure.
+struct TunePResult {
+    double bench_volts = 0.0;  ///< DAC value found
+    double vout_offset = 0.0;  ///< residual zero-signal offset
+    int iterations = 0;
+};
+
+/// Result of the tunef procedure.
+struct TuneFResult {
+    double bench_volts = 0.0;
+    double vout = 0.0;      ///< achieved FVC output at the reference
+    double target = 0.0;    ///< nominal design value aimed at
+    int iterations = 0;
+};
+
+/// tuneP: null the power detector's zero-signal offset (threshold bias).
+TunePResult calibrate_tune_p(MeasurementController& controller,
+                             const CalibrationOptions& options = {});
+
+/// tunef: trim the FVC gain at the reference frequency.
+TuneFResult calibrate_tune_f(MeasurementController& controller,
+                             const CalibrationOptions& options = {});
+
+/// Run both procedures (the paper's "DC-calibrated before measurements").
+struct DcCalibration {
+    TunePResult tune_p;
+    TuneFResult tune_f;
+};
+DcCalibration dc_calibrate(MeasurementController& controller,
+                           const CalibrationOptions& options = {});
+
+/// Acquire the power calibration curve dBm -> Vout on (typically) the nominal
+/// chip at @p carrier_hz, sweeping @p powers_dbm (must be increasing).
+rfabm::rf::MonotoneCurve acquire_power_curve(MeasurementController& controller,
+                                             const std::vector<double>& powers_dbm,
+                                             double carrier_hz);
+
+/// Acquire the frequency calibration curve GHz -> Vout at @p power_dbm.
+rfabm::rf::MonotoneCurve acquire_frequency_curve(MeasurementController& controller,
+                                                 const std::vector<double>& freqs_ghz,
+                                                 double power_dbm);
+
+}  // namespace rfabm::core

@@ -1,0 +1,359 @@
+#include "core/chip.hpp"
+
+#include <cmath>
+
+#include "circuit/devices/passive.hpp"
+#include "rf/units.hpp"
+
+namespace rfabm::core {
+
+using circuit::Capacitor;
+using circuit::NodeId;
+using circuit::Placement;
+using circuit::Resistor;
+using circuit::Switch;
+using circuit::VSource;
+using circuit::Waveform;
+using rfabm::jtag::AbmNodes;
+using rfabm::jtag::AnalogBoundaryModule;
+using rfabm::jtag::Instruction;
+using rfabm::jtag::SerialSelectBus;
+using rfabm::jtag::TapController;
+using rfabm::jtag::TapDriver;
+using rfabm::jtag::Tbic;
+using rfabm::jtag::TbicNodes;
+using rfabm::mixed::DigitalDomain;
+using rfabm::mixed::SignalId;
+
+namespace {
+
+/// CMOS gate-delay scaling of the LCB timing windows with supply voltage,
+/// temperature (mobility) and process speed: t ~ VDD/(VDD-VT)^2 * mu(T)^-1.
+double lcb_time_scale(const OperatingConditions& cond, const circuit::ProcessCorner& corner) {
+    auto delay = [](double v) { return v / ((v - 0.5) * (v - 0.5)); };
+    double s = delay(cond.vdd_fdet) / delay(kNominalVddFdet);
+    s *= std::pow((cond.temperature_c + 273.15) / circuit::kNominalTemperatureK, 1.5);
+    s /= corner.nmos_kp_factor;
+    return s;
+}
+
+/// Comparator input-referred offset: input-pair VT mismatch plus a small
+/// thermal drift.
+double comparator_offset(const OperatingConditions& cond, const circuit::ProcessCorner& corner) {
+    return 0.5 * (corner.nmos_vt_shift - corner.pmos_vt_shift) +
+           0.3e-3 * (cond.temperature_c - 27.0);
+}
+
+}  // namespace
+
+/// Per-step hook keeping the FVC-activity counter fresh.  The digital domain
+/// (registered first) has already evaluated its comparators and blocks when
+/// this runs.
+class RfAbmChip::LiveStateObserver : public circuit::StepObserver {
+  public:
+    explicit LiveStateObserver(RfAbmChip& chip) : chip_(chip) {}
+    void on_step(double, const circuit::Solution&, circuit::Circuit&) override {
+        if (chip_.domain_.rising(chip_.fvc_clk_)) ++chip_.fvc_edge_count_;
+    }
+
+  private:
+    RfAbmChip& chip_;
+};
+
+/// Selects which clock drives the FVC: the divided RF path or the direct fin
+/// comparator (select-bus bit 7).
+class RfAbmChip::ClockMuxBlock : public rfabm::mixed::LogicBlock {
+  public:
+    ClockMuxBlock(SignalId rf_div, SignalId fin, SignalId out)
+        : rf_div_(rf_div), fin_(fin), out_(out) {}
+
+    void set_select_fin(bool v) { select_fin_ = v; }
+
+    void tick(DigitalDomain& domain, double) override {
+        domain.set(out_, select_fin_ ? domain.value(fin_) : domain.value(rf_div_));
+    }
+
+  private:
+    SignalId rf_div_;
+    SignalId fin_;
+    SignalId out_;
+    bool select_fin_ = false;
+};
+
+RfAbmChip::RfAbmChip(RfAbmChipConfig config, OperatingConditions conditions,
+                     circuit::ProcessCorner corner)
+    : config_(std::move(config)), conditions_(conditions), corner_(corner) {
+    build();
+}
+
+RfAbmChip::~RfAbmChip() = default;
+
+void RfAbmChip::build() {
+    circuit::Circuit& ckt = circuit_;
+
+    // ---- supplies and references -------------------------------------------
+    const NodeId vddp_rail = ckt.node("vddp_rail");
+    const NodeId vddp = ckt.node("vddp");
+    ckt.add<VSource>("VDDP", vddp_rail, circuit::kGround, Waveform::dc(conditions_.vdd_pdet));
+    power_gate_p_ = &ckt.add<Switch>("PWRGATE_P", vddp_rail, vddp, 10.0);
+
+    // Mid-supply guard reference VG via a ratiometric divider.
+    const NodeId vg_ref = ckt.node("vg_ref");
+    ckt.add<Resistor>("RVG1", vddp_rail, vg_ref, 10e3);
+    ckt.add<Resistor>("RVG2", vg_ref, circuit::kGround, 10e3);
+    ckt.add<Capacitor>("CVG", vg_ref, circuit::kGround, 5e-12);
+
+    // ---- pins, bench sources, terminations ---------------------------------
+    rf_pin_ = ckt.node("RFIN");
+    rf_core_ = ckt.node("rf_core");
+    fin_pin_ = ckt.node("FIN");
+    fin_core_ = ckt.node("fin_core");
+    at1_ = ckt.node("AT1");
+    at2_ = ckt.node("AT2");
+    const NodeId ab1 = ckt.node("ab1");
+    const NodeId ab2 = ckt.node("ab2");
+
+    const NodeId rf_src = ckt.node("rf_src");
+    rf_source_ = &ckt.add<VSource>("VRF", rf_src, circuit::kGround, Waveform::dc(0.0));
+    ckt.add<Resistor>("RSRC_RF", rf_src, rf_pin_, config_.source_impedance, Placement::kOffChip);
+    ckt.add<Resistor>("RTERM_RF", rf_pin_, circuit::kGround, 50.0);  // on-die match
+
+    const NodeId fin_src = ckt.node("fin_src");
+    fin_source_ = &ckt.add<VSource>("VFIN", fin_src, circuit::kGround, Waveform::dc(0.0));
+    ckt.add<Resistor>("RSRC_FIN", fin_src, fin_pin_, config_.source_impedance,
+                      Placement::kOffChip);
+    ckt.add<Resistor>("RTERM_FIN", fin_pin_, circuit::kGround, 50.0);
+
+    // DMMs on the ATAP pins.
+    ckt.add<Resistor>("DMM1", at1_, circuit::kGround, config_.dmm_resistance,
+                      Placement::kOffChip);
+    ckt.add<Resistor>("DMM2", at2_, circuit::kGround, config_.dmm_resistance,
+                      Placement::kOffChip);
+
+    // Bench tuning source, connectable to AT2.
+    const NodeId tune_src = ckt.node("tune_src");
+    tune_source_ = &ckt.add<VSource>("VTUNE", tune_src, circuit::kGround, Waveform::dc(0.0));
+    const NodeId tune_srcr = ckt.node("tune_srcr");
+    ckt.add<Resistor>("RSRC_TUNE", tune_src, tune_srcr, 100.0, Placement::kOffChip);
+    tune_connect_ = &ckt.add<Switch>("SW_TUNE", tune_srcr, at2_, 1.0);
+
+    // ---- tuning pins with external hold DACs --------------------------------
+    tune_p_ = ckt.node("tuneP");
+    tune_f_ = ckt.node("tunef");
+    ibias_ = ckt.node("Ibias");
+    const NodeId holdp = ckt.node("holdp");
+    const NodeId holdf = ckt.node("holdf");
+    hold_tune_p_src_ = &ckt.add<VSource>("VHOLDP", holdp, circuit::kGround, Waveform::dc(0.0));
+    hold_tune_f_src_ =
+        &ckt.add<VSource>("VHOLDF", holdf, circuit::kGround, Waveform::dc(hold_tune_f_v_));
+    ckt.add<Resistor>("RHOLDP", holdp, tune_p_, 10e3, Placement::kOffChip);
+    ckt.add<Resistor>("RHOLDF", holdf, tune_f_, 10e3, Placement::kOffChip);
+    ckt.add<Capacitor>("CHOLDP", tune_p_, circuit::kGround, 10e-12);
+    ckt.add<Capacitor>("CHOLDF", tune_f_, circuit::kGround, 10e-12);
+    ckt.add<Resistor>("RIBIAS", ibias_, circuit::kGround, 1e6);
+
+    // ---- IEEE 1149.4 infrastructure -----------------------------------------
+    tap_ = std::make_unique<TapController>(config_.idcode);
+    tap_driver_ = std::make_unique<TapDriver>(*tap_);
+
+    TbicNodes tnodes{at1_, at2_, ab1, ab2, vddp_rail, circuit::kGround};
+    tbic_ = std::make_unique<Tbic>("TBIC", ckt, tnodes);
+    tbic_->register_cells(boundary_);
+
+    AbmNodes rf_nodes{rf_pin_, rf_core_, ab1, ab2, vddp_rail, circuit::kGround, vg_ref};
+    abm_rf_ = std::make_unique<AnalogBoundaryModule>("ABM_RF", ckt, rf_nodes,
+                                                     conditions_.vdd_pdet / 2.0,
+                                                     config_.rf_abm_ron);
+    abm_rf_->register_cells(boundary_);
+
+    AbmNodes fin_nodes{fin_pin_, fin_core_, ab1, ab2, vddp_rail, circuit::kGround, vg_ref};
+    abm_fin_ = std::make_unique<AnalogBoundaryModule>("ABM_FIN", ckt, fin_nodes,
+                                                      conditions_.vdd_pdet / 2.0,
+                                                      config_.rf_abm_ron);
+    abm_fin_->register_cells(boundary_);
+
+    for (Instruction i : {Instruction::kExtest, Instruction::kSamplePreload, Instruction::kProbe,
+                          Instruction::kIntest}) {
+        tap_->route(i, &boundary_);
+    }
+    tap_->on_instruction([this](Instruction i) {
+        tbic_->apply(i);
+        abm_rf_->apply(i);
+        abm_fin_->apply(i);
+    });
+    const auto probe = [this](NodeId n) { return live_v(n); };
+    abm_rf_->set_voltage_probe(probe);
+    abm_fin_->set_voltage_probe(probe);
+
+    // ---- the RF-ABM core -----------------------------------------------------
+    // Optional preamplifier between the pin network and the detectors.
+    if (config_.with_preamp) {
+        preamp_ = std::make_unique<Preamplifier>("PRE", ckt, vddp, rf_core_, config_.preamp);
+        det_in_ = preamp_->out();
+    } else {
+        det_in_ = rf_core_;
+    }
+
+    // Power-detector branch behind its band-select network: isolation
+    // resistor into a parallel-LC tank resonant at the band centre.  The
+    // frequency path taps det_in_ directly so the limiter keeps its wideband
+    // sensitivity and the tank never loads the pin at resonance.
+    const NodeId det_rf = ckt.node("det_rf");
+    const NodeId det_ac = ckt.node("det_ac");
+    // DC block so the tank inductor cannot load the preamplifier's bias.
+    ckt.add<Capacitor>("CBLK", det_in_, det_ac, 5e-12);
+    ckt.add<Resistor>("RMATCH", det_ac, det_rf, config_.match_r);
+    ckt.add<circuit::Inductor>("LMATCH", det_rf, circuit::kGround, config_.match_l);
+    ckt.add<Capacitor>("CPAD", det_rf, circuit::kGround, config_.match_c);
+    pdet_ = std::make_unique<PowerDetector>("PDET", ckt, vddp, det_rf, tune_p_, config_.pdet);
+    ckt.add<Resistor>("RIBIAS_TRIM", ibias_, pdet_->gate(), 100e3);
+
+    // Prescaler comparator: slices the detector input against its DC
+    // reference (preamp replica, or ground for the direct pin path).
+    const double hyst =
+        config_.comparator_hysteresis * (conditions_.vdd_fdet / kNominalVddFdet);
+    const NodeId cmp_ref = config_.with_preamp
+                               ? preamp_->ref_out()
+                               : circuit::kGround;
+    prescaler_ = std::make_unique<Prescaler>("PRESC", domain_, det_in_, cmp_ref, hyst,
+                                             config_.prescaler_divide);
+
+    // Direct fin comparator.
+    const SignalId fin_cmp = domain_.signal("fin.cmp");
+    domain_.add_comparator(fin_core_, circuit::kGround,
+                           comparator_offset(conditions_, corner_), hyst, fin_cmp);
+
+    // Clock selection and the FVC.
+    fvc_clk_ = domain_.signal("fvc.clk");
+    auto& clock_mux =
+        domain_.add_block<ClockMuxBlock>(prescaler_->output(), fin_cmp, fvc_clk_);
+
+    // Frequency-detector supply gate: power bit cuts the tune current path.
+    const NodeId fdet_tune = ckt.node("fdet_tune");
+    power_gate_f_ = &ckt.add<Switch>("PWRGATE_F", tune_f_, fdet_tune, 100.0);
+    ckt.add<Resistor>("RFDET_TUNE_BLEED", fdet_tune, circuit::kGround, 1e6);
+
+    FrequencyDetectorParams fparams = config_.fdet;
+    const double tscale = lcb_time_scale(conditions_, corner_);
+    fparams.transfer_s *= tscale;
+    fparams.reset_s *= tscale;
+    // Rise/fall delay mismatch of the LCB gates: proportional to the N/P
+    // threshold imbalance of the die (2.2 ns/V puts the 3-sigma corner near
+    // 0.2 ns, a plausible skew for the paper's technology generation).
+    fparams.charge_skew_s +=
+        2.2e-9 * (corner_.nmos_vt_shift - corner_.pmos_vt_shift) * tscale;
+    fdet_ = std::make_unique<FrequencyDetector>("FDET", ckt, domain_, fdet_tune, fvc_clk_,
+                                                fparams);
+
+    // ---- the .4 MUX and serial select bus ------------------------------------
+    select_bus_ = std::make_unique<SerialSelectBus>(kSelectWidth);
+    Mux4::Signals msig{};
+    msig.out_plus = pdet_->vout_n();   // eq. (1): Vout = VoutN - VoutP > 0
+    msig.out_minus = pdet_->vout_p();
+    msig.fdet_out = fdet_->vout();
+    msig.tune_p = tune_p_;
+    msig.tune_f = tune_f_;
+    msig.ibias = ibias_;
+    msig.ab1 = ab1;
+    msig.ab2 = ab2;
+    mux_ = std::make_unique<Mux4>("MUX4", ckt, msig, *select_bus_);
+    select_bus_->attach(static_cast<std::size_t>(SelectBit::kDetectorPower), [this](bool v) {
+        power_gate_p_->set_closed(v);
+        power_gate_f_->set_closed(v);
+    });
+    select_bus_->attach(static_cast<std::size_t>(SelectBit::kInputSelectFin),
+                        [&clock_mux](bool v) { clock_mux.set_select_fin(v); });
+
+    // ---- environment ----------------------------------------------------------
+    ckt.set_temperature_c(conditions_.temperature_c);
+    ckt.set_process(corner_);
+
+    // Apply the digital domain's power-on switch states (e.g. the FVC's
+    // current-steering dump switch) before any DC operating point is solved —
+    // otherwise the ideal current source faces a floating node.
+    domain_.settle_bindings();
+
+    // ---- transient engine -------------------------------------------------------
+    circuit::TransientOptions topts;
+    topts.dt = 1.0 / 1.5e9 / config_.steps_per_rf_cycle;
+    topts.method = circuit::Integration::kTrapezoidal;
+    engine_ = std::make_unique<circuit::TransientEngine>(ckt, topts);
+    engine_->add_observer(&domain_);
+    live_observer_ = std::make_unique<LiveStateObserver>(*this);
+    engine_->add_observer(live_observer_.get());
+}
+
+double RfAbmChip::live_v(NodeId node) const {
+    if (engine_ == nullptr || !engine_->initialized()) return 0.0;
+    return engine_->solution().v(node);
+}
+
+void RfAbmChip::update_dt() {
+    // The RF carrier needs ~24 points per cycle for trapezoidal accuracy; the
+    // direct fin path clocks the FVC at the stimulus rate itself, so its LCB
+    // windows need finer resolution (~64 points per cycle).
+    double dt = 1e-9;
+    if (rf_hz_) dt = std::min(dt, 1.0 / *rf_hz_ / config_.steps_per_rf_cycle);
+    if (fin_hz_) dt = std::min(dt, 1.0 / *fin_hz_ / (config_.steps_per_rf_cycle * 8.0 / 3.0));
+    engine_->options().dt = dt;
+}
+
+double RfAbmChip::stimulus_period() const {
+    if (rf_hz_) return 1.0 / *rf_hz_;
+    if (fin_hz_) return 1.0 / *fin_hz_;
+    return 1e-9;
+}
+
+double RfAbmChip::fvc_clock_period() const {
+    const bool fin_selected =
+        select_bus_->output(static_cast<std::size_t>(SelectBit::kInputSelectFin));
+    if (fin_selected && fin_hz_) return 1.0 / *fin_hz_;
+    if (rf_hz_) return config_.prescaler_divide / *rf_hz_;
+    return 8e-9;
+}
+
+void RfAbmChip::set_rf(double dbm, double hz) {
+    // Source EMF of 2*Vpk delivers Vpk into the matched 50-ohm termination.
+    const double emf = 2.0 * rfabm::rf::dbm_to_peak_volts(dbm, config_.source_impedance);
+    rf_source_->set_waveform(Waveform::sine(0.0, emf, hz));
+    rf_hz_ = hz;
+    rf_dbm_ = dbm;
+    update_dt();
+}
+
+void RfAbmChip::rf_off() {
+    rf_source_->set_waveform(Waveform::dc(0.0));
+    rf_hz_.reset();
+    rf_dbm_.reset();
+    update_dt();
+}
+
+void RfAbmChip::set_fin(double dbm, double hz) {
+    const double emf = 2.0 * rfabm::rf::dbm_to_peak_volts(dbm, config_.source_impedance);
+    fin_source_->set_waveform(Waveform::sine(0.0, emf, hz));
+    fin_hz_ = hz;
+    update_dt();
+}
+
+void RfAbmChip::fin_off() {
+    fin_source_->set_waveform(Waveform::dc(0.0));
+    fin_hz_.reset();
+    update_dt();
+}
+
+void RfAbmChip::set_tune_source(double volts, bool connected) {
+    tune_source_->set_dc(volts);
+    tune_connect_->set_closed(connected);
+}
+
+void RfAbmChip::set_hold_tune_p(double volts) {
+    hold_tune_p_v_ = volts;
+    hold_tune_p_src_->set_dc(volts);
+}
+
+void RfAbmChip::set_hold_tune_f(double volts) {
+    hold_tune_f_v_ = volts;
+    hold_tune_f_src_->set_dc(volts);
+}
+
+}  // namespace rfabm::core

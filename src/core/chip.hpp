@@ -1,0 +1,186 @@
+// RfAbmChip: the complete test chip of the paper (Fig. 1) plus its bench.
+//
+// The chip composes, on a single co-simulated netlist:
+//   * the IEEE 1149.1 TAP with an 1149.4 TBIC and ABMs on the RF/fin pins,
+//   * the basic RF-ABM: MOS power detector, f/8 prescaler + FVC frequency
+//     detector, the ".4 MUX" switch matrix and the serial select bus,
+//   * optionally the second ABM structure with preamplifiers,
+//   * the external bench: RF/fin signal generators (50-ohm), DMMs on the
+//     ATAP pins, and the tuning-voltage source.
+//
+// A chip instance is immutable with respect to environment: operating
+// conditions and the process corner are constructor inputs (a new die / a
+// new oven setting is a new instance).  Tuning voltages — the paper's DC
+// calibration state — live in external hold sources that the measurement
+// controller programs through the 1149.4 bus, mirroring bench practice where
+// the control PC retains DAC settings between sessions.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "circuit/mixed/digital.hpp"
+#include "circuit/transient.hpp"
+#include "core/environment.hpp"
+#include "core/frequency_detector.hpp"
+#include "core/mux4.hpp"
+#include "core/power_detector.hpp"
+#include "core/preamplifier.hpp"
+#include "core/prescaler.hpp"
+#include "jtag/abm.hpp"
+#include "jtag/serial_bus.hpp"
+#include "jtag/tap.hpp"
+#include "jtag/tbic.hpp"
+
+namespace rfabm::core {
+
+/// Chip + bench configuration.
+struct RfAbmChipConfig {
+    bool with_preamp = false;        ///< build the second (preamplified) ABM structure
+    std::uint32_t idcode = 0x14940A4Bu;
+    PowerDetectorParams pdet{};
+    FrequencyDetectorParams fdet{};
+    PreamplifierParams preamp{};
+    double comparator_hysteresis = 0.45;  ///< prescaler sensitivity (V at the pin)
+    unsigned prescaler_divide = 8;
+    double rf_abm_ron = 10.0;        ///< RF-pin ABM SD on-resistance (wide switch)
+    /// Power-detector input network: an isolation resistor into a parallel-LC
+    /// tank.  In-band the tank is high impedance and the detector sees the
+    /// full drive; off-band the tank shunts the drive away.  This is what
+    /// bounds the paper's "accurate measurement range ... 1.2 GHz to
+    /// 1.8 GHz" while leaving the wideband limiter path unloaded.
+    double match_r = 150.0;
+    double match_l = 11.4e-9;
+    double match_c = 0.99e-12;
+    double dmm_resistance = 10e6;    ///< bench voltmeter input impedance
+    double source_impedance = 50.0;  ///< RF generator output impedance
+    double steps_per_rf_cycle = 24;  ///< transient resolution
+};
+
+/// The assembled chip with its transient engine.
+class RfAbmChip {
+  public:
+    RfAbmChip(RfAbmChipConfig config, OperatingConditions conditions = nominal_conditions(),
+              circuit::ProcessCorner corner = {});
+    ~RfAbmChip();  // out of line: LiveStateObserver is incomplete here
+
+    // --- infrastructure access ----------------------------------------------
+    circuit::Circuit& circuit() { return circuit_; }
+    rfabm::mixed::DigitalDomain& domain() { return domain_; }
+    circuit::TransientEngine& engine() { return *engine_; }
+    rfabm::jtag::TapController& tap() { return *tap_; }
+    rfabm::jtag::TapDriver& tap_driver() { return *tap_driver_; }
+    rfabm::jtag::SerialSelectBus& select_bus() { return *select_bus_; }
+    rfabm::jtag::Tbic& tbic() { return *tbic_; }
+    rfabm::jtag::AnalogBoundaryModule& rf_pin_abm() { return *abm_rf_; }
+    rfabm::jtag::AnalogBoundaryModule& fin_pin_abm() { return *abm_fin_; }
+
+    PowerDetector& pdet() { return *pdet_; }
+    FrequencyDetector& fdet() { return *fdet_; }
+    Prescaler& prescaler() { return *prescaler_; }
+    /// Null when built without preamplifiers.
+    Preamplifier* preamp() { return preamp_.get(); }
+
+    const RfAbmChipConfig& config() const { return config_; }
+    const OperatingConditions& conditions() const { return conditions_; }
+    const circuit::ProcessCorner& corner() const { return corner_; }
+
+    // --- bench controls -----------------------------------------------------
+    /// Apply an RF tone of @p dbm (available power into 50 ohm) at @p hz to
+    /// the RF pin; adjusts the transient step to resolve it.
+    void set_rf(double dbm, double hz);
+    void rf_off();
+    /// Apply a tone to the direct fin input (125-250 MHz path).
+    void set_fin(double dbm, double hz);
+    void fin_off();
+    /// Bench tuning source on AT2: level + connect/disconnect.
+    void set_tune_source(double volts, bool connected);
+    /// External hold DACs retaining the tuning voltages between bus accesses.
+    void set_hold_tune_p(double volts);
+    void set_hold_tune_f(double volts);
+    double hold_tune_p() const { return hold_tune_p_v_; }
+    double hold_tune_f() const { return hold_tune_f_v_; }
+
+    // --- probe points -------------------------------------------------------
+    circuit::NodeId at1() const { return at1_; }
+    circuit::NodeId at2() const { return at2_; }
+    circuit::NodeId rf_pin() const { return rf_pin_; }
+    circuit::NodeId rf_core() const { return rf_core_; }
+    circuit::NodeId fin_pin() const { return fin_pin_; }
+    circuit::NodeId detector_input() const { return det_in_; }
+    circuit::NodeId tune_p_pin() const { return tune_p_; }
+    circuit::NodeId tune_f_pin() const { return tune_f_; }
+
+    /// Live voltage at a node (last accepted transient step, or 0 before
+    /// the engine ran).
+    double live_v(circuit::NodeId node) const;
+
+    /// Current RF drive (nullopt when off).
+    std::optional<double> rf_frequency() const { return rf_hz_; }
+    std::optional<double> rf_power_dbm() const { return rf_dbm_; }
+    std::optional<double> fin_frequency() const { return fin_hz_; }
+
+    /// Period of the clock at the FVC input for the current drive.
+    double fvc_clock_period() const;
+    /// Period of the RF carrier (or fin when only fin drives).
+    double stimulus_period() const;
+
+    /// Rising edges seen by the FVC input clock so far (activity detector).
+    std::uint64_t fvc_edges() const { return fvc_edge_count_; }
+
+  private:
+    class LiveStateObserver;
+    class ClockMuxBlock;
+
+    void build();
+    void update_dt();
+
+    RfAbmChipConfig config_;
+    OperatingConditions conditions_;
+    circuit::ProcessCorner corner_;
+
+    circuit::Circuit circuit_;
+    rfabm::mixed::DigitalDomain domain_;
+    std::unique_ptr<circuit::TransientEngine> engine_;
+
+    std::unique_ptr<rfabm::jtag::TapController> tap_;
+    std::unique_ptr<rfabm::jtag::TapDriver> tap_driver_;
+    rfabm::jtag::BoundaryRegister boundary_;
+    std::unique_ptr<rfabm::jtag::Tbic> tbic_;
+    std::unique_ptr<rfabm::jtag::AnalogBoundaryModule> abm_rf_;
+    std::unique_ptr<rfabm::jtag::AnalogBoundaryModule> abm_fin_;
+    std::unique_ptr<rfabm::jtag::SerialSelectBus> select_bus_;
+    std::unique_ptr<Mux4> mux_;
+    std::unique_ptr<PowerDetector> pdet_;
+    std::unique_ptr<FrequencyDetector> fdet_;
+    std::unique_ptr<Prescaler> prescaler_;
+    std::unique_ptr<Preamplifier> preamp_;
+    std::unique_ptr<LiveStateObserver> live_observer_;
+
+    // Bench devices.
+    circuit::VSource* rf_source_ = nullptr;
+    circuit::VSource* fin_source_ = nullptr;
+    circuit::VSource* tune_source_ = nullptr;
+    circuit::Switch* tune_connect_ = nullptr;
+    circuit::VSource* hold_tune_p_src_ = nullptr;
+    circuit::VSource* hold_tune_f_src_ = nullptr;
+    circuit::Switch* power_gate_p_ = nullptr;
+    circuit::Switch* power_gate_f_ = nullptr;
+
+    // Nodes.
+    circuit::NodeId at1_{}, at2_{}, rf_pin_{}, rf_core_{}, fin_pin_{}, fin_core_{},
+        det_in_{}, tune_p_{}, tune_f_{}, ibias_{};
+
+    std::optional<double> rf_hz_;
+    std::optional<double> rf_dbm_;
+    std::optional<double> fin_hz_;
+    double hold_tune_p_v_ = 0.0;
+    double hold_tune_f_v_ = 2.0;
+    std::uint64_t fvc_edge_count_ = 0;
+    rfabm::mixed::SignalId fvc_clk_{};
+};
+
+}  // namespace rfabm::core

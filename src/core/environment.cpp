@@ -1,0 +1,41 @@
+#include "core/environment.hpp"
+
+#include <cstdio>
+
+namespace rfabm::core {
+
+std::string OperatingConditions::label() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "T=%+.0fC Vp=%.2fV Vf=%.2fV", temperature_c, vdd_pdet,
+                  vdd_fdet);
+    return buf;
+}
+
+std::vector<OperatingConditions> paper_environment_corners() {
+    std::vector<OperatingConditions> out;
+    out.push_back(nominal_conditions());
+    // Fig. 4/5 captions: supply 2.5 +/- 0.25 V (Pdet), 3.3 +/- 0.3 V (Fdet),
+    // temperature -10 ... 70 C.  Supplies of the two domains track (same
+    // regulator), so sweep them together.
+    for (double t : {-10.0, 70.0}) {
+        for (double s : {-1.0, 0.0, 1.0}) {
+            OperatingConditions c;
+            c.temperature_c = t;
+            c.vdd_pdet = kNominalVddPdet + 0.25 * s;
+            c.vdd_fdet = kNominalVddFdet + 0.30 * s;
+            out.push_back(c);
+        }
+    }
+    // Supply extremes at room temperature.
+    for (double s : {-1.0, 1.0}) {
+        OperatingConditions c;
+        c.vdd_pdet = kNominalVddPdet + 0.25 * s;
+        c.vdd_fdet = kNominalVddFdet + 0.30 * s;
+        out.push_back(c);
+    }
+    return out;
+}
+
+OperatingConditions nominal_conditions() { return OperatingConditions{}; }
+
+}  // namespace rfabm::core

@@ -1,0 +1,44 @@
+// Operating conditions for the paper's corner sweeps.
+//
+// Section 3 of the paper evaluates both detectors over:
+//   * supply voltage: 2.5 V +/- 0.25 V (power detector domain) and
+//     3.3 V +/- 0.3 V (frequency detector domain),
+//   * temperature: -10 C ... +70 C,
+//   * process variation (see circuit/process.hpp).
+// OperatingConditions bundles the environmental (non-process) axes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rfabm::core {
+
+/// Nominal supply levels of the two domains.
+inline constexpr double kNominalVddPdet = 2.5;  ///< power-detector domain (V)
+inline constexpr double kNominalVddFdet = 3.3;  ///< frequency-detector domain (V)
+
+/// One environmental operating point.
+struct OperatingConditions {
+    double temperature_c = 27.0;
+    double vdd_pdet = kNominalVddPdet;
+    double vdd_fdet = kNominalVddFdet;
+
+    /// True for the nominal bench condition.
+    bool is_nominal() const {
+        return temperature_c == 27.0 && vdd_pdet == kNominalVddPdet &&
+               vdd_fdet == kNominalVddFdet;
+    }
+
+    /// Short label like "T=-10C V=2.25V" for harness output.
+    std::string label() const;
+};
+
+/// The paper's environmental corner set: the cross product of
+/// temperature {-10, 27, 70} C and supply {-10%, nominal, +10%}, minus
+/// redundant combinations — nominal first, then the 8 extreme combinations.
+std::vector<OperatingConditions> paper_environment_corners();
+
+/// Just the nominal condition.
+OperatingConditions nominal_conditions();
+
+}  // namespace rfabm::core

@@ -1,0 +1,153 @@
+#include "core/frequency_detector.hpp"
+
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/switch_device.hpp"
+
+namespace rfabm::core {
+
+using circuit::Capacitor;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::Switch;
+using rfabm::mixed::DigitalDomain;
+using rfabm::mixed::SignalId;
+
+// -------------------------------------------------------- TunedCurrentSource
+
+TunedCurrentSource::TunedCurrentSource(std::string name, NodeId out, NodeId tune,
+                                       double r_nominal, double tempco_per_k)
+    : Device(std::move(name)), out_(out), tune_(tune), r_nominal_(r_nominal),
+      tempco_(tempco_per_k), r_eff_(r_nominal) {}
+
+void TunedCurrentSource::update() {
+    const double dt = temperature_k_ - circuit::kNominalTemperatureK;
+    r_eff_ = r_nominal_ * res_factor_ * (1.0 + tempco_ * dt);
+}
+
+void TunedCurrentSource::set_temperature(double temperature_k) {
+    temperature_k_ = temperature_k;
+    update();
+}
+
+void TunedCurrentSource::apply_process(const circuit::ProcessCorner& corner) {
+    res_factor_ = corner.res_factor;
+    update();
+}
+
+void TunedCurrentSource::stamp(circuit::MnaSystem& sys, const circuit::StampContext&) {
+    // i = v(tune)/R flowing from ground into `out` (charges a grounded cap
+    // positive).  Stamped as a transconductance so it is linear in the tune
+    // voltage and needs no Newton iteration of its own.
+    sys.add_transconductance(circuit::kGround, out_, tune_, circuit::kGround, 1.0 / r_eff_);
+}
+
+void TunedCurrentSource::stamp_ac(circuit::ComplexMna& sys, double, const circuit::Solution&) {
+    sys.add_transconductance(circuit::kGround, out_, tune_, circuit::kGround,
+                             {1.0 / r_eff_, 0.0});
+}
+
+// ----------------------------------------------------------------- FvcLcb
+
+FvcLcb::FvcLcb(SignalId clk, SignalId charge, SignalId transfer, SignalId reset,
+               double transfer_s, double reset_s, double skew_s)
+    : clk_(clk), charge_(charge), transfer_(transfer), reset_(reset), transfer_s_(transfer_s),
+      reset_s_(reset_s), skew_s_(skew_s) {}
+
+void FvcLcb::tick(DigitalDomain& domain, double time) {
+    // Phase transitions.  kWaitCharge / kChargeTail realize the rise/fall
+    // delay mismatch: the charging window becomes T/2 + skew.
+    switch (phase_) {
+        case Phase::kIdle:
+            if (domain.rising(clk_) || domain.value(clk_)) {
+                phase_ = skew_s_ < 0.0 ? Phase::kWaitCharge : Phase::kCharge;
+                phase_start_ = time;
+            }
+            break;
+        case Phase::kWaitCharge:
+            if (time - phase_start_ >= -skew_s_) {
+                phase_ = Phase::kCharge;
+                phase_start_ = time;
+            } else if (domain.falling(clk_) || !domain.value(clk_)) {
+                // Pathologically short high phase: skip straight to transfer.
+                phase_ = Phase::kTransfer;
+                phase_start_ = time;
+            }
+            break;
+        case Phase::kCharge:
+            if (domain.falling(clk_) || !domain.value(clk_)) {
+                phase_ = skew_s_ > 0.0 ? Phase::kChargeTail : Phase::kTransfer;
+                phase_start_ = time;
+            }
+            break;
+        case Phase::kChargeTail:
+            if (time - phase_start_ >= skew_s_) {
+                phase_ = Phase::kTransfer;
+                phase_start_ = time;
+            }
+            break;
+        case Phase::kTransfer:
+            // A new rising edge aborts the sequence (clock faster than the
+            // windows — the high-frequency clipping a real LCB shows).
+            if (domain.rising(clk_)) {
+                phase_ = Phase::kCharge;
+                phase_start_ = time;
+            } else if (time - phase_start_ >= transfer_s_) {
+                phase_ = Phase::kReset;
+                phase_start_ = time;
+            }
+            break;
+        case Phase::kReset:
+            if (domain.rising(clk_)) {
+                phase_ = Phase::kCharge;
+                phase_start_ = time;
+            } else if (time - phase_start_ >= reset_s_) {
+                phase_ = Phase::kIdle;
+                phase_start_ = time;
+            }
+            break;
+    }
+    domain.set(charge_, phase_ == Phase::kCharge || phase_ == Phase::kChargeTail);
+    domain.set(transfer_, phase_ == Phase::kTransfer);
+    domain.set(reset_, phase_ == Phase::kReset);
+}
+
+// -------------------------------------------------------- FrequencyDetector
+
+FrequencyDetector::FrequencyDetector(const std::string& prefix, circuit::Circuit& ckt,
+                                     DigitalDomain& domain, NodeId tune, SignalId clk,
+                                     FrequencyDetectorParams params)
+    : params_(params) {
+    ramp_ = ckt.node(prefix + ".ramp");
+    out_ = ckt.node(prefix + ".vout");
+    const NodeId isrc = ckt.node(prefix + ".isrc");
+
+    source_ = &ckt.add<TunedCurrentSource>(prefix + ".IC", isrc, tune, params.r_bias,
+                                           params.r_tempco);
+    auto& s_charge = ckt.add<Switch>(prefix + ".Scharge", isrc, ramp_, 100.0);
+    auto& s_steer = ckt.add<Switch>(prefix + ".Ssteer", isrc, circuit::kGround,
+                                    params.ron_steer);
+    auto& s_transfer = ckt.add<Switch>(prefix + ".Stransfer", ramp_, out_, params.ron_transfer);
+    auto& s_reset = ckt.add<Switch>(prefix + ".Sreset", ramp_, circuit::kGround,
+                                    params.ron_reset);
+    ckt.add<Capacitor>(prefix + ".C1", ramp_, circuit::kGround, params.c1);
+    ckt.add<Capacitor>(prefix + ".C2", out_, circuit::kGround, params.c2);
+    // Sense-side load (models the .4 MUX / ATP leakage path).
+    ckt.add<Resistor>(prefix + ".Rload", out_, circuit::kGround, params.r_load);
+
+    const SignalId charge = domain.signal(prefix + ".charge");
+    const SignalId transfer = domain.signal(prefix + ".transfer");
+    const SignalId reset = domain.signal(prefix + ".reset");
+    domain.add_block<FvcLcb>(clk, charge, transfer, reset, params.transfer_s, params.reset_s,
+                             params.charge_skew_s);
+    domain.bind_switch(s_charge, charge);
+    domain.bind_switch(s_steer, charge, /*invert=*/true);  // current steering
+    domain.bind_switch(s_transfer, transfer);
+    domain.bind_switch(s_reset, reset);
+}
+
+double FrequencyDetector::analytic_vout(double f_hz, double vtune) const {
+    const double ic = vtune / params_.r_bias;
+    return ic / (2.0 * params_.c1 * f_hz);
+}
+
+}  // namespace rfabm::core

@@ -1,0 +1,134 @@
+// The paper's frequency detector (Fig. 3): a Djemouai-style integrated CMOS
+// frequency-to-voltage converter (FVC).
+//
+// Operating principle (paper eq. 2): a constant current Ic charges C1 during
+// the HIGH half-period of the (divided) input square wave; on the falling
+// edge the logic control block (LCB) transfers the ramp peak onto C2 and then
+// resets C1.  After many periods C2 settles to
+//
+//   Vc = Ic * (T/2) / C1 = Ic / (2 * C1 * f)
+//
+// The analog part is built from a current-steering source, three switches and
+// two capacitors; the LCB is a mixed-signal logic block sequencing
+// charge / transfer / reset off the input clock edges.
+//
+// Ic is derived from the external tunef voltage through an on-die resistor
+// (I = V(tunef) / Rbias), so the 1149.4 bus can trim the converter gain —
+// the paper's "tunef" DC calibration.  Rbias carries the process and
+// temperature dependence of a real bias network.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/device.hpp"
+#include "circuit/mixed/digital.hpp"
+
+namespace rfabm::core {
+
+/// Current source whose output current is v(tune)/R, with R an on-die
+/// resistor (process res_factor, linear tempco).  Current flows out of the
+/// device into @p out (charging a grounded capacitor positive).
+class TunedCurrentSource : public circuit::Device {
+  public:
+    TunedCurrentSource(std::string name, circuit::NodeId out, circuit::NodeId tune,
+                       double r_nominal, double tempco_per_k = 1.0e-3);
+
+    void stamp(circuit::MnaSystem& sys, const circuit::StampContext& ctx) override;
+    void stamp_ac(circuit::ComplexMna& sys, double omega, const circuit::Solution& op) override;
+    void set_temperature(double temperature_k) override;
+    void apply_process(const circuit::ProcessCorner& corner) override;
+
+    /// Effective bias resistance after process and temperature.
+    double r_eff() const { return r_eff_; }
+    /// Output current for a given tune voltage.
+    double current_for(double vtune) const { return vtune / r_eff_; }
+
+  private:
+    void update();
+
+    circuit::NodeId out_;
+    circuit::NodeId tune_;
+    double r_nominal_;
+    double tempco_;
+    double temperature_k_ = circuit::kNominalTemperatureK;
+    double res_factor_ = 1.0;
+    double r_eff_;
+};
+
+/// The FVC logic control block: sequences the charge/transfer/reset switches
+/// off the input clock.  While the clock is high the ramp charges; a falling
+/// edge triggers a transfer window followed by a reset window.
+class FvcLcb : public rfabm::mixed::LogicBlock {
+  public:
+    /// @p skew_s models the rise/fall delay mismatch of the control logic: a
+    /// positive skew keeps the charge switch closed that much longer after
+    /// the falling clock edge; a negative skew delays the charge onset after
+    /// the rising edge.  Either way the effective charging window becomes
+    /// T/2 + skew — a fixed timing error that the single-point tunef gain
+    /// trim cannot remove, and the dominant process contribution to the
+    /// paper's frequency error at the band edges.
+    FvcLcb(rfabm::mixed::SignalId clk, rfabm::mixed::SignalId charge,
+           rfabm::mixed::SignalId transfer, rfabm::mixed::SignalId reset, double transfer_s,
+           double reset_s, double skew_s = 0.0);
+
+    void tick(rfabm::mixed::DigitalDomain& domain, double time) override;
+
+  private:
+    enum class Phase { kIdle, kWaitCharge, kCharge, kChargeTail, kTransfer, kReset };
+
+    rfabm::mixed::SignalId clk_;
+    rfabm::mixed::SignalId charge_;
+    rfabm::mixed::SignalId transfer_;
+    rfabm::mixed::SignalId reset_;
+    double transfer_s_;
+    double reset_s_;
+    double skew_s_;
+    Phase phase_ = Phase::kIdle;
+    double phase_start_ = 0.0;
+};
+
+/// Component values of the frequency detector.  Defaults are sized for the
+/// divided band 125-250 MHz (1-2 GHz RF through the f/8 prescaler) on the
+/// 3.3 V domain: Vc spans 2.0 V (125 MHz) down to 1.0 V (250 MHz) at the
+/// default 100 uA.
+struct FrequencyDetectorParams {
+    double c1 = 200e-15;        ///< ramp capacitor
+    double c2 = 100e-15;        ///< output hold capacitor
+    double r_bias = 20e3;       ///< tune-to-current conversion (2.0 V -> 100 uA)
+    double r_tempco = 0.6e-3;   ///< Rbias linear tempco (1/K)
+    double ron_transfer = 2e3;  ///< transfer switch on-resistance
+    double ron_reset = 100.0;   ///< reset switch on-resistance
+    double ron_steer = 100.0;   ///< current-steering dump switch
+    double transfer_s = 0.4e-9; ///< transfer window after the falling edge
+    double reset_s = 0.6e-9;    ///< reset window after transfer
+    double charge_skew_s = 0.0; ///< LCB rise/fall mismatch (see FvcLcb)
+    double r_load = 10e6;       ///< output sense load (the .4 MUX / bus side)
+};
+
+/// Builds the FVC into a circuit + digital domain.
+class FrequencyDetector {
+  public:
+    /// @p clk is the digital input clock signal (from the prescaler or the
+    /// direct fin comparator); @p tune the tunef pin node.
+    FrequencyDetector(const std::string& prefix, circuit::Circuit& circuit,
+                      rfabm::mixed::DigitalDomain& domain, circuit::NodeId tune,
+                      rfabm::mixed::SignalId clk, FrequencyDetectorParams params = {});
+
+    circuit::NodeId vout() const { return out_; }
+    circuit::NodeId ramp() const { return ramp_; }
+    const FrequencyDetectorParams& params() const { return params_; }
+    TunedCurrentSource& source() { return *source_; }
+
+    /// Eq. (2) prediction: Vc = I/(2*C1*f) for input clock frequency @p f_hz
+    /// and tune voltage @p vtune (nominal parameters).
+    double analytic_vout(double f_hz, double vtune) const;
+
+  private:
+    FrequencyDetectorParams params_;
+    circuit::NodeId ramp_{};
+    circuit::NodeId out_{};
+    TunedCurrentSource* source_ = nullptr;
+};
+
+}  // namespace rfabm::core

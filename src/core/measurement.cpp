@@ -1,0 +1,149 @@
+#include "core/measurement.hpp"
+
+#include "circuit/measure.hpp"
+#include "jtag/instructions.hpp"
+
+namespace rfabm::core {
+
+using circuit::NodeId;
+using rfabm::jtag::Instruction;
+using rfabm::jtag::TbicPattern;
+
+MeasurementController::MeasurementController(RfAbmChip& chip, MeasureOptions options)
+    : chip_(chip), options_(options) {}
+
+void MeasurementController::open_session() {
+    auto& drv = chip_.tap_driver();
+    drv.reset_via_tms();
+    // Load PROBE; the instruction hook forces mission-safe defaults, then the
+    // boundary scan sets the TBIC connect pattern.  Cell order in the chip's
+    // boundary register: TBIC S1..S6, then ABM_RF (D,E,G,B1,B2), then
+    // ABM_FIN (D,E,G,B1,B2) — 16 cells.
+    drv.load(Instruction::kProbe);
+    std::vector<bool> cells(16, false);
+    cells[0] = true;  // TBIC S1: AT1 - AB1
+    cells[1] = true;  // TBIC S2: AT2 - AB2
+    drv.scan_dr(cells);
+    // Power on the detectors through the serial select bus.
+    select_ = select_word({SelectBit::kDetectorPower});
+    chip_.select_bus().write_word(select_, kSelectWidth);
+    // Establish the operating point with the session topology in place.
+    chip_.engine().init();
+    session_open_ = true;
+}
+
+void MeasurementController::set_select(std::uint8_t word) {
+    select_ = word;
+    chip_.select_bus().write_word(word, kSelectWidth);
+}
+
+double MeasurementController::settle_read(NodeId p, NodeId n, double period, int cycles,
+                                          bool* settled) {
+    circuit::SettleOptions sopts;
+    sopts.period = period;
+    sopts.cycles_per_window = cycles;
+    sopts.rel_tol = options_.rel_tol;
+    sopts.abs_tol = options_.abs_tol;
+    sopts.max_windows = options_.max_windows;
+    sopts.lookback = options_.lookback;
+    sopts.min_windows = options_.lookback + 2;
+    const circuit::SettleResult r =
+        circuit::settle_cycle_average(chip_.engine(), p, n, sopts);
+    if (settled != nullptr) *settled = r.settled;
+    return r.value;
+}
+
+double MeasurementController::read_at1() {
+    return settle_read(chip_.at1(), circuit::kGround, chip_.stimulus_period(),
+                       options_.cycles_per_window, &last_settled_);
+}
+
+double MeasurementController::read_diff() {
+    return settle_read(chip_.at1(), chip_.at2(), chip_.stimulus_period(),
+                       options_.cycles_per_window, &last_settled_);
+}
+
+double MeasurementController::apply_tune(double volts, SelectBit bit, NodeId pin,
+                                         void (RfAbmChip::*hold_setter)(double)) {
+    if (!session_open_) open_session();
+    // Route AB2 to the tuning pin, connect the bench source to AT2, drive.
+    set_select(static_cast<std::uint8_t>(select_word({bit, SelectBit::kDetectorPower})));
+    chip_.set_tune_source(volts, /*connected=*/true);
+    // Let the hold capacitor charge through the bus (tau ~ 10 pF * 250 ohm).
+    chip_.engine().run_for(200e-9);
+    const double latched = chip_.engine().v(pin);
+    // Park the value on the external hold DAC and release the bus.
+    (chip_.*hold_setter)(latched);
+    chip_.set_tune_source(0.0, /*connected=*/false);
+    set_select(select_word({SelectBit::kDetectorPower}));
+    tare_valid_ = false;  // tuning moves the zero-signal offset
+    return latched;
+}
+
+double MeasurementController::apply_tune_p(double volts) {
+    return apply_tune(volts, SelectBit::kTunePFromAb2, chip_.tune_p_pin(),
+                      &RfAbmChip::set_hold_tune_p);
+}
+
+double MeasurementController::apply_tune_f(double volts) {
+    return apply_tune(volts, SelectBit::kTuneFFromAb2, chip_.tune_f_pin(),
+                      &RfAbmChip::set_hold_tune_f);
+}
+
+double MeasurementController::tare_power() {
+    if (!session_open_) open_session();
+    set_select(select_word(
+        {SelectBit::kOutPlusToAb1, SelectBit::kOutMinusToAb2, SelectBit::kDetectorPower}));
+    // Mute the generator, read the residual offset, restore the drive.
+    const auto saved_hz = chip_.rf_frequency();
+    const auto saved_dbm = chip_.rf_power_dbm();
+    chip_.rf_off();
+    // Dwell: let the gate-bias network recover from any prior large drive
+    // before judging convergence.
+    chip_.engine().run_for(100e-9);
+    tare_ = read_diff();
+    tare_valid_ = true;
+    if (saved_hz && saved_dbm) chip_.set_rf(*saved_dbm, *saved_hz);
+    return tare_;
+}
+
+double MeasurementController::measure_power_vout() {
+    if (!session_open_) open_session();
+    if (!tare_valid_) tare_power();
+    set_select(select_word(
+        {SelectBit::kOutPlusToAb1, SelectBit::kOutMinusToAb2, SelectBit::kDetectorPower}));
+    return read_diff() - tare_;
+}
+
+double MeasurementController::measure_freq_vout(bool use_fin) {
+    if (!session_open_) open_session();
+    auto bits = use_fin ? select_word({SelectBit::kFdetToAb1, SelectBit::kDetectorPower,
+                                       SelectBit::kInputSelectFin})
+                        : select_word({SelectBit::kFdetToAb1, SelectBit::kDetectorPower});
+    set_select(bits);
+    return settle_read(chip_.at1(), circuit::kGround, chip_.fvc_clock_period(),
+                       options_.freq_cycles_per_window, &last_settled_);
+}
+
+PowerMeasurement MeasurementController::measure_power(const rfabm::rf::MonotoneCurve& cal) {
+    PowerMeasurement m;
+    m.vout = measure_power_vout();
+    m.settled = last_settled_;
+    m.dbm = cal.invert(m.vout);
+    return m;
+}
+
+FrequencyMeasurement MeasurementController::measure_frequency(
+    const rfabm::rf::MonotoneCurve& cal, bool use_fin) {
+    FrequencyMeasurement m;
+    const std::uint64_t edges_before = chip_.fvc_edges();
+    m.vout = measure_freq_vout(use_fin);
+    m.settled = last_settled_;
+    m.edges = chip_.fvc_edges() - edges_before;
+    m.ghz = cal.invert(m.vout);
+    // A frequency read needs a live clock: demand a sensible edge count.
+    m.valid = m.settled && m.edges >= 8;
+    return m;
+}
+
+}  // namespace rfabm::core

@@ -1,0 +1,108 @@
+// The measurement controller: the paper's external control unit.
+//
+// Drives a full 1149.4 measurement session against an RfAbmChip:
+//   1. open_session(): TAP reset, PROBE instruction, boundary scan putting
+//      the TBIC into the connect pattern (AT1-AB1, AT2-AB2) while the RF-pin
+//      ABM keeps its mission path (PROBE's defining property),
+//   2. serial select words routing detector outputs / tuning inputs through
+//      the .4 MUX,
+//   3. tuning-voltage programming through AT2 -> TBIC -> AB2 -> MUX,
+//   4. settled DC reads of the ATAP pins (the bench DMM),
+//   5. conversion through a calibration curve into dBm / GHz.
+#pragma once
+
+#include <cstdint>
+
+#include "core/chip.hpp"
+#include "rf/curve.hpp"
+
+namespace rfabm::core {
+
+/// A converted power reading.
+struct PowerMeasurement {
+    double dbm = 0.0;        ///< estimated input power
+    double vout = 0.0;       ///< raw settled detector output (V)
+    bool settled = true;     ///< the DC read converged
+};
+
+/// A converted frequency reading.
+struct FrequencyMeasurement {
+    double ghz = 0.0;         ///< estimated input frequency
+    double vout = 0.0;        ///< raw settled FVC output (V)
+    bool settled = true;
+    std::uint64_t edges = 0;  ///< FVC clock activity during the read
+    bool valid = false;       ///< edges seen and read settled
+};
+
+/// Settle/read tuning knobs.
+struct MeasureOptions {
+    int cycles_per_window = 12;   ///< averaging window, in stimulus periods
+    double rel_tol = 2e-4;
+    double abs_tol = 20e-6;
+    int max_windows = 600;
+    int lookback = 3;             ///< drift check span (windows)
+    int freq_cycles_per_window = 8;  ///< window in divided-clock periods
+};
+
+/// Drives measurements on one chip instance.
+class MeasurementController {
+  public:
+    explicit MeasurementController(RfAbmChip& chip, MeasureOptions options = {});
+
+    /// TAP + TBIC + select-bus session setup; initializes the transient
+    /// engine (DC operating point with the test topology in place).
+    void open_session();
+
+    /// Program the .4 MUX select register verbatim (include
+    /// SelectBit::kDetectorPower in the word to keep the detectors powered).
+    void set_select(std::uint8_t word);
+
+    /// Program a tuning voltage through the analog bus and park it on the
+    /// external hold DAC.  Returns the voltage actually latched at the pin.
+    double apply_tune_p(double volts);
+    double apply_tune_f(double volts);
+
+    /// Settled average of v(AT1) (single-ended read).
+    double read_at1();
+    /// Settled average of v(AT1) - v(AT2) (differential read).
+    double read_diff();
+
+    /// Select the power-detector outputs and read Vout = VoutN - VoutP,
+    /// zeroed against the RF-muted tare reading (standard detector bench
+    /// practice: the generator is muted once per session to record the
+    /// residual offset, which is subtracted from every reading).
+    double measure_power_vout();
+
+    /// Re-acquire the tare (RF-muted) reading; invalidated automatically by
+    /// tuning changes.
+    double tare_power();
+    /// Select the FVC output and read it (uses the RF path unless
+    /// @p use_fin).
+    double measure_freq_vout(bool use_fin = false);
+
+    /// Full conversions through calibration curves (power: dBm -> V curve,
+    /// frequency: GHz -> V curve; both inverted here).
+    PowerMeasurement measure_power(const rfabm::rf::MonotoneCurve& calibration);
+    FrequencyMeasurement measure_frequency(const rfabm::rf::MonotoneCurve& calibration,
+                                           bool use_fin = false);
+
+    RfAbmChip& chip() { return chip_; }
+    bool session_open() const { return session_open_; }
+    const MeasureOptions& options() const { return options_; }
+
+  private:
+    double settle_read(circuit::NodeId p, circuit::NodeId n, double period, int cycles,
+                       bool* settled);
+    double apply_tune(double volts, SelectBit bit, circuit::NodeId pin,
+                      void (RfAbmChip::*hold_setter)(double));
+
+    RfAbmChip& chip_;
+    MeasureOptions options_;
+    bool session_open_ = false;
+    std::uint8_t select_ = 0;
+    bool last_settled_ = true;
+    bool tare_valid_ = false;
+    double tare_ = 0.0;
+};
+
+}  // namespace rfabm::core

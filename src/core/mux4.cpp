@@ -1,0 +1,44 @@
+#include "core/mux4.hpp"
+
+#include <stdexcept>
+
+namespace rfabm::core {
+
+std::uint8_t select_word(std::initializer_list<SelectBit> bits) {
+    std::uint8_t word = 0;
+    for (SelectBit b : bits) word |= static_cast<std::uint8_t>(1u << static_cast<std::size_t>(b));
+    return word;
+}
+
+Mux4::Mux4(const std::string& prefix, circuit::Circuit& ckt, const Signals& s,
+           rfabm::jtag::SerialSelectBus& bus, double ron) {
+    struct Entry {
+        SelectBit bit;
+        const char* suffix;
+        circuit::NodeId a;
+        circuit::NodeId b;
+    };
+    const Entry entries[6] = {
+        {SelectBit::kOutPlusToAb1, "out_plus", s.out_plus, s.ab1},
+        {SelectBit::kOutMinusToAb2, "out_minus", s.out_minus, s.ab2},
+        {SelectBit::kFdetToAb1, "fdet", s.fdet_out, s.ab1},
+        {SelectBit::kTunePFromAb2, "tunep", s.tune_p, s.ab2},
+        {SelectBit::kTuneFFromAb2, "tunef", s.tune_f, s.ab2},
+        {SelectBit::kIbiasFromAb1, "ibias", s.ibias, s.ab1},
+    };
+    for (const Entry& e : entries) {
+        auto& sw = ckt.add<circuit::Switch>(prefix + "." + e.suffix, e.a, e.b, ron);
+        switches_[static_cast<std::size_t>(e.bit)] = &sw;
+        bus.attach_switch(static_cast<std::size_t>(e.bit), sw);
+    }
+}
+
+circuit::Switch& Mux4::switch_for(SelectBit bit) {
+    const auto idx = static_cast<std::size_t>(bit);
+    if (idx >= switches_.size() || switches_[idx] == nullptr) {
+        throw std::invalid_argument("Mux4: bit has no switch");
+    }
+    return *switches_[idx];
+}
+
+}  // namespace rfabm::core

@@ -1,0 +1,76 @@
+// The ".4 MUX" of Fig. 1: a programmable switch matrix routing detector
+// outputs and tuning inputs onto the IEEE 1149.4 internal analog buses
+// (AB1/AB2), controlled by the serial select bus from the external control
+// unit.
+//
+// Select-word layout (one bit per switch / function, LSB first):
+//
+//   bit 0  out+   (Pdet VoutN)  -> AB1
+//   bit 1  out-   (Pdet VoutP)  -> AB2
+//   bit 2  Vout   (Fdet output) -> AB1
+//   bit 3  tuneP  (Pdet Vt pin) <- AB2
+//   bit 4  tunef  (Fdet tuning) <- AB2
+//   bit 5  Ibias  (preamp bias) <- AB1
+//   bit 6  detector power on/off (consumed by the chip's power gates)
+//   bit 7  input select: 0 = RF input (through f/8), 1 = direct fin
+//
+// Note on polarity: the paper's eq. (1) output VoutN - VoutP is positive, so
+// "out+" is the reference-branch node VoutN and "out-" the signal branch
+// VoutP.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "jtag/serial_bus.hpp"
+
+namespace rfabm::core {
+
+/// Select-word bit positions.
+enum class SelectBit : std::size_t {
+    kOutPlusToAb1 = 0,
+    kOutMinusToAb2 = 1,
+    kFdetToAb1 = 2,
+    kTunePFromAb2 = 3,
+    kTuneFFromAb2 = 4,
+    kIbiasFromAb1 = 5,
+    kDetectorPower = 6,
+    kInputSelectFin = 7,
+};
+
+/// Width of the select register.
+inline constexpr std::size_t kSelectWidth = 8;
+
+/// Compose a select word from bits.
+std::uint8_t select_word(std::initializer_list<SelectBit> bits);
+
+/// The six routing switches of the matrix (power gating and input select are
+/// wired by the chip, which owns those resources).
+class Mux4 {
+  public:
+    struct Signals {
+        circuit::NodeId out_plus;   ///< Pdet VoutN
+        circuit::NodeId out_minus;  ///< Pdet VoutP
+        circuit::NodeId fdet_out;
+        circuit::NodeId tune_p;
+        circuit::NodeId tune_f;
+        circuit::NodeId ibias;
+        circuit::NodeId ab1;
+        circuit::NodeId ab2;
+    };
+
+    /// Creates the switches and attaches them to @p bus bits 0..5.
+    Mux4(const std::string& prefix, circuit::Circuit& circuit, const Signals& signals,
+         rfabm::jtag::SerialSelectBus& bus, double ron = 100.0);
+
+    circuit::Switch& switch_for(SelectBit bit);
+
+  private:
+    std::array<circuit::Switch*, 6> switches_{};
+};
+
+}  // namespace rfabm::core

@@ -1,0 +1,80 @@
+#include "core/power_detector.hpp"
+
+#include <cmath>
+
+#include "circuit/devices/passive.hpp"
+
+namespace rfabm::core {
+
+using circuit::Capacitor;
+using circuit::Mosfet;
+using circuit::MosfetParams;
+using circuit::NodeId;
+using circuit::Resistor;
+
+PowerDetector::PowerDetector(const std::string& prefix, circuit::Circuit& ckt, NodeId vdd,
+                             NodeId rf_in, NodeId tune, PowerDetectorParams params)
+    : params_(params) {
+    vg_ = ckt.node(prefix + ".vg");
+    vg_ref_ = ckt.node(prefix + ".vg_ref");
+    vout_p_ = ckt.node(prefix + ".voutP");
+    vout_n_ = ckt.node(prefix + ".voutN");
+    const NodeId mid = ckt.node(prefix + ".mid");
+    const NodeId mid_ref = ckt.node(prefix + ".mid_ref");
+
+    const NodeId vb = ckt.node(prefix + ".vb");
+    const NodeId vb_ref = ckt.node(prefix + ".vb_ref");
+
+    MosfetParams q1p;
+    q1p.w = params.q1_w;
+    q1p.l = params.q1_l;
+    q1p.kp = params.kp;
+    q1p.vt0 = params.vt0;
+    q1p.lambda = params.lambda;
+    MosfetParams q2p = q1p;
+    q2p.w = params.q2_w;
+    q2p.l = params.q2_l;
+    MosfetParams q5p = q1p;
+    q5p.w = params.q5_w;
+    q5p.l = params.q5_l;
+
+    // --- signal branch -----------------------------------------------------
+    ckt.add<Capacitor>(prefix + ".C1", rf_in, vg_, params.c1);
+    // Threshold extractor: vb = VT + vov tracks the die/temperature VT.
+    ckt.add<Resistor>(prefix + ".Rb", vdd, vb, params.r_vth_bias);
+    ckt.add<Mosfet>(prefix + ".Q5", vb, vb, circuit::kGround, q5p);
+    ckt.add<Resistor>(prefix + ".Rbg", vb, vg_, params.r_bg);
+    ckt.add<Resistor>(prefix + ".R3", tune, vg_, params.r3);
+
+    q1_ = &ckt.add<Mosfet>(prefix + ".Q1", vout_p_, vg_, circuit::kGround, q1p);
+    // Diode-connected load: drain and gate at VDD, source feeding R4.
+    q2_ = &ckt.add<Mosfet>(prefix + ".Q2", vdd, vdd, mid, q2p);
+    ckt.add<Resistor>(prefix + ".R4", mid, vout_p_, params.r4);
+    ckt.add<Capacitor>(prefix + ".C2", vout_p_, circuit::kGround, params.c2);
+
+    // --- reference branch (no RF) -------------------------------------------
+    ckt.add<Resistor>(prefix + ".Rbr", vdd, vb_ref, params.r_vth_bias);
+    ckt.add<Mosfet>(prefix + ".Q5r", vb_ref, vb_ref, circuit::kGround, q5p);
+    ckt.add<Resistor>(prefix + ".Rbgr", vb_ref, vg_ref_, params.r_bg);
+    ckt.add<Resistor>(prefix + ".R7", vg_ref_, circuit::kGround, params.r7);
+    ckt.add<Capacitor>(prefix + ".C3", vg_ref_, circuit::kGround, params.c3);
+
+    ckt.add<Mosfet>(prefix + ".Q3", vout_n_, vg_ref_, circuit::kGround, q1p);
+    ckt.add<Mosfet>(prefix + ".Q4", vdd, vdd, mid_ref, q2p);
+    ckt.add<Resistor>(prefix + ".R8", mid_ref, vout_n_, params.r8);
+}
+
+double PowerDetector::analytic_idc(double peak_volts) const {
+    // Average of ID = 0.5*beta*(A sin)^2 over the positive half cycle:
+    // IDC = beta * A^2 / 8.
+    const double beta1 = params_.kp * params_.q1_w / params_.q1_l;
+    return beta1 * peak_volts * peak_volts / 8.0;
+}
+
+double PowerDetector::analytic_vout(double peak_volts) const {
+    const double idc = analytic_idc(peak_volts);
+    const double beta2 = params_.kp * params_.q2_w / params_.q2_l;
+    return idc * params_.r4 + std::sqrt(2.0 * idc / beta2);
+}
+
+}  // namespace rfabm::core

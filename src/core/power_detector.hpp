@@ -1,0 +1,109 @@
+// The paper's MOS-only RF power detector (Fig. 2).
+//
+// Topology (signal branch):
+//
+//   RFin --C1--+-- vg --[gate Q1]                VDD
+//              |                                  |
+//   vb --Rbg--+      vb = VT+vov from Rb+Q5  Q2 (diode-connected)
+//   Vt --R3---+      (tuning via 1149.4 bus)      |
+//                                                R4
+//                                                 |
+//                             VoutP --------------+-- drain Q1, C2 to GND
+//                                                 |
+//                                             Q1 (source grounded)
+//
+// Q1's gate is biased *exactly at the threshold voltage* (externally tunable
+// through pin Vt), so Q1 conducts only on positive half cycles of the RF
+// input: a MOS half-wave rectifier.  The bias network is a threshold
+// extractor — a resistor-fed diode-connected transistor Q5 generates
+// vb = VT + vov, and a high-ratio divider (R_bg from vb, R3 from the tuning
+// pin) places the gate at ~0.8*vb + 0.2*Vt.  The gate therefore *tracks* the
+// die's and the die temperature's threshold to first order, and the tuning
+// pin trims the residual — which is why the paper's DC calibration is a
+// one-time procedure rather than a per-condition one.  The rectified drain
+// current develops a DC level across the load (R4 + diode-connected Q2)
+// extracted by the R4/C2 low-pass.  A signal-free replica (Q3, Q4, its own
+// extractor, R8, C3) generates VoutN so the differential output cancels
+// supply and temperature common-mode:
+//
+//   Vout = VoutN - VoutP = IDC*R4 + sqrt(2*IDC/(K'*W/L))        (paper eq. 1)
+//
+// with IDC = K'*(W/L)*A^2/8 for a sinusoid of peak amplitude A (average of
+// the square-law half-wave).
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/mosfet.hpp"
+
+namespace rfabm::core {
+
+/// Component values of the detector.  Defaults are sized for the paper's
+/// 1-2 GHz band on a 2.5 V supply (see DESIGN.md section 4).
+struct PowerDetectorParams {
+    // Rectifier Q1 and load Q2 (NMOS).
+    double q1_w = 20e-6;
+    double q1_l = 0.5e-6;
+    double q2_w = 20e-6;
+    double q2_l = 0.5e-6;
+    double kp = 100e-6;
+    double vt0 = 0.5;
+    double lambda = 0.03;
+    // Threshold-extractor bias: Rb feeds diode-connected Q5 (vb = VT + vov),
+    // divider R_bg (vb -> vg) and R3 (Vt -> vg) mixes in the tuning pin with
+    // ratio R3/(R_bg+R3) ~ 0.2.
+    double q5_w = 10e-6;
+    double q5_l = 0.5e-6;
+    double r_vth_bias = 800e3;  ///< VDD -> vb extractor feed (small vov)
+    double r_bg = 71e3;         ///< vb -> vg (tracking ratio ~0.9)
+    double r3 = 640e3;          ///< Vt -> vg (tuning injection, weight ~0.1)
+    // Load resistor and low-pass capacitor.
+    double r4 = 2e3;
+    double c2 = 2e-12;
+    // Input coupling capacitor.
+    double c1 = 2e-12;
+    // Reference branch: identical extractor + divider with R7 (vg_ref -> GND)
+    // in place of the tuning leg, reference load R8, gate decoupling C3.
+    double r7 = 640e3;
+    double r8 = 2e3;
+    double c3 = 2e-12;
+};
+
+/// Builds the detector into a Circuit and exposes its terminals.
+class PowerDetector {
+  public:
+    /// @p vdd is the (gateable) supply node, @p rf_in the RF signal node the
+    /// coupling capacitor taps, @p tune the tuneP pin (reachable over the
+    /// 1149.4 analog bus through the .4 MUX).
+    PowerDetector(const std::string& prefix, circuit::Circuit& circuit, circuit::NodeId vdd,
+                  circuit::NodeId rf_in, circuit::NodeId tune, PowerDetectorParams params = {});
+
+    circuit::NodeId vout_p() const { return vout_p_; }
+    circuit::NodeId vout_n() const { return vout_n_; }
+    circuit::NodeId gate() const { return vg_; }
+    circuit::NodeId ref_gate() const { return vg_ref_; }
+
+    const PowerDetectorParams& params() const { return params_; }
+    circuit::Mosfet& q1() { return *q1_; }
+    circuit::Mosfet& q2() { return *q2_; }
+
+    /// Eq. (1) prediction of VoutN - VoutP for a sinusoid of peak amplitude
+    /// @p peak_volts at the gate, assuming the gate sits exactly at
+    /// threshold and nominal devices.  Used for validation, not measurement.
+    double analytic_vout(double peak_volts) const;
+
+    /// The rectified DC drain current IDC for peak amplitude @p peak_volts.
+    double analytic_idc(double peak_volts) const;
+
+  private:
+    PowerDetectorParams params_;
+    circuit::NodeId vg_{};
+    circuit::NodeId vg_ref_{};
+    circuit::NodeId vout_p_{};
+    circuit::NodeId vout_n_{};
+    circuit::Mosfet* q1_ = nullptr;
+    circuit::Mosfet* q2_ = nullptr;
+};
+
+}  // namespace rfabm::core

@@ -1,0 +1,72 @@
+#include "core/preamplifier.hpp"
+
+#include <cmath>
+
+#include "circuit/devices/passive.hpp"
+
+namespace rfabm::core {
+
+using circuit::Capacitor;
+using circuit::Mosfet;
+using circuit::MosfetParams;
+using circuit::NodeId;
+using circuit::Resistor;
+
+Preamplifier::Preamplifier(const std::string& prefix, circuit::Circuit& ckt, NodeId vdd,
+                           NodeId in, PreamplifierParams params)
+    : params_(params) {
+    gate_ = ckt.node(prefix + ".vg");
+    out_ = ckt.node(prefix + ".out");
+    ref_out_ = ckt.node(prefix + ".ref");
+    const NodeId ref_gate = ckt.node(prefix + ".vg_ref");
+
+    const NodeId src = ckt.node(prefix + ".vs");
+    const NodeId src_ref = ckt.node(prefix + ".vs_ref");
+
+    ckt.add<Capacitor>(prefix + ".Cin", in, gate_, params.cin);
+    ckt.add<Resistor>(prefix + ".Rb1", vdd, gate_, params.rb1);
+    ckt.add<Resistor>(prefix + ".Rb2", gate_, circuit::kGround, params.rb2);
+
+    MosfetParams mp;
+    mp.w = params.m_w;
+    mp.l = params.m_l;
+    mp.kp = params.kp;
+    mp.vt0 = params.vt0;
+    mp.lambda = params.lambda;
+    m1_ = &ckt.add<Mosfet>(prefix + ".M1", out_, gate_, src, mp);
+    ckt.add<Resistor>(prefix + ".RS", src, circuit::kGround, params.rs);
+    ckt.add<Resistor>(prefix + ".RL", vdd, out_, params.rl);
+    ckt.add<Capacitor>(prefix + ".CL", out_, circuit::kGround, params.cload);
+
+    // Replica branch: same bias, no RF (gate decoupled to ground).
+    ckt.add<Resistor>(prefix + ".Rb1r", vdd, ref_gate, params.rb1);
+    ckt.add<Resistor>(prefix + ".Rb2r", ref_gate, circuit::kGround, params.rb2);
+    ckt.add<Capacitor>(prefix + ".Cr", ref_gate, circuit::kGround, params.cin);
+    ckt.add<Mosfet>(prefix + ".M1r", ref_out_, ref_gate, src_ref, mp);
+    ckt.add<Resistor>(prefix + ".RSr", src_ref, circuit::kGround, params.rs);
+    ckt.add<Resistor>(prefix + ".RLr", vdd, ref_out_, params.rl);
+}
+
+double Preamplifier::analytic_gain(double vdd) const {
+    const double beta = params_.kp * params_.m_w / params_.m_l;
+    const double vbias = vdd * params_.rb2 / (params_.rb1 + params_.rb2);
+    const double u = vbias - params_.vt0;
+    if (u <= 0.0) return 0.0;
+    // Solve I = beta/2 * (u - I*Rs)^2 for the bias current (Newton).
+    double i = 0.5 * beta * u * u;
+    for (int k = 0; k < 30; ++k) {
+        const double vov = u - i * params_.rs;
+        if (vov <= 0.0) {
+            i *= 0.5;
+            continue;
+        }
+        const double f = i - 0.5 * beta * vov * vov;
+        const double df = 1.0 + beta * vov * params_.rs;
+        i -= f / df;
+    }
+    const double vov = std::max(u - i * params_.rs, 1e-6);
+    const double gm = beta * vov;
+    return gm * params_.rl / (1.0 + gm * params_.rs);
+}
+
+}  // namespace rfabm::core

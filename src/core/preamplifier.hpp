@@ -1,0 +1,68 @@
+// The preamplifier of the paper's second ABM structure.
+//
+// Section 2 of the paper: "the other [ABM] contain[s] preamplifiers, which
+// allows the measurement of weaker signals"; section 3 quantifies the effect
+// (power range moves from -18...+6 dBm to -25...-3 dBm, frequency-detector
+// sensitivity from +5 dBm to -5 dBm) — about 10 dB of voltage gain with
+// compression setting in near the top of the range.
+//
+// Implementation: a single common-source NMOS stage with resistive load,
+// AC-coupled input and output, and a signal-free replica branch providing a
+// DC reference output that tracks supply/temperature/process — the
+// downstream comparator slices against the replica, and the power detector's
+// coupling capacitor re-biases the signal anyway.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/mosfet.hpp"
+
+namespace rfabm::core {
+
+/// Component values; defaults give ~8 dB voltage gain on 2.5 V with ~0.7 V
+/// of positive output headroom (the comparator hysteresis the frequency path
+/// must cross is 0.45 V), which places the preamplified frequency-path
+/// sensitivity at the paper's -5 dBm.  The stage is source-degenerated: the
+/// gain approaches the resistor ratio RL/RS, so supply/temperature/process
+/// move it far less than a bare common-source stage — necessary for the
+/// preamplified ABM to hold a usable accuracy over the paper's corners.
+struct PreamplifierParams {
+    double m_w = 120e-6;
+    double m_l = 0.5e-6;   ///< W/L = 240 -> beta = 24 mA/V^2 at kp = 100u
+    double kp = 100e-6;
+    double vt0 = 0.5;
+    double lambda = 0.03;
+    double rl = 1.5e3;     ///< drain load
+    double rs = 270.0;     ///< source degeneration (gain ~ gm*RL/(1+gm*RS))
+    double rb1 = 16e3;     ///< VDD -> gate bias
+    double rb2 = 9e3;      ///< gate -> GND (bias ~ vt0 + 0.4 V on 2.5 V)
+    double cin = 2e-12;    ///< input coupling
+    double cload = 30e-15; ///< output node capacitance (bandwidth realism)
+};
+
+/// Builds the amplifier; output and replica reference are exposed as nodes.
+class Preamplifier {
+  public:
+    Preamplifier(const std::string& prefix, circuit::Circuit& circuit, circuit::NodeId vdd,
+                 circuit::NodeId in, PreamplifierParams params = {});
+
+    circuit::NodeId out() const { return out_; }
+    /// Signal-free replica of the output DC level (comparator reference).
+    circuit::NodeId ref_out() const { return ref_out_; }
+    circuit::NodeId gate() const { return gate_; }
+    const PreamplifierParams& params() const { return params_; }
+    circuit::Mosfet& transistor() { return *m1_; }
+
+    /// Small-signal voltage gain magnitude gm*RL at the nominal bias.
+    double analytic_gain(double vdd) const;
+
+  private:
+    PreamplifierParams params_;
+    circuit::NodeId gate_{};
+    circuit::NodeId out_{};
+    circuit::NodeId ref_out_{};
+    circuit::Mosfet* m1_ = nullptr;
+};
+
+}  // namespace rfabm::core

@@ -1,0 +1,15 @@
+#include "core/prescaler.hpp"
+
+namespace rfabm::core {
+
+Prescaler::Prescaler(const std::string& prefix, rfabm::mixed::DigitalDomain& domain,
+                     circuit::NodeId in_p, circuit::NodeId in_n, double hysteresis,
+                     unsigned divide)
+    : divide_(divide) {
+    cmp_ = domain.signal(prefix + ".cmp");
+    out_ = domain.signal(prefix + ".div");
+    domain.add_comparator(in_p, in_n, 0.0, hysteresis, cmp_);
+    domain.add_block<rfabm::mixed::DividerBlock>(cmp_, out_, divide);
+}
+
+}  // namespace rfabm::core

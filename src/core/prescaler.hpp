@@ -1,0 +1,38 @@
+// The f/8 prescaler of Fig. 1.
+//
+// The frequency detector's FVC works at 125-250 MHz; the 1-2 GHz RF input is
+// first squared up by a comparator (limiting amplifier) and divided by 8.
+// The comparator's hysteresis models the limiter's input sensitivity: below
+// roughly +5 dBm at the pin the RF swing no longer crosses the hysteresis
+// band and the prescaler stops toggling — exactly the minimum-power behaviour
+// section 3 of the paper reports for frequency measurements.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/mixed/digital.hpp"
+
+namespace rfabm::core {
+
+/// Comparator + divide-by-2^k chain producing a 50% duty digital clock.
+class Prescaler {
+  public:
+    /// Clocks off v(@p in_p) - v(@p in_n) crossing 0 with +/- @p hysteresis.
+    /// @p divide must be a power of two >= 2.
+    Prescaler(const std::string& prefix, rfabm::mixed::DigitalDomain& domain,
+              circuit::NodeId in_p, circuit::NodeId in_n, double hysteresis, unsigned divide);
+
+    /// The divided output clock signal.
+    rfabm::mixed::SignalId output() const { return out_; }
+    /// The raw comparator output (input-rate clock).
+    rfabm::mixed::SignalId comparator_output() const { return cmp_; }
+    unsigned divide_ratio() const { return divide_; }
+
+  private:
+    rfabm::mixed::SignalId cmp_{};
+    rfabm::mixed::SignalId out_{};
+    unsigned divide_;
+};
+
+}  // namespace rfabm::core

@@ -1,0 +1,92 @@
+#include "jtag/abm.hpp"
+
+namespace rfabm::jtag {
+
+using circuit::Switch;
+
+AnalogBoundaryModule::AnalogBoundaryModule(std::string name, circuit::Circuit& circuit,
+                                           const AbmNodes& nodes, double digitizer_threshold,
+                                           double ron)
+    : name_(std::move(name)), nodes_(nodes), threshold_(digitizer_threshold) {
+    auto make = [&](AbmSwitch which, const char* suffix, circuit::NodeId a, circuit::NodeId b) {
+        switches_[static_cast<std::size_t>(which)] =
+            &circuit.add<Switch>(name_ + "." + suffix, a, b, ron);
+    };
+    make(AbmSwitch::kSD, "SD", nodes.pin, nodes.core);
+    make(AbmSwitch::kSH, "SH", nodes.pin, nodes.vh);
+    make(AbmSwitch::kSL, "SL", nodes.pin, nodes.vl);
+    make(AbmSwitch::kSG, "SG", nodes.pin, nodes.vg);
+    make(AbmSwitch::kSB1, "SB1", nodes.pin, nodes.ab1);
+    make(AbmSwitch::kSB2, "SB2", nodes.pin, nodes.ab2);
+    apply(Instruction::kIdcode);  // power-up: mission mode
+}
+
+std::size_t AnalogBoundaryModule::register_cells(BoundaryRegister& reg) {
+    const std::size_t first = reg.add_cell({name_ + ".D", [this] { return digitize(); },
+                                            [this](bool v) {
+                                                d_ = v;
+                                                apply(instruction_);
+                                            }});
+    reg.add_cell({name_ + ".E", nullptr, [this](bool v) {
+                      e_ = v;
+                      apply(instruction_);
+                  }});
+    reg.add_cell({name_ + ".G", nullptr, [this](bool v) {
+                      g_ = v;
+                      apply(instruction_);
+                  }});
+    reg.add_cell({name_ + ".B1", nullptr, [this](bool v) {
+                      b1_ = v;
+                      apply(instruction_);
+                  }});
+    reg.add_cell({name_ + ".B2", nullptr, [this](bool v) {
+                      b2_ = v;
+                      apply(instruction_);
+                  }});
+    return first;
+}
+
+bool AnalogBoundaryModule::digitize() const {
+    if (!probe_) return false;
+    return probe_(nodes_.pin) > threshold_;
+}
+
+void AnalogBoundaryModule::apply(Instruction instruction) {
+    instruction_ = instruction;
+    bool sd = false;
+    bool sh = false;
+    bool sl = false;
+    bool sg = false;
+    bool sb1 = false;
+    bool sb2 = false;
+    switch (instruction) {
+        case Instruction::kExtest:
+        case Instruction::kIntest:
+        case Instruction::kClamp:
+            sd = false;
+            sh = e_ && d_;
+            sl = e_ && !d_;
+            sg = g_;
+            sb1 = b1_;
+            sb2 = b2_;
+            break;
+        case Instruction::kProbe:
+            sd = true;  // mission path undisturbed — the 1149.4 PROBE property
+            sb1 = b1_;
+            sb2 = b2_;
+            break;
+        case Instruction::kHighz:
+            break;  // everything open
+        default:  // BYPASS, IDCODE, SAMPLE/PRELOAD: mission mode
+            sd = true;
+            break;
+    }
+    switch_dev(AbmSwitch::kSD).set_closed(sd);
+    switch_dev(AbmSwitch::kSH).set_closed(sh);
+    switch_dev(AbmSwitch::kSL).set_closed(sl);
+    switch_dev(AbmSwitch::kSG).set_closed(sg);
+    switch_dev(AbmSwitch::kSB1).set_closed(sb1);
+    switch_dev(AbmSwitch::kSB2).set_closed(sb2);
+}
+
+}  // namespace rfabm::jtag

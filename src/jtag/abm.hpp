@@ -1,0 +1,114 @@
+// IEEE 1149.4 Analog Boundary Module (ABM).
+//
+// Every analog function pin of an 1149.4 device carries an ABM: six analog
+// switches plus a one-bit digitizer.  Switch roles (per the standard's
+// architecture; naming follows the public literature):
+//
+//   SD  - pin <-> core        (mission path; opened to isolate the core)
+//   SH  - pin <-> VH          (drive logic high level onto the pin)
+//   SL  - pin <-> VL          (drive logic low level onto the pin)
+//   SG  - pin <-> VG          (reference/guard voltage)
+//   SB1 - pin <-> AB1         (internal analog bus 1, to the ATAP via TBIC)
+//   SB2 - pin <-> AB2         (internal analog bus 2)
+//
+// The module owns five boundary-register cells:
+//
+//   D  - data: captures the digitizer (pin > VTH); in EXTEST its latch picks
+//        VH (1) or VL (0) when driving is enabled
+//   E  - drive enable for SH/SL in EXTEST
+//   G  - closes SG in analog test modes
+//   B1 - closes SB1 in EXTEST/INTEST; in PROBE connects without opening SD
+//   B2 - closes SB2 likewise
+//
+// Mode table (applied at Update-IR and Update-DR):
+//
+//   instruction          SD      SH     SL     SG   SB1  SB2
+//   mission (BYPASS,
+//     IDCODE, SAMPLE)    closed  open   open   open open open
+//   EXTEST / INTEST /
+//     CLAMP              open    E&&D   E&&!D  G    B1   B2
+//   PROBE                closed  open   open   open B1   B2   <- 1149.4's key
+//   HIGHZ                open    open   open   open open open
+//
+// PROBE is what the paper's measurement flow uses: the RF pin stays connected
+// to the mission path while the detector's DC output is routed to the analog
+// test port.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "jtag/instructions.hpp"
+#include "jtag/registers.hpp"
+
+namespace rfabm::jtag {
+
+/// Switch identifiers within an ABM.
+enum class AbmSwitch : std::size_t { kSD = 0, kSH, kSL, kSG, kSB1, kSB2 };
+inline constexpr std::size_t kAbmSwitchCount = 6;
+
+/// Nodes an ABM connects to.
+struct AbmNodes {
+    circuit::NodeId pin;   ///< the chip pin
+    circuit::NodeId core;  ///< core-side function node
+    circuit::NodeId ab1;   ///< internal analog bus 1
+    circuit::NodeId ab2;   ///< internal analog bus 2
+    circuit::NodeId vh;    ///< logic-high reference
+    circuit::NodeId vl;    ///< logic-low reference
+    circuit::NodeId vg;    ///< guard/reference voltage
+};
+
+/// One Analog Boundary Module: creates its six switches in the circuit and
+/// exposes five boundary cells.
+class AnalogBoundaryModule {
+  public:
+    /// @p digitizer_threshold is the VTH comparison level of the capture
+    /// digitizer.
+    AnalogBoundaryModule(std::string name, circuit::Circuit& circuit, const AbmNodes& nodes,
+                         double digitizer_threshold = 1.25, double ron = 50.0);
+
+    /// Append this module's 5 cells to @p reg (order: D, E, G, B1, B2).
+    /// Returns the index of the first cell.
+    std::size_t register_cells(BoundaryRegister& reg);
+
+    /// Recompute switch states for @p instruction and the current cell
+    /// latches.  Called from the chip's Update-IR/Update-DR hooks.
+    void apply(Instruction instruction);
+
+    /// Voltage probe used by the digitizer during Capture-DR; the chip wires
+    /// this to the live transient solution.
+    void set_voltage_probe(std::function<double(circuit::NodeId)> probe) {
+        probe_ = std::move(probe);
+    }
+
+    /// Digitizer output: pin voltage above the threshold (false without probe).
+    bool digitize() const;
+
+    circuit::Switch& switch_dev(AbmSwitch s) { return *switches_[static_cast<std::size_t>(s)]; }
+    const circuit::Switch& switch_dev(AbmSwitch s) const {
+        return *switches_[static_cast<std::size_t>(s)];
+    }
+
+    const std::string& name() const { return name_; }
+    const AbmNodes& nodes() const { return nodes_; }
+    Instruction last_instruction() const { return instruction_; }
+
+  private:
+    std::string name_;
+    AbmNodes nodes_;
+    double threshold_;
+    std::array<circuit::Switch*, kAbmSwitchCount> switches_{};
+    std::function<double(circuit::NodeId)> probe_;
+    Instruction instruction_ = Instruction::kIdcode;
+    // Latched control bits (mirrored from the boundary register at update).
+    bool d_ = false;
+    bool e_ = false;
+    bool g_ = false;
+    bool b1_ = false;
+    bool b2_ = false;
+};
+
+}  // namespace rfabm::jtag

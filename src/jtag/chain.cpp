@@ -1,0 +1,137 @@
+#include "jtag/chain.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace rfabm::jtag {
+
+namespace {
+
+/// Shortest TMS sequence from one TAP state to another (BFS; ties prefer
+/// TMS=0).  Shared by the chain driver; single-device paths live in
+/// TapDriver with identical semantics.
+std::vector<bool> tms_path(TapState from, TapState to) {
+    std::vector<bool> path;
+    if (from == to) return path;
+    constexpr int kNumStates = 16;
+    std::array<int, kNumStates> prev_state{};
+    std::array<int, kNumStates> prev_tms{};
+    prev_state.fill(-1);
+    const int start = static_cast<int>(from);
+    const int goal = static_cast<int>(to);
+    std::array<int, kNumStates> queue{};
+    int head = 0;
+    int tail = 0;
+    queue[tail++] = start;
+    prev_state[start] = start;
+    while (head < tail) {
+        const int s = queue[head++];
+        if (s == goal) break;
+        for (int tms = 0; tms <= 1; ++tms) {
+            const int n = static_cast<int>(next_tap_state(static_cast<TapState>(s), tms != 0));
+            if (prev_state[n] == -1) {
+                prev_state[n] = s;
+                prev_tms[n] = tms;
+                queue[tail++] = n;
+            }
+        }
+    }
+    if (prev_state[goal] == -1) throw std::logic_error("TAP state unreachable");
+    std::vector<bool> reversed;
+    for (int s = goal; s != start; s = prev_state[s]) reversed.push_back(prev_tms[s] != 0);
+    path.assign(reversed.rbegin(), reversed.rend());
+    return path;
+}
+
+}  // namespace
+
+bool ScanChain::clock(bool tms, bool tdi) {
+    bool bit = tdi;
+    for (TapController* dev : devices_) bit = dev->clock(tms, bit);
+    return bit;
+}
+
+void ScanChain::reset() {
+    for (TapController* dev : devices_) dev->reset();
+}
+
+bool ChainDriver::clock(bool tms, bool tdi) {
+    ++tck_count_;
+    return chain_.clock(tms, tdi);
+}
+
+void ChainDriver::reset_via_tms() {
+    for (int i = 0; i < 5; ++i) clock(true, false);
+}
+
+void ChainDriver::go_to(TapState target) {
+    if (chain_.size() == 0) throw std::logic_error("empty scan chain");
+    for (bool tms : tms_path(chain_.device(0).state(), target)) clock(tms, false);
+}
+
+void ChainDriver::load(const std::vector<Instruction>& instructions) {
+    if (instructions.size() != chain_.size()) {
+        throw std::invalid_argument("one instruction per chain device required");
+    }
+    go_to(TapState::kShiftIr);
+    // Bits for the device FURTHEST from host TDI (the last one) shift first;
+    // LSB-first within each device.
+    const std::size_t total = chain_.size() * kIrLength;
+    std::size_t shifted = 0;
+    for (std::size_t d = chain_.size(); d-- > 0;) {
+        const std::uint8_t op = opcode(instructions[d]);
+        for (std::size_t i = 0; i < kIrLength; ++i) {
+            ++shifted;
+            clock(shifted == total, ((op >> i) & 1u) != 0);
+        }
+    }
+    go_to(TapState::kRunTestIdle);  // passes Update-IR on every device
+}
+
+std::vector<std::vector<bool>> ChainDriver::scan_dr(
+    const std::vector<std::vector<bool>>& bits) {
+    if (bits.size() != chain_.size()) {
+        throw std::invalid_argument("one DR vector per chain device required");
+    }
+    go_to(TapState::kShiftDr);
+    std::size_t total = 0;
+    for (const auto& b : bits) total += b.size();
+
+    std::vector<bool> received;
+    received.reserve(total);
+    std::size_t shifted = 0;
+    for (std::size_t d = chain_.size(); d-- > 0;) {
+        for (bool bit : bits[d]) {
+            ++shifted;
+            received.push_back(clock(shifted == total, bit));
+        }
+    }
+    go_to(TapState::kRunTestIdle);
+
+    // Received order mirrors the sending order: last device's capture first.
+    std::vector<std::vector<bool>> out(chain_.size());
+    std::size_t pos = 0;
+    for (std::size_t d = chain_.size(); d-- > 0;) {
+        out[d].assign(received.begin() + static_cast<std::ptrdiff_t>(pos),
+                      received.begin() + static_cast<std::ptrdiff_t>(pos + bits[d].size()));
+        pos += bits[d].size();
+    }
+    return out;
+}
+
+std::vector<std::uint32_t> ChainDriver::read_idcodes() {
+    std::vector<std::vector<bool>> zeros(chain_.size(), std::vector<bool>(32, false));
+    const auto captured = scan_dr(zeros);
+    std::vector<std::uint32_t> ids;
+    ids.reserve(chain_.size());
+    for (const auto& word : captured) {
+        std::uint32_t id = 0;
+        for (std::size_t i = 0; i < 32; ++i) {
+            if (word[i]) id |= 1u << i;
+        }
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+}  // namespace rfabm::jtag

@@ -1,0 +1,73 @@
+// Multi-device scan chains.
+//
+// On a board, every 1149.x device shares TCK/TMS while TDI/TDO daisy-chain:
+// the host's TDI enters device 0, device 0's TDO feeds device 1's TDI, and
+// the last device's TDO returns to the host.  ScanChain models that wiring;
+// ChainDriver layers the host-side procedures on top (concatenated IR scans,
+// per-device DR access with the other devices in BYPASS) — the machinery a
+// boundary-scan interconnect test uses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "jtag/tap.hpp"
+
+namespace rfabm::jtag {
+
+/// The board wiring: broadcast TMS/TCK, daisy-chained TDI/TDO.
+class ScanChain {
+  public:
+    /// Append a device; device 0 is nearest the host TDI.
+    void add_device(TapController& tap) { devices_.push_back(&tap); }
+
+    std::size_t size() const { return devices_.size(); }
+    TapController& device(std::size_t i) { return *devices_.at(i); }
+
+    /// One TCK edge on the whole chain; returns the host-side TDO (the last
+    /// device's output).
+    bool clock(bool tms, bool tdi);
+
+    /// All devices reset (TRST*).
+    void reset();
+
+  private:
+    std::vector<TapController*> devices_;
+};
+
+/// Host-side driver for a chain.
+class ChainDriver {
+  public:
+    explicit ChainDriver(ScanChain& chain) : chain_(chain) {}
+
+    /// Five TMS-high clocks: every device to Test-Logic-Reset.
+    void reset_via_tms();
+
+    /// Navigate every device's FSM (they move in lock-step).
+    void go_to(TapState target);
+
+    /// Load one instruction per device (index order = chain order).  The IR
+    /// chain concatenates with device 0 nearest TDI, so device 0's bits are
+    /// shifted in last.
+    void load(const std::vector<Instruction>& instructions);
+
+    /// Scan a DR bit vector per device (same ordering convention); returns
+    /// the captured bits per device.  Every device must have a DR selected
+    /// whose length matches the given vector (use BYPASS + a 1-bit vector
+    /// for devices not under test).
+    std::vector<std::vector<bool>> scan_dr(const std::vector<std::vector<bool>>& bits);
+
+    /// Read every device's IDCODE in one DR scan (all devices select IDCODE
+    /// after reset).
+    std::vector<std::uint32_t> read_idcodes();
+
+    std::uint64_t tck_count() const { return tck_count_; }
+
+  private:
+    bool clock(bool tms, bool tdi);
+
+    ScanChain& chain_;
+    std::uint64_t tck_count_ = 0;
+};
+
+}  // namespace rfabm::jtag

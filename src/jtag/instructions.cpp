@@ -1,0 +1,55 @@
+#include "jtag/instructions.hpp"
+
+namespace rfabm::jtag {
+
+Instruction decode_instruction(std::uint8_t raw) {
+    switch (raw) {
+        case 0x00: return Instruction::kExtest;
+        case 0x01: return Instruction::kSamplePreload;
+        case 0x02: return Instruction::kIdcode;
+        case 0x03: return Instruction::kClamp;
+        case 0x04: return Instruction::kHighz;
+        case 0x05: return Instruction::kProbe;
+        case 0x06: return Instruction::kIntest;
+        default: return Instruction::kBypass;  // unknown -> BYPASS per 1149.1
+    }
+}
+
+std::string_view to_string(Instruction i) {
+    switch (i) {
+        case Instruction::kExtest: return "EXTEST";
+        case Instruction::kSamplePreload: return "SAMPLE/PRELOAD";
+        case Instruction::kIdcode: return "IDCODE";
+        case Instruction::kClamp: return "CLAMP";
+        case Instruction::kHighz: return "HIGHZ";
+        case Instruction::kProbe: return "PROBE";
+        case Instruction::kIntest: return "INTEST";
+        case Instruction::kBypass: return "BYPASS";
+    }
+    return "?";
+}
+
+bool selects_boundary(Instruction i) {
+    switch (i) {
+        case Instruction::kExtest:
+        case Instruction::kSamplePreload:
+        case Instruction::kProbe:
+        case Instruction::kIntest:
+            return true;
+        default:
+            return false;
+    }
+}
+
+bool is_analog_test_mode(Instruction i) {
+    switch (i) {
+        case Instruction::kExtest:
+        case Instruction::kProbe:
+        case Instruction::kIntest:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace rfabm::jtag

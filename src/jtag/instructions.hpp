@@ -1,0 +1,47 @@
+// IEEE 1149.1/1149.4 instruction set.
+//
+// The opcodes are implementation-defined by the standard except BYPASS (all
+// ones) and EXTEST (all zeros).  PROBE is the instruction IEEE 1149.4 adds and
+// mandates: it connects selected pins to the internal analog buses *without*
+// disturbing the mission-mode signal path — exactly what the paper relies on
+// to read detector outputs while the RF input stays connected.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace rfabm::jtag {
+
+/// Instruction register width for all devices in this library.
+inline constexpr std::size_t kIrLength = 8;
+
+/// Supported instructions.
+enum class Instruction : std::uint8_t {
+    kExtest = 0x00,          ///< drive/sense pins from the boundary register
+    kSamplePreload = 0x01,   ///< snapshot pins / preload boundary cells
+    kIdcode = 0x02,          ///< select the 32-bit device identification register
+    kClamp = 0x03,           ///< pins held from boundary, bypass selected
+    kHighz = 0x04,           ///< pins released, bypass selected
+    kProbe = 0x05,           ///< 1149.4: analog probe via AB1/AB2, core stays connected
+    kIntest = 0x06,          ///< drive core-side from the boundary register
+    kBypass = 0xFF,          ///< 1-bit bypass register (mandatory all-ones opcode)
+};
+
+/// Decode a raw IR value.  Unknown opcodes select BYPASS per the standard.
+Instruction decode_instruction(std::uint8_t raw);
+
+/// Raw opcode of an instruction.
+inline std::uint8_t opcode(Instruction i) { return static_cast<std::uint8_t>(i); }
+
+/// Human-readable name.
+std::string_view to_string(Instruction i);
+
+/// True if the boundary register is the selected data register.
+bool selects_boundary(Instruction i);
+
+/// True if the ABM switch network follows the latched boundary control word
+/// (test modes) rather than forced mission mode.
+bool is_analog_test_mode(Instruction i);
+
+}  // namespace rfabm::jtag

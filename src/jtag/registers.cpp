@@ -1,0 +1,47 @@
+#include "jtag/registers.hpp"
+
+namespace rfabm::jtag {
+
+std::size_t BoundaryRegister::add_cell(BoundaryCell cell) {
+    cells_.push_back(std::move(cell));
+    stage_.push_back(0);
+    latch_.push_back(0);
+    return cells_.size() - 1;
+}
+
+void BoundaryRegister::capture() {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const auto& fn = cells_[i].capture;
+        stage_[i] = fn ? (fn() ? 1 : 0) : latch_[i];
+    }
+}
+
+bool BoundaryRegister::shift(bool tdi) {
+    if (cells_.empty()) return tdi;
+    const bool out = stage_.front() != 0;
+    for (std::size_t i = 0; i + 1 < stage_.size(); ++i) stage_[i] = stage_[i + 1];
+    stage_.back() = tdi ? 1 : 0;
+    return out;
+}
+
+void BoundaryRegister::update() {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        latch_[i] = stage_[i];
+        if (cells_[i].update) cells_[i].update(latch_[i] != 0);
+    }
+}
+
+void BoundaryRegister::set_latched(std::size_t index, bool value) {
+    latch_.at(index) = value ? 1 : 0;
+    if (cells_[index].update) cells_[index].update(value);
+}
+
+void BoundaryRegister::reset_latches() {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        latch_[i] = 0;
+        stage_[i] = 0;
+        if (cells_[i].update) cells_[i].update(false);
+    }
+}
+
+}  // namespace rfabm::jtag

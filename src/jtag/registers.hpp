@@ -1,0 +1,106 @@
+// Test data registers: bypass, device-ID and the boundary register.
+//
+// The boundary register is a chain of cells, each with a capture stage (shift
+// path) and an update latch (parallel output).  Cells carry callbacks instead
+// of hard-wired pins so the same register serves digital boundary cells, the
+// ABM switch-control cells and the TBIC control cells: capture reads any
+// chip state (including a comparator digitizing an analog pin) and update
+// drives any chip control (including analog switches).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rfabm::jtag {
+
+/// Interface the TAP controller uses to operate the selected data register.
+class TapRegister {
+  public:
+    virtual ~TapRegister() = default;
+    /// Register length in bits.
+    virtual std::size_t length() const = 0;
+    /// Capture-DR: load the shift stage from parallel inputs.
+    virtual void capture() = 0;
+    /// Shift-DR: shift one bit; @p tdi enters, the bit nearest TDO leaves.
+    virtual bool shift(bool tdi) = 0;
+    /// Update-DR: transfer the shift stage into the update latches.
+    virtual void update() = 0;
+};
+
+/// Mandatory 1-bit bypass register; captures 0.
+class BypassRegister : public TapRegister {
+  public:
+    std::size_t length() const override { return 1; }
+    void capture() override { bit_ = false; }
+    bool shift(bool tdi) override {
+        const bool out = bit_;
+        bit_ = tdi;
+        return out;
+    }
+    void update() override {}
+
+  private:
+    bool bit_ = false;
+};
+
+/// 32-bit device identification register (LSB must be 1 per the standard).
+class IdcodeRegister : public TapRegister {
+  public:
+    explicit IdcodeRegister(std::uint32_t idcode) : idcode_(idcode | 1u) {}
+
+    std::size_t length() const override { return 32; }
+    void capture() override { shift_ = idcode_; }
+    bool shift(bool tdi) override {
+        const bool out = (shift_ & 1u) != 0;
+        shift_ = (shift_ >> 1) | (static_cast<std::uint32_t>(tdi) << 31);
+        return out;
+    }
+    void update() override {}
+
+    std::uint32_t idcode() const { return idcode_; }
+
+  private:
+    std::uint32_t idcode_;
+    std::uint32_t shift_ = 0;
+};
+
+/// One boundary-register cell.
+struct BoundaryCell {
+    std::string name;
+    /// Capture-DR source; nullptr captures the current update latch.
+    std::function<bool()> capture;
+    /// Update-DR sink; nullptr keeps the latch internal.
+    std::function<void(bool)> update;
+};
+
+/// The boundary register: cell 0 is nearest TDO (shifted out first).
+class BoundaryRegister : public TapRegister {
+  public:
+    /// Append a cell; returns its index.
+    std::size_t add_cell(BoundaryCell cell);
+
+    std::size_t length() const override { return cells_.size(); }
+    void capture() override;
+    bool shift(bool tdi) override;
+    void update() override;
+
+    /// Latched (update-stage) value of cell @p index.
+    bool latched(std::size_t index) const { return latch_.at(index); }
+    /// Directly set a latch (used to model power-on defaults / TRST).
+    void set_latched(std::size_t index, bool value);
+    /// Shift-stage value (for tests).
+    bool staged(std::size_t index) const { return stage_.at(index); }
+    const std::string& cell_name(std::size_t index) const { return cells_.at(index).name; }
+
+    /// Reset all latches to 0 and re-run update sinks (Test-Logic-Reset).
+    void reset_latches();
+
+  private:
+    std::vector<BoundaryCell> cells_;
+    std::vector<char> stage_;
+    std::vector<char> latch_;
+};
+
+}  // namespace rfabm::jtag

@@ -1,0 +1,39 @@
+#include "jtag/serial_bus.hpp"
+
+namespace rfabm::jtag {
+
+SerialSelectBus::SerialSelectBus(std::size_t width) : stage_(width, 0), outputs_(width, 0) {
+    if (width == 0 || width > 64) {
+        throw std::invalid_argument("SerialSelectBus width must be 1..64");
+    }
+}
+
+void SerialSelectBus::shift_bit(bool bit) {
+    ++bit_count_;
+    // MSB-first: new bit enters at the top, everything moves down.
+    for (std::size_t i = 0; i + 1 < stage_.size(); ++i) stage_[i] = stage_[i + 1];
+    stage_.back() = bit ? 1 : 0;
+}
+
+void SerialSelectBus::load() {
+    outputs_ = stage_;
+    for (const auto& sink : sinks_) sink.fn(outputs_[sink.index] != 0);
+}
+
+void SerialSelectBus::attach_switch(std::size_t index, circuit::Switch& sw, bool invert) {
+    attach(index, [&sw, invert](bool v) { sw.set_closed(invert ? !v : v); });
+}
+
+void SerialSelectBus::attach(std::size_t index, std::function<void(bool)> sink) {
+    if (index >= outputs_.size()) throw std::out_of_range("SerialSelectBus::attach index");
+    sinks_.push_back({index, std::move(sink)});
+}
+
+void SerialSelectBus::write_word(std::uint64_t value, std::size_t nbits) {
+    if (nbits != width()) throw std::invalid_argument("write_word: nbits must equal width");
+    // LSB shifted first so that after nbits clocks output(i) == bit i of value.
+    for (std::size_t i = 0; i < nbits; ++i) shift_bit(((value >> i) & 1u) != 0);
+    load();
+}
+
+}  // namespace rfabm::jtag

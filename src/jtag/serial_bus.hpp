@@ -1,0 +1,63 @@
+// The paper's external serial control bus.
+//
+// Fig. 1 of the paper shows the ABM structures controlled "with an external
+// control unit (PC, for example) using a serial data bus (signals labelled
+// select ... originate from this serial data)".  This models that bus: an
+// SPI-style shift register whose outputs, once strobed, drive the select
+// lines of the ".4 MUX" switch matrix and the on/off power gating of the
+// detectors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "circuit/devices/switch_device.hpp"
+
+namespace rfabm::jtag {
+
+/// SPI-like serial select register.  Bits shift MSB-first into position
+/// width-1 .. 0; load() latches the shift stage onto the outputs and fires
+/// the attached sinks.
+class SerialSelectBus {
+  public:
+    explicit SerialSelectBus(std::size_t width);
+
+    std::size_t width() const { return outputs_.size(); }
+
+    /// Shift one bit in (towards lower indices; MSB first for write_word).
+    void shift_bit(bool bit);
+
+    /// Latch shift register to outputs and drive sinks.
+    void load();
+
+    /// Latched output bit.
+    bool output(std::size_t index) const { return outputs_.at(index) != 0; }
+
+    /// Drive an analog switch from output @p index on load().
+    void attach_switch(std::size_t index, circuit::Switch& sw, bool invert = false);
+
+    /// Arbitrary output sink (e.g. a detector enable).
+    void attach(std::size_t index, std::function<void(bool)> sink);
+
+    /// Shift @p nbits of @p value (LSB first) and load, so that afterwards
+    /// output(i) == bit i of @p value.  @p nbits must equal width().
+    void write_word(std::uint64_t value, std::size_t nbits);
+
+    /// Number of serial clock edges seen (for benchmarks).
+    std::uint64_t bit_count() const { return bit_count_; }
+
+  private:
+    struct Sink {
+        std::size_t index;
+        std::function<void(bool)> fn;
+    };
+    std::vector<char> stage_;
+    std::vector<char> outputs_;
+    std::vector<Sink> sinks_;
+    std::uint64_t bit_count_ = 0;
+};
+
+}  // namespace rfabm::jtag

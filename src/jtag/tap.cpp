@@ -1,0 +1,161 @@
+#include "jtag/tap.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace rfabm::jtag {
+
+TapController::TapController(std::uint32_t idcode) : idcode_(idcode) {
+    route(Instruction::kIdcode, &idcode_);
+    reset();
+}
+
+void TapController::route(Instruction instruction, TapRegister* reg) {
+    routes_[opcode(instruction)] = reg;
+}
+
+void TapController::reset() {
+    state_ = TapState::kTestLogicReset;
+    instruction_ = Instruction::kIdcode;  // devices with IDCODE select it at reset
+    ir_shift_ = 0;
+    if (hook_) hook_(instruction_);
+}
+
+TapRegister& TapController::active_dr() {
+    const auto it = routes_.find(opcode(instruction_));
+    if (it != routes_.end() && it->second != nullptr) return *it->second;
+    return bypass_;
+}
+
+bool TapController::clock(bool tms, bool tdi) {
+    bool tdo = true;  // TDO idles high (pull-up) outside shift states
+
+    // Shift happens on the rising edge while *in* a shift state; the same
+    // edge that exits to Exit1 shifts the final bit.
+    if (state_ == TapState::kShiftDr) {
+        tdo = active_dr().shift(tdi);
+    } else if (state_ == TapState::kShiftIr) {
+        tdo = (ir_shift_ & 1u) != 0;
+        ir_shift_ = static_cast<std::uint8_t>((ir_shift_ >> 1) |
+                                              (static_cast<std::uint8_t>(tdi) << (kIrLength - 1)));
+    }
+
+    const TapState next = next_tap_state(state_, tms);
+
+    // Entry actions.
+    switch (next) {
+        case TapState::kCaptureDr:
+            active_dr().capture();
+            break;
+        case TapState::kCaptureIr:
+            ir_shift_ = 0b01;  // mandatory capture pattern ...01
+            break;
+        case TapState::kUpdateDr:
+            active_dr().update();
+            break;
+        case TapState::kUpdateIr:
+            instruction_ = decode_instruction(ir_shift_);
+            if (hook_) hook_(instruction_);
+            break;
+        case TapState::kTestLogicReset:
+            if (state_ != TapState::kTestLogicReset) {
+                instruction_ = Instruction::kIdcode;
+                if (hook_) hook_(instruction_);
+            }
+            break;
+        default:
+            break;
+    }
+    state_ = next;
+    return tdo;
+}
+
+// ------------------------------------------------------------------ driver
+
+bool TapDriver::clock(bool tms, bool tdi) {
+    ++tck_count_;
+    return tap_.clock(tms, tdi);
+}
+
+void TapDriver::reset_via_tms() {
+    for (int i = 0; i < 5; ++i) clock(true, false);
+}
+
+void TapDriver::go_to(TapState target) {
+    // BFS over the 16-state graph; ties prefer TMS=0 (explored first).  The
+    // states traversed perform their physical actions, exactly as on real
+    // hardware.
+    if (tap_.state() == target) return;
+    constexpr int kNumStates = 16;
+    std::array<int, kNumStates> prev_state{};
+    std::array<int, kNumStates> prev_tms{};
+    prev_state.fill(-1);
+    const int start = static_cast<int>(tap_.state());
+    const int goal = static_cast<int>(target);
+    std::array<int, kNumStates> queue{};
+    int head = 0;
+    int tail = 0;
+    queue[tail++] = start;
+    prev_state[start] = start;
+    while (head < tail) {
+        const int s = queue[head++];
+        if (s == goal) break;
+        for (int tms = 0; tms <= 1; ++tms) {
+            const int n = static_cast<int>(next_tap_state(static_cast<TapState>(s), tms != 0));
+            if (prev_state[n] == -1) {
+                prev_state[n] = s;
+                prev_tms[n] = tms;
+                queue[tail++] = n;
+            }
+        }
+    }
+    if (prev_state[goal] == -1) throw std::logic_error("TAP state unreachable");
+    // Reconstruct the TMS sequence.
+    std::array<int, kNumStates> path{};
+    int len = 0;
+    for (int s = goal; s != start; s = prev_state[s]) path[len++] = prev_tms[s];
+    for (int i = len - 1; i >= 0; --i) clock(path[i] != 0, false);
+}
+
+std::uint8_t TapDriver::scan_ir(std::uint8_t value) {
+    go_to(TapState::kShiftIr);
+    std::uint8_t captured = 0;
+    for (std::size_t i = 0; i < kIrLength; ++i) {
+        const bool last = i + 1 == kIrLength;
+        const bool out = clock(last, ((value >> i) & 1u) != 0);
+        captured |= static_cast<std::uint8_t>(out) << i;
+    }
+    go_to(TapState::kRunTestIdle);  // passes Update-IR
+    return captured;
+}
+
+std::vector<bool> TapDriver::scan_dr(const std::vector<bool>& bits) {
+    go_to(TapState::kShiftDr);
+    std::vector<bool> captured;
+    captured.reserve(bits.size());
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const bool last = i + 1 == bits.size();
+        captured.push_back(clock(last, bits[i]));
+    }
+    go_to(TapState::kRunTestIdle);  // passes Update-DR
+    return captured;
+}
+
+std::uint64_t TapDriver::scan_dr_word(std::uint64_t value, std::size_t width) {
+    if (width > 64) throw std::invalid_argument("scan_dr_word: width > 64");
+    std::vector<bool> bits(width);
+    for (std::size_t i = 0; i < width; ++i) bits[i] = ((value >> i) & 1u) != 0;
+    const std::vector<bool> captured = scan_dr(bits);
+    std::uint64_t out = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+        if (captured[i]) out |= 1ull << i;
+    }
+    return out;
+}
+
+std::uint32_t TapDriver::read_idcode() {
+    load(Instruction::kIdcode);
+    return static_cast<std::uint32_t>(scan_dr_word(0, 32));
+}
+
+}  // namespace rfabm::jtag

@@ -1,0 +1,93 @@
+// IEEE 1149.1 TAP controller: state machine + instruction register + data
+// register routing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "jtag/instructions.hpp"
+#include "jtag/registers.hpp"
+#include "jtag/tap_state.hpp"
+
+namespace rfabm::jtag {
+
+/// The TAP controller of one device.  clock() models one TCK rising edge;
+/// the returned bit is TDO during shift states (high-Z is modelled as true,
+/// the pulled-up idle level).
+class TapController {
+  public:
+    /// @p idcode is the 32-bit device ID (LSB forced to 1).
+    explicit TapController(std::uint32_t idcode);
+
+    /// Route @p instruction to @p reg during DR scans.  Unrouted instructions
+    /// select the bypass register (the standard's required fallback).
+    void route(Instruction instruction, TapRegister* reg);
+
+    /// Callback fired at Update-IR and at Test-Logic-Reset with the instruction
+    /// taking effect; the chip model uses this to apply ABM/TBIC mode changes.
+    void on_instruction(std::function<void(Instruction)> hook) { hook_ = std::move(hook); }
+
+    /// Asynchronous reset (TRST* or power-up): Test-Logic-Reset, IDCODE active.
+    void reset();
+
+    /// One TCK rising edge with the given TMS/TDI; returns TDO.
+    bool clock(bool tms, bool tdi);
+
+    TapState state() const { return state_; }
+    Instruction instruction() const { return instruction_; }
+    IdcodeRegister& idcode_register() { return idcode_; }
+    BypassRegister& bypass_register() { return bypass_; }
+
+  private:
+    TapRegister& active_dr();
+
+    TapState state_ = TapState::kTestLogicReset;
+    Instruction instruction_ = Instruction::kIdcode;
+    std::uint8_t ir_shift_ = 0;
+    IdcodeRegister idcode_;
+    BypassRegister bypass_;
+    std::unordered_map<std::uint8_t, TapRegister*> routes_;
+    std::function<void(Instruction)> hook_;
+};
+
+/// Host-side convenience driver: wraps a TapController with the multi-clock
+/// sequences a test program actually uses (move to state, scan IR/DR).
+class TapDriver {
+  public:
+    explicit TapDriver(TapController& tap) : tap_(tap) {}
+
+    /// Clock TMS=1 five times: guaranteed Test-Logic-Reset from any state.
+    void reset_via_tms();
+
+    /// Navigate to @p target using the canonical shortest TMS path.
+    void go_to(TapState target);
+
+    /// Scan @p bits (LSB first) through the IR and latch; returns the
+    /// captured IR content shifted out.
+    std::uint8_t scan_ir(std::uint8_t value);
+
+    /// Load an instruction (scan_ir of its opcode).
+    void load(Instruction instruction) { scan_ir(opcode(instruction)); }
+
+    /// Scan @p bits through the selected DR (bit 0 first); returns the bits
+    /// shifted out (captured register content).
+    std::vector<bool> scan_dr(const std::vector<bool>& bits);
+
+    /// Scan a @p width-bit word (LSB first); returns captured word.
+    std::uint64_t scan_dr_word(std::uint64_t value, std::size_t width);
+
+    /// Read the 32-bit IDCODE via the IDCODE instruction.
+    std::uint32_t read_idcode();
+
+    /// Number of TCK cycles issued so far (for benchmarks).
+    std::uint64_t tck_count() const { return tck_count_; }
+
+  private:
+    bool clock(bool tms, bool tdi);
+
+    TapController& tap_;
+    std::uint64_t tck_count_ = 0;
+};
+
+}  // namespace rfabm::jtag

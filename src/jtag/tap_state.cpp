@@ -1,0 +1,65 @@
+#include "jtag/tap_state.hpp"
+
+namespace rfabm::jtag {
+
+TapState next_tap_state(TapState current, bool tms) {
+    switch (current) {
+        case TapState::kTestLogicReset:
+            return tms ? TapState::kTestLogicReset : TapState::kRunTestIdle;
+        case TapState::kRunTestIdle:
+            return tms ? TapState::kSelectDrScan : TapState::kRunTestIdle;
+        case TapState::kSelectDrScan:
+            return tms ? TapState::kSelectIrScan : TapState::kCaptureDr;
+        case TapState::kCaptureDr:
+            return tms ? TapState::kExit1Dr : TapState::kShiftDr;
+        case TapState::kShiftDr:
+            return tms ? TapState::kExit1Dr : TapState::kShiftDr;
+        case TapState::kExit1Dr:
+            return tms ? TapState::kUpdateDr : TapState::kPauseDr;
+        case TapState::kPauseDr:
+            return tms ? TapState::kExit2Dr : TapState::kPauseDr;
+        case TapState::kExit2Dr:
+            return tms ? TapState::kUpdateDr : TapState::kShiftDr;
+        case TapState::kUpdateDr:
+            return tms ? TapState::kSelectDrScan : TapState::kRunTestIdle;
+        case TapState::kSelectIrScan:
+            return tms ? TapState::kTestLogicReset : TapState::kCaptureIr;
+        case TapState::kCaptureIr:
+            return tms ? TapState::kExit1Ir : TapState::kShiftIr;
+        case TapState::kShiftIr:
+            return tms ? TapState::kExit1Ir : TapState::kShiftIr;
+        case TapState::kExit1Ir:
+            return tms ? TapState::kUpdateIr : TapState::kPauseIr;
+        case TapState::kPauseIr:
+            return tms ? TapState::kExit2Ir : TapState::kPauseIr;
+        case TapState::kExit2Ir:
+            return tms ? TapState::kUpdateIr : TapState::kShiftIr;
+        case TapState::kUpdateIr:
+            return tms ? TapState::kSelectDrScan : TapState::kRunTestIdle;
+    }
+    return TapState::kTestLogicReset;  // unreachable
+}
+
+std::string_view to_string(TapState state) {
+    switch (state) {
+        case TapState::kTestLogicReset: return "Test-Logic-Reset";
+        case TapState::kRunTestIdle: return "Run-Test/Idle";
+        case TapState::kSelectDrScan: return "Select-DR-Scan";
+        case TapState::kCaptureDr: return "Capture-DR";
+        case TapState::kShiftDr: return "Shift-DR";
+        case TapState::kExit1Dr: return "Exit1-DR";
+        case TapState::kPauseDr: return "Pause-DR";
+        case TapState::kExit2Dr: return "Exit2-DR";
+        case TapState::kUpdateDr: return "Update-DR";
+        case TapState::kSelectIrScan: return "Select-IR-Scan";
+        case TapState::kCaptureIr: return "Capture-IR";
+        case TapState::kShiftIr: return "Shift-IR";
+        case TapState::kExit1Ir: return "Exit1-IR";
+        case TapState::kPauseIr: return "Pause-IR";
+        case TapState::kExit2Ir: return "Exit2-IR";
+        case TapState::kUpdateIr: return "Update-IR";
+    }
+    return "?";
+}
+
+}  // namespace rfabm::jtag

@@ -1,0 +1,40 @@
+// IEEE 1149.1 TAP controller state machine.
+//
+// The 16-state machine is fully specified by the standard's state diagram;
+// next_tap_state() encodes every TMS-driven transition.  The 1149.4 test flow
+// in this library drives the same machine — the mixed-signal standard reuses
+// the digital TAP unchanged.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rfabm::jtag {
+
+/// The 16 TAP controller states of IEEE 1149.1.
+enum class TapState : std::uint8_t {
+    kTestLogicReset,
+    kRunTestIdle,
+    kSelectDrScan,
+    kCaptureDr,
+    kShiftDr,
+    kExit1Dr,
+    kPauseDr,
+    kExit2Dr,
+    kUpdateDr,
+    kSelectIrScan,
+    kCaptureIr,
+    kShiftIr,
+    kExit1Ir,
+    kPauseIr,
+    kExit2Ir,
+    kUpdateIr,
+};
+
+/// State after one TCK rising edge with the given TMS level.
+TapState next_tap_state(TapState current, bool tms);
+
+/// Human-readable state name (for logs and tests).
+std::string_view to_string(TapState state);
+
+}  // namespace rfabm::jtag

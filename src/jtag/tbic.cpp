@@ -1,0 +1,65 @@
+#include "jtag/tbic.hpp"
+
+namespace rfabm::jtag {
+
+using circuit::Switch;
+
+Tbic::Tbic(std::string name, circuit::Circuit& circuit, const TbicNodes& nodes, double ron)
+    : name_(std::move(name)), nodes_(nodes) {
+    auto make = [&](TbicSwitch which, const char* suffix, circuit::NodeId a, circuit::NodeId b) {
+        switches_[static_cast<std::size_t>(which)] =
+            &circuit.add<Switch>(name_ + "." + suffix, a, b, ron);
+    };
+    make(TbicSwitch::kS1, "S1", nodes.at1, nodes.ab1);
+    make(TbicSwitch::kS2, "S2", nodes.at2, nodes.ab2);
+    make(TbicSwitch::kS3, "S3", nodes.at1, nodes.vh);
+    make(TbicSwitch::kS4, "S4", nodes.at1, nodes.vl);
+    make(TbicSwitch::kS5, "S5", nodes.at2, nodes.vh);
+    make(TbicSwitch::kS6, "S6", nodes.at2, nodes.vl);
+    apply(Instruction::kIdcode);
+}
+
+std::size_t Tbic::register_cells(BoundaryRegister& reg) {
+    std::size_t first = 0;
+    static constexpr const char* kNames[kTbicSwitchCount] = {"S1", "S2", "S3",
+                                                             "S4", "S5", "S6"};
+    for (std::size_t i = 0; i < kTbicSwitchCount; ++i) {
+        const std::size_t idx = reg.add_cell({name_ + "." + kNames[i], nullptr, [this, i](bool v) {
+                                                  control_[i] = v;
+                                                  apply(instruction_);
+                                              }});
+        if (i == 0) first = idx;
+    }
+    return first;
+}
+
+void Tbic::apply(Instruction instruction) {
+    instruction_ = instruction;
+    const bool enabled = is_analog_test_mode(instruction);
+    for (std::size_t i = 0; i < kTbicSwitchCount; ++i) {
+        switches_[i]->set_closed(enabled && control_[i]);
+    }
+}
+
+void Tbic::set_pattern(TbicPattern pattern) {
+    control_.fill(false);
+    switch (pattern) {
+        case TbicPattern::kIsolate:
+            break;
+        case TbicPattern::kConnect:
+            control_[static_cast<std::size_t>(TbicSwitch::kS1)] = true;
+            control_[static_cast<std::size_t>(TbicSwitch::kS2)] = true;
+            break;
+        case TbicPattern::kCharHighLow:
+            control_[static_cast<std::size_t>(TbicSwitch::kS3)] = true;
+            control_[static_cast<std::size_t>(TbicSwitch::kS6)] = true;
+            break;
+        case TbicPattern::kCharLowHigh:
+            control_[static_cast<std::size_t>(TbicSwitch::kS4)] = true;
+            control_[static_cast<std::size_t>(TbicSwitch::kS5)] = true;
+            break;
+    }
+    apply(instruction_);
+}
+
+}  // namespace rfabm::jtag

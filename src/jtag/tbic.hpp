@@ -1,0 +1,82 @@
+// IEEE 1149.4 Test Bus Interface Circuit (TBIC).
+//
+// The TBIC sits between the chip's two analog test access port pins (AT1,
+// AT2) and the internal analog buses (AB1, AB2).  The full standard defines
+// ten switches and a pattern set P0..P9 for characterizing the bus itself;
+// this model implements the six switches the measurement and
+// characterization flows need, each with its own boundary-register control
+// cell, plus helpers for the common patterns:
+//
+//   S1: AT1 <-> AB1      (the measurement path)
+//   S2: AT2 <-> AB2
+//   S3: AT1 <-> VH       (bus characterization / self-test)
+//   S4: AT1 <-> VL
+//   S5: AT2 <-> VH
+//   S6: AT2 <-> VL
+//
+// Mission mode (non-analog instructions) forces every switch open so the
+// ATAP pins are isolated from the die, as the standard requires.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "jtag/instructions.hpp"
+#include "jtag/registers.hpp"
+
+namespace rfabm::jtag {
+
+/// TBIC switch identifiers.
+enum class TbicSwitch : std::size_t { kS1 = 0, kS2, kS3, kS4, kS5, kS6 };
+inline constexpr std::size_t kTbicSwitchCount = 6;
+
+/// Common TBIC configurations.
+enum class TbicPattern {
+    kIsolate,      ///< all open (mission default)
+    kConnect,      ///< S1+S2: AT1-AB1 and AT2-AB2 (measurement)
+    kCharHighLow,  ///< AT1 to VH, AT2 to VL (bus wiring check)
+    kCharLowHigh,  ///< AT1 to VL, AT2 to VH
+};
+
+/// Nodes the TBIC bridges.
+struct TbicNodes {
+    circuit::NodeId at1;
+    circuit::NodeId at2;
+    circuit::NodeId ab1;
+    circuit::NodeId ab2;
+    circuit::NodeId vh;
+    circuit::NodeId vl;
+};
+
+/// The TBIC: owns six switches and six boundary cells.
+class Tbic {
+  public:
+    Tbic(std::string name, circuit::Circuit& circuit, const TbicNodes& nodes, double ron = 50.0);
+
+    /// Append the six control cells (S1..S6 order); returns the first index.
+    std::size_t register_cells(BoundaryRegister& reg);
+
+    /// Recompute switch states for the instruction + latched controls.
+    void apply(Instruction instruction);
+
+    /// Convenience: set the control latches for a pattern (effective switch
+    /// state still respects the current instruction).
+    void set_pattern(TbicPattern pattern);
+
+    circuit::Switch& switch_dev(TbicSwitch s) { return *switches_[static_cast<std::size_t>(s)]; }
+    const circuit::Switch& switch_dev(TbicSwitch s) const {
+        return *switches_[static_cast<std::size_t>(s)];
+    }
+    const TbicNodes& nodes() const { return nodes_; }
+
+  private:
+    std::string name_;
+    TbicNodes nodes_;
+    std::array<circuit::Switch*, kTbicSwitchCount> switches_{};
+    std::array<bool, kTbicSwitchCount> control_{};
+    Instruction instruction_ = Instruction::kIdcode;
+};
+
+}  // namespace rfabm::jtag

@@ -1,0 +1,143 @@
+#include "rf/curve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfabm::rf {
+
+MonotoneCurve::MonotoneCurve(std::vector<CurvePoint> points) : points_(std::move(points)) {
+    if (points_.size() < 2) {
+        throw std::invalid_argument("MonotoneCurve requires at least two points");
+    }
+    std::sort(points_.begin(), points_.end(),
+              [](const CurvePoint& a, const CurvePoint& b) { return a.x < b.x; });
+    increasing_ = points_[1].y > points_[0].y;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (points_[i].x <= points_[i - 1].x) {
+            throw std::invalid_argument("MonotoneCurve x values must be strictly increasing");
+        }
+        const bool up = points_[i].y > points_[i - 1].y;
+        if (up != increasing_ || points_[i].y == points_[i - 1].y) {
+            throw std::invalid_argument("MonotoneCurve y values must be strictly monotone");
+        }
+    }
+}
+
+namespace {
+
+double lerp_segment(const CurvePoint& a, const CurvePoint& b, double x) {
+    const double t = (x - a.x) / (b.x - a.x);
+    return a.y + t * (b.y - a.y);
+}
+
+}  // namespace
+
+double MonotoneCurve::evaluate(double x) const {
+    if (!valid()) throw std::logic_error("MonotoneCurve::evaluate on empty curve");
+    if (x <= points_.front().x) return lerp_segment(points_[0], points_[1], x);
+    if (x >= points_.back().x) {
+        return lerp_segment(points_[points_.size() - 2], points_.back(), x);
+    }
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), x,
+        [](double value, const CurvePoint& p) { return value < p.x; });
+    const std::size_t hi = static_cast<std::size_t>(it - points_.begin());
+    return lerp_segment(points_[hi - 1], points_[hi], x);
+}
+
+double MonotoneCurve::invert(double y) const {
+    if (!valid()) throw std::logic_error("MonotoneCurve::invert on empty curve");
+    // Work on y as the lookup coordinate; segments are monotone so each y maps
+    // to exactly one segment.
+    const double ylo = increasing_ ? points_.front().y : points_.back().y;
+    const double yhi = increasing_ ? points_.back().y : points_.front().y;
+    auto invert_segment = [](const CurvePoint& a, const CurvePoint& b, double yy) {
+        const double t = (yy - a.y) / (b.y - a.y);
+        return a.x + t * (b.x - a.x);
+    };
+    if ((increasing_ && y <= ylo) || (!increasing_ && y >= yhi)) {
+        return invert_segment(points_[0], points_[1], y);
+    }
+    if ((increasing_ && y >= yhi) || (!increasing_ && y <= ylo)) {
+        return invert_segment(points_[points_.size() - 2], points_.back(), y);
+    }
+    // Binary search over segments.
+    std::size_t lo = 0;
+    std::size_t hi = points_.size() - 1;
+    while (hi - lo > 1) {
+        const std::size_t mid = (lo + hi) / 2;
+        const bool go_right = increasing_ ? (points_[mid].y <= y) : (points_[mid].y >= y);
+        if (go_right) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return invert_segment(points_[lo], points_[hi], y);
+}
+
+std::vector<double> polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                            std::size_t degree) {
+    if (x.size() != y.size()) throw std::invalid_argument("polyfit: size mismatch");
+    const std::size_t n = degree + 1;
+    if (x.size() < n) throw std::invalid_argument("polyfit: not enough points");
+
+    // Normal equations A^T A c = A^T y with A the Vandermonde matrix.
+    std::vector<double> ata(n * n, 0.0);
+    std::vector<double> aty(n, 0.0);
+    // Power sums S_k = sum x^k for k = 0..2*degree.
+    std::vector<double> psum(2 * degree + 1, 0.0);
+    for (double xi : x) {
+        double p = 1.0;
+        for (auto& s : psum) {
+            s += p;
+            p *= xi;
+        }
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        double p = 1.0;
+        for (std::size_t k = 0; k < n; ++k) {
+            aty[k] += p * y[i];
+            p *= x[i];
+        }
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) ata[r * n + c] = psum[r + c];
+    }
+
+    // Gaussian elimination with partial pivoting.
+    std::vector<double> rhs = aty;
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t piv = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(ata[r * n + col]) > std::fabs(ata[piv * n + col])) piv = r;
+        }
+        if (std::fabs(ata[piv * n + col]) < 1e-300) {
+            throw std::invalid_argument("polyfit: singular normal equations");
+        }
+        if (piv != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(ata[piv * n + c], ata[col * n + c]);
+            std::swap(rhs[piv], rhs[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = ata[r * n + col] / ata[col * n + col];
+            for (std::size_t c = col; c < n; ++c) ata[r * n + c] -= f * ata[col * n + c];
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    std::vector<double> coeffs(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = rhs[ri];
+        for (std::size_t c = ri + 1; c < n; ++c) acc -= ata[ri * n + c] * coeffs[c];
+        coeffs[ri] = acc / ata[ri * n + ri];
+    }
+    return coeffs;
+}
+
+double polyval(const std::vector<double>& coeffs, double x) {
+    double acc = 0.0;
+    for (std::size_t i = coeffs.size(); i-- > 0;) acc = acc * x + coeffs[i];
+    return acc;
+}
+
+}  // namespace rfabm::rf

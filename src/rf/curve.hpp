@@ -1,0 +1,73 @@
+// Calibration-curve utilities.
+//
+// The RF-ABM measurement flow maps a detector's settled DC output voltage back
+// to the physical quantity (input power in dBm, frequency in GHz) through a
+// calibration curve acquired at nominal conditions.  The curve must be
+// invertible, so we keep it as a strictly monotone piecewise-linear table with
+// forward and inverse evaluation, plus a small least-squares polynomial fit
+// used for smooth reporting.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rfabm::rf {
+
+/// One (x, y) calibration sample.
+struct CurvePoint {
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/// Strictly monotone piecewise-linear curve y = f(x) with inverse x = f^-1(y).
+///
+/// Construction sorts points by x and verifies strict monotonicity in both
+/// coordinates; evaluation outside the table extrapolates linearly from the
+/// end segments (detector outputs slightly past the calibrated range still
+/// yield a usable reading, mirroring bench practice).
+class MonotoneCurve {
+  public:
+    MonotoneCurve() = default;
+
+    /// Build from samples.  Throws std::invalid_argument if fewer than two
+    /// points are given, if any x repeats, or if y is not strictly monotone.
+    explicit MonotoneCurve(std::vector<CurvePoint> points);
+
+    /// True if the curve has at least one segment.
+    bool valid() const { return points_.size() >= 2; }
+
+    /// Number of stored samples.
+    std::size_t size() const { return points_.size(); }
+
+    /// Forward evaluation y = f(x) with end-segment extrapolation.
+    double evaluate(double x) const;
+
+    /// Inverse evaluation x = f^-1(y) with end-segment extrapolation.
+    double invert(double y) const;
+
+    /// True if y increases with x.
+    bool increasing() const { return increasing_; }
+
+    /// Smallest / largest tabulated x.
+    double x_min() const { return points_.front().x; }
+    double x_max() const { return points_.back().x; }
+
+    const std::vector<CurvePoint>& points() const { return points_; }
+
+  private:
+    std::vector<CurvePoint> points_;
+    bool increasing_ = true;
+};
+
+/// Least-squares polynomial fit of degree @p degree through (x, y) samples.
+/// Returns coefficients c0..cN (y = sum c_k x^k).  Solved with normal
+/// equations and Gaussian elimination; adequate for the low degrees (<= 5)
+/// used in reporting.  Throws std::invalid_argument on insufficient points.
+std::vector<double> polyfit(const std::vector<double>& x, const std::vector<double>& y,
+                            std::size_t degree);
+
+/// Evaluate a polynomial given coefficients c0..cN at @p x (Horner).
+double polyval(const std::vector<double>& coeffs, double x);
+
+}  // namespace rfabm::rf

@@ -1,0 +1,71 @@
+#include "rf/random.hpp"
+
+#include <cmath>
+
+namespace rfabm::rf {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Xoshiro256::reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+    has_cached_ = false;
+}
+
+std::uint64_t Xoshiro256::next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double Xoshiro256::uniform() {
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Xoshiro256::normal() {
+    if (has_cached_) {
+        has_cached_ = false;
+        return cached_;
+    }
+    // Box-Muller; reject u1 == 0 to keep log() finite.
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta);
+}
+
+double Xoshiro256::truncated_normal(double mean, double stddev, double nsigma) {
+    for (;;) {
+        const double z = normal();
+        if (z >= -nsigma && z <= nsigma) return mean + stddev * z;
+    }
+}
+
+}  // namespace rfabm::rf

@@ -1,0 +1,47 @@
+// Deterministic random number generation for Monte-Carlo process variation.
+//
+// std::mt19937 is portable but the standard *distributions* are not: libstdc++
+// and libc++ may produce different normal deviates from the same engine state.
+// Reproducing the paper's corner sweeps bit-for-bit across toolchains therefore
+// uses an in-repo xoshiro256++ engine and a Box-Muller transform.
+#pragma once
+
+#include <cstdint>
+
+namespace rfabm::rf {
+
+/// xoshiro256++ PRNG (Blackman & Vigna, public domain algorithm), seeded via
+/// SplitMix64 so that any 64-bit seed yields a well-mixed state.
+class Xoshiro256 {
+  public:
+    explicit Xoshiro256(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+    /// Re-initialize the state from a 64-bit seed.
+    void reseed(std::uint64_t seed);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Standard normal deviate (Box-Muller; caches the second deviate).
+    double normal();
+
+    /// Normal deviate with the given mean and standard deviation.
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    /// Normal deviate truncated to +/- @p nsigma standard deviations; used for
+    /// process parameters that a foundry screens to a guaranteed window.
+    double truncated_normal(double mean, double stddev, double nsigma);
+
+  private:
+    std::uint64_t state_[4] = {};
+    bool has_cached_ = false;
+    double cached_ = 0.0;
+};
+
+}  // namespace rfabm::rf

@@ -1,0 +1,50 @@
+#include "rf/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfabm::rf {
+
+Summary summarize(const std::vector<double>& values) {
+    Summary s;
+    s.count = values.size();
+    if (values.empty()) return s;
+    s.min = values.front();
+    s.max = values.front();
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+        s.min = std::min(s.min, v);
+        s.max = std::max(s.max, v);
+        s.max_abs = std::max(s.max_abs, std::fabs(v));
+    }
+    s.mean = sum / static_cast<double>(values.size());
+    if (values.size() > 1) {
+        double acc = 0.0;
+        for (double v : values) acc += (v - s.mean) * (v - s.mean);
+        s.stddev = std::sqrt(acc / static_cast<double>(values.size() - 1));
+    }
+    return s;
+}
+
+double percentile(std::vector<double> values, double pct) {
+    if (values.empty()) throw std::invalid_argument("percentile: empty input");
+    if (pct < 0.0 || pct > 100.0) throw std::invalid_argument("percentile: out of range");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1) return values.front();
+    const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double rms(const std::vector<double>& values) {
+    if (values.empty()) return 0.0;
+    double acc = 0.0;
+    for (double v : values) acc += v * v;
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace rfabm::rf

@@ -1,0 +1,30 @@
+// Small statistics helpers used by the experiment harnesses to summarize
+// measurement-error populations (mean, spread, worst case, percentiles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfabm::rf {
+
+/// Summary of a sample population.
+struct Summary {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0;   ///< Sample standard deviation (n-1 denominator).
+    double min = 0.0;
+    double max = 0.0;
+    double max_abs = 0.0;  ///< Largest absolute value; the paper's "error" metric.
+};
+
+/// Compute the summary of @p values.  Empty input yields a zeroed Summary.
+Summary summarize(const std::vector<double>& values);
+
+/// Linear-interpolated percentile (0..100) of @p values.  Throws
+/// std::invalid_argument on empty input or out-of-range percentile.
+double percentile(std::vector<double> values, double pct);
+
+/// Root-mean-square of @p values (0 for empty input).
+double rms(const std::vector<double>& values);
+
+}  // namespace rfabm::rf

@@ -1,0 +1,38 @@
+// Parameter-sweep helpers for experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace rfabm::rf {
+
+/// @p count evenly spaced values from @p lo to @p hi inclusive.
+/// count == 1 yields {lo}.  Throws std::invalid_argument for count == 0.
+inline std::vector<double> linspace(double lo, double hi, std::size_t count) {
+    if (count == 0) throw std::invalid_argument("linspace: count must be > 0");
+    std::vector<double> out;
+    out.reserve(count);
+    if (count == 1) {
+        out.push_back(lo);
+        return out;
+    }
+    const double step = (hi - lo) / static_cast<double>(count - 1);
+    for (std::size_t i = 0; i < count; ++i) out.push_back(lo + step * static_cast<double>(i));
+    out.back() = hi;  // Exact endpoint despite rounding.
+    return out;
+}
+
+/// Values lo, lo+step, ... up to and including hi (within half a step).
+/// Throws std::invalid_argument if step is zero or points away from hi.
+inline std::vector<double> arange(double lo, double hi, double step) {
+    if (step == 0.0) throw std::invalid_argument("arange: step must be nonzero");
+    if ((hi - lo) * step < 0.0) throw std::invalid_argument("arange: step points away from hi");
+    std::vector<double> out;
+    const auto n = static_cast<std::size_t>((hi - lo) / step + 0.5) + 1;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(lo + step * static_cast<double>(i));
+    return out;
+}
+
+}  // namespace rfabm::rf

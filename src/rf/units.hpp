@@ -1,0 +1,51 @@
+// Unit conversions used throughout the RF-ABM library.
+//
+// The paper (Syri et al., DATE 2005) reports input power in dBm into the
+// standard 50-ohm RF environment and detector outputs as DC voltages. These
+// helpers convert between dBm, watts and the peak voltage of a sinusoid
+// driving a matched load, which is what the circuit-level sources need.
+#pragma once
+
+#include <cmath>
+
+namespace rfabm::rf {
+
+/// Characteristic impedance of the RF test environment (ohms).
+inline constexpr double kSystemImpedanceOhm = 50.0;
+
+/// Convert a power in dBm to watts.  0 dBm == 1 mW.
+inline double dbm_to_watts(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
+
+/// Convert a power in watts to dBm.
+inline double watts_to_dbm(double watts) { return 10.0 * std::log10(watts / 1e-3); }
+
+/// Peak voltage of a sinusoid delivering @p dbm into @p impedance ohms.
+/// P = Vrms^2 / R = Vpk^2 / (2 R)  =>  Vpk = sqrt(2 R P).
+inline double dbm_to_peak_volts(double dbm, double impedance = kSystemImpedanceOhm) {
+    return std::sqrt(2.0 * impedance * dbm_to_watts(dbm));
+}
+
+/// Power in dBm delivered by a sinusoid of peak voltage @p vpk into @p impedance.
+inline double peak_volts_to_dbm(double vpk, double impedance = kSystemImpedanceOhm) {
+    return watts_to_dbm(vpk * vpk / (2.0 * impedance));
+}
+
+/// Ratio expressed in decibels (power quantities).
+inline double ratio_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+/// Decibels back to a power ratio.
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Voltage-gain ratio expressed in decibels.
+inline double vratio_to_db(double ratio) { return 20.0 * std::log10(ratio); }
+
+/// Decibels back to a voltage ratio.
+inline double db_to_vratio(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Celsius to kelvin (device models work in absolute temperature).
+inline double celsius_to_kelvin(double celsius) { return celsius + 273.15; }
+
+/// Kelvin to Celsius.
+inline double kelvin_to_celsius(double kelvin) { return kelvin - 273.15; }
+
+}  // namespace rfabm::rf

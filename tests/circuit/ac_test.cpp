@@ -1,0 +1,94 @@
+#include "circuit/ac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(Ac, RcLowpassMagnitudeAndPhase) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    auto& v1 = ckt.add<VSource>("V1", in, kGround, Waveform::dc(0.0));
+    v1.set_ac(1.0);
+    ckt.add<Resistor>("R1", in, out, 1e3);
+    ckt.add<Capacitor>("C1", out, kGround, 1e-9);
+    const Solution op = solve_dc(ckt).solution;
+
+    const double fc = 1.0 / (2.0 * M_PI * 1e3 * 1e-9);  // 159 kHz
+    const auto pts = run_ac(ckt, op, {fc}, out);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_NEAR(std::abs(pts[0].value), 1.0 / std::sqrt(2.0), 1e-6);
+    EXPECT_NEAR(std::arg(pts[0].value), -M_PI / 4.0, 1e-6);
+}
+
+TEST(Ac, RcRollsOff20dbPerDecade) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    auto& v1 = ckt.add<VSource>("V1", in, kGround, Waveform::dc(0.0));
+    v1.set_ac(1.0);
+    ckt.add<Resistor>("R1", in, out, 1e3);
+    ckt.add<Capacitor>("C1", out, kGround, 1e-9);
+    const Solution op = solve_dc(ckt).solution;
+    const auto pts = run_ac(ckt, op, {10e6, 100e6}, out);
+    const double db_drop =
+        20.0 * std::log10(std::abs(pts[0].value) / std::abs(pts[1].value));
+    EXPECT_NEAR(db_drop, 20.0, 0.1);
+}
+
+TEST(Ac, InductorBlocksHighFrequency) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    auto& v1 = ckt.add<VSource>("V1", in, kGround, Waveform::dc(0.0));
+    v1.set_ac(1.0);
+    ckt.add<Inductor>("L1", in, out, 1e-6);
+    ckt.add<Resistor>("R1", out, kGround, 50.0);
+    const Solution op = solve_dc(ckt).solution;
+    const auto pts = run_ac(ckt, op, {1e3, 1e9}, out);
+    EXPECT_NEAR(std::abs(pts[0].value), 1.0, 1e-3);   // low f: inductor short
+    EXPECT_LT(std::abs(pts[1].value), 0.01);           // high f: blocked
+}
+
+TEST(Ac, CommonSourceGainMatchesGmRd) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId g = ckt.node("g");
+    const NodeId d = ckt.node("d");
+    ckt.add<VSource>("VDD", vdd, kGround, Waveform::dc(2.5));
+    auto& vg = ckt.add<VSource>("VG", g, kGround, Waveform::dc(1.0));
+    vg.set_ac(1.0);
+    ckt.add<Resistor>("RD", vdd, d, 10e3);
+    MosfetParams p;
+    p.lambda = 0.0;
+    auto& m = ckt.add<Mosfet>("M1", d, g, kGround, p);
+    const Solution op = solve_dc(ckt).solution;
+    const MosOperatingPoint mop = m.operating_point(op);
+    ASSERT_TRUE(mop.saturated);
+
+    const auto pts = run_ac(ckt, op, {1e3}, d);
+    // |Av| = gm * RD (low frequency, no caps).
+    EXPECT_NEAR(std::abs(pts[0].value), mop.gm * 10e3, 1e-3);
+    // Inverting stage: phase ~ 180 degrees.
+    EXPECT_NEAR(std::fabs(std::arg(pts[0].value)), M_PI, 1e-3);
+}
+
+TEST(Ac, LogspaceCoversRange) {
+    const auto f = logspace_hz(1e3, 1e6, 10);
+    EXPECT_GE(f.size(), 30u);
+    EXPECT_DOUBLE_EQ(f.front(), 1e3);
+    EXPECT_NEAR(f.back(), 1e6, 1e-3);
+    EXPECT_THROW(logspace_hz(0.0, 1e3, 10), std::invalid_argument);
+    EXPECT_THROW(logspace_hz(1e3, 1e2, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

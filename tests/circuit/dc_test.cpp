@@ -1,0 +1,234 @@
+#include "circuit/dc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/controlled.hpp"
+#include "circuit/devices/diode.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(Dc, VoltageDivider) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(10.0));
+    ckt.add<Resistor>("R1", in, mid, 3e3);
+    ckt.add<Resistor>("R2", mid, kGround, 7e3);
+    const DcResult r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(in), 10.0, 1e-9);
+    EXPECT_NEAR(r.solution.v(mid), 7.0, 1e-9);
+}
+
+TEST(Dc, SourceCurrentConvention) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    auto& v1 = ckt.add<VSource>("V1", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R1", in, kGround, 1e3);
+    const DcResult r = solve_dc(ckt);
+    // Delivering 5 mA: branch current is negative per SPICE convention.
+    EXPECT_NEAR(v1.current(r.solution), -5e-3, 1e-9);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+    Circuit ckt;
+    const NodeId out = ckt.node("out");
+    // 1 mA pushed from ground into "out" raises it to +1 V across 1 kOhm.
+    ckt.add<ISource>("I1", kGround, out, Waveform::dc(1e-3));
+    ckt.add<Resistor>("R1", out, kGround, 1e3);
+    const DcResult r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(out), 1.0, 1e-9);
+}
+
+TEST(Dc, CapacitorIsOpen) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(3.0));
+    ckt.add<Resistor>("R1", in, mid, 1e3);
+    ckt.add<Capacitor>("C1", mid, kGround, 1e-9);
+    const DcResult r = solve_dc(ckt);
+    // No DC path to ground except gmin: node floats up to the source.
+    EXPECT_NEAR(r.solution.v(mid), 3.0, 1e-5);
+}
+
+TEST(Dc, InductorIsShort) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(2.0));
+    ckt.add<Resistor>("R1", in, mid, 1e3);
+    ckt.add<Inductor>("L1", mid, kGround, 1e-6);
+    const DcResult r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(mid), 0.0, 1e-9);
+    // All current flows through the inductor: 2 mA.
+    EXPECT_NEAR(r.solution.branch_current(ckt.get<Inductor>("L1").first_branch()), 2e-3, 1e-8);
+}
+
+TEST(Dc, VcvsGain) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(0.5));
+    ckt.add<Vcvs>("E1", out, kGround, in, kGround, 4.0);
+    ckt.add<Resistor>("RL", out, kGround, 1e3);
+    const DcResult r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(out), 2.0, 1e-9);
+}
+
+TEST(Dc, VccsIntoLoad) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(1.0));
+    // gm = 1 mS pulling current out of "out" (from out to ground through the
+    // device) -> v(out) = -gm*R*vin with the load.
+    ckt.add<Vccs>("G1", out, kGround, in, kGround, 1e-3);
+    ckt.add<Resistor>("RL", out, kGround, 2e3);
+    const DcResult r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(out), -2.0, 1e-9);
+}
+
+TEST(Dc, SwitchOpenAndClosed) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(1.0));
+    auto& sw = ckt.add<Switch>("S1", in, out, 1.0, 1e9);
+    ckt.add<Resistor>("RL", out, kGround, 1e3);
+    const DcResult open_r = solve_dc(ckt);
+    EXPECT_LT(open_r.solution.v(out), 1e-4);
+    sw.set_closed(true);
+    const DcResult closed_r = solve_dc(ckt);
+    EXPECT_NEAR(closed_r.solution.v(out), 1.0, 1e-3);
+}
+
+TEST(Dc, DiodeForwardDrop) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R1", in, a, 1e3);
+    ckt.add<Diode>("D1", a, kGround);
+    const DcResult r = solve_dc(ckt);
+    // Silicon diode at ~4.3 mA: 0.6-0.75 V drop.
+    EXPECT_GT(r.solution.v(a), 0.55);
+    EXPECT_LT(r.solution.v(a), 0.80);
+}
+
+TEST(Dc, DiodeReverseBlocks) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(-5.0));
+    ckt.add<Resistor>("R1", in, a, 1e3);
+    ckt.add<Diode>("D1", a, kGround);
+    const DcResult r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(a), -5.0, 1e-2);
+}
+
+TEST(Dc, NmosCommonSourceOperatingPoint) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId g = ckt.node("g");
+    const NodeId d = ckt.node("d");
+    ckt.add<VSource>("VDD", vdd, kGround, Waveform::dc(2.5));
+    ckt.add<VSource>("VG", g, kGround, Waveform::dc(1.0));
+    ckt.add<Resistor>("RD", vdd, d, 10e3);
+    MosfetParams p;
+    p.vt0 = 0.5;
+    p.kp = 100e-6;
+    p.w = 10e-6;
+    p.l = 1e-6;
+    p.lambda = 0.0;
+    auto& m = ckt.add<Mosfet>("M1", d, g, kGround, p);
+    const DcResult r = solve_dc(ckt);
+    // Saturation current: 0.5*KP*(W/L)*(VGS-VT)^2 = 0.5*100u*10*0.25 = 125 uA.
+    // v(d) = 2.5 - 125u * 10k = 1.25 V; device indeed saturated (1.25 > 0.5).
+    EXPECT_NEAR(r.solution.v(d), 1.25, 1e-3);
+    EXPECT_TRUE(m.operating_point(r.solution).saturated);
+}
+
+TEST(Dc, NmosTriodeRegion) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId g = ckt.node("g");
+    const NodeId d = ckt.node("d");
+    ckt.add<VSource>("VDD", vdd, kGround, Waveform::dc(2.5));
+    ckt.add<VSource>("VG", g, kGround, Waveform::dc(2.5));
+    ckt.add<Resistor>("RD", vdd, d, 100e3);
+    MosfetParams p;
+    p.lambda = 0.0;
+    auto& m = ckt.add<Mosfet>("M1", d, g, kGround, p);
+    const DcResult r = solve_dc(ckt);
+    const MosOperatingPoint op = m.operating_point(r.solution);
+    EXPECT_FALSE(op.saturated);
+    EXPECT_LT(r.solution.v(d), 0.1);  // deep triode: nearly shorted
+}
+
+TEST(Dc, PmosSourceFollowerConducts) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId d = ckt.node("d");
+    ckt.add<VSource>("VDD", vdd, kGround, Waveform::dc(2.5));
+    MosfetParams p;
+    p.type = MosType::kPmos;
+    p.vt0 = 0.5;
+    // Gate at ground, source at vdd: |VGS| = 2.5 > VT -> conducts, pulls the
+    // drain node (loaded by a resistor) up.
+    ckt.add<Mosfet>("M1", d, kGround, vdd, p);
+    ckt.add<Resistor>("RL", d, kGround, 10e3);
+    const DcResult r = solve_dc(ckt);
+    EXPECT_GT(r.solution.v(d), 2.0);
+}
+
+TEST(Dc, WarmStartTakesFewerIterations) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R1", in, a, 1e3);
+    ckt.add<Diode>("D1", a, kGround);
+    const DcResult cold = solve_dc(ckt);
+    const DcResult warm = solve_dc(ckt, {}, &cold.solution);
+    EXPECT_LT(warm.iterations, cold.iterations);
+    // Both converged within Newton tolerance of each other.
+    EXPECT_NEAR(warm.solution.v(a), cold.solution.v(a), 1e-6);
+}
+
+TEST(Dc, SweepIsMonotoneForDivider) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    auto& v1 = ckt.add<VSource>("V1", in, kGround, Waveform::dc(0.0));
+    ckt.add<Resistor>("R1", in, mid, 1e3);
+    ckt.add<Resistor>("R2", mid, kGround, 1e3);
+    const auto out = dc_sweep(ckt, v1, {0.0, 1.0, 2.0, 3.0}, mid);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_NEAR(out[0], 0.0, 1e-9);
+    EXPECT_NEAR(out[3], 1.5, 1e-9);
+}
+
+TEST(Dc, DuplicateDeviceNameThrows) {
+    Circuit ckt;
+    ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+    EXPECT_THROW(ckt.add<Resistor>("R1", ckt.node("b"), kGround, 1e3), std::invalid_argument);
+}
+
+TEST(Dc, NodeNamesResolve) {
+    Circuit ckt;
+    const NodeId a = ckt.node("alpha");
+    EXPECT_EQ(ckt.find_node("alpha"), a);
+    EXPECT_EQ(ckt.find_node("0"), kGround);
+    EXPECT_EQ(ckt.find_node("gnd"), kGround);
+    EXPECT_FALSE(ckt.find_node("missing").has_value());
+    EXPECT_EQ(ckt.node_name(a), "alpha");
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

@@ -1,0 +1,80 @@
+#include "circuit/devices/diode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/transient.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(Diode, ShockleyCurrent) {
+    Diode d("D", 1, 2);
+    const double vt = thermal_voltage(kNominalTemperatureK);
+    EXPECT_NEAR(d.current(0.0), 0.0, 1e-20);
+    EXPECT_LT(d.current(-1.0), 0.0);
+    EXPECT_NEAR(d.current(-5.0), -1e-14, 1e-16);  // saturation
+    // 0.6 V forward: Is*exp(0.6/vt) ~ 0.12 mA.
+    EXPECT_NEAR(d.current(0.6), 1e-14 * std::exp(0.6 / vt), 1e-9);
+}
+
+TEST(Diode, CurrentScalesExponentially) {
+    Diode d("D", 1, 2);
+    const double vt = thermal_voltage(kNominalTemperatureK);
+    // ~60 mV/decade at room temperature (n=1).
+    const double ratio = d.current(0.66) / d.current(0.60);
+    EXPECT_NEAR(std::log10(ratio), 0.06 / (std::log(10.0) * vt), 0.02);
+}
+
+TEST(Diode, TemperatureIncreasesSaturationCurrent) {
+    Diode d("D", 1, 2);
+    const double i_room = d.current(0.5);
+    d.set_temperature(343.15);
+    const double i_hot = d.current(0.5);
+    // IS grows much faster than Vt: forward current at fixed bias increases.
+    EXPECT_GT(i_hot, i_room);
+}
+
+TEST(Diode, HalfWaveRectifierTransient) {
+    // The classical diode detector the paper could NOT integrate; we use it as
+    // a behavioural reference.  1 V 10 MHz sine, diode + RC load.
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, kGround, Waveform::sine(0.0, 1.0, 10e6));
+    ckt.add<Diode>("D1", in, out);
+    ckt.add<Resistor>("RL", out, kGround, 100e3);
+    ckt.add<Capacitor>("CL", out, kGround, 100e-12);  // tau = 10 us >> period
+
+    TransientOptions opts;
+    opts.dt = 1e-9;
+    TransientEngine engine(ckt, opts);
+    engine.init();
+    engine.run_until(5e-6);
+    // Peak detector: output close to peak minus one diode drop.
+    EXPECT_GT(engine.v(out), 0.3);
+    EXPECT_LT(engine.v(out), 1.0);
+}
+
+TEST(Diode, SeriesStackSharesVoltage) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R1", in, ckt.node("a"), 1e3);
+    ckt.add<Diode>("D1", ckt.node("a"), mid);
+    ckt.add<Diode>("D2", mid, kGround);
+    const DcResult r = solve_dc(ckt);
+    const double va = r.solution.v(ckt.node("a"));
+    const double vmid = r.solution.v(mid);
+    // Identical diodes in series split the total drop evenly.
+    EXPECT_NEAR(va - vmid, vmid, 1e-6);
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

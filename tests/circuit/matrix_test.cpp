@@ -1,0 +1,111 @@
+#include "circuit/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(Matrix, SolvesIdentity) {
+    DenseMatrix<double> a(3, 3);
+    for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+    std::vector<double> b{1.0, 2.0, 3.0};
+    lu_solve_in_place(a, b);
+    EXPECT_DOUBLE_EQ(b[0], 1.0);
+    EXPECT_DOUBLE_EQ(b[1], 2.0);
+    EXPECT_DOUBLE_EQ(b[2], 3.0);
+}
+
+TEST(Matrix, SolvesKnownSystem) {
+    // | 2 1 | x = | 5 |   -> x = (2, 1)
+    // | 1 3 |     | 5 |
+    DenseMatrix<double> a(2, 2);
+    a(0, 0) = 2.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 3.0;
+    std::vector<double> b{5.0, 5.0};
+    lu_solve_in_place(a, b);
+    EXPECT_NEAR(b[0], 2.0, 1e-12);
+    EXPECT_NEAR(b[1], 1.0, 1e-12);
+}
+
+TEST(Matrix, PivotingHandlesZeroDiagonal) {
+    // Leading zero forces a row swap.
+    DenseMatrix<double> a(2, 2);
+    a(0, 0) = 0.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 0.0;
+    std::vector<double> b{3.0, 7.0};
+    lu_solve_in_place(a, b);
+    EXPECT_NEAR(b[0], 7.0, 1e-12);
+    EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, ThrowsOnSingular) {
+    DenseMatrix<double> a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 4.0;
+    std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW(lu_solve_in_place(a, b), SingularMatrixError);
+}
+
+TEST(Matrix, ThrowsOnShapeMismatch) {
+    DenseMatrix<double> a(2, 3);
+    std::vector<double> b{1.0, 2.0};
+    EXPECT_THROW(lu_solve_in_place(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, ComplexSolve) {
+    using C = std::complex<double>;
+    DenseMatrix<C> a(2, 2);
+    a(0, 0) = C(1.0, 1.0);
+    a(0, 1) = C(0.0, 0.0);
+    a(1, 0) = C(0.0, 0.0);
+    a(1, 1) = C(0.0, 2.0);
+    std::vector<C> b{C(2.0, 0.0), C(4.0, 0.0)};
+    lu_solve_in_place(a, b);
+    EXPECT_NEAR(b[0].real(), 1.0, 1e-12);
+    EXPECT_NEAR(b[0].imag(), -1.0, 1e-12);
+    EXPECT_NEAR(b[1].real(), 0.0, 1e-12);
+    EXPECT_NEAR(b[1].imag(), -2.0, 1e-12);
+}
+
+TEST(Matrix, LargeRandomSystemResidual) {
+    // A diagonally dominant random-ish 40x40 system solves to tiny residual.
+    const std::size_t n = 40;
+    DenseMatrix<double> a(n, n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x_true[i] = static_cast<double>(i % 7) - 3.0;
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j) continue;
+            a(i, j) = std::sin(static_cast<double>(i * 31 + j * 17));
+            row_sum += std::fabs(a(i, j));
+        }
+        a(i, i) = row_sum + 1.0;
+    }
+    std::vector<double> b(n, 0.0);
+    DenseMatrix<double> a_copy = a;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_true[j];
+    }
+    lu_solve_in_place(a_copy, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(b[i], x_true[i], 1e-9);
+}
+
+TEST(Matrix, ClearKeepsShape) {
+    DenseMatrix<double> a(3, 3);
+    a(1, 2) = 5.0;
+    a.clear();
+    EXPECT_EQ(a.rows(), 3u);
+    EXPECT_DOUBLE_EQ(a(1, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

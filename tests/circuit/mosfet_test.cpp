@@ -1,0 +1,200 @@
+#include "circuit/devices/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+MosfetParams nominal_params() {
+    MosfetParams p;
+    p.w = 10e-6;
+    p.l = 1e-6;
+    p.kp = 100e-6;
+    p.vt0 = 0.5;
+    p.lambda = 0.0;
+    return p;
+}
+
+class MosfetModel : public ::testing::Test {
+  protected:
+    Mosfet m_{"M", 1, 2, 3, nominal_params()};
+};
+
+TEST_F(MosfetModel, CutoffBelowThreshold) {
+    const auto op = m_.evaluate(0.4, 1.0);
+    EXPECT_DOUBLE_EQ(op.id, 0.0);
+    EXPECT_DOUBLE_EQ(op.gm, 0.0);
+}
+
+TEST_F(MosfetModel, SaturationSquareLaw) {
+    // ID = 0.5 * 100u * 10 * (1.0-0.5)^2 = 125 uA.
+    const auto op = m_.evaluate(1.0, 2.0);
+    EXPECT_TRUE(op.saturated);
+    EXPECT_NEAR(op.id, 125e-6, 1e-9);
+    EXPECT_NEAR(op.gm, 500e-6, 1e-9);
+    EXPECT_DOUBLE_EQ(op.gds, 0.0);  // lambda = 0
+}
+
+TEST_F(MosfetModel, TriodeLinearRegion) {
+    // vds << vov: ID ~ beta * vov * vds.
+    const auto op = m_.evaluate(1.5, 0.01);
+    EXPECT_FALSE(op.saturated);
+    EXPECT_NEAR(op.id, 1e-3 * (1.0 * 0.01 - 0.5 * 1e-4), 1e-9);
+}
+
+TEST_F(MosfetModel, ContinuousAcrossSaturationBoundary) {
+    const double vov = 0.5;
+    const auto below = m_.evaluate(1.0, vov - 1e-9);
+    const auto above = m_.evaluate(1.0, vov + 1e-9);
+    EXPECT_NEAR(below.id, above.id, 1e-12);
+    EXPECT_NEAR(below.gm, above.gm, 1e-9);
+}
+
+TEST_F(MosfetModel, SymmetricForNegativeVds) {
+    // Id(vgs, -vds) = -Id(vgs + vds, vds) by source/drain swap.
+    const auto fwd = m_.evaluate(1.2, 0.2);
+    const auto rev = m_.evaluate(1.0, -0.2);
+    EXPECT_NEAR(rev.id, -fwd.id, 1e-12);
+}
+
+TEST_F(MosfetModel, LambdaIncreasesSaturationCurrent) {
+    MosfetParams p = nominal_params();
+    p.lambda = 0.1;
+    const Mosfet m2("M2", 1, 2, 3, p);
+    const auto flat = m_.evaluate(1.0, 2.0);
+    const auto sloped = m2.evaluate(1.0, 2.0);
+    EXPECT_GT(sloped.id, flat.id);
+    EXPECT_GT(sloped.gds, 0.0);
+}
+
+TEST_F(MosfetModel, GmMatchesNumericalDerivative) {
+    const double vgs = 1.1;
+    const double vds = 1.5;
+    const double h = 1e-6;
+    const double did = m_.evaluate(vgs + h, vds).id - m_.evaluate(vgs - h, vds).id;
+    EXPECT_NEAR(m_.evaluate(vgs, vds).gm, did / (2.0 * h), 1e-6);
+}
+
+TEST_F(MosfetModel, GdsMatchesNumericalDerivativeInTriode) {
+    MosfetParams p = nominal_params();
+    p.lambda = 0.05;
+    const Mosfet m2("M2", 1, 2, 3, p);
+    const double vgs = 1.5;
+    const double vds = 0.3;  // triode
+    const double h = 1e-6;
+    const double did = m2.evaluate(vgs, vds + h).id - m2.evaluate(vgs, vds - h).id;
+    EXPECT_NEAR(m2.evaluate(vgs, vds).gds, did / (2.0 * h), 1e-6);
+}
+
+TEST(MosfetTemperature, ThresholdDropsWithTemperature) {
+    Mosfet m("M", 1, 2, 3, nominal_params());
+    const double vth_cold = [&] {
+        m.set_temperature(263.15);  // -10 C
+        return m.vth();
+    }();
+    const double vth_hot = [&] {
+        m.set_temperature(343.15);  // +70 C
+        return m.vth();
+    }();
+    EXPECT_GT(vth_cold, vth_hot);
+    // tc_vt = 1.5 mV/K over 80 K -> 120 mV.
+    EXPECT_NEAR(vth_cold - vth_hot, 0.12, 1e-9);
+}
+
+TEST(MosfetTemperature, MobilityDegradesWithTemperature) {
+    Mosfet m("M", 1, 2, 3, nominal_params());
+    m.set_temperature(263.15);
+    const double kp_cold = m.kp();
+    m.set_temperature(343.15);
+    const double kp_hot = m.kp();
+    EXPECT_GT(kp_cold, kp_hot);
+    EXPECT_NEAR(kp_cold / kp_hot, std::pow(343.15 / 263.15, 1.5), 1e-9);
+}
+
+TEST(MosfetProcess, CornerShiftsAppliedByPolarity) {
+    ProcessCorner corner;
+    corner.nmos_vt_shift = 0.05;
+    corner.pmos_vt_shift = -0.03;
+    corner.nmos_kp_factor = 1.1;
+    corner.pmos_kp_factor = 0.9;
+
+    Mosfet mn("MN", 1, 2, 3, nominal_params());
+    mn.apply_process(corner);
+    EXPECT_NEAR(mn.vth(), 0.55, 1e-12);
+    EXPECT_NEAR(mn.kp(), 110e-6, 1e-12);
+
+    MosfetParams pp = nominal_params();
+    pp.type = MosType::kPmos;
+    Mosfet mp("MP", 1, 2, 3, pp);
+    mp.apply_process(corner);
+    EXPECT_NEAR(mp.vth(), 0.47, 1e-12);
+    EXPECT_NEAR(mp.kp(), 90e-6, 1e-12);
+}
+
+TEST(MosfetProcess, ApplyIsIdempotent) {
+    ProcessCorner corner;
+    corner.nmos_vt_shift = 0.05;
+    Mosfet m("M", 1, 2, 3, nominal_params());
+    m.apply_process(corner);
+    m.apply_process(corner);
+    EXPECT_NEAR(m.vth(), 0.55, 1e-12);
+    m.apply_process(ProcessCorner{});
+    EXPECT_NEAR(m.vth(), 0.5, 1e-12);
+}
+
+TEST(MosfetCircuit, DiodeConnectedLoadSolves) {
+    // Diode-connected NMOS as a load: VGS settles to VT + sqrt(2 I / beta).
+    Circuit ckt;
+    const NodeId d = ckt.node("d");
+    ckt.add<ISource>("I1", kGround, d, Waveform::dc(125e-6));
+    ckt.add<Mosfet>("M1", d, d, kGround, nominal_params());
+    const DcResult r = solve_dc(ckt);
+    // beta = 1e-3: vov = sqrt(2*125u/1e-3) = 0.5 -> v(d) = 1.0.
+    EXPECT_NEAR(r.solution.v(d), 1.0, 1e-3);
+}
+
+TEST(MosfetCircuit, InverterTransfersLogicLevels) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("VDD", vdd, kGround, Waveform::dc(2.5));
+    auto& vin = ckt.add<VSource>("VIN", in, kGround, Waveform::dc(0.0));
+    MosfetParams pn = nominal_params();
+    MosfetParams pp = nominal_params();
+    pp.type = MosType::kPmos;
+    pp.kp = 40e-6;
+    pp.w = 25e-6;
+    ckt.add<Mosfet>("MN", out, in, kGround, pn);
+    ckt.add<Mosfet>("MP", out, in, vdd, pp);
+
+    vin.set_dc(0.0);
+    EXPECT_GT(solve_dc(ckt).solution.v(out), 2.4);
+    vin.set_dc(2.5);
+    EXPECT_LT(solve_dc(ckt).solution.v(out), 0.1);
+}
+
+TEST(MosfetCircuit, HalfWaveRectificationAtThresholdBias) {
+    // The paper's core trick (Fig. 2): gate biased exactly at VT conducts only
+    // on positive input half-cycles.
+    MosfetParams p = nominal_params();
+    Mosfet m("M", 1, 2, 3, p);
+    EXPECT_DOUBLE_EQ(m.evaluate(p.vt0 - 0.2, 1.0).id, 0.0);  // negative half
+    EXPECT_GT(m.evaluate(p.vt0 + 0.2, 1.0).id, 0.0);         // positive half
+}
+
+TEST(MosfetCircuit, RejectsInvalidParams) {
+    MosfetParams p = nominal_params();
+    p.w = 0.0;
+    EXPECT_THROW(Mosfet("M", 1, 2, 3, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

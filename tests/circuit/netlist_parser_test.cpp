@@ -1,0 +1,207 @@
+#include "circuit/netlist_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/ac.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "circuit/transient.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(EngValue, PlainAndSuffixes) {
+    EXPECT_DOUBLE_EQ(parse_eng_value("2.5"), 2.5);
+    EXPECT_DOUBLE_EQ(parse_eng_value("-3"), -3.0);
+    EXPECT_DOUBLE_EQ(parse_eng_value("1e3"), 1e3);
+    EXPECT_DOUBLE_EQ(parse_eng_value("2.2k"), 2200.0);
+    EXPECT_DOUBLE_EQ(parse_eng_value("10p"), 10e-12);
+    EXPECT_DOUBLE_EQ(parse_eng_value("100n"), 100e-9);
+    EXPECT_DOUBLE_EQ(parse_eng_value("5u"), 5e-6);
+    EXPECT_DOUBLE_EQ(parse_eng_value("3m"), 3e-3);
+    EXPECT_DOUBLE_EQ(parse_eng_value("1meg"), 1e6);
+    EXPECT_DOUBLE_EQ(parse_eng_value("2G"), 2e9);
+    EXPECT_DOUBLE_EQ(parse_eng_value("4f"), 4e-15);
+    EXPECT_DOUBLE_EQ(parse_eng_value("1t"), 1e12);
+}
+
+TEST(EngValue, RejectsGarbage) {
+    EXPECT_THROW(parse_eng_value("abc"), std::invalid_argument);
+    EXPECT_THROW(parse_eng_value("1.5x"), std::invalid_argument);
+    EXPECT_THROW(parse_eng_value(""), std::invalid_argument);
+}
+
+TEST(Netlist, VoltageDividerSolves) {
+    Circuit ckt;
+    const std::size_t n = parse_netlist(ckt, R"(
+* a comment line
+V1 in 0 DC 10
+R1 in mid 3k
+R2 mid gnd 7k   ; trailing comment
+)");
+    EXPECT_EQ(n, 3u);
+    const auto r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(*ckt.find_node("mid")), 7.0, 1e-9);
+}
+
+TEST(Netlist, ContinuationLines) {
+    Circuit ckt;
+    parse_netlist(ckt, "V1 in 0\n+ DC 5\nR1 in 0 1k\n");
+    const auto r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(*ckt.find_node("in")), 5.0, 1e-9);
+}
+
+TEST(Netlist, SineSourceAndTransient) {
+    Circuit ckt;
+    parse_netlist(ckt, R"(
+V1 in 0 SIN(0 1 1e6)
+R1 in out 1k
+C1 out 0 1n
+)");
+    TransientOptions topts;
+    topts.dt = 10e-9;
+    TransientEngine engine(ckt, topts);
+    engine.init();
+    engine.run_until(5e-6);
+    // The low-pass output oscillates but stays well inside the input range.
+    EXPECT_LT(std::fabs(engine.v(*ckt.find_node("out"))), 1.0);
+}
+
+TEST(Netlist, PulseSource) {
+    Circuit ckt;
+    parse_netlist(ckt, "V1 a 0 PULSE(0 3.3 1n 0.1n 0.1n 4n 10n)\nR1 a 0 1k\n");
+    auto& v = ckt.get<VSource>("V1");
+    EXPECT_DOUBLE_EQ(v.waveform().value(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(v.waveform().value(3e-9), 3.3);
+}
+
+TEST(Netlist, AcMagnitude) {
+    Circuit ckt;
+    parse_netlist(ckt, "V1 in 0 DC 0 AC 1\nR1 in out 1k\nC1 out 0 1n\n");
+    const auto op = solve_dc(ckt).solution;
+    const auto pts = run_ac(ckt, op, {159155.0}, *ckt.find_node("out"));
+    EXPECT_NEAR(std::abs(pts[0].value), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+TEST(Netlist, MosfetWithModelCard) {
+    Circuit ckt;
+    parse_netlist(ckt, R"(
+.model nch NMOS KP=100u VTO=0.5 LAMBDA=0
+VDD vdd 0 DC 2.5
+VG  g   0 DC 1.0
+RD  vdd d 10k
+M1  d g 0 nch W=10u L=1u
+)");
+    const auto r = solve_dc(ckt);
+    // Same operating point as the hand-built test: 125 uA -> v(d) = 1.25 V.
+    EXPECT_NEAR(r.solution.v(*ckt.find_node("d")), 1.25, 1e-3);
+}
+
+TEST(Netlist, PmosModel) {
+    Circuit ckt;
+    parse_netlist(ckt, R"(
+.model pch PMOS KP=40u VTO=0.5
+VDD vdd 0 DC 2.5
+M1 d 0 vdd pch W=25u L=1u
+RL d 0 10k
+)");
+    const auto r = solve_dc(ckt);
+    EXPECT_GT(r.solution.v(*ckt.find_node("d")), 2.0);
+}
+
+TEST(Netlist, DiodeParameters) {
+    Circuit ckt;
+    parse_netlist(ckt, "V1 in 0 DC 5\nR1 in a 1k\nD1 a 0 IS=1e-12 N=2\n");
+    const auto r = solve_dc(ckt);
+    const double va = r.solution.v(*ckt.find_node("a"));
+    EXPECT_GT(va, 0.5);
+    EXPECT_LT(va, 1.2);  // N=2 doubles the drop scale
+}
+
+TEST(Netlist, SwitchStates) {
+    Circuit ckt;
+    parse_netlist(ckt, "S1 a b ON RON=10\nS2 c d OFF\n");
+    EXPECT_TRUE(ckt.get<Switch>("S1").closed());
+    EXPECT_NEAR(ckt.get<Switch>("S1").ron(), 10.0, 1e-9);
+    EXPECT_FALSE(ckt.get<Switch>("S2").closed());
+}
+
+TEST(Netlist, ControlledSources) {
+    Circuit ckt;
+    parse_netlist(ckt, R"(
+V1 in 0 DC 0.5
+E1 out 0 in 0 4
+RL out 0 1k
+)");
+    const auto r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(*ckt.find_node("out")), 2.0, 1e-9);
+}
+
+TEST(Netlist, OffchipPlacementSkipsProcess) {
+    Circuit ckt;
+    parse_netlist(ckt, "R1 a 0 1k\nR2 b 0 1k OFFCHIP\n");
+    ProcessCorner corner;
+    corner.res_factor = 1.2;
+    ckt.set_process(corner);
+    EXPECT_NEAR(ckt.get<Resistor>("R1").resistance(), 1200.0, 1e-9);
+    EXPECT_NEAR(ckt.get<Resistor>("R2").resistance(), 1000.0, 1e-9);
+}
+
+TEST(Netlist, InductorAndEndDirective) {
+    Circuit ckt;
+    const std::size_t n = parse_netlist(ckt, "L1 a b 10n\n.end\nR_ignored c 0 1k\n");
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(ckt.find_device("R_ignored"), nullptr);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+    Circuit ckt;
+    try {
+        parse_netlist(ckt, "R1 a 0 1k\nQ1 a b c\n");
+        FAIL() << "expected NetlistError";
+    } catch (const NetlistError& e) {
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+TEST(Netlist, ErrorCases) {
+    Circuit ckt;
+    EXPECT_THROW(parse_netlist(ckt, "+ continuation first\n"), NetlistError);
+    EXPECT_THROW(parse_netlist(ckt, "R1 a 0\n"), NetlistError);          // missing value
+    EXPECT_THROW(parse_netlist(ckt, "V1 a 0 TRIANGLE 1\n"), NetlistError);
+    EXPECT_THROW(parse_netlist(ckt, "M1 d g s nomodel\n"), NetlistError);
+    EXPECT_THROW(parse_netlist(ckt, ".model x NMOS FOO=1\n"), NetlistError);
+    EXPECT_THROW(parse_netlist(ckt, ".weird\n"), NetlistError);
+    EXPECT_THROW(parse_netlist(ckt, "S1 a b MAYBE\n"), NetlistError);
+    EXPECT_THROW(parse_netlist(ckt, "V1 a 0 SIN(0 1\n"), NetlistError);  // missing ')'
+}
+
+TEST(Netlist, HalfWaveRectifierDeckEndToEnd) {
+    // The paper's detector concept as a netlist: biased MOS + RC load.
+    Circuit ckt;
+    parse_netlist(ckt, R"(
+.model nch NMOS KP=100u VTO=0.5 LAMBDA=0.03
+VDD vdd 0 DC 2.5
+VB  vb  0 DC 0.5          ; gate biased exactly at threshold
+VRF rf  0 SIN(0 0.3 1e9)
+CC  rf  vg 2p
+RB  vb  vg 10k
+RD  vdd d  2k
+M1  d   vg 0 nch W=20u L=0.5u
+CL  d   0  2p
+)");
+    TransientOptions topts;
+    topts.dt = 1.0 / 1e9 / 24.0;
+    TransientEngine engine(ckt, topts);
+    engine.init();
+    const double v_start = engine.v(*ckt.find_node("d"));
+    engine.run_for(100e-9);
+    // Rectified current pulls the drain down from its zero-signal level.
+    EXPECT_LT(engine.v(*ckt.find_node("d")), v_start - 0.05);
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

@@ -1,0 +1,124 @@
+#include "circuit/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "circuit/montecarlo.hpp"
+#include "rf/random.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(Process, DefaultCornerIsNominal) {
+    EXPECT_TRUE(ProcessCorner{}.is_nominal());
+    EXPECT_TRUE(named_corner(CornerName::kTT).is_nominal());
+}
+
+TEST(Process, NamedCornersHaveExpectedSigns) {
+    const ProcessSpread spread;
+    const ProcessCorner ff = named_corner(CornerName::kFF, spread);
+    EXPECT_LT(ff.nmos_vt_shift, 0.0);
+    EXPECT_GT(ff.nmos_kp_factor, 1.0);
+    EXPECT_LT(ff.res_factor, 1.0);
+
+    const ProcessCorner ss = named_corner(CornerName::kSS, spread);
+    EXPECT_GT(ss.nmos_vt_shift, 0.0);
+    EXPECT_LT(ss.nmos_kp_factor, 1.0);
+
+    const ProcessCorner fs = named_corner(CornerName::kFS, spread);
+    EXPECT_LT(fs.nmos_vt_shift, 0.0);
+    EXPECT_GT(fs.pmos_vt_shift, 0.0);
+}
+
+TEST(Process, NamedCornersUseThreeSigma) {
+    ProcessSpread spread;
+    spread.vt_sigma = 0.01;
+    const ProcessCorner ss = named_corner(CornerName::kSS, spread);
+    EXPECT_NEAR(ss.nmos_vt_shift, 0.03, 1e-12);
+}
+
+TEST(Process, SampledCornersWithinThreeSigma) {
+    rfabm::rf::Xoshiro256 rng(2024);
+    const ProcessSpread spread;
+    for (int i = 0; i < 500; ++i) {
+        const ProcessCorner c = sample_corner(rng, spread);
+        EXPECT_LE(std::fabs(c.nmos_vt_shift), 3.0 * spread.vt_sigma + 1e-12);
+        EXPECT_LE(std::fabs(c.nmos_kp_factor - 1.0), 3.0 * spread.kp_sigma + 1e-12);
+        EXPECT_LE(std::fabs(c.res_factor - 1.0), 3.0 * spread.res_sigma + 1e-12);
+        EXPECT_GT(c.res_factor, 0.0);
+    }
+}
+
+TEST(Process, SamplingIsDeterministic) {
+    rfabm::rf::Xoshiro256 a(7);
+    rfabm::rf::Xoshiro256 b(7);
+    const ProcessCorner ca = sample_corner(a);
+    const ProcessCorner cb = sample_corner(b);
+    EXPECT_DOUBLE_EQ(ca.nmos_vt_shift, cb.nmos_vt_shift);
+    EXPECT_DOUBLE_EQ(ca.cap_factor, cb.cap_factor);
+}
+
+TEST(Process, OnDieResistorScalesOffChipDoesNot) {
+    Circuit ckt;
+    auto& on_die = ckt.add<Resistor>("Ron", ckt.node("a"), kGround, 1e3);
+    auto& bench = ckt.add<Resistor>("Rb", ckt.node("b"), kGround, 50.0, Placement::kOffChip);
+    ProcessCorner corner;
+    corner.res_factor = 1.2;
+    ckt.set_process(corner);
+    EXPECT_NEAR(on_die.resistance(), 1.2e3, 1e-9);
+    EXPECT_NEAR(bench.resistance(), 50.0, 1e-12);
+}
+
+TEST(Process, CapacitorScaling) {
+    Circuit ckt;
+    auto& c = ckt.add<Capacitor>("C1", ckt.node("a"), kGround, 1e-12);
+    ProcessCorner corner;
+    corner.cap_factor = 0.9;
+    ckt.set_process(corner);
+    EXPECT_NEAR(c.capacitance(), 0.9e-12, 1e-20);
+    // Back to nominal.
+    ckt.set_process(ProcessCorner{});
+    EXPECT_NEAR(c.capacitance(), 1e-12, 1e-20);
+}
+
+TEST(Process, SwitchRonTracksMobility) {
+    Circuit ckt;
+    auto& sw = ckt.add<Switch>("S1", ckt.node("a"), kGround, 100.0);
+    ProcessCorner corner;
+    corner.nmos_kp_factor = 1.25;
+    ckt.set_process(corner);
+    EXPECT_NEAR(sw.ron(), 80.0, 1e-9);
+}
+
+TEST(Process, DeviceAddedAfterSetProcessGetsCorner) {
+    Circuit ckt;
+    ProcessCorner corner;
+    corner.res_factor = 1.5;
+    ckt.set_process(corner);
+    auto& r = ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+    EXPECT_NEAR(r.resistance(), 1.5e3, 1e-9);
+}
+
+TEST(MonteCarlo, DriverIsDeterministicAndComplete) {
+    const auto samples = run_monte_carlo(16, 42, ProcessSpread{},
+                                         [](const ProcessCorner& c) { return c.nmos_vt_shift; });
+    const auto again = run_monte_carlo(16, 42, ProcessSpread{},
+                                       [](const ProcessCorner& c) { return c.nmos_vt_shift; });
+    ASSERT_EQ(samples.size(), 16u);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_DOUBLE_EQ(samples[i].value, again[i].value);
+        EXPECT_DOUBLE_EQ(samples[i].corner.nmos_vt_shift, samples[i].value);
+    }
+}
+
+TEST(MonteCarlo, BracketingCornersContainNominalFirst) {
+    const auto corners = bracketing_corners();
+    ASSERT_EQ(corners.size(), 5u);
+    EXPECT_TRUE(corners[0].is_nominal());
+    EXPECT_FALSE(corners[1].is_nominal());
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

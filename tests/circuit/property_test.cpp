@@ -1,0 +1,188 @@
+// Property-style tests of the simulator core: physical invariants that must
+// hold for arbitrary (randomized) circuits and bias points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/transient.hpp"
+#include "rf/random.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(CircuitProperty, KclHoldsAtEveryNodeOfRandomResistorMesh) {
+    // Random resistor meshes driven by a source: at the solution, the sum of
+    // branch currents out of every non-source node must vanish.
+    rfabm::rf::Xoshiro256 rng(5);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit ckt;
+        const int n_nodes = 6;
+        std::vector<NodeId> nodes{kGround};
+        for (int i = 1; i < n_nodes; ++i) nodes.push_back(ckt.node("n" + std::to_string(i)));
+        ckt.add<VSource>("V", nodes[1], kGround, Waveform::dc(rng.uniform(1.0, 10.0)));
+        struct Edge {
+            NodeId a;
+            NodeId b;
+            double r;
+        };
+        std::vector<Edge> edges;
+        // Spanning chain guarantees connectivity, plus random chords.
+        for (int i = 1; i + 1 < n_nodes; ++i) {
+            edges.push_back({nodes[i], nodes[i + 1], rng.uniform(100.0, 10e3)});
+        }
+        edges.push_back({nodes[n_nodes - 1], kGround, rng.uniform(100.0, 10e3)});
+        for (int k = 0; k < 5; ++k) {
+            const auto a = static_cast<std::size_t>(rng.uniform() * n_nodes);
+            const auto b = static_cast<std::size_t>(rng.uniform() * n_nodes);
+            if (a == b) continue;
+            edges.push_back({nodes[a], nodes[b], rng.uniform(100.0, 10e3)});
+        }
+        for (std::size_t i = 0; i < edges.size(); ++i) {
+            ckt.add<Resistor>("R" + std::to_string(i), edges[i].a, edges[i].b, edges[i].r);
+        }
+        const auto sol = solve_dc(ckt).solution;
+        for (int i = 2; i < n_nodes; ++i) {  // skip the source-driven node
+            double sum = 0.0;
+            for (const Edge& e : edges) {
+                if (e.a == nodes[i]) sum += (sol.v(e.a) - sol.v(e.b)) / e.r;
+                if (e.b == nodes[i]) sum += (sol.v(e.b) - sol.v(e.a)) / e.r;
+            }
+            EXPECT_NEAR(sum, 0.0, 1e-9) << "trial " << trial << " node " << i;
+        }
+    }
+}
+
+TEST(CircuitProperty, PassiveNetworkVoltagesBoundedBySource) {
+    // A network of only passive positive elements cannot produce a node
+    // voltage outside the source range [0, V].
+    rfabm::rf::Xoshiro256 rng(17);
+    for (int trial = 0; trial < 10; ++trial) {
+        Circuit ckt;
+        const double vsrc = rng.uniform(1.0, 5.0);
+        const NodeId top = ckt.node("top");
+        ckt.add<VSource>("V", top, kGround, Waveform::dc(vsrc));
+        NodeId prev = top;
+        for (int i = 0; i < 8; ++i) {
+            const NodeId n = ckt.node("m" + std::to_string(i));
+            ckt.add<Resistor>("R" + std::to_string(i), prev, n, rng.uniform(10.0, 1e5));
+            if (rng.uniform() < 0.5) {
+                ckt.add<Resistor>("Rg" + std::to_string(i), n, kGround,
+                                  rng.uniform(10.0, 1e5));
+            }
+            prev = n;
+        }
+        ckt.add<Resistor>("Rend", prev, kGround, rng.uniform(10.0, 1e5));
+        const auto sol = solve_dc(ckt).solution;
+        for (std::size_t i = 1; i < ckt.num_nodes(); ++i) {
+            const double v = sol.v(static_cast<NodeId>(i));
+            EXPECT_GE(v, -1e-9);
+            EXPECT_LE(v, vsrc + 1e-9);
+        }
+    }
+}
+
+TEST(CircuitProperty, SuperpositionHoldsForLinearCircuits) {
+    // v(out) with both sources active equals the sum of the responses with
+    // each source alone — for arbitrary linear resistive networks.
+    rfabm::rf::Xoshiro256 rng(29);
+    for (int trial = 0; trial < 8; ++trial) {
+        auto build = [&](double v1, double v2, double r1, double r2, double r3) {
+            Circuit ckt;
+            const NodeId a = ckt.node("a");
+            const NodeId b = ckt.node("b");
+            const NodeId out = ckt.node("out");
+            ckt.add<VSource>("V1", a, kGround, Waveform::dc(v1));
+            ckt.add<VSource>("V2", b, kGround, Waveform::dc(v2));
+            ckt.add<Resistor>("R1", a, out, r1);
+            ckt.add<Resistor>("R2", b, out, r2);
+            ckt.add<Resistor>("R3", out, kGround, r3);
+            return solve_dc(ckt).solution.v(out);
+        };
+        const double v1 = rng.uniform(-5.0, 5.0);
+        const double v2 = rng.uniform(-5.0, 5.0);
+        const double r1 = rng.uniform(100.0, 10e3);
+        const double r2 = rng.uniform(100.0, 10e3);
+        const double r3 = rng.uniform(100.0, 10e3);
+        const double both = build(v1, v2, r1, r2, r3);
+        const double only1 = build(v1, 0.0, r1, r2, r3);
+        const double only2 = build(0.0, v2, r1, r2, r3);
+        EXPECT_NEAR(both, only1 + only2, 1e-9);
+    }
+}
+
+TEST(CircuitProperty, MosfetCurrentMonotoneInVgsAndVds) {
+    // Square-law invariants over a randomized grid: ID non-decreasing in VGS
+    // (fixed VDS) and in VDS (fixed VGS), for VDS >= 0.
+    rfabm::rf::Xoshiro256 rng(41);
+    Mosfet m("M", 1, 2, 3);
+    for (int trial = 0; trial < 200; ++trial) {
+        const double vgs = rng.uniform(0.0, 2.0);
+        const double vds = rng.uniform(0.0, 2.5);
+        const double h = 1e-3;
+        EXPECT_LE(m.evaluate(vgs, vds).id, m.evaluate(vgs + h, vds).id + 1e-15);
+        EXPECT_LE(m.evaluate(vgs, vds).id, m.evaluate(vgs, vds + h).id + 1e-15);
+    }
+}
+
+TEST(CircuitProperty, CapacitorChargeConservationInTransient) {
+    // A charged capacitor discharging into another through a resistor:
+    // total charge is conserved (trapezoidal integration is charge-exact).
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId b = ckt.node("b");
+    ckt.add<Capacitor>("C1", a, kGround, 1e-9);
+    ckt.add<Capacitor>("C2", b, kGround, 2e-9);
+    ckt.add<Resistor>("R", a, b, 1e3);
+    ckt.finalize();
+    Solution ic(ckt.num_nodes(), ckt.num_branches());
+    ic.raw()[static_cast<std::size_t>(a) - 1] = 3.0;  // C1 charged to 3 V
+    TransientOptions topts;
+    topts.dt = 50e-9;
+    TransientEngine engine(ckt, topts);
+    engine.init_from(ic);
+    const double q0 = 1e-9 * 3.0;
+    engine.run_for(20e-6);  // several time constants
+    const double q1 = 1e-9 * engine.v(a) + 2e-9 * engine.v(b);
+    EXPECT_NEAR(q1, q0, q0 * 1e-3);
+    // And the final voltages equalize to q/(C1+C2) = 1 V.
+    EXPECT_NEAR(engine.v(a), 1.0, 1e-3);
+    EXPECT_NEAR(engine.v(b), 1.0, 1e-3);
+}
+
+TEST(CircuitProperty, ThevedinEquivalenceOfDividers) {
+    // A divider and its Thevenin equivalent must agree at the load for
+    // random component values.
+    rfabm::rf::Xoshiro256 rng(53);
+    for (int trial = 0; trial < 10; ++trial) {
+        const double vs = rng.uniform(1.0, 10.0);
+        const double r1 = rng.uniform(100.0, 10e3);
+        const double r2 = rng.uniform(100.0, 10e3);
+        const double rl = rng.uniform(100.0, 10e3);
+
+        Circuit full;
+        const NodeId in = full.node("in");
+        const NodeId out = full.node("out");
+        full.add<VSource>("V", in, kGround, Waveform::dc(vs));
+        full.add<Resistor>("R1", in, out, r1);
+        full.add<Resistor>("R2", out, kGround, r2);
+        full.add<Resistor>("RL", out, kGround, rl);
+        const double v_full = solve_dc(full).solution.v(out);
+
+        Circuit thev;
+        const NodeId tin = thev.node("in");
+        const NodeId tout = thev.node("out");
+        thev.add<VSource>("V", tin, kGround, Waveform::dc(vs * r2 / (r1 + r2)));
+        thev.add<Resistor>("RT", tin, tout, r1 * r2 / (r1 + r2));
+        thev.add<Resistor>("RL", tout, kGround, rl);
+        const double v_thev = solve_dc(thev).solution.v(tout);
+
+        EXPECT_NEAR(v_full, v_thev, 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

@@ -1,0 +1,93 @@
+#include "circuit/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(CsvTracer, RecordsAndWrites) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    ckt.add<VSource>("V", in, kGround, Waveform::sine(0.0, 1.0, 1e6));
+    ckt.add<Resistor>("R", in, kGround, 1e3);
+    TransientOptions topts;
+    topts.dt = 50e-9;
+    TransientEngine engine(ckt, topts);
+    CsvTracer tracer({{"vin", in}});
+    engine.add_observer(&tracer);
+    engine.init();
+    engine.run_until(1e-6);
+    EXPECT_NEAR(static_cast<double>(tracer.num_samples()), 20.0, 1.0);
+
+    std::ostringstream out;
+    tracer.write(out);
+    const std::string csv = out.str();
+    EXPECT_EQ(csv.rfind("time,vin", 0), 0u);
+    // One header plus one row per sample.
+    const auto rows = std::count(csv.begin(), csv.end(), '\n');
+    EXPECT_EQ(static_cast<std::size_t>(rows), tracer.num_samples() + 1);
+}
+
+TEST(CsvTracer, DecimationAndClear) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    ckt.add<VSource>("V", in, kGround, Waveform::dc(1.0));
+    ckt.add<Resistor>("R", in, kGround, 1e3);
+    TransientOptions topts;
+    topts.dt = 1e-9;
+    TransientEngine engine(ckt, topts);
+    CsvTracer tracer({{"vin", in}}, 5);
+    engine.add_observer(&tracer);
+    engine.init();
+    engine.run_until(50e-9);
+    EXPECT_NEAR(static_cast<double>(tracer.num_samples()), 10.0, 1.0);
+    tracer.clear();
+    EXPECT_EQ(tracer.num_samples(), 0u);
+}
+
+TEST(VcdTracer, CapturesToggles) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    PulseWave pw;
+    pw.v1 = 0.0;
+    pw.v2 = 1.0;
+    pw.delay = 10e-9;
+    pw.rise = 1e-10;
+    pw.fall = 1e-10;
+    pw.width = 10e-9;
+    pw.period = 20e-9;
+    ckt.add<VSource>("V", in, kGround, Waveform::pulse(pw));
+    ckt.add<Resistor>("R", in, kGround, 1e3);
+
+    rfabm::mixed::DigitalDomain domain;
+    const auto sig = domain.signal("clk");
+    domain.add_comparator(in, kGround, 0.5, 0.1, sig);
+
+    TransientOptions topts;
+    topts.dt = 1e-9;
+    TransientEngine engine(ckt, topts);
+    engine.add_observer(&domain);
+    VcdTracer vcd(domain, {{"clk", sig}});
+    engine.add_observer(&vcd);
+    engine.init();
+    engine.run_until(100e-9);
+
+    // ~5 periods -> ~9-10 edges plus the initial value record.
+    EXPECT_GE(vcd.num_changes(), 8u);
+
+    std::ostringstream out;
+    vcd.write(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("$timescale 1ps $end"), std::string::npos);
+    EXPECT_NE(text.find("$var wire 1 ! clk $end"), std::string::npos);
+    EXPECT_NE(text.find("\n1!"), std::string::npos);
+    EXPECT_NE(text.find("\n0!"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

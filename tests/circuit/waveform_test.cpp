@@ -1,0 +1,78 @@
+#include "circuit/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfabm::circuit {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+    const Waveform w = Waveform::dc(2.5);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 2.5);
+    EXPECT_DOUBLE_EQ(w.value(1.0), 2.5);
+    EXPECT_TRUE(w.is_dc());
+    EXPECT_DOUBLE_EQ(w.fundamental_hz(), 0.0);
+}
+
+TEST(Waveform, SineBasics) {
+    const double f = 1.5e9;
+    const Waveform w = Waveform::sine(0.0, 1.0, f);
+    EXPECT_NEAR(w.value(0.0), 0.0, 1e-12);
+    EXPECT_NEAR(w.value(0.25 / f), 1.0, 1e-9);
+    EXPECT_NEAR(w.value(0.5 / f), 0.0, 1e-9);
+    EXPECT_NEAR(w.value(0.75 / f), -1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(w.fundamental_hz(), f);
+}
+
+TEST(Waveform, SineOffsetAndDelay) {
+    const Waveform w = Waveform::sine(1.0, 0.5, 1e6, 0.0, 2e-6);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 1.0);       // before delay: offset only
+    EXPECT_DOUBLE_EQ(w.value(1.9e-6), 1.0);
+    EXPECT_NEAR(w.value(2e-6 + 0.25e-6), 1.5, 1e-9);
+}
+
+TEST(Waveform, SinePhase) {
+    const Waveform w = Waveform::sine(0.0, 1.0, 1.0, M_PI / 2.0);
+    EXPECT_NEAR(w.value(0.0), 1.0, 1e-12);  // cosine
+}
+
+TEST(Waveform, PulseShape) {
+    PulseWave p;
+    p.v1 = 0.0;
+    p.v2 = 3.3;
+    p.delay = 1e-9;
+    p.rise = 1e-10;
+    p.fall = 1e-10;
+    p.width = 4e-9;
+    p.period = 10e-9;
+    const Waveform w = Waveform::pulse(p);
+    EXPECT_DOUBLE_EQ(w.value(0.0), 0.0);
+    EXPECT_NEAR(w.value(1e-9 + 0.5e-10), 1.65, 1e-9);  // mid-rise
+    EXPECT_DOUBLE_EQ(w.value(3e-9), 3.3);              // flat top
+    EXPECT_DOUBLE_EQ(w.value(8e-9), 0.0);              // back low
+    EXPECT_DOUBLE_EQ(w.value(13e-9), 3.3);             // next period
+    EXPECT_DOUBLE_EQ(w.fundamental_hz(), 1e8);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+    const Waveform w = Waveform::pwl({{0.0, 0.0}, {1.0, 2.0}, {3.0, 2.0}, {4.0, 0.0}});
+    EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(w.value(2.0), 2.0);
+    EXPECT_DOUBLE_EQ(w.value(3.5), 1.0);
+    EXPECT_DOUBLE_EQ(w.value(9.0), 0.0);
+}
+
+TEST(Waveform, PwlRejectsBadInput) {
+    EXPECT_THROW(Waveform::pwl({}), std::invalid_argument);
+    EXPECT_THROW(Waveform::pwl({{0.0, 1.0}, {0.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Waveform, PwlUnsortedInputIsSorted) {
+    const Waveform w = Waveform::pwl({{1.0, 2.0}, {0.0, 0.0}});
+    EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+}
+
+}  // namespace
+}  // namespace rfabm::circuit

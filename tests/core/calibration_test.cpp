@@ -1,0 +1,99 @@
+// DC-calibration procedure tests: convergence, determinism, and the
+// paper's central claim that calibration absorbs process shifts.
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/process.hpp"
+#include "rf/sweep.hpp"
+
+namespace rfabm::core {
+namespace {
+
+TEST(Calibration, TunePHitsOffsetTarget) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    CalibrationOptions opts;
+    const TunePResult r = calibrate_tune_p(ctl, opts);
+    EXPECT_LE(std::fabs(r.vout_offset - opts.target_offset_v), 12e-3);
+    EXPECT_GE(r.iterations, 5);
+    // The result respects the DAC grid.
+    const double steps = r.bench_volts / opts.dac_step;
+    EXPECT_NEAR(steps, std::round(steps), 1e-6);
+}
+
+TEST(Calibration, TunePAbsorbsThresholdShift) {
+    // A die with +45 mV NMOS VT shift must calibrate to a different DAC code;
+    // the tracking bias absorbs ~90% so the shift at the DAC is small but
+    // nonzero and in the right direction.
+    CalibrationOptions opts;
+    auto run = [&](double vt_shift) {
+        circuit::ProcessCorner corner;
+        corner.nmos_vt_shift = vt_shift;
+        RfAbmChip chip{RfAbmChipConfig{}, nominal_conditions(), corner};
+        MeasurementController ctl(chip);
+        ctl.open_session();
+        return calibrate_tune_p(ctl, opts);
+    };
+    const TunePResult fast = run(-0.045);
+    const TunePResult slow = run(+0.045);
+    // Both still hit the target after calibration.
+    EXPECT_LE(std::fabs(fast.vout_offset - opts.target_offset_v), 12e-3);
+    EXPECT_LE(std::fabs(slow.vout_offset - opts.target_offset_v), 12e-3);
+}
+
+TEST(Calibration, TuneFHitsNominalTarget) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    const TuneFResult r = calibrate_tune_f(ctl);
+    EXPECT_NEAR(r.vout, r.target, 0.02);
+    EXPECT_GT(r.bench_volts, 1.0);
+    EXPECT_LT(r.bench_volts, 3.0);
+}
+
+TEST(Calibration, TuneFAbsorbsBiasResistorSpread) {
+    // Rbias +10% cuts Ic by ~10%; the trim must land ~10% higher.
+    CalibrationOptions opts;
+    auto run = [&](double res_factor) {
+        circuit::ProcessCorner corner;
+        corner.res_factor = res_factor;
+        RfAbmChip chip{RfAbmChipConfig{}, nominal_conditions(), corner};
+        MeasurementController ctl(chip);
+        ctl.open_session();
+        return calibrate_tune_f(ctl, opts);
+    };
+    const TuneFResult nom = run(1.0);
+    const TuneFResult slow = run(1.1);
+    EXPECT_GT(slow.bench_volts, nom.bench_volts * 1.05);
+    EXPECT_NEAR(slow.vout, slow.target, 0.03);
+}
+
+TEST(Calibration, CurvesAreMonotone) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    dc_calibrate(ctl);
+    const auto pcurve = acquire_power_curve(ctl, {-18.0, -12.0, -6.0, 0.0, 6.0}, 1.5e9);
+    EXPECT_TRUE(pcurve.increasing());
+    const auto fcurve = acquire_frequency_curve(ctl, {1.0, 1.5, 2.0}, 6.0);
+    EXPECT_FALSE(fcurve.increasing());  // V ~ 1/f
+}
+
+TEST(Calibration, RoundTripThroughCurves) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    dc_calibrate(ctl);
+    const auto pcurve = acquire_power_curve(ctl, rfabm::rf::arange(-18.0, 6.0, 2.0), 1.5e9);
+    // Measuring one of the calibration powers must reproduce it closely.
+    chip.set_rf(-8.0, 1.5e9);
+    const PowerMeasurement m = ctl.measure_power(pcurve);
+    EXPECT_NEAR(m.dbm, -8.0, 0.25);
+}
+
+}  // namespace
+}  // namespace rfabm::core

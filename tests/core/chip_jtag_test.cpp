@@ -1,0 +1,140 @@
+// Chip-level 1149.x procedures beyond the measurement flow: SAMPLE capture,
+// TBIC bus characterization, EXTEST pin forcing, and select-bus sequencing.
+#include <gtest/gtest.h>
+
+#include "core/chip.hpp"
+#include "core/measurement.hpp"
+#include "jtag/instructions.hpp"
+
+namespace rfabm::core {
+namespace {
+
+using jtag::Instruction;
+
+TEST(ChipJtag, TbicCharacterizationDrivesAtapPins) {
+    // Standard 1149.4 bus check: the TBIC connects AT1 to VH and AT2 to VL;
+    // the tester verifies the wiring by reading the pins.
+    RfAbmChip chip{RfAbmChipConfig{}};
+    auto& drv = chip.tap_driver();
+    drv.reset_via_tms();
+    drv.load(Instruction::kProbe);
+    chip.tbic().set_pattern(jtag::TbicPattern::kCharHighLow);
+    chip.engine().init();
+    chip.engine().run_for(100e-9);
+    // AT1 pulled toward VH (2.5 V) through S3 against the 10 Mohm DMM; AT2
+    // toward VL (ground).
+    EXPECT_GT(chip.live_v(chip.at1()), 2.3);
+    EXPECT_LT(chip.live_v(chip.at2()), 0.1);
+
+    chip.tbic().set_pattern(jtag::TbicPattern::kCharLowHigh);
+    chip.engine().run_for(100e-9);
+    EXPECT_LT(chip.live_v(chip.at1()), 0.1);
+    EXPECT_GT(chip.live_v(chip.at2()), 2.3);
+}
+
+TEST(ChipJtag, ExtestForcesFinPinFromBoundary) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    auto& drv = chip.tap_driver();
+    drv.reset_via_tms();
+    drv.load(Instruction::kExtest);
+    // Boundary order: TBIC(6), ABM_RF(5), ABM_FIN(5).  Drive fin high.
+    std::vector<bool> cells(16, false);
+    cells[11] = true;  // ABM_FIN.D
+    cells[12] = true;  // ABM_FIN.E
+    drv.scan_dr(cells);
+    chip.engine().init();
+    chip.engine().run_for(100e-9);
+    // VH(2.5) through SH(10 ohm) against the termination in parallel with
+    // the generator path (25 ohm net): 2.5 * 25/35 ~ 1.79 V.
+    EXPECT_GT(chip.live_v(chip.fin_pin()), 1.7);
+    // And the mission path is open in EXTEST.
+    EXPECT_FALSE(chip.fin_pin_abm().switch_dev(jtag::AbmSwitch::kSD).closed());
+}
+
+TEST(ChipJtag, SampleCapturesPinDigitizers) {
+    // Force the fin pin high via EXTEST, then capture with SAMPLE: the fin
+    // ABM's digitizer bit must read 1 (pin above VTH = vdd/2).
+    RfAbmChip chip{RfAbmChipConfig{}};
+    auto& drv = chip.tap_driver();
+    drv.reset_via_tms();
+    drv.load(Instruction::kExtest);
+    std::vector<bool> cells(16, false);
+    cells[11] = true;
+    cells[12] = true;
+    drv.scan_dr(cells);
+    chip.engine().init();
+    chip.engine().run_for(100e-9);
+
+    // Capture-DR under EXTEST reads the digitizers without disturbing the
+    // drive (the capture stage samples, the update latch is re-scanned
+    // unchanged).
+    const auto captured = drv.scan_dr(cells);
+    EXPECT_TRUE(captured[11]);   // fin digitizer: pin at ~2.1 V > 1.25 V
+    EXPECT_FALSE(captured[6]);   // RF pin digitizer: terminated at 0 V
+}
+
+TEST(ChipJtag, PowerCycleThroughSelectBusRecovers) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    chip.set_rf(-6.0, 1.5e9);
+    const double v1 = ctl.measure_power_vout();
+    // Power the detectors down and up again; the reading must recover.
+    ctl.set_select(0);
+    chip.engine().run_for(200e-9);
+    ctl.set_select(select_word({SelectBit::kDetectorPower}));
+    chip.engine().run_for(200e-9);
+    const double v2 = ctl.measure_power_vout();
+    EXPECT_NEAR(v2, v1, std::max(5e-3, std::fabs(v1) * 0.1));
+}
+
+TEST(ChipJtag, HighzIsolatesBothPins) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    auto& drv = chip.tap_driver();
+    drv.reset_via_tms();
+    drv.load(Instruction::kHighz);
+    for (auto s : {jtag::AbmSwitch::kSD, jtag::AbmSwitch::kSH, jtag::AbmSwitch::kSL,
+                   jtag::AbmSwitch::kSG, jtag::AbmSwitch::kSB1, jtag::AbmSwitch::kSB2}) {
+        EXPECT_FALSE(chip.rf_pin_abm().switch_dev(s).closed());
+        EXPECT_FALSE(chip.fin_pin_abm().switch_dev(s).closed());
+    }
+}
+
+TEST(ChipJtag, GuardSwitchConnectsMidSupplyReference) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    auto& drv = chip.tap_driver();
+    drv.reset_via_tms();
+    drv.load(Instruction::kExtest);
+    std::vector<bool> cells(16, false);
+    cells[13] = true;  // ABM_FIN.G: pin to VG
+    drv.scan_dr(cells);
+    chip.engine().init();
+    chip.engine().run_for(200e-9);
+    // VG is the mid-supply divider (~1.25 V) behind its 5 kohm Thevenin
+    // resistance; the 25-ohm pin load divides it to ~6 mV — tiny but clearly
+    // nonzero, proving the guard path conducts.
+    EXPECT_GT(chip.live_v(chip.fin_pin()), 4e-3);
+    EXPECT_TRUE(chip.fin_pin_abm().switch_dev(jtag::AbmSwitch::kSG).closed());
+}
+
+TEST(ChipJtag, BoundaryChainLengthMatchesInventory) {
+    // 6 TBIC cells + 2 ABMs x 5 cells = 16; a scan of that length must
+    // round-trip (anything else indicates a register-wiring regression).
+    RfAbmChip chip{RfAbmChipConfig{}};
+    auto& drv = chip.tap_driver();
+    drv.reset_via_tms();
+    drv.load(Instruction::kSamplePreload);
+    std::vector<bool> pattern(16);
+    for (std::size_t i = 0; i < pattern.size(); ++i) pattern[i] = (i % 3) == 0;
+    drv.scan_dr(pattern);
+    const auto out = drv.scan_dr(std::vector<bool>(16, false));
+    // SAMPLE captures digitizers into the D cells (indices 6 and 11); all
+    // switch-control cells capture their latches.
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+        if (i == 6 || i == 11) continue;
+        EXPECT_EQ(out[i], pattern[i]) << "cell " << i;
+    }
+}
+
+}  // namespace
+}  // namespace rfabm::core

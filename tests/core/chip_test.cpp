@@ -1,0 +1,157 @@
+// Integration tests of the assembled chip: 1149.4 session mechanics, power
+// gating, tuning-over-the-bus, and the PROBE measurement topology.
+#include "core/chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/measurement.hpp"
+#include "jtag/instructions.hpp"
+
+namespace rfabm::core {
+namespace {
+
+TEST(Chip, IdcodeReadable) {
+    RfAbmChipConfig cfg;
+    cfg.idcode = 0xDEADBEEF;
+    RfAbmChip chip{cfg};
+    EXPECT_EQ(chip.tap_driver().read_idcode(), 0xDEADBEEFu | 1u);
+}
+
+TEST(Chip, PowerUpMissionMode) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    EXPECT_TRUE(chip.rf_pin_abm().switch_dev(jtag::AbmSwitch::kSD).closed());
+    EXPECT_FALSE(chip.rf_pin_abm().switch_dev(jtag::AbmSwitch::kSB1).closed());
+    EXPECT_FALSE(chip.tbic().switch_dev(jtag::TbicSwitch::kS1).closed());
+}
+
+TEST(Chip, OpenSessionEstablishesProbeTopology) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    EXPECT_EQ(chip.tap().instruction(), jtag::Instruction::kProbe);
+    // TBIC connect pattern active; RF pin mission path undisturbed.
+    EXPECT_TRUE(chip.tbic().switch_dev(jtag::TbicSwitch::kS1).closed());
+    EXPECT_TRUE(chip.tbic().switch_dev(jtag::TbicSwitch::kS2).closed());
+    EXPECT_TRUE(chip.rf_pin_abm().switch_dev(jtag::AbmSwitch::kSD).closed());
+    EXPECT_TRUE(chip.engine().initialized());
+}
+
+TEST(Chip, SelectBusControlsPowerGate) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();  // sets the power bit
+    auto& gate = chip.circuit().get<circuit::Switch>("PWRGATE_P");
+    EXPECT_TRUE(gate.closed());
+    ctl.set_select(0);
+    EXPECT_FALSE(gate.closed());
+}
+
+TEST(Chip, PoweredDownDetectorProducesNoOutput) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    ctl.set_select(0);  // power off
+    chip.set_rf(6.0, 1.5e9);
+    chip.engine().run_for(100e-9);
+    // Supply collapsed: detector output nodes near ground.
+    EXPECT_LT(chip.live_v(chip.pdet().vout_n()), 0.2);
+}
+
+TEST(Chip, TuneAppliedThroughBusReachesPin) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    const double latched = ctl.apply_tune_p(0.8);
+    EXPECT_NEAR(latched, 0.8, 0.05);
+    // The hold DAC keeps the pin there afterwards.
+    chip.engine().run_for(100e-9);
+    EXPECT_NEAR(chip.live_v(chip.tune_p_pin()), latched, 0.02);
+}
+
+TEST(Chip, TuneFIndependentOfTuneP) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    ctl.apply_tune_f(2.2);
+    chip.engine().run_for(300e-9);  // let the hold network equalize
+    const double f_pin = chip.live_v(chip.tune_f_pin());
+    ctl.apply_tune_p(0.3);
+    chip.engine().run_for(300e-9);
+    EXPECT_NEAR(chip.live_v(chip.tune_f_pin()), f_pin, 0.01);
+}
+
+TEST(Chip, RfDriveSetsStep) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    chip.set_rf(0.0, 2.0e9);
+    EXPECT_NEAR(chip.engine().options().dt, 1.0 / 2.0e9 / 24.0, 1e-15);
+    EXPECT_NEAR(chip.stimulus_period(), 0.5e-9, 1e-15);
+    chip.rf_off();
+    EXPECT_FALSE(chip.rf_frequency().has_value());
+}
+
+TEST(Chip, FvcClockPeriodFollowsInputSelect) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    chip.set_rf(6.0, 1.6e9);
+    chip.set_fin(6.0, 200e6);
+    // RF path: divided by 8.
+    ctl.set_select(select_word({SelectBit::kDetectorPower}));
+    EXPECT_NEAR(chip.fvc_clock_period(), 8.0 / 1.6e9, 1e-15);
+    // fin path: direct.
+    ctl.set_select(select_word({SelectBit::kDetectorPower, SelectBit::kInputSelectFin}));
+    EXPECT_NEAR(chip.fvc_clock_period(), 1.0 / 200e6, 1e-15);
+}
+
+TEST(Chip, PreampVariantBuildsAndBiases) {
+    RfAbmChipConfig cfg;
+    cfg.with_preamp = true;
+    RfAbmChip chip{cfg};
+    ASSERT_NE(chip.preamp(), nullptr);
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    // Preamp output DC sits below the supply by the designed drop.
+    const double out_dc = chip.live_v(chip.preamp()->out());
+    EXPECT_GT(out_dc, 1.0);
+    EXPECT_LT(out_dc, 2.4);
+    EXPECT_EQ(chip.detector_input(), chip.preamp()->out());
+}
+
+TEST(Chip, BasicVariantHasNoPreamp) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    EXPECT_EQ(chip.preamp(), nullptr);
+    EXPECT_EQ(chip.detector_input(), chip.rf_core());
+}
+
+TEST(Chip, ConditionsPropagateToDevices) {
+    OperatingConditions cond;
+    cond.temperature_c = 70.0;
+    cond.vdd_pdet = 2.75;
+    RfAbmChip chip{RfAbmChipConfig{}, cond};
+    EXPECT_NEAR(chip.circuit().temperature_c(), 70.0, 1e-9);
+    // Threshold dropped with temperature.
+    EXPECT_LT(chip.pdet().q1().vth(), 0.5);
+}
+
+TEST(Chip, ProcessCornerPropagates) {
+    circuit::ProcessCorner corner;
+    corner.nmos_vt_shift = 0.045;
+    RfAbmChip chip{RfAbmChipConfig{}, nominal_conditions(), corner};
+    EXPECT_NEAR(chip.pdet().q1().vth(), 0.545, 1e-9);
+}
+
+TEST(Chip, FvcEdgesAccumulateOnlyWithStrongDrive) {
+    RfAbmChip chip{RfAbmChipConfig{}};
+    MeasurementController ctl(chip);
+    ctl.open_session();
+    chip.set_rf(-10.0, 1.5e9);
+    const auto e0 = chip.fvc_edges();
+    chip.engine().run_for(60e-9);
+    EXPECT_EQ(chip.fvc_edges(), e0);
+    chip.set_rf(8.0, 1.5e9);
+    chip.engine().run_for(60e-9);
+    EXPECT_GT(chip.fvc_edges(), e0 + 5);
+}
+
+}  // namespace
+}  // namespace rfabm::core

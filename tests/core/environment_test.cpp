@@ -1,0 +1,58 @@
+#include "core/environment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfabm::core {
+namespace {
+
+TEST(Environment, NominalIsNominal) {
+    EXPECT_TRUE(nominal_conditions().is_nominal());
+    OperatingConditions c;
+    c.temperature_c = 70.0;
+    EXPECT_FALSE(c.is_nominal());
+}
+
+TEST(Environment, PaperCornersCoverClaimedRanges) {
+    const auto corners = paper_environment_corners();
+    ASSERT_GE(corners.size(), 5u);
+    EXPECT_TRUE(corners.front().is_nominal());
+    double tmin = 1e9, tmax = -1e9, vpmin = 1e9, vpmax = -1e9, vfmin = 1e9, vfmax = -1e9;
+    for (const auto& c : corners) {
+        tmin = std::min(tmin, c.temperature_c);
+        tmax = std::max(tmax, c.temperature_c);
+        vpmin = std::min(vpmin, c.vdd_pdet);
+        vpmax = std::max(vpmax, c.vdd_pdet);
+        vfmin = std::min(vfmin, c.vdd_fdet);
+        vfmax = std::max(vfmax, c.vdd_fdet);
+    }
+    // Paper: -10..70 C, 2.5 +/- 0.25 V, 3.3 +/- 0.3 V.
+    EXPECT_DOUBLE_EQ(tmin, -10.0);
+    EXPECT_DOUBLE_EQ(tmax, 70.0);
+    EXPECT_DOUBLE_EQ(vpmin, 2.25);
+    EXPECT_DOUBLE_EQ(vpmax, 2.75);
+    EXPECT_DOUBLE_EQ(vfmin, 3.0);
+    EXPECT_DOUBLE_EQ(vfmax, 3.6);
+}
+
+TEST(Environment, CornersAreUnique) {
+    const auto corners = paper_environment_corners();
+    for (std::size_t i = 0; i < corners.size(); ++i) {
+        for (std::size_t j = i + 1; j < corners.size(); ++j) {
+            const bool same = corners[i].temperature_c == corners[j].temperature_c &&
+                              corners[i].vdd_pdet == corners[j].vdd_pdet;
+            EXPECT_FALSE(same) << i << " vs " << j;
+        }
+    }
+}
+
+TEST(Environment, LabelIsInformative) {
+    OperatingConditions c;
+    c.temperature_c = -10.0;
+    c.vdd_pdet = 2.25;
+    const std::string label = c.label();
+    EXPECT_NE(label.find("-10"), std::string::npos);
+    EXPECT_NE(label.find("2.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfabm::core

@@ -1,0 +1,119 @@
+// End-to-end measurement accuracy on the nominal device — the paper's basic
+// sanity ("operating according to the simulations") before the corner sweeps.
+#include "core/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "rf/sweep.hpp"
+
+namespace rfabm::core {
+namespace {
+
+/// Shared expensive fixture: one calibrated nominal chip + curves.
+class MeasurementFixture : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        chip_ = new RfAbmChip{RfAbmChipConfig{}};
+        controller_ = new MeasurementController(*chip_);
+        controller_->open_session();
+        cal_ = new DcCalibration(dc_calibrate(*controller_));
+        power_curve_ = new rfabm::rf::MonotoneCurve(
+            acquire_power_curve(*controller_, rfabm::rf::arange(-20.0, 7.0, 1.0), 1.5e9));
+        freq_curve_ = new rfabm::rf::MonotoneCurve(
+            acquire_frequency_curve(*controller_, rfabm::rf::arange(0.9, 2.1, 0.1), 6.0));
+    }
+
+    static void TearDownTestSuite() {
+        delete freq_curve_;
+        delete power_curve_;
+        delete cal_;
+        delete controller_;
+        delete chip_;
+        freq_curve_ = nullptr;
+        power_curve_ = nullptr;
+        cal_ = nullptr;
+        controller_ = nullptr;
+        chip_ = nullptr;
+    }
+
+    static RfAbmChip* chip_;
+    static MeasurementController* controller_;
+    static DcCalibration* cal_;
+    static rfabm::rf::MonotoneCurve* power_curve_;
+    static rfabm::rf::MonotoneCurve* freq_curve_;
+};
+
+RfAbmChip* MeasurementFixture::chip_ = nullptr;
+MeasurementController* MeasurementFixture::controller_ = nullptr;
+DcCalibration* MeasurementFixture::cal_ = nullptr;
+rfabm::rf::MonotoneCurve* MeasurementFixture::power_curve_ = nullptr;
+rfabm::rf::MonotoneCurve* MeasurementFixture::freq_curve_ = nullptr;
+
+TEST_F(MeasurementFixture, CalibrationConverged) {
+    EXPECT_LE(std::fabs(cal_->tune_p.vout_offset - 25e-3), 12e-3);
+    EXPECT_NEAR(cal_->tune_f.vout, cal_->tune_f.target, 0.02);
+}
+
+TEST_F(MeasurementFixture, PowerAccurateOnCalibratedDevice) {
+    for (double dbm : {-18.0, -12.0, -6.0, 0.0, 6.0}) {
+        chip_->set_rf(dbm, 1.5e9);
+        const PowerMeasurement m = controller_->measure_power(*power_curve_);
+        EXPECT_TRUE(m.settled);
+        EXPECT_NEAR(m.dbm, dbm, 0.3) << dbm;
+    }
+}
+
+TEST_F(MeasurementFixture, PowerInterpolatesBetweenCurvePoints) {
+    chip_->set_rf(-7.5, 1.5e9);  // between the 1-dB curve knots
+    const PowerMeasurement m = controller_->measure_power(*power_curve_);
+    EXPECT_NEAR(m.dbm, -7.5, 0.3);
+}
+
+TEST_F(MeasurementFixture, FrequencyAccurateOnCalibratedDevice) {
+    for (double ghz : {1.0, 1.4, 1.8, 2.0}) {
+        chip_->set_rf(6.0, ghz * 1e9);
+        const FrequencyMeasurement m = controller_->measure_frequency(*freq_curve_);
+        EXPECT_TRUE(m.valid);
+        EXPECT_NEAR(m.ghz, ghz, 0.03) << ghz;
+    }
+}
+
+TEST_F(MeasurementFixture, WeakToneInvalidatesFrequency) {
+    chip_->set_rf(-10.0, 1.5e9);
+    const FrequencyMeasurement m = controller_->measure_frequency(*freq_curve_);
+    EXPECT_FALSE(m.valid);
+    EXPECT_EQ(m.edges, 0u);
+}
+
+TEST_F(MeasurementFixture, DirectFinPathMeasuresDividedBand) {
+    // Drive the dedicated fin input at 180 MHz; the FVC reads it without the
+    // prescaler, so the GHz-domain curve sees it as 8 * 180 MHz = 1.44 GHz.
+    chip_->rf_off();
+    chip_->set_fin(8.0, 180e6);
+    const FrequencyMeasurement m = controller_->measure_frequency(*freq_curve_, /*use_fin=*/true);
+    EXPECT_TRUE(m.valid);
+    EXPECT_NEAR(m.ghz, 8.0 * 0.180, 0.05);
+    chip_->fin_off();
+}
+
+TEST_F(MeasurementFixture, TareIsStablePerSession) {
+    const double t1 = controller_->tare_power();
+    const double t2 = controller_->tare_power();
+    EXPECT_NEAR(t1, t2, 2e-3);
+}
+
+TEST_F(MeasurementFixture, RawVoutMonotoneInPower) {
+    double prev = -1e9;
+    for (double dbm : {-15.0, -10.0, -5.0, 0.0, 5.0}) {
+        chip_->set_rf(dbm, 1.5e9);
+        const double v = controller_->measure_power_vout();
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+}  // namespace
+}  // namespace rfabm::core

@@ -1,0 +1,74 @@
+#include "core/mux4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "jtag/serial_bus.hpp"
+
+namespace rfabm::core {
+namespace {
+
+using circuit::Circuit;
+using rfabm::jtag::SerialSelectBus;
+
+struct MuxFixture : public ::testing::Test {
+    MuxFixture() : bus(kSelectWidth) {
+        sig.out_plus = ckt.node("outp");
+        sig.out_minus = ckt.node("outm");
+        sig.fdet_out = ckt.node("fdet");
+        sig.tune_p = ckt.node("tunep");
+        sig.tune_f = ckt.node("tunef");
+        sig.ibias = ckt.node("ibias");
+        sig.ab1 = ckt.node("ab1");
+        sig.ab2 = ckt.node("ab2");
+        mux = std::make_unique<Mux4>("MUX", ckt, sig, bus);
+    }
+
+    Circuit ckt;
+    SerialSelectBus bus;
+    Mux4::Signals sig{};
+    std::unique_ptr<Mux4> mux;
+};
+
+TEST_F(MuxFixture, SelectWordComposition) {
+    EXPECT_EQ(select_word({}), 0u);
+    EXPECT_EQ(select_word({SelectBit::kOutPlusToAb1}), 0x01u);
+    EXPECT_EQ(select_word({SelectBit::kOutPlusToAb1, SelectBit::kOutMinusToAb2}), 0x03u);
+    EXPECT_EQ(select_word({SelectBit::kDetectorPower}), 0x40u);
+    EXPECT_EQ(select_word({SelectBit::kInputSelectFin}), 0x80u);
+}
+
+TEST_F(MuxFixture, AllRoutingSwitchesOpenAtPowerUp) {
+    for (auto bit : {SelectBit::kOutPlusToAb1, SelectBit::kOutMinusToAb2, SelectBit::kFdetToAb1,
+                     SelectBit::kTunePFromAb2, SelectBit::kTuneFFromAb2,
+                     SelectBit::kIbiasFromAb1}) {
+        EXPECT_FALSE(mux->switch_for(bit).closed());
+    }
+}
+
+TEST_F(MuxFixture, SerialWordDrivesRoutingSwitches) {
+    bus.write_word(select_word({SelectBit::kOutPlusToAb1, SelectBit::kTuneFFromAb2}),
+                   kSelectWidth);
+    EXPECT_TRUE(mux->switch_for(SelectBit::kOutPlusToAb1).closed());
+    EXPECT_TRUE(mux->switch_for(SelectBit::kTuneFFromAb2).closed());
+    EXPECT_FALSE(mux->switch_for(SelectBit::kOutMinusToAb2).closed());
+    bus.write_word(0, kSelectWidth);
+    EXPECT_FALSE(mux->switch_for(SelectBit::kOutPlusToAb1).closed());
+}
+
+TEST_F(MuxFixture, SwitchesConnectTheRightNodes) {
+    auto& sw = mux->switch_for(SelectBit::kFdetToAb1);
+    EXPECT_EQ(sw.a(), sig.fdet_out);
+    EXPECT_EQ(sw.b(), sig.ab1);
+    auto& sw2 = mux->switch_for(SelectBit::kTunePFromAb2);
+    EXPECT_EQ(sw2.a(), sig.tune_p);
+    EXPECT_EQ(sw2.b(), sig.ab2);
+}
+
+TEST_F(MuxFixture, PowerAndInputBitsHaveNoRoutingSwitch) {
+    EXPECT_THROW(mux->switch_for(SelectBit::kDetectorPower), std::invalid_argument);
+    EXPECT_THROW(mux->switch_for(SelectBit::kInputSelectFin), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfabm::core

@@ -1,0 +1,223 @@
+// Standalone (no 1149.4 wrapper) validation of the Fig. 2 power detector
+// against the paper's eq. (1) and its qualitative properties.
+#include "core/power_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/measure.hpp"
+#include "rf/units.hpp"
+
+namespace rfabm::core {
+namespace {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::SettleOptions;
+using circuit::TransientEngine;
+using circuit::TransientOptions;
+using circuit::VSource;
+using circuit::Waveform;
+
+/// Test bench: detector + RF source + supply + direct tuning source.
+struct PdetBench {
+    explicit PdetBench(double vdd_v = 2.5, PowerDetectorParams params = {}) {
+        vdd = ckt.node("vdd");
+        rf = ckt.node("rf");
+        tune = ckt.node("tune");
+        ckt.add<VSource>("VDD", vdd, kGround, Waveform::dc(vdd_v));
+        rf_src = &ckt.add<VSource>("VRF", rf, kGround, Waveform::dc(0.0));
+        tune_src = &ckt.add<VSource>("VT", tune, kGround, Waveform::dc(0.0));
+        det = std::make_unique<PowerDetector>("PD", ckt, vdd, rf, tune, params);
+    }
+
+    /// Find the tuning voltage that puts the gate @p delta_v above threshold.
+    double tune_for_gate_offset(double delta_v) {
+        double lo = -1.0;
+        double hi = 2.0;
+        for (int i = 0; i < 40; ++i) {
+            const double mid = 0.5 * (lo + hi);
+            tune_src->set_dc(mid);
+            const auto op = circuit::solve_dc(ckt);
+            const double offset = op.solution.v(det->gate()) - det->q1().vth();
+            if (offset > delta_v) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        tune_src->set_dc(0.5 * (lo + hi));
+        return 0.5 * (lo + hi);
+    }
+
+    /// Settled Vout = VoutN - VoutP for a tone of peak amplitude @p a at @p hz.
+    double vout_for(double a, double hz = 1.5e9) {
+        rf_src->set_waveform(Waveform::sine(0.0, a, hz));
+        TransientOptions topts;
+        topts.dt = 1.0 / hz / 24.0;
+        TransientEngine engine(ckt, topts);
+        SettleOptions sopts;
+        sopts.period = 1.0 / hz;
+        sopts.cycles_per_window = 12;
+        const auto r =
+            circuit::settle_cycle_average(engine, det->vout_n(), det->vout_p(), sopts);
+        return r.value;
+    }
+
+    Circuit ckt;
+    NodeId vdd{}, rf{}, tune{};
+    VSource* rf_src = nullptr;
+    VSource* tune_src = nullptr;
+    std::unique_ptr<PowerDetector> det;
+};
+
+TEST(PowerDetector, AnalyticModelMatchesEq1) {
+    PowerDetectorParams p;
+    Circuit ckt;
+    PowerDetector det("PD", ckt, ckt.node("vdd"), ckt.node("rf"), ckt.node("t"), p);
+    const double a = 0.3;
+    const double beta1 = p.kp * p.q1_w / p.q1_l;
+    const double beta2 = p.kp * p.q2_w / p.q2_l;
+    const double idc = beta1 * a * a / 8.0;
+    EXPECT_NEAR(det.analytic_idc(a), idc, 1e-12);
+    EXPECT_NEAR(det.analytic_vout(a), idc * p.r4 + std::sqrt(2.0 * idc / beta2), 1e-12);
+}
+
+TEST(PowerDetector, ZeroSignalZeroOutputAtThresholdBias) {
+    PdetBench bench;
+    bench.tune_for_gate_offset(0.0);
+    const auto op = circuit::solve_dc(bench.ckt);
+    const double vdiff = op.solution.v(bench.det->vout_n()) - op.solution.v(bench.det->vout_p());
+    EXPECT_LT(std::fabs(vdiff), 5e-3);
+}
+
+TEST(PowerDetector, GateBiasTracksThresholdOverTemperature) {
+    // The threshold-extractor bias is the paper's enabler for one-time DC
+    // calibration: gate-vs-threshold must move far less than threshold itself.
+    PdetBench bench;
+    bench.tune_for_gate_offset(0.02);
+    auto gate_offset = [&] {
+        const auto op = circuit::solve_dc(bench.ckt);
+        return op.solution.v(bench.det->gate()) - bench.det->q1().vth();
+    };
+    const double nominal = gate_offset();
+    bench.ckt.set_temperature_c(-10.0);
+    const double cold = gate_offset();
+    bench.ckt.set_temperature_c(70.0);
+    const double hot = gate_offset();
+    bench.ckt.set_temperature_c(27.0);
+    const double vth_swing = 0.0015 * 80.0;  // untracked threshold would move 120 mV
+    EXPECT_LT(std::fabs(cold - nominal), vth_swing / 4.0);
+    EXPECT_LT(std::fabs(hot - nominal), vth_swing / 4.0);
+}
+
+TEST(PowerDetector, TransientMatchesAnalyticMidRange) {
+    PdetBench bench;
+    bench.tune_for_gate_offset(0.0);  // eq. (1) assumes gate exactly at VT
+    // -6 dBm: A = 0.158 V.  Mid-range, away from onset and compression.
+    const double a = rf::dbm_to_peak_volts(-6.0);
+    const double measured = bench.vout_for(a);
+    const double predicted = bench.det->analytic_vout(a);
+    EXPECT_NEAR(measured, predicted, predicted * 0.25);
+}
+
+TEST(PowerDetector, SquareLawScalingInLinearRegion) {
+    // Doubling the amplitude (+6 dB power) should roughly quadruple IDC; with
+    // the sqrt load term the differential output grows by 2x..4x.
+    PdetBench bench;
+    bench.tune_for_gate_offset(0.0);
+    const double v1 = bench.vout_for(0.1);
+    const double v2 = bench.vout_for(0.2);
+    EXPECT_GT(v2 / v1, 1.9);
+    EXPECT_LT(v2 / v1, 4.1);
+}
+
+class PdetMonotonic : public ::testing::TestWithParam<double> {};
+
+TEST_P(PdetMonotonic, OutputStrictlyIncreasesWithPower) {
+    PdetBench bench;
+    bench.tune_for_gate_offset(0.015);
+    const double hz = GetParam();
+    double prev = -1.0;
+    for (double dbm = -20.0; dbm <= 6.0; dbm += 4.0) {
+        const double v = bench.vout_for(rf::dbm_to_peak_volts(dbm), hz);
+        EXPECT_GT(v, prev) << "at " << dbm << " dBm";
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Carriers, PdetMonotonic, ::testing::Values(1.2e9, 1.5e9, 1.8e9),
+                         [](const auto& info) {
+                             return "f" + std::to_string(static_cast<int>(info.param / 1e8));
+                         });
+
+TEST(PowerDetector, DifferentialOutputRejectsSupplyShift) {
+    // Vout(diff) must move far less with VDD than the single-ended outputs.
+    auto vout_at = [](double vdd_v) {
+        PdetBench bench(vdd_v);
+        bench.tune_for_gate_offset(0.015);
+        const auto op = circuit::solve_dc(bench.ckt);
+        const double n = op.solution.v(bench.det->vout_n());
+        const double p = op.solution.v(bench.det->vout_p());
+        return std::pair{n - p, n};
+    };
+    const auto [diff_lo, single_lo] = vout_at(2.25);
+    const auto [diff_hi, single_hi] = vout_at(2.75);
+    EXPECT_LT(std::fabs(diff_hi - diff_lo), 0.2 * std::fabs(single_hi - single_lo));
+}
+
+TEST(PowerDetector, BelowThresholdBiasKillsSensitivity) {
+    // Gate well below VT: small signals cannot turn Q1 on -> tiny output.
+    PdetBench bench;
+    bench.tune_for_gate_offset(-0.08);
+    const double v = bench.vout_for(0.05);  // -12 dBm
+    EXPECT_LT(v, 2e-3);
+}
+
+TEST(PowerDetector, ProcessKpSpreadScalesOutput) {
+    PdetBench nom;
+    nom.tune_for_gate_offset(0.015);
+    const double v_nom = nom.vout_for(0.2);
+
+    PdetBench fast;
+    circuit::ProcessCorner corner;
+    corner.nmos_kp_factor = 1.15;
+    fast.ckt.set_process(corner);
+    fast.tune_for_gate_offset(0.015);
+    const double v_fast = fast.vout_for(0.2);
+    EXPECT_GT(v_fast, v_nom * 1.02);
+}
+
+TEST(PowerDetector, RippleSuppressedByLowPass) {
+    // After settling, the instantaneous output ripple is much smaller than
+    // the DC level (R4*C2 low-pass doing its job).
+    PdetBench bench;
+    bench.tune_for_gate_offset(0.015);
+    const double hz = 1.5e9;
+    bench.rf_src->set_waveform(Waveform::sine(0.0, 0.3, hz));
+    TransientOptions topts;
+    topts.dt = 1.0 / hz / 24.0;
+    TransientEngine engine(bench.ckt, topts);
+    engine.init();
+    engine.run_for(200e-9);
+    double lo = 1e9;
+    double hi = -1e9;
+    const double t_end = engine.time() + 2.0 / hz;
+    while (engine.time() < t_end) {
+        engine.step();
+        const double v = engine.v(bench.det->vout_p());
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const double dc_drop = 2.5 - 0.5 * (lo + hi);
+    EXPECT_LT(hi - lo, 0.15 * dc_drop);
+}
+
+}  // namespace
+}  // namespace rfabm::core

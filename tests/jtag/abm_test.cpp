@@ -1,0 +1,154 @@
+#include "jtag/abm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/dc.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "jtag/tap.hpp"
+
+namespace rfabm::jtag {
+namespace {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::VSource;
+using circuit::Waveform;
+
+struct AbmFixture : public ::testing::Test {
+    AbmFixture() {
+        nodes.pin = ckt.node("pin");
+        nodes.core = ckt.node("core");
+        nodes.ab1 = ckt.node("ab1");
+        nodes.ab2 = ckt.node("ab2");
+        nodes.vh = ckt.node("vh");
+        nodes.vl = ckt.node("vl");
+        nodes.vg = ckt.node("vg");
+        abm = std::make_unique<AnalogBoundaryModule>("ABM0", ckt, nodes);
+        first_cell = abm->register_cells(boundary);
+    }
+
+    /// Latch control bits (D, E, G, B1, B2) directly.
+    void latch(bool d, bool e, bool g, bool b1, bool b2) {
+        boundary.set_latched(first_cell + 0, d);
+        boundary.set_latched(first_cell + 1, e);
+        boundary.set_latched(first_cell + 2, g);
+        boundary.set_latched(first_cell + 3, b1);
+        boundary.set_latched(first_cell + 4, b2);
+    }
+
+    bool closed(AbmSwitch s) const { return abm->switch_dev(s).closed(); }
+
+    Circuit ckt;
+    AbmNodes nodes{};
+    BoundaryRegister boundary;
+    std::unique_ptr<AnalogBoundaryModule> abm;
+    std::size_t first_cell = 0;
+};
+
+TEST_F(AbmFixture, PowerUpIsMissionMode) {
+    EXPECT_TRUE(closed(AbmSwitch::kSD));
+    EXPECT_FALSE(closed(AbmSwitch::kSB1));
+    EXPECT_FALSE(closed(AbmSwitch::kSB2));
+    EXPECT_FALSE(closed(AbmSwitch::kSH));
+    EXPECT_FALSE(closed(AbmSwitch::kSL));
+    EXPECT_FALSE(closed(AbmSwitch::kSG));
+}
+
+TEST_F(AbmFixture, ProbeKeepsCoreConnectedWhileBusConnects) {
+    latch(false, false, false, true, false);
+    abm->apply(Instruction::kProbe);
+    EXPECT_TRUE(closed(AbmSwitch::kSD));   // mission path stays
+    EXPECT_TRUE(closed(AbmSwitch::kSB1));  // bus connected
+    EXPECT_FALSE(closed(AbmSwitch::kSB2));
+    EXPECT_FALSE(closed(AbmSwitch::kSH));
+}
+
+TEST_F(AbmFixture, ExtestDisconnectsCoreAndDrivesHigh) {
+    latch(true, true, false, false, false);
+    abm->apply(Instruction::kExtest);
+    EXPECT_FALSE(closed(AbmSwitch::kSD));
+    EXPECT_TRUE(closed(AbmSwitch::kSH));
+    EXPECT_FALSE(closed(AbmSwitch::kSL));
+}
+
+TEST_F(AbmFixture, ExtestDrivesLowWhenDataZero) {
+    latch(false, true, false, false, false);
+    abm->apply(Instruction::kExtest);
+    EXPECT_FALSE(closed(AbmSwitch::kSH));
+    EXPECT_TRUE(closed(AbmSwitch::kSL));
+}
+
+TEST_F(AbmFixture, ExtestWithoutDriveEnableFloatsPin) {
+    latch(true, false, false, false, false);
+    abm->apply(Instruction::kExtest);
+    EXPECT_FALSE(closed(AbmSwitch::kSH));
+    EXPECT_FALSE(closed(AbmSwitch::kSL));
+}
+
+TEST_F(AbmFixture, GuardSwitchFollowsG) {
+    latch(false, false, true, false, false);
+    abm->apply(Instruction::kExtest);
+    EXPECT_TRUE(closed(AbmSwitch::kSG));
+    abm->apply(Instruction::kProbe);
+    EXPECT_FALSE(closed(AbmSwitch::kSG));  // PROBE ignores G
+}
+
+TEST_F(AbmFixture, HighzOpensEverything) {
+    latch(true, true, true, true, true);
+    abm->apply(Instruction::kHighz);
+    for (auto s : {AbmSwitch::kSD, AbmSwitch::kSH, AbmSwitch::kSL, AbmSwitch::kSG,
+                   AbmSwitch::kSB1, AbmSwitch::kSB2}) {
+        EXPECT_FALSE(closed(s));
+    }
+}
+
+TEST_F(AbmFixture, ReturnToMissionRestoresSd) {
+    latch(false, false, false, true, true);
+    abm->apply(Instruction::kProbe);
+    abm->apply(Instruction::kBypass);
+    EXPECT_TRUE(closed(AbmSwitch::kSD));
+    EXPECT_FALSE(closed(AbmSwitch::kSB1));
+}
+
+TEST_F(AbmFixture, DigitizerComparesPinToThreshold) {
+    double pin_voltage = 2.0;
+    abm->set_voltage_probe([&](NodeId) { return pin_voltage; });
+    EXPECT_TRUE(abm->digitize());  // 2.0 > 1.25
+    pin_voltage = 0.3;
+    EXPECT_FALSE(abm->digitize());
+}
+
+TEST_F(AbmFixture, DigitizerWithoutProbeIsFalse) { EXPECT_FALSE(abm->digitize()); }
+
+TEST_F(AbmFixture, ElectricalProbePathCarriesDcLevel) {
+    // Drive the core node, close PROBE SB1, check the level appears on AB1.
+    ckt.add<VSource>("VCORE", nodes.core, kGround, Waveform::dc(1.8));
+    ckt.add<Resistor>("RAB1", nodes.ab1, kGround, 1e6);
+    // Ground unused reference nodes so the matrix stays well posed.
+    for (NodeId n : {nodes.ab2, nodes.vh, nodes.vl, nodes.vg}) {
+        ckt.add<Resistor>("Rterm" + std::to_string(n), n, kGround, 1e6);
+    }
+    latch(false, false, false, true, false);
+    abm->apply(Instruction::kProbe);
+    const auto r = solve_dc(ckt);
+    // core -> SD -> pin -> SB1 -> ab1: two 50-ohm switches into 1 Mohm.
+    EXPECT_NEAR(r.solution.v(nodes.ab1), 1.8, 1e-3);
+}
+
+TEST_F(AbmFixture, FullScanThroughTapDrivesSwitches) {
+    TapController tap(0x1);
+    tap.route(Instruction::kProbe, &boundary);
+    tap.on_instruction([&](Instruction i) { abm->apply(i); });
+    TapDriver drv(tap);
+    drv.load(Instruction::kProbe);
+    // Cells (D,E,G,B1,B2) = (0,0,0,1,0).
+    drv.scan_dr({false, false, false, true, false});
+    EXPECT_TRUE(closed(AbmSwitch::kSB1));
+    EXPECT_TRUE(closed(AbmSwitch::kSD));
+}
+
+}  // namespace
+}  // namespace rfabm::jtag

@@ -1,0 +1,118 @@
+#include "jtag/chain.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfabm::jtag {
+namespace {
+
+struct ChainFixture : public ::testing::Test {
+    ChainFixture() : dev0(0x11111111u), dev1(0x22222223u), dev2(0x44444445u) {
+        for (auto* d : {&dev0, &dev1, &dev2}) chain.add_device(*d);
+        // Give each device a small boundary register.
+        for (int i = 0; i < 3; ++i) {
+            auto& b = boundary[i];
+            for (int c = 0; c < 4; ++c) {
+                b.add_cell({"c" + std::to_string(c), nullptr, nullptr});
+            }
+        }
+        dev0.route(Instruction::kSamplePreload, &boundary[0]);
+        dev1.route(Instruction::kSamplePreload, &boundary[1]);
+        dev2.route(Instruction::kSamplePreload, &boundary[2]);
+    }
+
+    TapController dev0, dev1, dev2;
+    BoundaryRegister boundary[3];
+    ScanChain chain;
+};
+
+TEST_F(ChainFixture, AllDevicesMoveInLockstep) {
+    ChainDriver drv(chain);
+    drv.reset_via_tms();
+    drv.go_to(TapState::kShiftDr);
+    EXPECT_EQ(dev0.state(), TapState::kShiftDr);
+    EXPECT_EQ(dev1.state(), TapState::kShiftDr);
+    EXPECT_EQ(dev2.state(), TapState::kShiftDr);
+}
+
+TEST_F(ChainFixture, ReadsAllIdcodes) {
+    ChainDriver drv(chain);
+    drv.reset_via_tms();
+    const auto ids = drv.read_idcodes();
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(ids[0], 0x11111111u);
+    EXPECT_EQ(ids[1], 0x22222223u);
+    EXPECT_EQ(ids[2], 0x44444445u);
+}
+
+TEST_F(ChainFixture, PerDeviceInstructionLoad) {
+    ChainDriver drv(chain);
+    drv.reset_via_tms();
+    drv.load({Instruction::kBypass, Instruction::kSamplePreload, Instruction::kHighz});
+    EXPECT_EQ(dev0.instruction(), Instruction::kBypass);
+    EXPECT_EQ(dev1.instruction(), Instruction::kSamplePreload);
+    EXPECT_EQ(dev2.instruction(), Instruction::kHighz);
+}
+
+TEST_F(ChainFixture, ConcatenatedBoundaryScanLandsPerDevice) {
+    ChainDriver drv(chain);
+    drv.reset_via_tms();
+    drv.load({Instruction::kSamplePreload, Instruction::kSamplePreload,
+              Instruction::kSamplePreload});
+    drv.scan_dr({{true, false, false, true},
+                 {false, true, false, false},
+                 {true, true, true, false}});
+    EXPECT_TRUE(boundary[0].latched(0));
+    EXPECT_FALSE(boundary[0].latched(1));
+    EXPECT_TRUE(boundary[0].latched(3));
+    EXPECT_TRUE(boundary[1].latched(1));
+    EXPECT_FALSE(boundary[1].latched(0));
+    EXPECT_TRUE(boundary[2].latched(0));
+    EXPECT_TRUE(boundary[2].latched(2));
+    EXPECT_FALSE(boundary[2].latched(3));
+}
+
+TEST_F(ChainFixture, ScanReturnsCapturedValuesPerDevice) {
+    ChainDriver drv(chain);
+    drv.reset_via_tms();
+    drv.load({Instruction::kSamplePreload, Instruction::kSamplePreload,
+              Instruction::kSamplePreload});
+    // First scan loads latches, second returns them (capture reads latches).
+    drv.scan_dr({{true, true, false, false},
+                 {false, false, true, true},
+                 {true, false, true, false}});
+    const auto out = drv.scan_dr({{false, false, false, false},
+                                  {false, false, false, false},
+                                  {false, false, false, false}});
+    EXPECT_EQ(out[0], (std::vector<bool>{true, true, false, false}));
+    EXPECT_EQ(out[1], (std::vector<bool>{false, false, true, true}));
+    EXPECT_EQ(out[2], (std::vector<bool>{true, false, true, false}));
+}
+
+TEST_F(ChainFixture, BypassedNeighboursStillRouteData) {
+    // Classic board procedure: only dev1 under test, dev0/dev2 in BYPASS
+    // (1-bit registers).
+    ChainDriver drv(chain);
+    drv.reset_via_tms();
+    drv.load({Instruction::kBypass, Instruction::kSamplePreload, Instruction::kBypass});
+    drv.scan_dr({{false}, {true, false, true, true}, {false}});
+    EXPECT_TRUE(boundary[1].latched(0));
+    EXPECT_FALSE(boundary[1].latched(1));
+    EXPECT_TRUE(boundary[1].latched(2));
+    EXPECT_TRUE(boundary[1].latched(3));
+}
+
+TEST_F(ChainFixture, ValidationErrors) {
+    ChainDriver drv(chain);
+    drv.reset_via_tms();
+    EXPECT_THROW(drv.load({Instruction::kBypass}), std::invalid_argument);
+    EXPECT_THROW(drv.scan_dr({{true}}), std::invalid_argument);
+}
+
+TEST(ChainEdge, EmptyChainRejected) {
+    ScanChain chain;
+    ChainDriver drv(chain);
+    EXPECT_THROW(drv.go_to(TapState::kShiftDr), std::logic_error);
+}
+
+}  // namespace
+}  // namespace rfabm::jtag

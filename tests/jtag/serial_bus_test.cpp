@@ -1,0 +1,81 @@
+#include "jtag/serial_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+
+namespace rfabm::jtag {
+namespace {
+
+TEST(SerialBus, WidthValidation) {
+    EXPECT_THROW(SerialSelectBus(0), std::invalid_argument);
+    EXPECT_THROW(SerialSelectBus(65), std::invalid_argument);
+    EXPECT_NO_THROW(SerialSelectBus(64));
+}
+
+TEST(SerialBus, OutputsLatchOnlyOnLoad) {
+    SerialSelectBus bus(4);
+    bus.shift_bit(true);
+    bus.shift_bit(true);
+    bus.shift_bit(true);
+    bus.shift_bit(true);
+    EXPECT_FALSE(bus.output(0));  // not loaded yet
+    bus.load();
+    EXPECT_TRUE(bus.output(0));
+    EXPECT_TRUE(bus.output(3));
+}
+
+TEST(SerialBus, WriteWordMapsBitIToOutputI) {
+    SerialSelectBus bus(6);
+    bus.write_word(0b101001, 6);
+    EXPECT_TRUE(bus.output(0));
+    EXPECT_FALSE(bus.output(1));
+    EXPECT_FALSE(bus.output(2));
+    EXPECT_TRUE(bus.output(3));
+    EXPECT_FALSE(bus.output(4));
+    EXPECT_TRUE(bus.output(5));
+}
+
+TEST(SerialBus, WriteWordRejectsWrongWidth) {
+    SerialSelectBus bus(4);
+    EXPECT_THROW(bus.write_word(0, 3), std::invalid_argument);
+}
+
+TEST(SerialBus, AttachedSwitchFollowsOutput) {
+    circuit::Circuit ckt;
+    auto& sw = ckt.add<circuit::Switch>("S", ckt.node("a"), ckt.node("b"));
+    SerialSelectBus bus(2);
+    bus.attach_switch(1, sw);
+    bus.write_word(0b10, 2);
+    EXPECT_TRUE(sw.closed());
+    bus.write_word(0b00, 2);
+    EXPECT_FALSE(sw.closed());
+}
+
+TEST(SerialBus, InvertedSwitchAttachment) {
+    circuit::Circuit ckt;
+    auto& sw = ckt.add<circuit::Switch>("S", ckt.node("a"), ckt.node("b"));
+    SerialSelectBus bus(1);
+    bus.attach_switch(0, sw, /*invert=*/true);
+    bus.write_word(0b0, 1);
+    EXPECT_TRUE(sw.closed());
+}
+
+TEST(SerialBus, GenericSinkReceivesValue) {
+    SerialSelectBus bus(2);
+    bool seen = false;
+    bus.attach(0, [&](bool v) { seen = v; });
+    bus.write_word(0b01, 2);
+    EXPECT_TRUE(seen);
+    EXPECT_THROW(bus.attach(5, [](bool) {}), std::out_of_range);
+}
+
+TEST(SerialBus, BitCountAccumulates) {
+    SerialSelectBus bus(8);
+    bus.write_word(0xFF, 8);
+    bus.write_word(0x00, 8);
+    EXPECT_EQ(bus.bit_count(), 16u);
+}
+
+}  // namespace
+}  // namespace rfabm::jtag

@@ -1,0 +1,89 @@
+#include "jtag/tap_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rfabm::jtag {
+namespace {
+
+TEST(TapState, FiveTmsHighReachesResetFromAnywhere) {
+    for (int s = 0; s < 16; ++s) {
+        TapState state = static_cast<TapState>(s);
+        for (int i = 0; i < 5; ++i) state = next_tap_state(state, true);
+        EXPECT_EQ(state, TapState::kTestLogicReset) << "from state " << s;
+    }
+}
+
+TEST(TapState, ResetStaysInResetOnTmsHigh) {
+    EXPECT_EQ(next_tap_state(TapState::kTestLogicReset, true), TapState::kTestLogicReset);
+}
+
+TEST(TapState, CanonicalDrScanPath) {
+    TapState s = TapState::kRunTestIdle;
+    s = next_tap_state(s, true);
+    EXPECT_EQ(s, TapState::kSelectDrScan);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kCaptureDr);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kShiftDr);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kShiftDr);  // stays while shifting
+    s = next_tap_state(s, true);
+    EXPECT_EQ(s, TapState::kExit1Dr);
+    s = next_tap_state(s, true);
+    EXPECT_EQ(s, TapState::kUpdateDr);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kRunTestIdle);
+}
+
+TEST(TapState, CanonicalIrScanPath) {
+    TapState s = TapState::kRunTestIdle;
+    s = next_tap_state(s, true);   // Select-DR
+    s = next_tap_state(s, true);   // Select-IR
+    EXPECT_EQ(s, TapState::kSelectIrScan);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kCaptureIr);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kShiftIr);
+    s = next_tap_state(s, true);
+    EXPECT_EQ(s, TapState::kExit1Ir);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kPauseIr);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kPauseIr);  // pause holds
+    s = next_tap_state(s, true);
+    EXPECT_EQ(s, TapState::kExit2Ir);
+    s = next_tap_state(s, false);
+    EXPECT_EQ(s, TapState::kShiftIr);  // back to shifting
+}
+
+TEST(TapState, SelectIrWithTmsHighResets) {
+    EXPECT_EQ(next_tap_state(TapState::kSelectIrScan, true), TapState::kTestLogicReset);
+}
+
+TEST(TapState, EveryStateReachableFromReset) {
+    // BFS over {0,1} inputs must visit all 16 states.
+    std::set<TapState> seen{TapState::kTestLogicReset};
+    std::vector<TapState> frontier{TapState::kTestLogicReset};
+    while (!frontier.empty()) {
+        std::vector<TapState> next;
+        for (TapState s : frontier) {
+            for (bool tms : {false, true}) {
+                const TapState n = next_tap_state(s, tms);
+                if (seen.insert(n).second) next.push_back(n);
+            }
+        }
+        frontier = std::move(next);
+    }
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(TapState, NamesAreUnique) {
+    std::set<std::string_view> names;
+    for (int s = 0; s < 16; ++s) names.insert(to_string(static_cast<TapState>(s)));
+    EXPECT_EQ(names.size(), 16u);
+}
+
+}  // namespace
+}  // namespace rfabm::jtag

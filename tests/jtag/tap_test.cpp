@@ -1,0 +1,164 @@
+#include "jtag/tap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfabm::jtag {
+namespace {
+
+constexpr std::uint32_t kId = 0x1234ABCDu | 1u;
+
+TEST(Tap, PowerUpSelectsIdcode) {
+    TapController tap(kId);
+    EXPECT_EQ(tap.state(), TapState::kTestLogicReset);
+    EXPECT_EQ(tap.instruction(), Instruction::kIdcode);
+}
+
+TEST(Tap, DriverReadsIdcode) {
+    TapController tap(kId);
+    TapDriver drv(tap);
+    drv.reset_via_tms();
+    EXPECT_EQ(drv.read_idcode(), kId);
+}
+
+TEST(Tap, IdcodeReadableDirectlyAfterReset) {
+    // The standard guarantees IDCODE is the selected DR after reset; a plain
+    // DR scan without loading any instruction must return it.
+    TapController tap(kId);
+    TapDriver drv(tap);
+    drv.reset_via_tms();
+    EXPECT_EQ(static_cast<std::uint32_t>(drv.scan_dr_word(0, 32)), kId);
+}
+
+TEST(Tap, IdcodeLsbForcedToOne) {
+    TapController tap(0x10u);  // even value
+    TapDriver drv(tap);
+    EXPECT_EQ(drv.read_idcode() & 1u, 1u);
+}
+
+TEST(Tap, BypassIsOneCycleDelay) {
+    TapController tap(kId);
+    TapDriver drv(tap);
+    drv.load(Instruction::kBypass);
+    // Through a 1-bit bypass register, a pattern emerges delayed by one bit
+    // and the first bit out is the captured 0.
+    const std::vector<bool> in{true, false, true, true};
+    const auto out = drv.scan_dr(in);
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_FALSE(out[0]);  // captured 0
+    EXPECT_TRUE(out[1]);
+    EXPECT_FALSE(out[2]);
+    EXPECT_TRUE(out[3]);
+}
+
+TEST(Tap, UnknownOpcodeFallsBackToBypass) {
+    TapController tap(kId);
+    TapDriver drv(tap);
+    drv.scan_ir(0x7Au);  // unmapped opcode
+    EXPECT_EQ(tap.instruction(), Instruction::kBypass);
+}
+
+TEST(Tap, IrCapturePatternIsO1) {
+    TapController tap(kId);
+    TapDriver drv(tap);
+    const std::uint8_t captured = drv.scan_ir(opcode(Instruction::kBypass));
+    EXPECT_EQ(captured, 0b01);
+}
+
+TEST(Tap, InstructionHookFires) {
+    TapController tap(kId);
+    TapDriver drv(tap);
+    Instruction seen = Instruction::kBypass;
+    int count = 0;
+    tap.on_instruction([&](Instruction i) {
+        seen = i;
+        ++count;
+    });
+    drv.load(Instruction::kProbe);
+    EXPECT_EQ(seen, Instruction::kProbe);
+    EXPECT_GE(count, 1);
+    // Returning to Test-Logic-Reset re-selects IDCODE.
+    drv.reset_via_tms();
+    EXPECT_EQ(seen, Instruction::kIdcode);
+}
+
+TEST(Tap, BoundaryRegisterScanReadsCaptureAndDrivesUpdate) {
+    TapController tap(kId);
+    BoundaryRegister boundary;
+    bool captured_source = true;
+    bool driven_value = false;
+    boundary.add_cell({"cell0", [&] { return captured_source; },
+                       [&](bool v) { driven_value = v; }});
+    boundary.add_cell({"cell1", nullptr, nullptr});
+    tap.route(Instruction::kSamplePreload, &boundary);
+    TapDriver drv(tap);
+    drv.load(Instruction::kSamplePreload);
+    const auto out = drv.scan_dr({true, true});
+    EXPECT_TRUE(out[0]);          // captured capture_source
+    EXPECT_TRUE(driven_value);    // update drove the sink
+    EXPECT_TRUE(boundary.latched(0));
+    EXPECT_TRUE(boundary.latched(1));
+}
+
+TEST(Tap, BoundaryShiftOrderCellZeroFirstOut) {
+    TapController tap(kId);
+    BoundaryRegister boundary;
+    boundary.add_cell({"c0", [] { return true; }, nullptr});
+    boundary.add_cell({"c1", [] { return false; }, nullptr});
+    boundary.add_cell({"c2", [] { return true; }, nullptr});
+    tap.route(Instruction::kSamplePreload, &boundary);
+    TapDriver drv(tap);
+    drv.load(Instruction::kSamplePreload);
+    const auto out = drv.scan_dr({false, false, false});
+    EXPECT_TRUE(out[0]);   // cell 0 nearest TDO
+    EXPECT_FALSE(out[1]);
+    EXPECT_TRUE(out[2]);
+}
+
+TEST(Tap, DrScanDoesNotDisturbIr) {
+    TapController tap(kId);
+    TapDriver drv(tap);
+    drv.load(Instruction::kBypass);
+    drv.scan_dr({true, true, true});
+    EXPECT_EQ(tap.instruction(), Instruction::kBypass);
+}
+
+TEST(Tap, GoToNavigatesEverywhere) {
+    TapController tap(kId);
+    TapDriver drv(tap);
+    for (int s = 0; s < 16; ++s) {
+        const TapState target = static_cast<TapState>(s);
+        drv.go_to(target);
+        EXPECT_EQ(tap.state(), target) << to_string(target);
+    }
+}
+
+TEST(Tap, PauseAndResumeShiftKeepsData) {
+    // Shift 2 bits, pause, shift 2 more: the register must behave as one
+    // contiguous 4-bit scan.
+    TapController tap(kId);
+    BoundaryRegister boundary;
+    for (int i = 0; i < 4; ++i) {
+        boundary.add_cell({"c" + std::to_string(i), nullptr, nullptr});
+    }
+    tap.route(Instruction::kSamplePreload, &boundary);
+    TapDriver drv(tap);
+    drv.load(Instruction::kSamplePreload);
+
+    drv.go_to(TapState::kShiftDr);
+    tap.clock(false, true);   // shift bit 1
+    tap.clock(true, false);   // bit 2 rides the exit edge (standard behaviour)
+    drv.go_to(TapState::kPauseDr);
+    drv.go_to(TapState::kShiftDr);  // resume via Exit2 (no shifts on the way)
+    tap.clock(false, true);   // bit 3
+    tap.clock(true, true);    // bit 4 on the exit edge
+    drv.go_to(TapState::kRunTestIdle);
+    // Bits shifted in: 1,0,1,1 -> cells (0..3) = 1,0,1,1 read back as
+    // latches.
+    EXPECT_TRUE(boundary.latched(0));
+    EXPECT_FALSE(boundary.latched(1));
+    EXPECT_TRUE(boundary.latched(2));
+    EXPECT_TRUE(boundary.latched(3));
+}
+
+}  // namespace
+}  // namespace rfabm::jtag

@@ -1,0 +1,102 @@
+#include "jtag/tbic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuit/dc.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+
+namespace rfabm::jtag {
+namespace {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::Resistor;
+using circuit::VSource;
+using circuit::Waveform;
+
+struct TbicFixture : public ::testing::Test {
+    TbicFixture() {
+        nodes.at1 = ckt.node("at1");
+        nodes.at2 = ckt.node("at2");
+        nodes.ab1 = ckt.node("ab1");
+        nodes.ab2 = ckt.node("ab2");
+        nodes.vh = ckt.node("vh");
+        nodes.vl = ckt.node("vl");
+        tbic = std::make_unique<Tbic>("TBIC", ckt, nodes);
+        tbic->register_cells(boundary);
+    }
+
+    bool closed(TbicSwitch s) const { return tbic->switch_dev(s).closed(); }
+
+    Circuit ckt;
+    TbicNodes nodes{};
+    BoundaryRegister boundary;
+    std::unique_ptr<Tbic> tbic;
+};
+
+TEST_F(TbicFixture, PowerUpIsolatesAtap) {
+    for (int i = 0; i < static_cast<int>(kTbicSwitchCount); ++i) {
+        EXPECT_FALSE(closed(static_cast<TbicSwitch>(i)));
+    }
+}
+
+TEST_F(TbicFixture, ConnectPatternNeedsAnalogInstruction) {
+    tbic->set_pattern(TbicPattern::kConnect);
+    // Still in mission mode: forced open.
+    EXPECT_FALSE(closed(TbicSwitch::kS1));
+    tbic->apply(Instruction::kProbe);
+    EXPECT_TRUE(closed(TbicSwitch::kS1));
+    EXPECT_TRUE(closed(TbicSwitch::kS2));
+    EXPECT_FALSE(closed(TbicSwitch::kS3));
+}
+
+TEST_F(TbicFixture, MissionInstructionForcesOpen) {
+    tbic->set_pattern(TbicPattern::kConnect);
+    tbic->apply(Instruction::kProbe);
+    ASSERT_TRUE(closed(TbicSwitch::kS1));
+    tbic->apply(Instruction::kBypass);
+    EXPECT_FALSE(closed(TbicSwitch::kS1));
+}
+
+TEST_F(TbicFixture, CharacterizationPatterns) {
+    tbic->apply(Instruction::kExtest);
+    tbic->set_pattern(TbicPattern::kCharHighLow);
+    EXPECT_TRUE(closed(TbicSwitch::kS3));   // AT1 - VH
+    EXPECT_TRUE(closed(TbicSwitch::kS6));   // AT2 - VL
+    EXPECT_FALSE(closed(TbicSwitch::kS1));
+    tbic->set_pattern(TbicPattern::kCharLowHigh);
+    EXPECT_TRUE(closed(TbicSwitch::kS4));
+    EXPECT_TRUE(closed(TbicSwitch::kS5));
+}
+
+TEST_F(TbicFixture, BoundaryCellsControlSwitches) {
+    tbic->apply(Instruction::kProbe);
+    boundary.set_latched(0, true);  // S1
+    EXPECT_TRUE(closed(TbicSwitch::kS1));
+    boundary.set_latched(0, false);
+    EXPECT_FALSE(closed(TbicSwitch::kS1));
+}
+
+TEST_F(TbicFixture, ElectricalPathAt1ToAb1) {
+    ckt.add<VSource>("VAB1", nodes.ab1, kGround, Waveform::dc(1.2));
+    ckt.add<Resistor>("RAT1", nodes.at1, kGround, 1e6);
+    for (auto n : {nodes.at2, nodes.ab2, nodes.vh, nodes.vl}) {
+        ckt.add<Resistor>("Rterm" + std::to_string(n), n, kGround, 1e6);
+    }
+    tbic->set_pattern(TbicPattern::kConnect);
+    tbic->apply(Instruction::kProbe);
+    const auto r = circuit::solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(nodes.at1), 1.2, 1e-3);
+}
+
+TEST_F(TbicFixture, IsolatePatternClearsControls) {
+    tbic->apply(Instruction::kProbe);
+    tbic->set_pattern(TbicPattern::kConnect);
+    tbic->set_pattern(TbicPattern::kIsolate);
+    EXPECT_FALSE(closed(TbicSwitch::kS1));
+    EXPECT_FALSE(closed(TbicSwitch::kS2));
+}
+
+}  // namespace
+}  // namespace rfabm::jtag

@@ -1,0 +1,76 @@
+// Randomized property tests for MonotoneCurve: inversion is the exact
+// inverse on arbitrary strictly monotone tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "rf/curve.hpp"
+#include "rf/random.hpp"
+
+namespace rfabm::rf {
+namespace {
+
+class CurveFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CurveFuzz, RandomIncreasingTablesRoundTrip) {
+    Xoshiro256 rng(GetParam());
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform() * 30);
+    std::vector<CurvePoint> pts;
+    double x = rng.uniform(-10.0, 10.0);
+    double y = rng.uniform(-5.0, 5.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({x, y});
+        x += rng.uniform(0.01, 3.0);
+        y += rng.uniform(0.001, 2.0);
+    }
+    const MonotoneCurve curve(pts);
+    EXPECT_TRUE(curve.increasing());
+    for (int k = 0; k < 100; ++k) {
+        const double probe = rng.uniform(pts.front().x - 1.0, pts.back().x + 1.0);
+        EXPECT_NEAR(curve.invert(curve.evaluate(probe)), probe, 1e-9);
+    }
+}
+
+TEST_P(CurveFuzz, RandomDecreasingTablesRoundTrip) {
+    Xoshiro256 rng(GetParam() ^ 0xFFFF);
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform() * 30);
+    std::vector<CurvePoint> pts;
+    double x = 0.0;
+    double y = rng.uniform(5.0, 10.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({x, y});
+        x += rng.uniform(0.01, 3.0);
+        y -= rng.uniform(0.001, 2.0);
+    }
+    const MonotoneCurve curve(pts);
+    EXPECT_FALSE(curve.increasing());
+    for (int k = 0; k < 100; ++k) {
+        const double probe = rng.uniform(-0.5, x + 0.5);
+        EXPECT_NEAR(curve.invert(curve.evaluate(probe)), probe, 1e-9);
+    }
+}
+
+TEST_P(CurveFuzz, EvaluateIsMonotone) {
+    Xoshiro256 rng(GetParam() + 17);
+    std::vector<CurvePoint> pts;
+    double x = 0.0;
+    double y = 0.0;
+    for (int i = 0; i < 12; ++i) {
+        pts.push_back({x, y});
+        x += rng.uniform(0.1, 1.0);
+        y += rng.uniform(0.01, 1.0);
+    }
+    const MonotoneCurve curve(pts);
+    double prev = curve.evaluate(-1.0);
+    for (double probe = -0.9; probe < x + 1.0; probe += 0.05) {
+        const double v = curve.evaluate(probe);
+        EXPECT_GE(v, prev - 1e-12);
+        prev = v;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CurveFuzz, ::testing::Values(1u, 7u, 99u, 12345u));
+
+}  // namespace
+}  // namespace rfabm::rf

@@ -1,0 +1,107 @@
+#include "rf/curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rfabm::rf {
+namespace {
+
+MonotoneCurve make_increasing() {
+    return MonotoneCurve({{0.0, 1.0}, {1.0, 2.0}, {2.0, 4.0}, {3.0, 8.0}});
+}
+
+MonotoneCurve make_decreasing() {
+    // Mirrors the frequency detector: V = k / f is decreasing in f.
+    std::vector<CurvePoint> pts;
+    for (double f = 1.0; f <= 2.01; f += 0.1) pts.push_back({f, 1.0 / f});
+    return MonotoneCurve(pts);
+}
+
+TEST(MonotoneCurve, RejectsDegenerateInput) {
+    EXPECT_THROW(MonotoneCurve({{0.0, 0.0}}), std::invalid_argument);
+    EXPECT_THROW(MonotoneCurve({{0.0, 0.0}, {0.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(MonotoneCurve({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.5}}), std::invalid_argument);
+    EXPECT_THROW(MonotoneCurve({{0.0, 0.0}, {1.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(MonotoneCurve, SortsInputByX) {
+    const MonotoneCurve c({{2.0, 4.0}, {0.0, 1.0}, {1.0, 2.0}});
+    EXPECT_DOUBLE_EQ(c.x_min(), 0.0);
+    EXPECT_DOUBLE_EQ(c.x_max(), 2.0);
+    EXPECT_DOUBLE_EQ(c.evaluate(1.0), 2.0);
+}
+
+TEST(MonotoneCurve, EvaluatesAtAndBetweenKnots) {
+    const MonotoneCurve c = make_increasing();
+    EXPECT_DOUBLE_EQ(c.evaluate(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(c.evaluate(3.0), 8.0);
+    EXPECT_DOUBLE_EQ(c.evaluate(0.5), 1.5);
+    EXPECT_DOUBLE_EQ(c.evaluate(2.5), 6.0);
+}
+
+TEST(MonotoneCurve, ExtrapolatesLinearly) {
+    const MonotoneCurve c = make_increasing();
+    EXPECT_DOUBLE_EQ(c.evaluate(-1.0), 0.0);   // slope 1 at the left end
+    EXPECT_DOUBLE_EQ(c.evaluate(4.0), 12.0);   // slope 4 at the right end
+}
+
+TEST(MonotoneCurve, InverseRoundTripIncreasing) {
+    const MonotoneCurve c = make_increasing();
+    for (double x = -0.5; x <= 3.5; x += 0.07) {
+        EXPECT_NEAR(c.invert(c.evaluate(x)), x, 1e-12);
+    }
+}
+
+TEST(MonotoneCurve, InverseRoundTripDecreasing) {
+    const MonotoneCurve c = make_decreasing();
+    EXPECT_FALSE(c.increasing());
+    for (double f = 0.95; f <= 2.05; f += 0.013) {
+        EXPECT_NEAR(c.invert(c.evaluate(f)), f, 1e-10);
+    }
+}
+
+TEST(MonotoneCurve, InverseMatchesKnots) {
+    const MonotoneCurve c = make_increasing();
+    EXPECT_NEAR(c.invert(4.0), 2.0, 1e-12);
+    EXPECT_NEAR(c.invert(1.0), 0.0, 1e-12);
+}
+
+TEST(Polyfit, RecoversExactQuadratic) {
+    std::vector<double> x;
+    std::vector<double> y;
+    for (double xi = -2.0; xi <= 2.0; xi += 0.25) {
+        x.push_back(xi);
+        y.push_back(3.0 - 2.0 * xi + 0.5 * xi * xi);
+    }
+    const auto c = polyfit(x, y, 2);
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_NEAR(c[0], 3.0, 1e-9);
+    EXPECT_NEAR(c[1], -2.0, 1e-9);
+    EXPECT_NEAR(c[2], 0.5, 1e-9);
+}
+
+TEST(Polyfit, LeastSquaresBeatsEndpoints) {
+    // Fit a line through noisy-ish data; check the residual is small.
+    std::vector<double> x{0, 1, 2, 3, 4};
+    std::vector<double> y{0.1, 0.9, 2.1, 2.9, 4.1};
+    const auto c = polyfit(x, y, 1);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(polyval(c, x[i]), y[i], 0.15);
+    }
+}
+
+TEST(Polyfit, RejectsBadInput) {
+    EXPECT_THROW(polyfit({1.0}, {1.0, 2.0}, 1), std::invalid_argument);
+    EXPECT_THROW(polyfit({1.0}, {1.0}, 1), std::invalid_argument);
+}
+
+TEST(Polyval, HornerMatchesDirect) {
+    const std::vector<double> c{1.0, -1.0, 2.0, 0.25};
+    const double x = 1.7;
+    const double direct = 1.0 - x + 2.0 * x * x + 0.25 * x * x * x;
+    EXPECT_NEAR(polyval(c, x), direct, 1e-12);
+}
+
+}  // namespace
+}  // namespace rfabm::rf

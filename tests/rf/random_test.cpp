@@ -1,0 +1,81 @@
+#include "rf/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rfabm::rf {
+namespace {
+
+TEST(Random, DeterministicForSeed) {
+    Xoshiro256 a(42);
+    Xoshiro256 b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+    Xoshiro256 a(1);
+    Xoshiro256 b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, ReseedRestartsSequence) {
+    Xoshiro256 a(7);
+    const auto first = a.next_u64();
+    a.next_u64();
+    a.reseed(7);
+    EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Random, UniformInRange) {
+    Xoshiro256 rng(123);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Random, NormalMomentsRoughlyStandard) {
+    Xoshiro256 rng(99);
+    const int n = 200000;
+    double sum = 0.0;
+    double sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double z = rng.normal();
+        sum += z;
+        sum2 += z * z;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Random, NormalWithParameters) {
+    Xoshiro256 rng(5);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.normal(4.0, 0.5);
+    EXPECT_NEAR(sum / n, 4.0, 0.02);
+}
+
+TEST(Random, TruncatedNormalRespectsBounds) {
+    Xoshiro256 rng(77);
+    for (int i = 0; i < 20000; ++i) {
+        const double v = rng.truncated_normal(1.0, 0.1, 3.0);
+        EXPECT_GE(v, 1.0 - 0.3);
+        EXPECT_LE(v, 1.0 + 0.3);
+    }
+}
+
+}  // namespace
+}  // namespace rfabm::rf

@@ -1,0 +1,56 @@
+#include "rf/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfabm::rf {
+namespace {
+
+TEST(Stats, SummaryOfKnownPopulation) {
+    const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.max_abs, 4.0);
+    EXPECT_NEAR(s.stddev, 1.2909944487358056, 1e-12);
+}
+
+TEST(Stats, MaxAbsSeesNegativeExtremes) {
+    const Summary s = summarize({-2.5, 0.3, 1.0});
+    EXPECT_DOUBLE_EQ(s.max_abs, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, -2.5);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+    const Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, SingleValueHasZeroStddev) {
+    const Summary s = summarize({3.25});
+    EXPECT_DOUBLE_EQ(s.mean, 3.25);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+    std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+    EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+    EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+    EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, RmsOfConstantIsItsMagnitude) {
+    EXPECT_DOUBLE_EQ(rms({-3.0, -3.0, -3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rfabm::rf

@@ -1,0 +1,46 @@
+#include "rf/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfabm::rf {
+namespace {
+
+TEST(Sweep, LinspaceEndpointsExact) {
+    const auto v = linspace(0.9, 2.1, 13);
+    ASSERT_EQ(v.size(), 13u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.9);
+    EXPECT_DOUBLE_EQ(v.back(), 2.1);
+    EXPECT_NEAR(v[1] - v[0], 0.1, 1e-12);
+}
+
+TEST(Sweep, LinspaceSinglePoint) {
+    const auto v = linspace(5.0, 99.0, 1);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_DOUBLE_EQ(v[0], 5.0);
+}
+
+TEST(Sweep, LinspaceRejectsZeroCount) {
+    EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Sweep, ArangeCoversPaperPowerGrid) {
+    // Fig. 4 x-axis: -19 dBm to +6 dBm.
+    const auto v = arange(-19.0, 6.0, 1.0);
+    ASSERT_EQ(v.size(), 26u);
+    EXPECT_DOUBLE_EQ(v.front(), -19.0);
+    EXPECT_DOUBLE_EQ(v.back(), 6.0);
+}
+
+TEST(Sweep, ArangeDescending) {
+    const auto v = arange(2.0, 1.0, -0.5);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[1], 1.5);
+}
+
+TEST(Sweep, ArangeRejectsBadStep) {
+    EXPECT_THROW(arange(0.0, 1.0, 0.0), std::invalid_argument);
+    EXPECT_THROW(arange(0.0, 1.0, -0.1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfabm::rf

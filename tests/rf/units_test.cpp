@@ -1,0 +1,48 @@
+#include "rf/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rfabm::rf {
+namespace {
+
+TEST(Units, DbmWattsRoundTrip) {
+    EXPECT_DOUBLE_EQ(dbm_to_watts(0.0), 1e-3);
+    EXPECT_DOUBLE_EQ(dbm_to_watts(30.0), 1.0);
+    EXPECT_NEAR(watts_to_dbm(dbm_to_watts(-17.3)), -17.3, 1e-12);
+    EXPECT_NEAR(watts_to_dbm(dbm_to_watts(6.0)), 6.0, 1e-12);
+}
+
+TEST(Units, ZeroDbmPeakVoltageIn50Ohm) {
+    // 0 dBm in 50 ohm: Vrms = sqrt(0.05) ~ 223.6 mV, Vpk = 316.2 mV.
+    EXPECT_NEAR(dbm_to_peak_volts(0.0), 0.31622776601, 1e-9);
+}
+
+TEST(Units, PeakVoltsRoundTrip) {
+    for (double dbm : {-25.0, -18.0, -6.0, 0.0, 6.0}) {
+        EXPECT_NEAR(peak_volts_to_dbm(dbm_to_peak_volts(dbm)), dbm, 1e-12);
+    }
+}
+
+TEST(Units, PeakVoltsScaleWithImpedance) {
+    // Same power into higher impedance needs a larger swing.
+    EXPECT_GT(dbm_to_peak_volts(0.0, 75.0), dbm_to_peak_volts(0.0, 50.0));
+}
+
+TEST(Units, DbRatios) {
+    EXPECT_DOUBLE_EQ(ratio_to_db(10.0), 10.0);
+    EXPECT_DOUBLE_EQ(db_to_ratio(3.0102999566398116), 1.9999999999999996);
+    EXPECT_DOUBLE_EQ(vratio_to_db(10.0), 20.0);
+    EXPECT_NEAR(db_to_vratio(6.0), 1.9952623149688795, 1e-12);
+}
+
+TEST(Units, TemperatureConversion) {
+    EXPECT_DOUBLE_EQ(celsius_to_kelvin(27.0), 300.15);
+    EXPECT_DOUBLE_EQ(kelvin_to_celsius(celsius_to_kelvin(-10.0)), -10.0);
+}
+
+TEST(Units, PowerDifferenceOfTenDbIsTenfold) {
+    EXPECT_NEAR(dbm_to_watts(10.0) / dbm_to_watts(0.0), 10.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rfabm::rf
