@@ -1,0 +1,137 @@
+// Fault-detection coverage campaign (robustness experiment).
+//
+// Sweeps a defect population — circuit opens/bridges/drifts, stuck MUX
+// switches and MOSFETs, scan-chain and select-bus wiring faults — through
+// the hardened measurement pipeline at several stimulus levels and reports
+// per-class detection coverage.  The pipeline's contract under test: every
+// injected fault is flagged (Degraded or Failed with a suspected fault
+// class), a healthy chip reads Ok, and no Ok verdict is silently wrong.
+//
+// Usage: fault_coverage [--fast]
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "circuit/devices/defects.hpp"
+#include "faults/campaign.hpp"
+#include "faults/circuit_faults.hpp"
+#include "faults/jtag_faults.hpp"
+#include "rf/sweep.hpp"
+
+namespace {
+
+/// Build the defect population for one chip instance.
+void plant_faults(rfabm::core::RfAbmChip& chip, rfabm::faults::FaultCampaign& campaign) {
+    using namespace rfabm;
+    using namespace rfabm::faults;
+    auto& ckt = chip.circuit();
+
+    // Circuit level: signal-path elements of the power detector and its
+    // input network.
+    campaign.add(std::make_unique<OpenDeviceFault>(
+        "open:PDET.R8", ckt.get<circuit::Resistor>("PDET.R8")));
+    campaign.add(std::make_unique<OpenDeviceFault>(
+        "open:RMATCH", ckt.get<circuit::Resistor>("RMATCH")));
+    auto& bridge = ckt.add<circuit::BridgeDefect>(
+        "DEF.voutp_gnd", chip.pdet().vout_p(), circuit::kGround, 25.0);
+    campaign.add(std::make_unique<BridgeFault>("bridge:voutp-gnd", bridge));
+    auto& leak = ckt.add<circuit::LeakDefect>(
+        "DEF.voutn_leak", chip.pdet().vout_n(), circuit::kGround, 20e3);
+    campaign.add(std::make_unique<BridgeFault>("leak:voutn-gnd", leak));
+    campaign.add(std::make_unique<DriftFault>(
+        "drift:PDET.R4", ckt.get<circuit::Resistor>("PDET.R4"), 5.0));
+    campaign.add(std::make_unique<StuckMosfetFault>(
+        "stuckoff:PDET.Q1", chip.pdet().q1(), circuit::MosfetFault::kStuckOff));
+
+    // Switch matrix.
+    campaign.add(std::make_unique<StuckSwitchFault>(
+        "stuckopen:MUX.out-", chip.mux().switch_for(core::SelectBit::kOutMinusToAb2),
+        circuit::SwitchFault::kStuckOpen));
+    campaign.add(std::make_unique<StuckSwitchFault>(
+        "stuckopen:MUX.out+", chip.mux().switch_for(core::SelectBit::kOutPlusToAb1),
+        circuit::SwitchFault::kStuckOpen));
+    campaign.add(std::make_unique<StuckSwitchFault>(
+        "stuckclosed:MUX.fdet", chip.mux().switch_for(core::SelectBit::kFdetToAb1),
+        circuit::SwitchFault::kStuckClosed));
+
+    // Scan chain / serial bus.
+    campaign.add(std::make_unique<StuckLineFault>(
+        "stuck0:TDO", chip.tap_driver(), StuckLineFault::Line::kTdo, false));
+    campaign.add(std::make_unique<StuckLineFault>(
+        "stuck1:TDI", chip.tap_driver(), StuckLineFault::Line::kTdi, true));
+    campaign.add(std::make_unique<TckGlitchFault>(
+        "glitch:TCK", chip.tap_driver(), rfabm::faults::TckGlitchConfig{.drop_every = 7}));
+    campaign.add(std::make_unique<TckGlitchFault>(
+        "burst:TCK", chip.tap_driver(), rfabm::faults::TckGlitchConfig{.burst_edges = 60}));
+    campaign.add(std::make_unique<ScanBitFlipFault>("bitflip:TDO", chip.tap_driver(), 3));
+    campaign.add(std::make_unique<StuckLineFault>("stuck1:SEL", chip.select_bus(), true));
+    campaign.add(std::make_unique<TckGlitchFault>(
+        "glitch:SELCLK", chip.select_bus(), rfabm::faults::TckGlitchConfig{.drop_every = 3}));
+}
+
+struct ClassTally {
+    std::size_t injected = 0;
+    std::size_t detected = 0;
+    std::size_t silent = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace rfabm;
+    const bench::HarnessOptions opts = bench::parse_options(argc, argv);
+    const std::vector<double> stimuli =
+        opts.fast ? std::vector<double>{-8.0} : std::vector<double>{-14.0, -8.0, 0.0};
+
+    core::RfAbmChip chip{core::RfAbmChipConfig{}};
+    core::MeasurementController controller(chip);
+    controller.open_session();
+    core::dc_calibrate(controller);
+    const rf::MonotoneCurve power_curve =
+        core::acquire_power_curve(controller, rf::arange(-20.0, 7.0, 3.0), 1.5e9);
+
+    std::map<std::string, ClassTally> per_class;
+    std::size_t total = 0;
+    std::size_t detected = 0;
+    std::size_t silent = 0;
+    bool baseline_ok = true;
+
+    faults::FaultCampaign campaign(controller, power_curve, {stimuli.front(), 1.5e9});
+    plant_faults(chip, campaign);
+
+    for (double dbm : stimuli) {
+        campaign.set_stimulus({dbm, 1.5e9});
+        std::printf("=== stimulus %.1f dBm, %zu faults ===\n", dbm, campaign.size());
+        const faults::CampaignReport report = campaign.run();
+        std::printf("%s\n", report.to_string().c_str());
+        baseline_ok =
+            baseline_ok && report.baseline.status == core::MeasurementStatus::kOk;
+        for (const faults::CampaignEntry& e : report.entries) {
+            ClassTally& tally = per_class[to_string(e.fault_class)];
+            ++tally.injected;
+            ++total;
+            if (e.detected) {
+                ++tally.detected;
+                ++detected;
+            }
+            if (e.silent_corruption) {
+                ++tally.silent;
+                ++silent;
+            }
+        }
+    }
+
+    std::printf("=== coverage by fault class ===\n");
+    std::printf("%-14s %9s %9s %7s\n", "class", "injected", "detected", "silent");
+    for (const auto& [name, tally] : per_class) {
+        std::printf("%-14s %9zu %9zu %7zu\n", name.c_str(), tally.injected, tally.detected,
+                    tally.silent);
+    }
+    std::printf("total: %zu/%zu detected (%.1f%%), %zu silent corruptions, baseline %s\n",
+                detected, total, total ? 100.0 * detected / total : 0.0, silent,
+                baseline_ok ? "Ok" : "NOT Ok");
+    return (detected == total && silent == 0 && baseline_ok) ? 0 : 1;
+}

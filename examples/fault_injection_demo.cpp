@@ -1,0 +1,88 @@
+// Fault-injection campaign, end to end.
+//
+// Builds the calibrated nominal chip, plants a population of physical and
+// scan-chain defects, and runs the hardened measurement pipeline against
+// each one in turn.  A healthy run must come back Ok; every fault must be
+// flagged (Degraded or Failed, with the suspected fault class) — and no
+// verdict may be a silently wrong Ok.  Exit status reflects exactly that, so
+// the demo doubles as a smoke test of the detection coverage.
+#include <cstdio>
+#include <memory>
+
+#include "circuit/devices/defects.hpp"
+#include "core/calibration.hpp"
+#include "core/measurement.hpp"
+#include "faults/campaign.hpp"
+#include "faults/circuit_faults.hpp"
+#include "faults/jtag_faults.hpp"
+#include "rf/sweep.hpp"
+
+int main() {
+    using namespace rfabm;
+    using namespace rfabm::faults;
+
+    core::RfAbmChip chip{core::RfAbmChipConfig{}};
+    core::MeasurementController controller(chip);
+    controller.open_session();
+    core::dc_calibrate(controller);
+    const rf::MonotoneCurve power_curve =
+        core::acquire_power_curve(controller, rf::arange(-20.0, 7.0, 3.0), 1.5e9);
+    std::printf("calibrated: %zu-point power curve acquired\n\n", power_curve.size());
+
+    // Plant the bridge defect device next to the healthy netlist (dormant
+    // defects stamp nothing, so the healthy baseline is untouched).
+    auto& bridge = chip.circuit().add<circuit::BridgeDefect>(
+        "DEF.voutp_gnd", chip.pdet().vout_p(), circuit::kGround, 25.0);
+
+    FaultCampaign campaign(controller, power_curve, {-8.0, 1.5e9});
+
+    // Circuit-level defects.
+    campaign.add(std::make_unique<OpenDeviceFault>(
+        "open:PDET.R8", chip.circuit().get<circuit::Resistor>("PDET.R8")));
+    campaign.add(std::make_unique<BridgeFault>("bridge:voutp-gnd", bridge));
+    campaign.add(std::make_unique<DriftFault>(
+        "drift:PDET.R4", chip.circuit().get<circuit::Resistor>("PDET.R4"), 5.0));
+    campaign.add(std::make_unique<StuckMosfetFault>(
+        "stuckoff:PDET.Q1", chip.pdet().q1(), circuit::MosfetFault::kStuckOff));
+
+    // Switch-matrix defects.
+    campaign.add(std::make_unique<StuckSwitchFault>(
+        "stuckopen:MUX4.out_minus", chip.mux().switch_for(core::SelectBit::kOutMinusToAb2),
+        circuit::SwitchFault::kStuckOpen));
+
+    // Scan-chain / serial-bus defects.
+    campaign.add(std::make_unique<StuckLineFault>(
+        "stuck0:TDO", chip.tap_driver(), StuckLineFault::Line::kTdo, false));
+    campaign.add(std::make_unique<TckGlitchFault>(
+        "glitch:TCK", chip.tap_driver(), TckGlitchConfig{.drop_every = 7}));
+    campaign.add(std::make_unique<TckGlitchFault>(
+        "burst:TCK", chip.tap_driver(), TckGlitchConfig{.burst_edges = 60}));
+    campaign.add(std::make_unique<ScanBitFlipFault>("bitflip:TDO", chip.tap_driver(), 3));
+    campaign.add(std::make_unique<StuckLineFault>("stuck1:SEL", chip.select_bus(), true));
+
+    const CampaignReport report = campaign.run();
+    std::printf("%s\n", report.to_string().c_str());
+    for (const CampaignEntry& e : report.entries) {
+        std::printf("  %-22s %s\n      %s\n", e.fault_name.c_str(), e.description.c_str(),
+                    e.diagnostics.c_str());
+    }
+
+    bool ok = true;
+    if (report.baseline.status != core::MeasurementStatus::kOk) {
+        std::printf("FAIL: healthy baseline not Ok (%s)\n",
+                    report.baseline.diagnostics.c_str());
+        ok = false;
+    }
+    if (report.silent_count() != 0) {
+        std::printf("FAIL: %zu silent corruption(s) in the Ok path\n", report.silent_count());
+        ok = false;
+    }
+    for (const CampaignEntry& e : report.entries) {
+        if (!e.detected) {
+            std::printf("FAIL: %s not detected\n", e.fault_name.c_str());
+            ok = false;
+        }
+    }
+    std::printf("\n%s\n", ok ? "all faults detected, no silent corruption" : "CAMPAIGN FAILED");
+    return ok ? 0 : 1;
+}

@@ -1,13 +1,71 @@
 #include "circuit/dc.hpp"
 
+#include <limits>
+#include <sstream>
+
 #include "circuit/devices/sources.hpp"
 #include "circuit/mna.hpp"
 
 namespace rfabm::circuit {
 
-DcResult solve_dc(Circuit& circuit, const DcOptions& options, const Solution* initial) {
+namespace {
+
+/// Name of solution unknown @p index for diagnostics: the node's netlist name
+/// for voltage unknowns, "branch N" for MNA current unknowns.
+std::string unknown_name(const Circuit& circuit, std::size_t index) {
+    const std::size_t num_node_unknowns = circuit.num_nodes() - 1;
+    if (index < num_node_unknowns) {
+        return "node '" + circuit.node_name(static_cast<NodeId>(index + 1)) + "'";
+    }
+    return "branch " + std::to_string(index - num_node_unknowns);
+}
+
+/// Tracks the shared iteration budget across all attempts of one solve.
+class IterationBudget {
+  public:
+    explicit IterationBudget(int max_total)
+        : remaining_(max_total > 0 ? max_total : std::numeric_limits<int>::max()) {}
+
+    /// Cap @p opts to the remaining budget; false when the budget is spent.
+    bool apply(NewtonOptions& opts) const {
+        if (remaining_ <= 0) return false;
+        opts.max_iterations = std::min(opts.max_iterations, remaining_);
+        return true;
+    }
+
+    void charge(const NewtonOutcome& out) {
+        remaining_ -= out.iterations;
+        total_ += out.iterations;
+    }
+
+    bool exhausted() const { return remaining_ <= 0; }
+    int total() const { return total_; }
+
+  private:
+    int remaining_;
+    int total_ = 0;
+};
+
+}  // namespace
+
+std::string ConvergenceDiagnostics::to_string() const {
+    std::ostringstream os;
+    os << "DC operating point did not converge after " << total_iterations
+       << " Newton iterations";
+    if (!worst_unknown.empty()) {
+        os << " (worst |delta| = " << worst_delta << " at " << worst_unknown << ")";
+    }
+    if (singular) os << "; matrix became singular";
+    if (budget_exhausted) os << "; total-iteration budget exhausted";
+    os << "; gmin stepping " << (gmin_stepping_attempted ? "attempted" : "not attempted")
+       << ", source stepping " << (source_stepping_attempted ? "attempted" : "not attempted");
+    return os.str();
+}
+
+DcOutcome try_solve_dc(Circuit& circuit, const DcOptions& options, const Solution* initial) {
     circuit.finalize();
-    DcResult result;
+    DcOutcome outcome;
+    DcResult& result = outcome.result;
     result.solution = initial != nullptr ? *initial
                                          : Solution(circuit.num_nodes(), circuit.num_branches());
     if (result.solution.size() != circuit.num_nodes() - 1 + circuit.num_branches()) {
@@ -19,25 +77,49 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options, const Solution* in
     ctx.mode = AnalysisMode::kDc;
     ctx.gmin = options.gmin;
 
+    IterationBudget budget(options.newton.max_total_iterations);
+    ConvergenceDiagnostics& diag = outcome.diagnostics;
+    auto record_attempt = [&](const NewtonOutcome& out) {
+        budget.charge(out);
+        diag.total_iterations = budget.total();
+        diag.last_attempt_iterations = out.iterations;
+        diag.worst_delta = out.worst_delta;
+        diag.worst_unknown = unknown_name(circuit, out.worst_unknown);
+        diag.singular = diag.singular || out.singular;
+        diag.budget_exhausted = budget.exhausted();
+    };
+
     // 1. Plain Newton.
     {
-        Solution x = result.solution;
-        const NewtonOutcome out = newton_iterate(circuit, ctx, x, options.newton, scratch);
-        if (out.converged) {
-            result.solution = std::move(x);
-            result.iterations = out.iterations;
-            return result;
+        NewtonOptions opts = options.newton;
+        if (budget.apply(opts)) {
+            Solution x = result.solution;
+            const NewtonOutcome out = newton_iterate(circuit, ctx, x, opts, scratch);
+            record_attempt(out);
+            if (out.converged) {
+                result.solution = std::move(x);
+                result.iterations = out.iterations;
+                outcome.ok = true;
+                return outcome;
+            }
         }
     }
 
     // 2. Gmin stepping: start with a heavily damped matrix and relax.
-    if (options.allow_gmin_stepping) {
+    if (options.allow_gmin_stepping && !budget.exhausted()) {
+        diag.gmin_stepping_attempted = true;
         Solution x(circuit.num_nodes(), circuit.num_branches());
         bool ok = true;
         NewtonOptions step_opts = options.newton;
         for (double g = 1e-2; g >= options.gmin * 0.99; g *= 0.1) {
             step_opts.extra_diag_gmin = g > options.gmin ? g : 0.0;
-            const NewtonOutcome out = newton_iterate(circuit, ctx, x, step_opts, scratch);
+            NewtonOptions opts = step_opts;
+            if (!budget.apply(opts)) {
+                ok = false;
+                break;
+            }
+            const NewtonOutcome out = newton_iterate(circuit, ctx, x, opts, scratch);
+            record_attempt(out);
             if (!out.converged) {
                 ok = false;
                 break;
@@ -46,23 +128,35 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options, const Solution* in
         if (ok) {
             // Final polish without extra gmin.
             step_opts.extra_diag_gmin = 0.0;
-            const NewtonOutcome out = newton_iterate(circuit, ctx, x, step_opts, scratch);
-            if (out.converged) {
-                result.solution = std::move(x);
-                result.iterations = out.iterations;
-                result.used_gmin_stepping = true;
-                return result;
+            NewtonOptions opts = step_opts;
+            if (budget.apply(opts)) {
+                const NewtonOutcome out = newton_iterate(circuit, ctx, x, opts, scratch);
+                record_attempt(out);
+                if (out.converged) {
+                    result.solution = std::move(x);
+                    result.iterations = out.iterations;
+                    result.used_gmin_stepping = true;
+                    outcome.ok = true;
+                    return outcome;
+                }
             }
         }
     }
 
     // 3. Source stepping: homotopy from a dead circuit to full drive.
-    if (options.allow_source_stepping) {
+    if (options.allow_source_stepping && !budget.exhausted()) {
+        diag.source_stepping_attempted = true;
         Solution x(circuit.num_nodes(), circuit.num_branches());
         bool ok = true;
         for (double scale : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
             ctx.source_scale = scale;
-            const NewtonOutcome out = newton_iterate(circuit, ctx, x, options.newton, scratch);
+            NewtonOptions opts = options.newton;
+            if (!budget.apply(opts)) {
+                ok = false;
+                break;
+            }
+            const NewtonOutcome out = newton_iterate(circuit, ctx, x, opts, scratch);
+            record_attempt(out);
             if (!out.converged) {
                 ok = false;
                 break;
@@ -71,11 +165,18 @@ DcResult solve_dc(Circuit& circuit, const DcOptions& options, const Solution* in
         if (ok) {
             result.solution = std::move(x);
             result.used_source_stepping = true;
-            return result;
+            outcome.ok = true;
+            return outcome;
         }
     }
 
-    throw ConvergenceError("DC operating point did not converge");
+    return outcome;
+}
+
+DcResult solve_dc(Circuit& circuit, const DcOptions& options, const Solution* initial) {
+    DcOutcome outcome = try_solve_dc(circuit, options, initial);
+    if (!outcome.ok) throw ConvergenceError(outcome.diagnostics);
+    return std::move(outcome.result);
 }
 
 std::vector<double> dc_sweep(Circuit& circuit, VSource& source, const std::vector<double>& levels,

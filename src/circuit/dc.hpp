@@ -2,6 +2,7 @@
 #pragma once
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -10,11 +11,35 @@
 
 namespace rfabm::circuit {
 
+/// Post-mortem of a failed (or abandoned) DC solve: everything a user needs
+/// to act on "did not converge" without re-running under a debugger.
+struct ConvergenceDiagnostics {
+    int total_iterations = 0;         ///< Newton iterations across all attempts
+    int last_attempt_iterations = 0;  ///< iterations of the final attempt
+    double worst_delta = 0.0;         ///< largest final-iteration update (V or A)
+    std::string worst_unknown;        ///< node name or "branch N" of that update
+    bool gmin_stepping_attempted = false;
+    bool source_stepping_attempted = false;
+    bool budget_exhausted = false;    ///< max_total_iterations cap hit
+    bool singular = false;            ///< LU found a singular pivot
+
+    /// One-line human-readable summary (used as the exception message).
+    std::string to_string() const;
+};
+
 /// Thrown when every convergence aid (plain Newton, gmin stepping, source
-/// stepping) fails to find an operating point.
+/// stepping) fails to find an operating point.  Carries the full diagnostics
+/// of the failed solve.
 class ConvergenceError : public std::runtime_error {
   public:
     using std::runtime_error::runtime_error;
+    explicit ConvergenceError(const ConvergenceDiagnostics& diagnostics)
+        : std::runtime_error(diagnostics.to_string()), diagnostics_(diagnostics) {}
+
+    const ConvergenceDiagnostics& diagnostics() const { return diagnostics_; }
+
+  private:
+    ConvergenceDiagnostics diagnostics_{};
 };
 
 /// Options for solve_dc().
@@ -33,8 +58,23 @@ struct DcResult {
     bool used_source_stepping = false;
 };
 
-/// Solve the DC operating point.  @p initial (if given) warm-starts Newton —
-/// essential for fast corner/sweep loops.  Throws ConvergenceError on failure.
+/// Structured outcome of try_solve_dc(): either a result or diagnostics,
+/// never an exception.
+struct DcOutcome {
+    bool ok = false;
+    DcResult result;                      ///< valid only when ok
+    ConvergenceDiagnostics diagnostics;   ///< always populated on failure
+};
+
+/// Solve the DC operating point without throwing.  @p initial (if given)
+/// warm-starts Newton — essential for fast corner/sweep loops.  The
+/// options.newton.max_total_iterations budget bounds the combined effort of
+/// plain Newton and every gmin/source-stepping stage.
+DcOutcome try_solve_dc(Circuit& circuit, const DcOptions& options = {},
+                       const Solution* initial = nullptr);
+
+/// Throwing wrapper over try_solve_dc(): raises ConvergenceError (with the
+/// full diagnostics attached) on failure.
 DcResult solve_dc(Circuit& circuit, const DcOptions& options = {},
                   const Solution* initial = nullptr);
 

@@ -1,0 +1,21 @@
+#include "circuit/devices/defects.hpp"
+
+#include <stdexcept>
+
+namespace rfabm::circuit {
+
+BridgeDefect::BridgeDefect(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {
+    if (ohms <= 0.0) throw std::invalid_argument("BridgeDefect: ohms must be > 0");
+    if (a == b) throw std::invalid_argument("BridgeDefect: nodes must differ");
+}
+
+void BridgeDefect::stamp(MnaSystem& sys, const StampContext&) {
+    if (armed_) sys.add_conductance(a_, b_, 1.0 / ohms_);
+}
+
+void BridgeDefect::stamp_ac(ComplexMna& sys, double, const Solution&) {
+    if (armed_) sys.add_conductance(a_, b_, {1.0 / ohms_, 0.0});
+}
+
+}  // namespace rfabm::circuit

@@ -1,0 +1,55 @@
+// Defect devices: parameterized physical faults injected into the MNA stamp
+// path.
+//
+// A fault-injection campaign plants these alongside the healthy netlist and
+// arms one at a time.  Disarmed they stamp nothing at all, so a circuit with
+// a dormant defect population solves identically to the defect-free one; an
+// armed defect contributes the electrical signature of the modelled flaw:
+//
+//   BridgeDefect - a resistive short (solder bridge, metal sliver, gate-oxide
+//                  pinhole) between two arbitrary nodes.
+//   LeakDefect   - a high-resistance leakage path (contamination, damaged
+//                  junction) — same stamp, defect-appropriate default value.
+//
+// Series opens of existing two-terminal elements are modelled on the element
+// itself (Resistor::set_nominal to an open value, Switch/Mosfet stuck states)
+// because MNA cannot cut a connection after the netlist is built; see
+// src/faults/ for the injector layer that drives both mechanisms.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace rfabm::circuit {
+
+/// Armable resistive path between two nodes; electrically absent until armed.
+class BridgeDefect : public Device {
+  public:
+    /// @p ohms is the bridge resistance when armed (must be > 0).
+    BridgeDefect(std::string name, NodeId a, NodeId b, double ohms = 10.0);
+
+    void stamp(MnaSystem& sys, const StampContext& ctx) override;
+    void stamp_ac(ComplexMna& sys, double omega, const Solution& op) override;
+
+    void arm() { armed_ = true; }
+    void disarm() { armed_ = false; }
+    bool armed() const { return armed_; }
+
+    double ohms() const { return ohms_; }
+    NodeId a() const { return a_; }
+    NodeId b() const { return b_; }
+
+  private:
+    NodeId a_;
+    NodeId b_;
+    double ohms_;
+    bool armed_ = false;
+};
+
+/// A weak leakage path: a BridgeDefect with a megaohm-class default.
+class LeakDefect : public BridgeDefect {
+  public:
+    LeakDefect(std::string name, NodeId a, NodeId b, double ohms = 1e6)
+        : BridgeDefect(std::move(name), a, b, ohms) {}
+};
+
+}  // namespace rfabm::circuit

@@ -97,7 +97,24 @@ MosOperatingPoint Mosfet::evaluate(double vgs, double vds) const {
     return op;
 }
 
+void Mosfet::set_fault(MosfetFault fault, double stuck_on_ohms) {
+    if (stuck_on_ohms <= 0.0) throw std::invalid_argument("Mosfet: stuck_on_ohms must be > 0");
+    fault_ = fault;
+    stuck_on_ohms_ = stuck_on_ohms;
+}
+
 void Mosfet::stamp(MnaSystem& sys, const StampContext& ctx) {
+    // Channel defects replace the square-law model with the degenerate
+    // linear element the defect leaves behind; both are iterate-independent,
+    // so a faulted device never blocks Newton convergence.
+    if (fault_ == MosfetFault::kStuckOff) {
+        sys.add_conductance(d_, s_, ctx.gmin);
+        return;
+    }
+    if (fault_ == MosfetFault::kStuckOn) {
+        sys.add_conductance(d_, s_, 1.0 / stuck_on_ohms_);
+        return;
+    }
     const double pol = params_.type == MosType::kNmos ? 1.0 : -1.0;
     const double vd = pol * ctx.x->v(d_);
     const double vg = pol * ctx.x->v(g_);
@@ -129,6 +146,14 @@ void Mosfet::stamp(MnaSystem& sys, const StampContext& ctx) {
 }
 
 void Mosfet::stamp_ac(ComplexMna& sys, double, const Solution& op_state) {
+    if (fault_ == MosfetFault::kStuckOff) {
+        sys.add_conductance(d_, s_, {kGminDefault, 0.0});
+        return;
+    }
+    if (fault_ == MosfetFault::kStuckOn) {
+        sys.add_conductance(d_, s_, {1.0 / stuck_on_ohms_, 0.0});
+        return;
+    }
     const MosOperatingPoint op = operating_point(op_state);
     const double pol = params_.type == MosType::kNmos ? 1.0 : -1.0;
     const double vd = pol * op_state.v(d_);

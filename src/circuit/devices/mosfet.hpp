@@ -41,6 +41,15 @@ struct MosOperatingPoint {
     bool saturated = false;
 };
 
+/// Transistor-level defect states.  A stuck-off device has an open channel
+/// (broken gate contact / blown fuse); a stuck-on device conducts drain to
+/// source as a fixed low resistance (gate-oxide short to the rail).
+enum class MosfetFault {
+    kNone,
+    kStuckOff,  ///< channel never conducts
+    kStuckOn,   ///< channel permanently resistive (ignores the gate)
+};
+
 /// Three-terminal MOSFET (bulk tied to source; no body effect).
 class Mosfet : public Device {
   public:
@@ -67,6 +76,11 @@ class Mosfet : public Device {
     /// Operating point extracted from a solved state.
     MosOperatingPoint operating_point(const Solution& x) const;
 
+    /// Inject/clear a channel defect.  @p stuck_on_ohms is the residual
+    /// drain-source resistance of a stuck-on channel.
+    void set_fault(MosfetFault fault, double stuck_on_ohms = 50.0);
+    MosfetFault fault() const { return fault_; }
+
   private:
     void update_effective();
 
@@ -79,6 +93,8 @@ class Mosfet : public Device {
     double kp_eff_ = 0.0;
     double vgs_last_ = 0.0;   ///< limiting history (polarity/effective frame)
     double vds_last_ = 0.0;
+    MosfetFault fault_ = MosfetFault::kNone;
+    double stuck_on_ohms_ = 50.0;
 };
 
 }  // namespace rfabm::circuit

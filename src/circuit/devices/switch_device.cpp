@@ -12,11 +12,11 @@ Switch::Switch(std::string name, NodeId a, NodeId b, double ron, double roff)
 }
 
 void Switch::stamp(MnaSystem& sys, const StampContext&) {
-    sys.add_conductance(a_, b_, closed_ ? 1.0 / ron_eff_ : 1.0 / roff_);
+    sys.add_conductance(a_, b_, effective_closed() ? 1.0 / ron_eff_ : 1.0 / roff_);
 }
 
 void Switch::stamp_ac(ComplexMna& sys, double, const Solution&) {
-    sys.add_conductance(a_, b_, {closed_ ? 1.0 / ron_eff_ : 1.0 / roff_, 0.0});
+    sys.add_conductance(a_, b_, {effective_closed() ? 1.0 / ron_eff_ : 1.0 / roff_, 0.0});
 }
 
 void Switch::apply_process(const ProcessCorner& corner) {

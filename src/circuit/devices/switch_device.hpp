@@ -12,6 +12,15 @@
 
 namespace rfabm::circuit {
 
+/// Manufacturing/wear-out defect states a transmission gate can assume.  A
+/// stuck switch ignores its control input: the gate oxide shorted (stuck
+/// closed) or the pass devices never turn on (stuck open).
+enum class SwitchFault {
+    kNone,        ///< healthy: follows set_closed()
+    kStuckOpen,   ///< always Roff regardless of control
+    kStuckClosed, ///< always Ron regardless of control
+};
+
 /// Two-state analog switch between nodes a and b.
 class Switch : public Device {
   public:
@@ -26,6 +35,18 @@ class Switch : public Device {
     void set_closed(bool closed) { closed_ = closed; }
     bool closed() const { return closed_; }
 
+    /// Inject/clear a stuck-at defect.  The commanded state is retained so
+    /// clearing the fault restores normal operation.
+    void set_fault(SwitchFault fault) { fault_ = fault; }
+    SwitchFault fault() const { return fault_; }
+
+    /// Electrically effective state: the defect overrides the control input.
+    bool effective_closed() const {
+        if (fault_ == SwitchFault::kStuckOpen) return false;
+        if (fault_ == SwitchFault::kStuckClosed) return true;
+        return closed_;
+    }
+
     double ron() const { return ron_eff_; }
     double roff() const { return roff_; }
 
@@ -39,6 +60,7 @@ class Switch : public Device {
     double ron_eff_;
     double roff_;
     bool closed_ = false;
+    SwitchFault fault_ = SwitchFault::kNone;
 };
 
 }  // namespace rfabm::circuit

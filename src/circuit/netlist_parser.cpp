@@ -26,23 +26,29 @@ std::string lower(std::string_view s) {
 }
 
 /// Split a card into tokens; parentheses become their own tokens so
-/// "SIN(0 1 1e9)" tokenizes as SIN ( 0 1 1e9 ).
-std::vector<std::string> tokenize(const std::string& line) {
+/// "SIN(0 1 1e9)" tokenizes as SIN ( 0 1 1e9 ).  @p columns receives the
+/// 1-based start column of each token within the card text.
+std::vector<std::string> tokenize(const std::string& line, std::vector<std::size_t>* columns) {
     std::vector<std::string> tokens;
     std::string current;
+    std::size_t current_col = 0;
     auto flush = [&] {
         if (!current.empty()) {
             tokens.push_back(current);
+            columns->push_back(current_col);
             current.clear();
         }
     };
-    for (char c : line) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
         if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
             flush();
         } else if (c == '(' || c == ')' || c == '=') {
             flush();
             tokens.push_back(std::string(1, c));
+            columns->push_back(i + 1);
         } else {
+            if (current.empty()) current_col = i + 1;
             current += c;
         }
     }
@@ -50,21 +56,38 @@ std::vector<std::string> tokenize(const std::string& line) {
     return tokens;
 }
 
+/// Context for error reporting while parsing one card.
+struct CardContext {
+    std::string source;
+    std::size_t line = 0;
+    std::size_t column_offset = 0;  ///< column of the card within its first raw line
+    const std::vector<std::size_t>* columns = nullptr;
+
+    /// Throw for token @p index (or the card as a whole when out of range).
+    [[noreturn]] void fail(std::size_t index, const std::string& message) const {
+        std::size_t col = 0;
+        if (columns != nullptr && index < columns->size()) {
+            col = column_offset + (*columns)[index];
+        }
+        throw NetlistError(source, line, col, message);
+    }
+};
+
 /// name=value pairs from the tail of a token list (handles "K = 1" spacing).
 std::map<std::string, std::string> parse_pairs(const std::vector<std::string>& tokens,
-                                               std::size_t start, std::size_t line,
+                                               std::size_t start, const CardContext& ctx,
                                                std::vector<std::string>* loose = nullptr) {
     std::map<std::string, std::string> pairs;
     for (std::size_t i = start; i < tokens.size();) {
         if (i + 1 < tokens.size() && tokens[i + 1] == "=") {
-            if (i + 2 >= tokens.size()) throw NetlistError(line, "dangling '=' after " + tokens[i]);
+            if (i + 2 >= tokens.size()) ctx.fail(i, "dangling '=' after " + tokens[i]);
             pairs[lower(tokens[i])] = tokens[i + 2];
             i += 3;
         } else {
             if (loose != nullptr) {
                 loose->push_back(tokens[i]);
             } else {
-                throw NetlistError(line, "unexpected token '" + tokens[i] + "'");
+                ctx.fail(i, "unexpected token '" + tokens[i] + "'");
             }
             ++i;
         }
@@ -105,11 +128,14 @@ double parse_eng_value(std::string_view token) {
     throw std::invalid_argument("bad value suffix: " + std::string(token));
 }
 
-std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
+std::size_t parse_netlist(Circuit& circuit, std::string_view text,
+                          std::string_view source_name) {
+    const std::string source(source_name);
     // --- gather logical lines (handle '+' continuation, strip comments) -----
     struct Card {
         std::string text;
         std::size_t line;
+        std::size_t column_offset;  ///< column of the card's first character
     };
     std::vector<Card> cards;
     {
@@ -127,28 +153,32 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
             std::string body = raw.substr(begin, end - begin + 1);
             if (body.empty()) continue;
             if (body[0] == '+') {
-                if (cards.empty()) throw NetlistError(lineno, "continuation without a card");
+                if (cards.empty()) {
+                    throw NetlistError(source, lineno, begin + 1,
+                                       "continuation without a card");
+                }
                 cards.back().text += " " + body.substr(1);
             } else {
-                cards.push_back({body, lineno});
+                cards.push_back({body, lineno, begin});
             }
         }
     }
 
-    auto value_of = [](const std::string& tok, std::size_t line) {
-        try {
-            return parse_eng_value(tok);
-        } catch (const std::invalid_argument& e) {
-            throw NetlistError(line, e.what());
-        }
-    };
-
     // --- first pass: .model cards -------------------------------------------
     std::map<std::string, MosModel> models;
     for (const Card& card : cards) {
-        auto tokens = tokenize(card.text);
+        std::vector<std::size_t> cols;
+        auto tokens = tokenize(card.text, &cols);
         if (tokens.empty() || lower(tokens[0]) != ".model") continue;
-        if (tokens.size() < 3) throw NetlistError(card.line, ".model needs a name and a type");
+        CardContext ctx{source, card.line, card.column_offset, &cols};
+        auto value_of = [&](const std::string& tok, std::size_t idx) {
+            try {
+                return parse_eng_value(tok);
+            } catch (const std::invalid_argument& e) {
+                ctx.fail(idx, e.what());
+            }
+        };
+        if (tokens.size() < 3) ctx.fail(0, ".model needs a name and a type");
         MosModel model;
         const std::string type = lower(tokens[2]);
         if (type == "nmos") {
@@ -156,11 +186,11 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
         } else if (type == "pmos") {
             model.params.type = MosType::kPmos;
         } else {
-            throw NetlistError(card.line, "unknown model type: " + tokens[2]);
+            ctx.fail(2, "unknown model type: " + tokens[2]);
         }
-        const auto pairs = parse_pairs(tokens, 3, card.line);
+        const auto pairs = parse_pairs(tokens, 3, ctx);
         for (const auto& [key, val] : pairs) {
-            const double v = value_of(val, card.line);
+            const double v = value_of(val, 0);
             if (key == "kp") {
                 model.params.kp = v;
             } else if (key == "vto" || key == "vt0") {
@@ -172,7 +202,7 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
             } else if (key == "l") {
                 model.params.l = v;
             } else {
-                throw NetlistError(card.line, "unknown .model parameter: " + key);
+                ctx.fail(0, "unknown .model parameter: " + key);
             }
         }
         models[lower(tokens[1])] = model;
@@ -181,35 +211,44 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
     // --- second pass: devices -----------------------------------------------
     std::size_t created = 0;
     for (const Card& card : cards) {
-        auto tokens = tokenize(card.text);
+        std::vector<std::size_t> cols;
+        auto tokens = tokenize(card.text, &cols);
         if (tokens.empty()) continue;
+        CardContext ctx{source, card.line, card.column_offset, &cols};
         const std::string head = lower(tokens[0]);
         if (head == ".model") continue;
         if (head == ".end") break;
-        if (head[0] == '.') throw NetlistError(card.line, "unknown directive: " + tokens[0]);
+        if (head[0] == '.') ctx.fail(0, "unknown directive: " + tokens[0]);
 
         const std::string& name = tokens[0];
+        auto value_of = [&](const std::string& tok, std::size_t idx) {
+            try {
+                return parse_eng_value(tok);
+            } catch (const std::invalid_argument& e) {
+                ctx.fail(idx, e.what());
+            }
+        };
         auto node = [&](std::size_t idx) -> NodeId {
-            if (idx >= tokens.size()) throw NetlistError(card.line, "missing node on " + name);
+            if (idx >= tokens.size()) ctx.fail(0, "missing node on " + name);
             return circuit.node(lower(tokens[idx]));
         };
         auto require = [&](std::size_t idx, const char* what) -> const std::string& {
             if (idx >= tokens.size()) {
-                throw NetlistError(card.line, std::string("missing ") + what + " on " + name);
+                ctx.fail(0, std::string("missing ") + what + " on " + name);
             }
             return tokens[idx];
         };
 
         switch (std::tolower(static_cast<unsigned char>(head[0]))) {
             case 'r': {
-                const double v = value_of(require(3, "value"), card.line);
+                const double v = value_of(require(3, "value"), 3);
                 const bool offchip = tokens.size() > 4 && lower(tokens[4]) == "offchip";
                 circuit.add<Resistor>(name, node(1), node(2), v,
                                       offchip ? Placement::kOffChip : Placement::kOnDie);
                 break;
             }
             case 'c': {
-                const double v = value_of(require(3, "value"), card.line);
+                const double v = value_of(require(3, "value"), 3);
                 const bool offchip = tokens.size() > 4 && lower(tokens[4]) == "offchip";
                 circuit.add<Capacitor>(name, node(1), node(2), v,
                                        offchip ? Placement::kOffChip : Placement::kOnDie);
@@ -217,7 +256,7 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
             }
             case 'l': {
                 circuit.add<Inductor>(name, node(1), node(2),
-                                      value_of(require(3, "value"), card.line));
+                                      value_of(require(3, "value"), 3));
                 break;
             }
             case 'v':
@@ -231,26 +270,27 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
                     std::vector<double> args;
                     std::size_t i = first;
                     if (i >= tokens.size() || tokens[i] != "(") {
-                        throw NetlistError(card.line, "expected '(' after " + kind);
+                        ctx.fail(first < tokens.size() ? first : 3,
+                                 "expected '(' after " + kind);
                     }
                     for (++i; i < tokens.size() && tokens[i] != ")"; ++i) {
-                        args.push_back(value_of(tokens[i], card.line));
+                        args.push_back(value_of(tokens[i], i));
                     }
-                    if (i >= tokens.size()) throw NetlistError(card.line, "missing ')'");
+                    if (i >= tokens.size()) ctx.fail(first, "missing ')'");
                     next = i + 1;
                     return args;
                 };
                 if (kind == "dc") {
-                    wave = Waveform::dc(value_of(require(4, "DC value"), card.line));
+                    wave = Waveform::dc(value_of(require(4, "DC value"), 4));
                     next = 5;
                 } else if (kind == "sin") {
                     const auto a = paren_args(4);
-                    if (a.size() < 3) throw NetlistError(card.line, "SIN needs >= 3 args");
+                    if (a.size() < 3) ctx.fail(3, "SIN needs >= 3 args");
                     wave = Waveform::sine(a[0], a[1], a[2], a.size() > 3 ? a[3] : 0.0,
                                           a.size() > 4 ? a[4] : 0.0);
                 } else if (kind == "pulse") {
                     const auto a = paren_args(4);
-                    if (a.size() < 7) throw NetlistError(card.line, "PULSE needs 7 args");
+                    if (a.size() < 7) ctx.fail(3, "PULSE needs 7 args");
                     PulseWave pw;
                     pw.v1 = a[0];
                     pw.v2 = a[1];
@@ -261,11 +301,11 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
                     pw.period = a[6];
                     wave = Waveform::pulse(pw);
                 } else {
-                    throw NetlistError(card.line, "unknown source kind: " + kind);
+                    ctx.fail(3, "unknown source kind: " + kind);
                 }
                 double ac = 0.0;
                 if (next < tokens.size() && lower(tokens[next]) == "ac") {
-                    ac = value_of(require(next + 1, "AC magnitude"), card.line);
+                    ac = value_of(require(next + 1, "AC magnitude"), next + 1);
                 }
                 if (std::tolower(static_cast<unsigned char>(head[0])) == 'v') {
                     auto& src = circuit.add<VSource>(name, p, n, wave);
@@ -278,14 +318,14 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
             }
             case 'd': {
                 DiodeParams params;
-                const auto pairs = parse_pairs(tokens, 3, card.line);
+                const auto pairs = parse_pairs(tokens, 3, ctx);
                 for (const auto& [key, val] : pairs) {
                     if (key == "is") {
-                        params.is = value_of(val, card.line);
+                        params.is = value_of(val, 0);
                     } else if (key == "n") {
-                        params.n = value_of(val, card.line);
+                        params.n = value_of(val, 0);
                     } else {
-                        throw NetlistError(card.line, "unknown diode parameter: " + key);
+                        ctx.fail(0, "unknown diode parameter: " + key);
                     }
                 }
                 circuit.add<Diode>(name, node(1), node(2), params);
@@ -295,17 +335,17 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
                 const std::string model_name = lower(require(4, "model name"));
                 const auto it = models.find(model_name);
                 if (it == models.end()) {
-                    throw NetlistError(card.line, "undefined model: " + model_name);
+                    ctx.fail(4, "undefined model: " + model_name);
                 }
                 MosfetParams params = it->second.params;
-                const auto pairs = parse_pairs(tokens, 5, card.line);
+                const auto pairs = parse_pairs(tokens, 5, ctx);
                 for (const auto& [key, val] : pairs) {
                     if (key == "w") {
-                        params.w = value_of(val, card.line);
+                        params.w = value_of(val, 0);
                     } else if (key == "l") {
-                        params.l = value_of(val, card.line);
+                        params.l = value_of(val, 0);
                     } else {
-                        throw NetlistError(card.line, "unknown MOS parameter: " + key);
+                        ctx.fail(0, "unknown MOS parameter: " + key);
                     }
                 }
                 circuit.add<Mosfet>(name, node(1), node(2), node(3), params);
@@ -314,18 +354,18 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
             case 's': {
                 const std::string state = lower(require(3, "ON/OFF"));
                 if (state != "on" && state != "off") {
-                    throw NetlistError(card.line, "switch state must be ON or OFF");
+                    ctx.fail(3, "switch state must be ON or OFF");
                 }
                 double ron = 100.0;
                 double roff = 1e9;
-                const auto pairs = parse_pairs(tokens, 4, card.line);
+                const auto pairs = parse_pairs(tokens, 4, ctx);
                 for (const auto& [key, val] : pairs) {
                     if (key == "ron") {
-                        ron = value_of(val, card.line);
+                        ron = value_of(val, 0);
                     } else if (key == "roff") {
-                        roff = value_of(val, card.line);
+                        roff = value_of(val, 0);
                     } else {
-                        throw NetlistError(card.line, "unknown switch parameter: " + key);
+                        ctx.fail(0, "unknown switch parameter: " + key);
                     }
                 }
                 auto& sw = circuit.add<Switch>(name, node(1), node(2), ron, roff);
@@ -334,16 +374,16 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text) {
             }
             case 'e': {
                 circuit.add<Vcvs>(name, node(1), node(2), node(3), node(4),
-                                  value_of(require(5, "gain"), card.line));
+                                  value_of(require(5, "gain"), 5));
                 break;
             }
             case 'g': {
                 circuit.add<Vccs>(name, node(1), node(2), node(3), node(4),
-                                  value_of(require(5, "gm"), card.line));
+                                  value_of(require(5, "gm"), 5));
                 break;
             }
             default:
-                throw NetlistError(card.line, "unknown device type: " + name);
+                ctx.fail(0, "unknown device type: " + name);
         }
         ++created;
     }

@@ -34,21 +34,44 @@
 
 namespace rfabm::circuit {
 
-/// Thrown on malformed input; carries the 1-based line number.
+/// Thrown on malformed input; carries the source name (when given), the
+/// 1-based line number and the 1-based column of the offending token.  A
+/// column of 0 means "the card as a whole".  For '+'-continued cards the
+/// column indexes the logical (joined) card text.
 class NetlistError : public std::runtime_error {
   public:
     NetlistError(std::size_t line, const std::string& message)
-        : std::runtime_error("netlist line " + std::to_string(line) + ": " + message),
-          line_(line) {}
+        : NetlistError("", line, 0, message) {}
+    NetlistError(std::string source, std::size_t line, std::size_t column,
+                 const std::string& message)
+        : std::runtime_error(format(source, line, column, message)),
+          source_(std::move(source)),
+          line_(line),
+          column_(column) {}
+
+    const std::string& source() const { return source_; }
     std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
 
   private:
+    static std::string format(const std::string& source, std::size_t line, std::size_t column,
+                              const std::string& message) {
+        std::string where = source.empty() ? "netlist line " + std::to_string(line)
+                                           : source + ":" + std::to_string(line);
+        if (column > 0) where += ":" + std::to_string(column);
+        return where + ": " + message;
+    }
+
+    std::string source_;
     std::size_t line_;
+    std::size_t column_;
 };
 
 /// Parse @p text into @p circuit (devices are added to whatever is already
-/// there).  Returns the number of devices created.
-std::size_t parse_netlist(Circuit& circuit, std::string_view text);
+/// there).  Returns the number of devices created.  @p source_name (a file
+/// name, typically) is prepended to error messages when non-empty.
+std::size_t parse_netlist(Circuit& circuit, std::string_view text,
+                          std::string_view source_name = "");
 
 /// Parse a single engineering-notation value ("2.2k", "10p", "1meg", "-0.5").
 /// Throws std::invalid_argument on garbage.

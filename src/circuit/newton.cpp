@@ -8,16 +8,27 @@ namespace rfabm::circuit {
 
 namespace {
 
+/// Convergence test that also records the worst offender: the unknown whose
+/// update most exceeds (relatively) its tolerance, for failure diagnostics.
 bool check_converged(const Solution& prev, const std::vector<double>& next,
-                     std::size_t num_nodes, const NewtonOptions& opt) {
+                     std::size_t num_nodes, const NewtonOptions& opt, NewtonOutcome* outcome) {
     const auto& old_vals = prev.raw();
+    bool converged = true;
+    double worst_ratio = 0.0;
     for (std::size_t i = 0; i < next.size(); ++i) {
         const double delta = std::fabs(next[i] - old_vals[i]);
         const double scale = std::max(std::fabs(next[i]), std::fabs(old_vals[i]));
         const double abs_tol = i < num_nodes - 1 ? opt.vntol : opt.abstol;
-        if (delta > opt.reltol * scale + abs_tol) return false;
+        const double tol = opt.reltol * scale + abs_tol;
+        if (delta > tol) converged = false;
+        const double ratio = delta / tol;
+        if (ratio > worst_ratio) {
+            worst_ratio = ratio;
+            outcome->worst_delta = delta;
+            outcome->worst_unknown = i;
+        }
     }
-    return true;
+    return converged;
 }
 
 }  // namespace
@@ -49,7 +60,8 @@ NewtonOutcome newton_iterate(Circuit& circuit, StampContext ctx, Solution& x,
             outcome.singular = true;
             return outcome;
         }
-        const bool converged = !limited && check_converged(x, candidate, num_nodes, options);
+        const bool converged =
+            !limited && check_converged(x, candidate, num_nodes, options, &outcome);
         x.raw() = candidate;
         if (converged) {
             outcome.converged = true;

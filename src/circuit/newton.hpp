@@ -16,6 +16,12 @@ struct NewtonOptions {
     double vntol = 1e-6;    ///< absolute node-voltage tolerance (V)
     double abstol = 1e-9;   ///< absolute branch-current tolerance (A)
     double extra_diag_gmin = 0.0;  ///< added to every node diagonal (gmin stepping)
+    /// Hard budget on Newton iterations summed across every attempt of one
+    /// solve_dc() call (plain Newton + all gmin/source-stepping stages), so a
+    /// pathological netlist cannot spin the stepping loops unbounded.  The
+    /// budget is reported as exhausted in the structured outcome rather than
+    /// looping.  <= 0 disables the cap.
+    int max_total_iterations = 4000;
 };
 
 /// Result of a Newton solve attempt.
@@ -23,6 +29,11 @@ struct NewtonOutcome {
     bool converged = false;
     int iterations = 0;
     bool singular = false;  ///< LU hit a structurally/numerically singular pivot
+    /// Worst per-unknown update of the final iteration: |delta| and the index
+    /// of the unknown it occurred at (node order, then branches) — the seed
+    /// for "which node is fighting convergence" diagnostics.
+    double worst_delta = 0.0;
+    std::size_t worst_unknown = 0;
 };
 
 /// Iterate the MNA system described by @p ctx (whose x pointer is managed by

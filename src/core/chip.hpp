@@ -78,6 +78,7 @@ class RfAbmChip {
     rfabm::jtag::AnalogBoundaryModule& rf_pin_abm() { return *abm_rf_; }
     rfabm::jtag::AnalogBoundaryModule& fin_pin_abm() { return *abm_fin_; }
 
+    Mux4& mux() { return *mux_; }
     PowerDetector& pdet() { return *pdet_; }
     FrequencyDetector& fdet() { return *fdet_; }
     Prescaler& prescaler() { return *prescaler_; }

@@ -1,5 +1,9 @@
 #include "core/measurement.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
 #include "circuit/measure.hpp"
 #include "jtag/instructions.hpp"
 
@@ -8,6 +12,55 @@ namespace rfabm::core {
 using circuit::NodeId;
 using rfabm::jtag::Instruction;
 using rfabm::jtag::TbicPattern;
+
+const char* to_string(MeasurementStatus status) {
+    switch (status) {
+        case MeasurementStatus::kOk: return "Ok";
+        case MeasurementStatus::kDegraded: return "Degraded";
+        case MeasurementStatus::kFailed: return "Failed";
+    }
+    return "?";
+}
+
+const char* to_string(SuspectedFault fault) {
+    switch (fault) {
+        case SuspectedFault::kNone: return "none";
+        case SuspectedFault::kScanChain: return "scan-chain";
+        case SuspectedFault::kSelectPath: return "select-path";
+        case SuspectedFault::kConvergence: return "convergence";
+        case SuspectedFault::kSignalPath: return "signal-path";
+        case SuspectedFault::kNonSettling: return "non-settling";
+    }
+    return "?";
+}
+
+std::string MeasurementDiagnostics::to_string() const {
+    std::ostringstream os;
+    os << rfabm::core::to_string(status) << " (suspect: " << rfabm::core::to_string(suspect)
+       << ", retries: " << retries << ", sessions: " << reopened_sessions;
+    if (backoff_s_total > 0.0) os << ", backoff: " << backoff_s_total * 1e9 << " ns";
+    if (fallback_used) os << ", fallback: " << fallback;
+    os << ")";
+    if (!detail.empty()) os << ": " << detail;
+    return os.str();
+}
+
+namespace {
+
+/// y-extent of a calibration curve (the ends, since it is monotone).
+struct YRange {
+    double lo = 0.0;
+    double hi = 0.0;
+    double span() const { return hi - lo; }
+};
+
+YRange curve_y_range(const rfabm::rf::MonotoneCurve& cal) {
+    const double a = cal.points().front().y;
+    const double b = cal.points().back().y;
+    return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
 
 MeasurementController::MeasurementController(RfAbmChip& chip, MeasureOptions options)
     : chip_(chip), options_(options) {}
@@ -30,6 +83,7 @@ void MeasurementController::open_session() {
     // Establish the operating point with the session topology in place.
     chip_.engine().init();
     session_open_ = true;
+    engine_ready_ = true;
 }
 
 void MeasurementController::set_select(std::uint8_t word) {
@@ -143,6 +197,319 @@ FrequencyMeasurement MeasurementController::measure_frequency(
     m.ghz = cal.invert(m.vout);
     // A frequency read needs a live clock: demand a sensible edge count.
     m.valid = m.settled && m.edges >= 8;
+    return m;
+}
+
+bool MeasurementController::verify_scan_chain() {
+    // read_idcode() loads the IDCODE instruction, dropping PROBE: whatever
+    // session was open is gone after this check.
+    session_open_ = false;
+    // TMS-reset first, as a bench tester would: it re-synchronizes a TAP
+    // desynchronized by earlier clock glitches before the readback is judged.
+    chip_.tap_driver().reset_via_tms();
+    const std::uint32_t expected = chip_.config().idcode | 1u;  // LSB always 1
+    return chip_.tap_driver().read_idcode() == expected;
+}
+
+bool MeasurementController::verify_select(std::uint8_t word) const {
+    auto& bus = chip_.select_bus();
+    for (std::size_t i = 0; i < kSelectWidth; ++i) {
+        if (bus.output(i) != (((word >> i) & 1u) != 0)) return false;
+    }
+    return true;
+}
+
+double MeasurementController::liveness_read(NodeId pin) {
+    // Coarse amplitude estimate only: relaxed tolerances, tight window
+    // budget, so a dead (slowly drifting) pin cannot stall the pipeline.
+    circuit::SettleOptions sopts;
+    sopts.period = chip_.stimulus_period();
+    sopts.cycles_per_window = options_.cycles_per_window;
+    sopts.rel_tol = 1e-2;
+    sopts.abs_tol = 1e-3;
+    sopts.max_windows = 40;
+    sopts.lookback = 2;
+    sopts.min_windows = 4;
+    return circuit::settle_cycle_average(chip_.engine(), pin, circuit::kGround, sopts).value;
+}
+
+PowerMeasurement MeasurementController::measure_power_checked(
+    const rfabm::rf::MonotoneCurve& cal, std::optional<double> expected_dbm) {
+    PowerMeasurement m;
+    MeasurementDiagnostics& d = m.diag;
+    const RetryPolicy& policy = options_.retry;
+    const std::uint8_t word = select_word(
+        {SelectBit::kOutPlusToAb1, SelectBit::kOutMinusToAb2, SelectBit::kDetectorPower});
+    double backoff = policy.backoff_s;
+    const int attempts = std::max(1, policy.max_retries + 1);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            d.retries = attempt;
+            if (engine_ready_ && backoff > 0.0) {
+                try {
+                    chip_.engine().run_for(backoff);
+                    d.backoff_s_total += backoff;
+                } catch (const circuit::ConvergenceError&) {
+                    // The engine is wedged; open_session() below re-solves.
+                }
+                backoff *= policy.backoff_factor;
+            }
+        }
+        // 1. Scan-chain integrity: IDCODE must read back correctly before we
+        //    trust anything shifted through TDI/TDO.
+        if (!verify_scan_chain()) {
+            d.suspect = SuspectedFault::kScanChain;
+            d.detail = "IDCODE readback mismatch";
+            continue;
+        }
+        // 2. (Re)open the session and read.  The solver never aborts the
+        //    pipeline: non-convergence is recorded and retried.
+        try {
+            open_session();
+            ++d.reopened_sessions;
+            m.vout = measure_power_vout();
+            m.settled = last_settled_;
+        } catch (const circuit::ConvergenceError& e) {
+            d.suspect = SuspectedFault::kConvergence;
+            d.detail = e.what();
+            continue;
+        }
+        // 3. Select-path integrity: the latched word must match what we wrote.
+        if (!verify_select(word)) {
+            d.suspect = SuspectedFault::kSelectPath;
+            d.detail = "select-bus readback mismatch";
+            continue;
+        }
+        // 4. Non-settling fallback: one extended-window re-read before
+        //    burning a whole retry on it.
+        if (!m.settled) {
+            const MeasureOptions saved = options_;
+            options_.max_windows *= 2;
+            options_.cycles_per_window *= 2;
+            try {
+                m.vout = measure_power_vout();
+                m.settled = last_settled_;
+            } catch (const circuit::ConvergenceError&) {
+                m.settled = false;
+            }
+            options_ = saved;
+            if (m.settled) {
+                d.fallback_used = true;
+                d.fallback = "extended settle window";
+            } else {
+                d.suspect = SuspectedFault::kNonSettling;
+                d.detail = "DC read did not settle within the window budget";
+                continue;
+            }
+        }
+        // 5. Plausibility: both detector outputs must be electrically alive
+        //    (a floating ATAP pin reads near 0 through the DMM load) and the
+        //    reading must be credible against the calibration curve.
+        {
+            const double v1 = liveness_read(chip_.at1());
+            const double v2 = liveness_read(chip_.at2());
+            if (std::fabs(v1) < policy.liveness_min_v || std::fabs(v2) < policy.liveness_min_v) {
+                std::ostringstream os;
+                os << "ATAP pin liveness check failed (v(AT1) = " << v1 << " V, v(AT2) = "
+                   << v2 << " V)";
+                d.suspect = SuspectedFault::kSignalPath;
+                d.detail = os.str();
+                continue;
+            }
+        }
+        // 5b. Bus isolation: with every MUX path opened (detectors kept
+        //     powered) the ATAP pins must go dead.  A pin still alive points
+        //     at a switch stuck closed — invisible to the select readback,
+        //     which only sees the latched control bits.
+        {
+            set_select(select_word({SelectBit::kDetectorPower}));
+            const double v1 = liveness_read(chip_.at1());
+            const double v2 = liveness_read(chip_.at2());
+            set_select(word);
+            if (std::fabs(v1) >= policy.liveness_min_v ||
+                std::fabs(v2) >= policy.liveness_min_v) {
+                std::ostringstream os;
+                os << "analog bus not isolated when muted (v(AT1) = " << v1
+                   << " V, v(AT2) = " << v2 << " V): switch stuck closed?";
+                d.suspect = SuspectedFault::kSignalPath;
+                d.detail = os.str();
+                continue;
+            }
+        }
+        if (cal.valid()) {
+            const YRange range = curve_y_range(cal);
+            const double margin = policy.range_margin * range.span();
+            if (m.vout < range.lo - margin || m.vout > range.hi + margin) {
+                std::ostringstream os;
+                os << "Vout = " << m.vout << " V outside calibration range [" << range.lo
+                   << ", " << range.hi << "] V";
+                d.suspect = SuspectedFault::kSignalPath;
+                d.detail = os.str();
+                continue;
+            }
+            m.dbm = cal.invert(m.vout);
+            // The expected-stimulus cross-check runs in the dBm domain: the
+            // detector curve is steep at the top and nearly flat at the
+            // bottom, so a volt-domain tolerance would wave through huge
+            // low-power errors (a dead detector is only ~0.08 V off).
+            if (expected_dbm) {
+                const double tol = policy.expected_tol * (cal.x_max() - cal.x_min());
+                if (std::fabs(m.dbm - *expected_dbm) > tol) {
+                    std::ostringstream os;
+                    os << "measured " << m.dbm << " dBm deviates from expected "
+                       << *expected_dbm << " dBm (tolerance " << tol << " dB)";
+                    d.suspect = SuspectedFault::kSignalPath;
+                    d.detail = os.str();
+                    continue;
+                }
+            }
+        }
+        // Success.  d.suspect keeps whatever was suspected on failed attempts
+        // as context for the Degraded verdict.
+        d.status = (d.retries > 0 || d.fallback_used) ? MeasurementStatus::kDegraded
+                                                      : MeasurementStatus::kOk;
+        if (d.status == MeasurementStatus::kDegraded && d.detail.empty()) {
+            d.detail = "succeeded after retry";
+        }
+        return m;
+    }
+    // Budget exhausted.  A plausibility failure still carries a best-effort
+    // value (Degraded); infrastructure failures carry none worth trusting.
+    if (cal.valid()) m.dbm = cal.invert(m.vout);
+    d.status = d.suspect == SuspectedFault::kSignalPath ? MeasurementStatus::kDegraded
+                                                        : MeasurementStatus::kFailed;
+    return m;
+}
+
+FrequencyMeasurement MeasurementController::measure_frequency_checked(
+    const rfabm::rf::MonotoneCurve& cal, bool use_fin, std::optional<double> expected_ghz) {
+    FrequencyMeasurement m;
+    MeasurementDiagnostics& d = m.diag;
+    const RetryPolicy& policy = options_.retry;
+    auto word = use_fin ? select_word({SelectBit::kFdetToAb1, SelectBit::kDetectorPower,
+                                       SelectBit::kInputSelectFin})
+                        : select_word({SelectBit::kFdetToAb1, SelectBit::kDetectorPower});
+    double backoff = policy.backoff_s;
+    const int attempts = std::max(1, policy.max_retries + 1);
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            d.retries = attempt;
+            if (engine_ready_ && backoff > 0.0) {
+                try {
+                    chip_.engine().run_for(backoff);
+                    d.backoff_s_total += backoff;
+                } catch (const circuit::ConvergenceError&) {
+                }
+                backoff *= policy.backoff_factor;
+            }
+        }
+        if (!verify_scan_chain()) {
+            d.suspect = SuspectedFault::kScanChain;
+            d.detail = "IDCODE readback mismatch";
+            continue;
+        }
+        const std::uint64_t edges_before = chip_.fvc_edges();
+        try {
+            open_session();
+            ++d.reopened_sessions;
+            m.vout = measure_freq_vout(use_fin);
+            m.settled = last_settled_;
+        } catch (const circuit::ConvergenceError& e) {
+            d.suspect = SuspectedFault::kConvergence;
+            d.detail = e.what();
+            continue;
+        }
+        if (!verify_select(word)) {
+            d.suspect = SuspectedFault::kSelectPath;
+            d.detail = "select-bus readback mismatch";
+            continue;
+        }
+        if (!m.settled) {
+            const MeasureOptions saved = options_;
+            options_.max_windows *= 2;
+            options_.freq_cycles_per_window *= 2;
+            try {
+                m.vout = measure_freq_vout(use_fin);
+                m.settled = last_settled_;
+            } catch (const circuit::ConvergenceError&) {
+                m.settled = false;
+            }
+            options_ = saved;
+            if (m.settled) {
+                d.fallback_used = true;
+                d.fallback = "extended settle window";
+            } else {
+                d.suspect = SuspectedFault::kNonSettling;
+                d.detail = "FVC read did not settle within the window budget";
+                continue;
+            }
+        }
+        m.edges = chip_.fvc_edges() - edges_before;
+        // Liveness for a frequency read is clock activity at the FVC input.
+        if (m.edges < 8) {
+            std::ostringstream os;
+            os << "FVC clock inactive (" << m.edges << " edges during the read)";
+            d.suspect = SuspectedFault::kSignalPath;
+            d.detail = os.str();
+            continue;
+        }
+        // Bus isolation (see measure_power_checked): open the FVC's bus path
+        // and require both ATAP pins dead, catching switches stuck closed.
+        {
+            const auto mute = static_cast<std::uint8_t>(
+                word & ~select_word({SelectBit::kFdetToAb1}));
+            set_select(mute);
+            const double v1 = liveness_read(chip_.at1());
+            const double v2 = liveness_read(chip_.at2());
+            set_select(word);
+            if (std::fabs(v1) >= policy.liveness_min_v ||
+                std::fabs(v2) >= policy.liveness_min_v) {
+                std::ostringstream os;
+                os << "analog bus not isolated when muted (v(AT1) = " << v1
+                   << " V, v(AT2) = " << v2 << " V): switch stuck closed?";
+                d.suspect = SuspectedFault::kSignalPath;
+                d.detail = os.str();
+                continue;
+            }
+        }
+        if (cal.valid()) {
+            const YRange range = curve_y_range(cal);
+            const double margin = policy.range_margin * range.span();
+            if (m.vout < range.lo - margin || m.vout > range.hi + margin) {
+                std::ostringstream os;
+                os << "Vout = " << m.vout << " V outside calibration range [" << range.lo
+                   << ", " << range.hi << "] V";
+                d.suspect = SuspectedFault::kSignalPath;
+                d.detail = os.str();
+                continue;
+            }
+            m.ghz = cal.invert(m.vout);
+            // Same rationale as the power path: compare in the GHz domain,
+            // where the tolerance tracks the stimulus rather than the local
+            // slope of the FVC curve.
+            if (expected_ghz) {
+                const double tol = policy.expected_tol * (cal.x_max() - cal.x_min());
+                if (std::fabs(m.ghz - *expected_ghz) > tol) {
+                    std::ostringstream os;
+                    os << "measured " << m.ghz << " GHz deviates from expected "
+                       << *expected_ghz << " GHz (tolerance " << tol << " GHz)";
+                    d.suspect = SuspectedFault::kSignalPath;
+                    d.detail = os.str();
+                    continue;
+                }
+            }
+        }
+        m.valid = true;
+        d.status = (d.retries > 0 || d.fallback_used) ? MeasurementStatus::kDegraded
+                                                      : MeasurementStatus::kOk;
+        if (d.status == MeasurementStatus::kDegraded && d.detail.empty()) {
+            d.detail = "succeeded after retry";
+        }
+        return m;
+    }
+    if (cal.valid()) m.ghz = cal.invert(m.vout);
+    d.status = d.suspect == SuspectedFault::kSignalPath ? MeasurementStatus::kDegraded
+                                                        : MeasurementStatus::kFailed;
     return m;
 }
 

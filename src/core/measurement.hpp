@@ -12,17 +12,69 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "core/chip.hpp"
 #include "rf/curve.hpp"
 
 namespace rfabm::core {
 
+/// Overall verdict of a hardened (checked) measurement.
+enum class MeasurementStatus {
+    kOk,        ///< all integrity and plausibility checks passed first try
+    kDegraded,  ///< a value was produced, but only after retries/fallbacks,
+                ///< or a plausibility check flags it as untrustworthy
+    kFailed,    ///< no trustworthy value could be produced within the budget
+};
+const char* to_string(MeasurementStatus status);
+
+/// Fault class the hardened pipeline suspects when a check trips.
+enum class SuspectedFault {
+    kNone,         ///< nothing suspicious observed
+    kScanChain,    ///< IDCODE readback mismatch (TDI/TDO/TCK wiring)
+    kSelectPath,   ///< serial select-bus readback mismatch
+    kConvergence,  ///< the circuit solver failed to converge
+    kSignalPath,   ///< analog path implausible (dead pin, out-of-range Vout)
+    kNonSettling,  ///< the DC read never settled within the window budget
+};
+const char* to_string(SuspectedFault fault);
+
+/// Bounded-retry policy of the hardened measurement pipeline.  Backoff is
+/// extra simulated settle time inserted before each retry (the bench
+/// equivalent of "wait longer and try again"), growing geometrically.
+struct RetryPolicy {
+    int max_retries = 2;          ///< retries after the first attempt
+    double backoff_s = 50e-9;     ///< first retry's extra settle dwell
+    double backoff_factor = 2.0;  ///< dwell multiplier per further retry
+    double liveness_min_v = 0.1;  ///< min |v(ATAP)| for a live detector pin
+    double range_margin = 0.10;   ///< curve-range slack, fraction of y-span
+    double expected_tol = 0.20;   ///< expected-value slack, fraction of y-span
+};
+
+/// What the hardened pipeline did and concluded: every retry, fallback and
+/// suspicion is recorded here instead of being thrown as an exception.
+struct MeasurementDiagnostics {
+    MeasurementStatus status = MeasurementStatus::kOk;
+    SuspectedFault suspect = SuspectedFault::kNone;
+    int retries = 0;              ///< attempts beyond the first
+    int reopened_sessions = 0;    ///< 1149.4 sessions (re)opened during the read
+    double backoff_s_total = 0.0; ///< simulated settle time added by backoff
+    bool fallback_used = false;   ///< a degraded-mode fallback produced the value
+    std::string fallback;         ///< which fallback succeeded (when used)
+    std::string detail;           ///< human-readable description of the finding
+
+    bool ok() const { return status != MeasurementStatus::kFailed; }
+    /// One-line summary, e.g. for logs and campaign reports.
+    std::string to_string() const;
+};
+
 /// A converted power reading.
 struct PowerMeasurement {
     double dbm = 0.0;        ///< estimated input power
     double vout = 0.0;       ///< raw settled detector output (V)
     bool settled = true;     ///< the DC read converged
+    MeasurementDiagnostics diag{};  ///< populated by the checked pipeline
 };
 
 /// A converted frequency reading.
@@ -32,6 +84,7 @@ struct FrequencyMeasurement {
     bool settled = true;
     std::uint64_t edges = 0;  ///< FVC clock activity during the read
     bool valid = false;       ///< edges seen and read settled
+    MeasurementDiagnostics diag{};  ///< populated by the checked pipeline
 };
 
 /// Settle/read tuning knobs.
@@ -42,6 +95,7 @@ struct MeasureOptions {
     int max_windows = 600;
     int lookback = 3;             ///< drift check span (windows)
     int freq_cycles_per_window = 8;  ///< window in divided-clock periods
+    RetryPolicy retry{};          ///< hardened-pipeline retry/backoff knobs
 };
 
 /// Drives measurements on one chip instance.
@@ -86,6 +140,32 @@ class MeasurementController {
     FrequencyMeasurement measure_frequency(const rfabm::rf::MonotoneCurve& calibration,
                                            bool use_fin = false);
 
+    // --- hardened pipeline --------------------------------------------------
+    // The checked variants never throw on infrastructure trouble.  Each
+    // attempt verifies the scan chain (IDCODE readback), re-opens the 1149.4
+    // session, reads, verifies the select-bus readback, and sanity-checks the
+    // value (pin liveness / calibration range / expected stimulus).  Failures
+    // retry with exponential backoff per options().retry; the outcome and
+    // every fallback taken land in the result's .diag.
+
+    /// Reset the TAP and verify the IDCODE readback against the chip config.
+    /// Leaves the TAP out of PROBE: the session must be re-opened afterwards.
+    bool verify_scan_chain();
+
+    /// True when every latched select-bus output matches @p word.
+    bool verify_select(std::uint8_t word) const;
+
+    /// Hardened power measurement.  @p expected_dbm (when the applied
+    /// stimulus is known, as on a production tester) enables the
+    /// expected-value cross-check.
+    PowerMeasurement measure_power_checked(const rfabm::rf::MonotoneCurve& calibration,
+                                           std::optional<double> expected_dbm = std::nullopt);
+
+    /// Hardened frequency measurement (see measure_power_checked).
+    FrequencyMeasurement measure_frequency_checked(
+        const rfabm::rf::MonotoneCurve& calibration, bool use_fin = false,
+        std::optional<double> expected_ghz = std::nullopt);
+
     RfAbmChip& chip() { return chip_; }
     bool session_open() const { return session_open_; }
     const MeasureOptions& options() const { return options_; }
@@ -95,10 +175,13 @@ class MeasurementController {
                        bool* settled);
     double apply_tune(double volts, SelectBit bit, circuit::NodeId pin,
                       void (RfAbmChip::*hold_setter)(double));
+    /// Coarse, cheaply-bounded single-ended read for the pin-liveness check.
+    double liveness_read(circuit::NodeId pin);
 
     RfAbmChip& chip_;
     MeasureOptions options_;
     bool session_open_ = false;
+    bool engine_ready_ = false;  ///< engine().init() has run at least once
     std::uint8_t select_ = 0;
     bool last_settled_ = true;
     bool tare_valid_ = false;

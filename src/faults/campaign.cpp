@@ -1,0 +1,109 @@
+#include "faults/campaign.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace rfabm::faults {
+
+std::size_t CampaignReport::detected_count() const {
+    std::size_t n = 0;
+    for (const CampaignEntry& e : entries) n += e.detected ? 1 : 0;
+    return n;
+}
+
+std::size_t CampaignReport::silent_count() const {
+    std::size_t n = 0;
+    for (const CampaignEntry& e : entries) n += e.silent_corruption ? 1 : 0;
+    return n;
+}
+
+double CampaignReport::coverage() const {
+    if (entries.empty()) return 0.0;
+    return static_cast<double>(detected_count()) / static_cast<double>(entries.size());
+}
+
+namespace {
+
+void format_entry(std::ostream& os, const CampaignEntry& e) {
+    os << std::left << std::setw(26) << e.fault_name << std::setw(14)
+       << to_string(e.fault_class) << std::setw(10) << core::to_string(e.status)
+       << std::setw(13) << core::to_string(e.suspect) << std::right << std::setw(3)
+       << e.retries << "  " << std::setw(8) << std::fixed << std::setprecision(2)
+       << e.measured_dbm << "  " << std::setw(7) << std::showpos << e.error_db
+       << std::noshowpos << "  " << (e.silent_corruption ? "SILENT!" : e.detected ? "det" : "ok")
+       << "\n";
+}
+
+}  // namespace
+
+std::string CampaignReport::to_string() const {
+    std::ostringstream os;
+    os << std::left << std::setw(26) << "fault" << std::setw(14) << "class" << std::setw(10)
+       << "status" << std::setw(13) << "suspect" << std::right << std::setw(3) << "try"
+       << "  " << std::setw(8) << "dBm" << "  " << std::setw(7) << "err" << "  verdict\n";
+    format_entry(os, baseline);
+    for (const CampaignEntry& e : entries) format_entry(os, e);
+    os << "coverage: " << detected_count() << "/" << entries.size() << " detected, "
+       << silent_count() << " silent corruptions\n";
+    return os.str();
+}
+
+FaultCampaign::FaultCampaign(core::MeasurementController& controller,
+                             const rfabm::rf::MonotoneCurve& power_calibration,
+                             CampaignStimulus stimulus)
+    : controller_(controller), calibration_(power_calibration), stimulus_(stimulus) {}
+
+FaultInjector& FaultCampaign::add(std::unique_ptr<FaultInjector> fault) {
+    faults_.push_back(std::move(fault));
+    return *faults_.back();
+}
+
+CampaignEntry FaultCampaign::run_one(FaultInjector* fault) {
+    CampaignEntry entry;
+    if (fault != nullptr) {
+        entry.fault_name = fault->name();
+        entry.fault_class = fault->fault_class();
+        entry.description = fault->describe();
+    } else {
+        entry.fault_name = "(baseline)";
+        entry.description = "no fault armed";
+    }
+    controller_.chip().set_rf(stimulus_.dbm, stimulus_.carrier_hz);
+    if (fault != nullptr) fault->arm();
+    try {
+        const core::PowerMeasurement m = controller_.measure_power_checked(
+            calibration_,
+            use_expected_ ? std::optional<double>(stimulus_.dbm) : std::nullopt);
+        entry.status = m.diag.status;
+        entry.suspect = m.diag.suspect;
+        entry.retries = m.diag.retries;
+        entry.measured_dbm = m.dbm;
+        entry.error_db = m.dbm - stimulus_.dbm;
+        entry.diagnostics = m.diag.to_string();
+    } catch (const std::exception& e) {
+        // The checked pipeline is designed not to throw; if something does
+        // escape, grade it as a detected failure rather than crash the sweep.
+        entry.status = core::MeasurementStatus::kFailed;
+        entry.suspect = core::SuspectedFault::kNone;
+        entry.diagnostics = std::string("unexpected exception: ") + e.what();
+    }
+    if (fault != nullptr) fault->disarm();
+    entry.detected = entry.status != core::MeasurementStatus::kOk;
+    entry.silent_corruption = fault != nullptr &&
+                              entry.status == core::MeasurementStatus::kOk &&
+                              std::fabs(entry.error_db) > ok_tol_db_;
+    return entry;
+}
+
+CampaignReport FaultCampaign::run() {
+    CampaignReport report;
+    report.baseline = run_one(nullptr);
+    report.entries.reserve(faults_.size());
+    for (const auto& fault : faults_) {
+        report.entries.push_back(run_one(fault.get()));
+    }
+    return report;
+}
+
+}  // namespace rfabm::faults

@@ -1,0 +1,93 @@
+// Fault-detection campaign: arm one defect at a time, run the hardened
+// measurement pipeline against a known stimulus, grade the verdicts.
+//
+// Semantics mirror production test: the campaign knows the applied stimulus
+// (the "expected value" the tester programmed into the generator), so a
+// fault is *detected* when the pipeline reports anything other than a clean
+// Ok, and *silent corruption* is the one outcome that must never happen — an
+// Ok verdict whose converted value is wrong by more than the Ok tolerance.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/measurement.hpp"
+#include "faults/fault.hpp"
+
+namespace rfabm::faults {
+
+/// The known stimulus applied while each fault is armed.
+struct CampaignStimulus {
+    double dbm = -20.0;         ///< RF power into the 50-ohm pin
+    double carrier_hz = 1.5e9;  ///< RF carrier
+};
+
+/// One graded campaign run (one fault, or the healthy baseline).
+struct CampaignEntry {
+    std::string fault_name;
+    FaultClass fault_class = FaultClass::kOpen;
+    std::string description;         ///< injector's describe()
+    core::MeasurementStatus status = core::MeasurementStatus::kOk;
+    core::SuspectedFault suspect = core::SuspectedFault::kNone;
+    int retries = 0;
+    double measured_dbm = 0.0;
+    double error_db = 0.0;           ///< measured - applied
+    bool detected = false;           ///< verdict was not a clean Ok
+    bool silent_corruption = false;  ///< Ok verdict but the answer is wrong
+    std::string diagnostics;         ///< full MeasurementDiagnostics line
+};
+
+/// Campaign outcome: baseline + one entry per fault.
+struct CampaignReport {
+    CampaignEntry baseline;
+    std::vector<CampaignEntry> entries;
+
+    std::size_t detected_count() const;
+    std::size_t silent_count() const;
+    /// Fraction of injected faults the pipeline flagged.
+    double coverage() const;
+    /// Formatted multi-line report (table + summary).
+    std::string to_string() const;
+};
+
+/// Owns a fault population and runs the detection campaign over it.
+class FaultCampaign {
+  public:
+    FaultCampaign(core::MeasurementController& controller,
+                  const rfabm::rf::MonotoneCurve& power_calibration,
+                  CampaignStimulus stimulus = {});
+
+    /// Add a fault to the population; returns it for parameter access.
+    FaultInjector& add(std::unique_ptr<FaultInjector> fault);
+
+    std::size_t size() const { return faults_.size(); }
+
+    /// Change the applied stimulus (e.g. to sweep the same population over
+    /// several power levels).
+    void set_stimulus(CampaignStimulus stimulus) { stimulus_ = stimulus; }
+    const CampaignStimulus& stimulus() const { return stimulus_; }
+
+    /// |error| bound for an Ok verdict to count as correct (default 1 dB).
+    void set_ok_tolerance_db(double db) { ok_tol_db_ = db; }
+    /// Enable/disable the expected-stimulus cross-check (default on).
+    void set_use_expected(bool use) { use_expected_ = use; }
+
+    /// Run the healthy baseline, then every fault (armed one at a time,
+    /// always disarmed afterwards).  Never lets an exception escape a run:
+    /// a throwing measurement becomes a Failed entry.
+    CampaignReport run();
+
+  private:
+    CampaignEntry run_one(FaultInjector* fault);
+
+    core::MeasurementController& controller_;
+    const rfabm::rf::MonotoneCurve& calibration_;
+    CampaignStimulus stimulus_;
+    double ok_tol_db_ = 1.0;
+    bool use_expected_ = true;
+    std::vector<std::unique_ptr<FaultInjector>> faults_;
+};
+
+}  // namespace rfabm::faults

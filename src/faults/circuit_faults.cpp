@@ -1,0 +1,91 @@
+#include "faults/circuit_faults.hpp"
+
+#include <sstream>
+
+namespace rfabm::faults {
+
+OpenDeviceFault::OpenDeviceFault(std::string name, circuit::Resistor& resistor,
+                                 double open_ohms)
+    : FaultInjector(std::move(name), FaultClass::kOpen),
+      resistor_(resistor),
+      open_ohms_(open_ohms) {}
+
+void OpenDeviceFault::do_arm() {
+    saved_ohms_ = resistor_.nominal();
+    resistor_.set_nominal(open_ohms_);
+}
+
+void OpenDeviceFault::do_disarm() { resistor_.set_nominal(saved_ohms_); }
+
+std::string OpenDeviceFault::describe() const {
+    std::ostringstream os;
+    os << "open " << resistor_.name() << " (" << open_ohms_ << " ohm series break)";
+    return os.str();
+}
+
+DriftFault::DriftFault(std::string name, circuit::Resistor& resistor, double factor)
+    : FaultInjector(std::move(name), FaultClass::kDrift),
+      resistor_(resistor),
+      factor_(factor) {}
+
+void DriftFault::do_arm() {
+    saved_ohms_ = resistor_.nominal();
+    resistor_.set_nominal(saved_ohms_ * factor_);
+}
+
+void DriftFault::do_disarm() { resistor_.set_nominal(saved_ohms_); }
+
+std::string DriftFault::describe() const {
+    std::ostringstream os;
+    os << resistor_.name() << " drifted x" << factor_ << " off nominal";
+    return os.str();
+}
+
+BridgeFault::BridgeFault(std::string name, circuit::BridgeDefect& defect)
+    : FaultInjector(std::move(name), FaultClass::kBridge), defect_(defect) {}
+
+void BridgeFault::do_arm() { defect_.arm(); }
+
+void BridgeFault::do_disarm() { defect_.disarm(); }
+
+std::string BridgeFault::describe() const {
+    std::ostringstream os;
+    os << "bridge " << defect_.name() << " (" << defect_.ohms() << " ohm short)";
+    return os.str();
+}
+
+StuckSwitchFault::StuckSwitchFault(std::string name, circuit::Switch& sw,
+                                   circuit::SwitchFault mode)
+    : FaultInjector(std::move(name), FaultClass::kStuckSwitch), switch_(sw), mode_(mode) {}
+
+void StuckSwitchFault::do_arm() { switch_.set_fault(mode_); }
+
+void StuckSwitchFault::do_disarm() { switch_.set_fault(circuit::SwitchFault::kNone); }
+
+std::string StuckSwitchFault::describe() const {
+    std::ostringstream os;
+    os << switch_.name() << " stuck "
+       << (mode_ == circuit::SwitchFault::kStuckOpen ? "open" : "closed");
+    return os.str();
+}
+
+StuckMosfetFault::StuckMosfetFault(std::string name, circuit::Mosfet& fet,
+                                   circuit::MosfetFault mode, double stuck_on_ohms)
+    : FaultInjector(std::move(name), FaultClass::kStuckMosfet),
+      fet_(fet),
+      mode_(mode),
+      stuck_on_ohms_(stuck_on_ohms) {}
+
+void StuckMosfetFault::do_arm() { fet_.set_fault(mode_, stuck_on_ohms_); }
+
+void StuckMosfetFault::do_disarm() { fet_.set_fault(circuit::MosfetFault::kNone); }
+
+std::string StuckMosfetFault::describe() const {
+    std::ostringstream os;
+    os << fet_.name() << " channel stuck "
+       << (mode_ == circuit::MosfetFault::kStuckOff ? "off" : "on");
+    if (mode_ == circuit::MosfetFault::kStuckOn) os << " (" << stuck_on_ohms_ << " ohm)";
+    return os.str();
+}
+
+}  // namespace rfabm::faults

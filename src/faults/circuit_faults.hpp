@@ -1,0 +1,105 @@
+// Circuit-level fault injectors: defects planted in the MNA stamp path.
+//
+// Opens and drifts are modelled on the existing element (MNA cannot cut a
+// connection after the netlist is built, so an "open" resistor is driven to
+// an open-circuit value); bridges are armable BridgeDefect devices planted
+// alongside the healthy netlist; stuck switches and MOSFETs use the fault
+// states of the device models themselves.
+#pragma once
+
+#include "circuit/devices/defects.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "faults/fault.hpp"
+
+namespace rfabm::faults {
+
+/// Series open of a resistor (cracked via, lifted bond): its nominal value
+/// is driven to an open-circuit level while armed.
+class OpenDeviceFault : public FaultInjector {
+  public:
+    OpenDeviceFault(std::string name, circuit::Resistor& resistor, double open_ohms = 1e12);
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    circuit::Resistor& resistor_;
+    double open_ohms_;
+    double saved_ohms_ = 0.0;
+};
+
+/// Passive value drifted off nominal (aging, trim error, contamination):
+/// nominal value multiplied by @p factor while armed.
+class DriftFault : public FaultInjector {
+  public:
+    DriftFault(std::string name, circuit::Resistor& resistor, double factor);
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    circuit::Resistor& resistor_;
+    double factor_;
+    double saved_ohms_ = 0.0;
+};
+
+/// Resistive short between two nodes; drives a BridgeDefect already planted
+/// in the circuit (the defect device is owned by the Circuit, as all devices
+/// are — this injector only arms and disarms it).
+class BridgeFault : public FaultInjector {
+  public:
+    BridgeFault(std::string name, circuit::BridgeDefect& defect);
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    circuit::BridgeDefect& defect_;
+};
+
+/// Analog switch ignoring its control line: stuck open or stuck closed.
+class StuckSwitchFault : public FaultInjector {
+  public:
+    StuckSwitchFault(std::string name, circuit::Switch& sw, circuit::SwitchFault mode);
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    circuit::Switch& switch_;
+    circuit::SwitchFault mode_;
+};
+
+/// MOSFET channel stuck off (open channel) or resistively on.
+class StuckMosfetFault : public FaultInjector {
+  public:
+    StuckMosfetFault(std::string name, circuit::Mosfet& fet, circuit::MosfetFault mode,
+                     double stuck_on_ohms = 50.0);
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    circuit::Mosfet& fet_;
+    circuit::MosfetFault mode_;
+    double stuck_on_ohms_;
+};
+
+}  // namespace rfabm::faults

@@ -1,0 +1,19 @@
+#include "faults/fault.hpp"
+
+namespace rfabm::faults {
+
+const char* to_string(FaultClass fault_class) {
+    switch (fault_class) {
+        case FaultClass::kOpen: return "open";
+        case FaultClass::kBridge: return "bridge";
+        case FaultClass::kDrift: return "drift";
+        case FaultClass::kStuckMosfet: return "stuck-mosfet";
+        case FaultClass::kStuckSwitch: return "stuck-switch";
+        case FaultClass::kStuckLine: return "stuck-line";
+        case FaultClass::kTckGlitch: return "tck-glitch";
+        case FaultClass::kBitFlip: return "bit-flip";
+    }
+    return "?";
+}
+
+}  // namespace rfabm::faults

@@ -1,0 +1,71 @@
+// Fault-injection subsystem: plantable, armable defect models.
+//
+// A FaultInjector wraps one parameterized flaw somewhere in the chip model —
+// circuit level (opens, bridges, drifted values, stuck MOSFET channels),
+// switch-matrix level (stuck .4 MUX switches) or scan-chain level (stuck
+// TDI/TDO lines, swallowed TCK edges, bit flips).  Disarmed injectors are
+// electrically and logically absent, so a chip carrying a dormant fault
+// population behaves exactly like a healthy one; arming makes the single
+// flaw present.  FaultCampaign (campaign.hpp) arms them one at a time and
+// grades the hardened measurement pipeline's response.
+#pragma once
+
+#include <string>
+
+namespace rfabm::faults {
+
+/// Taxonomy of injectable defects (docs/faults.md discusses each).
+enum class FaultClass {
+    kOpen,         ///< series open of a circuit element
+    kBridge,       ///< resistive short between two nodes
+    kDrift,        ///< passive component value drifted off nominal
+    kStuckMosfet,  ///< MOSFET channel stuck off or resistively on
+    kStuckSwitch,  ///< analog switch ignoring its control (stuck open/closed)
+    kStuckLine,    ///< scan-chain data line stuck at 0 or 1
+    kTckGlitch,    ///< test-clock edges swallowed (persistent or burst)
+    kBitFlip,      ///< intermittent scan-data bit corruption
+};
+const char* to_string(FaultClass fault_class);
+
+/// One plantable defect.  Subclasses implement do_arm()/do_disarm() such
+/// that disarm restores healthy behavior exactly.
+class FaultInjector {
+  public:
+    FaultInjector(std::string name, FaultClass fault_class)
+        : name_(std::move(name)), fault_class_(fault_class) {}
+    virtual ~FaultInjector() = default;
+
+    FaultInjector(const FaultInjector&) = delete;
+    FaultInjector& operator=(const FaultInjector&) = delete;
+
+    const std::string& name() const { return name_; }
+    FaultClass fault_class() const { return fault_class_; }
+    bool armed() const { return armed_; }
+
+    void arm() {
+        if (!armed_) {
+            do_arm();
+            armed_ = true;
+        }
+    }
+    void disarm() {
+        if (armed_) {
+            do_disarm();
+            armed_ = false;
+        }
+    }
+
+    /// Human-readable description of the modelled flaw and its parameters.
+    virtual std::string describe() const = 0;
+
+  protected:
+    virtual void do_arm() = 0;
+    virtual void do_disarm() = 0;
+
+  private:
+    std::string name_;
+    FaultClass fault_class_;
+    bool armed_ = false;
+};
+
+}  // namespace rfabm::faults

@@ -1,0 +1,48 @@
+#include "faults/jtag_faults.hpp"
+
+#include <sstream>
+
+namespace rfabm::faults {
+
+std::string StuckLineFault::describe() const {
+    std::ostringstream os;
+    os << target_name() << " " << (line_ == Line::kTdi ? "TDI" : "TDO") << " stuck at "
+       << (level_ ? 1 : 0);
+    return os.str();
+}
+
+bool TckGlitchFault::drop_edge() {
+    ++edges_;
+    if (config_.burst_edges > 0) return edges_ <= config_.burst_edges;
+    if (config_.drop_every > 0) return edges_ % config_.drop_every == 0;
+    return false;
+}
+
+void TckGlitchFault::do_arm() {
+    edges_ = 0;
+    ScanFaultBase::do_arm();
+}
+
+std::string TckGlitchFault::describe() const {
+    std::ostringstream os;
+    os << target_name() << " TCK ";
+    if (config_.burst_edges > 0) {
+        os << "glitch burst (" << config_.burst_edges << " edges lost, then heals)";
+    } else {
+        os << "glitch (1 in " << config_.drop_every << " edges lost)";
+    }
+    return os.str();
+}
+
+void ScanBitFlipFault::do_arm() {
+    bits_ = 0;
+    ScanFaultBase::do_arm();
+}
+
+std::string ScanBitFlipFault::describe() const {
+    std::ostringstream os;
+    os << target_name() << " TDO bit flip (1 in " << flip_every_ << " bits inverted)";
+    return os.str();
+}
+
+}  // namespace rfabm::faults

@@ -1,0 +1,113 @@
+// Scan-chain and serial-bus fault injectors.
+//
+// Each injector is simultaneously a FaultInjector (arm/disarm lifecycle) and
+// a jtag::ScanFaultHook (the wiring-defect model the TAP driver and the
+// serial select bus consult on every clock).  Arming installs the hook on
+// the target; disarming removes it, restoring healthy wiring.
+#pragma once
+
+#include "faults/fault.hpp"
+#include "jtag/fault_hook.hpp"
+#include "jtag/serial_bus.hpp"
+#include "jtag/tap.hpp"
+
+namespace rfabm::faults {
+
+/// Common install/remove plumbing: the target is either a TapDriver (the
+/// 1149.1 scan chain) or a SerialSelectBus (the paper's select bus).
+class ScanFaultBase : public FaultInjector, public jtag::ScanFaultHook {
+  public:
+    ScanFaultBase(std::string name, FaultClass fault_class, jtag::TapDriver& tap)
+        : FaultInjector(std::move(name), fault_class), tap_(&tap) {}
+    ScanFaultBase(std::string name, FaultClass fault_class, jtag::SerialSelectBus& bus)
+        : FaultInjector(std::move(name), fault_class), bus_(&bus) {}
+
+  protected:
+    void do_arm() override { install(this); }
+    void do_disarm() override { install(nullptr); }
+    const char* target_name() const { return tap_ != nullptr ? "TAP" : "select bus"; }
+
+  private:
+    void install(jtag::ScanFaultHook* hook) {
+        if (tap_ != nullptr) tap_->set_fault_hook(hook);
+        if (bus_ != nullptr) bus_->set_fault_hook(hook);
+    }
+
+    jtag::TapDriver* tap_ = nullptr;
+    jtag::SerialSelectBus* bus_ = nullptr;
+};
+
+/// A scan data line stuck at a constant level (shorted to rail, broken
+/// driver).  kTdo only exists on the TAP target; the select bus is
+/// write-only, so use kTdi there.
+class StuckLineFault : public ScanFaultBase {
+  public:
+    enum class Line { kTdi, kTdo };
+
+    StuckLineFault(std::string name, jtag::TapDriver& tap, Line line, bool level)
+        : ScanFaultBase(std::move(name), FaultClass::kStuckLine, tap),
+          line_(line),
+          level_(level) {}
+    StuckLineFault(std::string name, jtag::SerialSelectBus& bus, bool level)
+        : ScanFaultBase(std::move(name), FaultClass::kStuckLine, bus),
+          line_(Line::kTdi),
+          level_(level) {}
+
+    bool corrupt_tdi(bool bit) override { return line_ == Line::kTdi ? level_ : bit; }
+    bool corrupt_tdo(bool bit) override { return line_ == Line::kTdo ? level_ : bit; }
+
+    std::string describe() const override;
+
+  private:
+    Line line_;
+    bool level_;
+};
+
+/// Swallowed test-clock edges.  drop_every > 0 models a persistent defect
+/// (marginal TCK buffer: every Nth edge lost); burst_edges > 0 models a
+/// transient disturbance (the first N edges after arming are lost, then the
+/// wiring heals) — the case a session-retry recovers from.
+struct TckGlitchConfig {
+    unsigned drop_every = 0;
+    unsigned burst_edges = 0;
+};
+
+class TckGlitchFault : public ScanFaultBase {
+  public:
+    TckGlitchFault(std::string name, jtag::TapDriver& tap, TckGlitchConfig config)
+        : ScanFaultBase(std::move(name), FaultClass::kTckGlitch, tap), config_(config) {}
+    TckGlitchFault(std::string name, jtag::SerialSelectBus& bus, TckGlitchConfig config)
+        : ScanFaultBase(std::move(name), FaultClass::kTckGlitch, bus), config_(config) {}
+
+    bool drop_edge() override;
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+
+  private:
+    TckGlitchConfig config_;
+    unsigned long long edges_ = 0;
+};
+
+/// Intermittent scan-data corruption: every Nth TDO bit inverted.
+class ScanBitFlipFault : public ScanFaultBase {
+  public:
+    ScanBitFlipFault(std::string name, jtag::TapDriver& tap, unsigned flip_every)
+        : ScanFaultBase(std::move(name), FaultClass::kBitFlip, tap),
+          flip_every_(flip_every == 0 ? 1 : flip_every) {}
+
+    bool corrupt_tdo(bool bit) override { return (++bits_ % flip_every_ == 0) ? !bit : bit; }
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+
+  private:
+    unsigned flip_every_;
+    unsigned long long bits_ = 0;
+};
+
+}  // namespace rfabm::faults

@@ -57,6 +57,10 @@ void ScanChain::reset() {
 
 bool ChainDriver::clock(bool tms, bool tdi) {
     ++tck_count_;
+    if (fault_hook_ != nullptr) {
+        if (fault_hook_->drop_edge()) return true;
+        return fault_hook_->corrupt_tdo(chain_.clock(tms, fault_hook_->corrupt_tdi(tdi)));
+    }
     return chain_.clock(tms, tdi);
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "jtag/fault_hook.hpp"
 #include "jtag/tap.hpp"
 
 namespace rfabm::jtag {
@@ -63,11 +64,17 @@ class ChainDriver {
 
     std::uint64_t tck_count() const { return tck_count_; }
 
+    /// Install (or clear) a fault model on the host-side chain wiring: TDI
+    /// corruption hits the first device, TDO corruption the returned bit.
+    void set_fault_hook(ScanFaultHook* hook) { fault_hook_ = hook; }
+    ScanFaultHook* fault_hook() const { return fault_hook_; }
+
   private:
     bool clock(bool tms, bool tdi);
 
     ScanChain& chain_;
     std::uint64_t tck_count_ = 0;
+    ScanFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace rfabm::jtag

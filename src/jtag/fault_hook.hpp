@@ -1,0 +1,35 @@
+// Fault-injection point for the serial test infrastructure.
+//
+// A ScanFaultHook sits between a host-side driver (TapDriver, ChainDriver,
+// SerialSelectBus) and the device it clocks, modelling physical defects on
+// the board-level test wiring: stuck-at TDI/TDO lines, TCK edges lost to
+// glitches, and single-bit corruption.  Drivers consult the hook on every
+// clock; a null hook (the default) is the healthy wire.
+//
+// The hook deliberately lives at the *driver* boundary rather than inside the
+// TAP model: a broken TDO trace corrupts what the host observes, not what the
+// silicon latches, and a swallowed TCK edge desynchronizes the host's idea of
+// the FSM state from the device's — exactly the failure mode an interconnect
+// test must survive.
+#pragma once
+
+namespace rfabm::jtag {
+
+/// Per-edge fault transform consulted by the scan drivers.  The default
+/// implementation is transparent; fault models override the lines they break.
+class ScanFaultHook {
+  public:
+    virtual ~ScanFaultHook() = default;
+
+    /// Return true to swallow this clock edge entirely: the device never sees
+    /// it, the host believes it happened (TDO reads as the idle pull-up).
+    virtual bool drop_edge() { return false; }
+
+    /// Transform the host-driven data bit on its way to the device.
+    virtual bool corrupt_tdi(bool bit) { return bit; }
+
+    /// Transform the device-driven data bit on its way back to the host.
+    virtual bool corrupt_tdo(bool bit) { return bit; }
+};
+
+}  // namespace rfabm::jtag

@@ -10,6 +10,10 @@ SerialSelectBus::SerialSelectBus(std::size_t width) : stage_(width, 0), outputs_
 
 void SerialSelectBus::shift_bit(bool bit) {
     ++bit_count_;
+    if (fault_hook_ != nullptr) {
+        if (fault_hook_->drop_edge()) return;  // lost serial clock: stage holds
+        bit = fault_hook_->corrupt_tdi(bit);
+    }
     // MSB-first: new bit enters at the top, everything moves down.
     for (std::size_t i = 0; i + 1 < stage_.size(); ++i) stage_[i] = stage_[i + 1];
     stage_.back() = bit ? 1 : 0;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "circuit/devices/switch_device.hpp"
+#include "jtag/fault_hook.hpp"
 
 namespace rfabm::jtag {
 
@@ -49,6 +50,12 @@ class SerialSelectBus {
     /// Number of serial clock edges seen (for benchmarks).
     std::uint64_t bit_count() const { return bit_count_; }
 
+    /// Install (or clear) a fault model on the serial data/clock wiring.
+    /// corrupt_tdi() transforms the shifted-in bit; drop_edge() swallows the
+    /// serial clock so the shift stage never advances.
+    void set_fault_hook(ScanFaultHook* hook) { fault_hook_ = hook; }
+    ScanFaultHook* fault_hook() const { return fault_hook_; }
+
   private:
     struct Sink {
         std::size_t index;
@@ -58,6 +65,7 @@ class SerialSelectBus {
     std::vector<char> outputs_;
     std::vector<Sink> sinks_;
     std::uint64_t bit_count_ = 0;
+    ScanFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace rfabm::jtag

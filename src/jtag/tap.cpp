@@ -74,6 +74,12 @@ bool TapController::clock(bool tms, bool tdi) {
 
 bool TapDriver::clock(bool tms, bool tdi) {
     ++tck_count_;
+    if (fault_hook_ != nullptr) {
+        // A swallowed edge never reaches the device; the host sees the TDO
+        // pull-up and carries on, its notion of the FSM now stale.
+        if (fault_hook_->drop_edge()) return true;
+        return fault_hook_->corrupt_tdo(tap_.clock(tms, fault_hook_->corrupt_tdi(tdi)));
+    }
     return tap_.clock(tms, tdi);
 }
 

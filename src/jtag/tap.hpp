@@ -6,6 +6,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "jtag/fault_hook.hpp"
 #include "jtag/instructions.hpp"
 #include "jtag/registers.hpp"
 #include "jtag/tap_state.hpp"
@@ -83,11 +84,17 @@ class TapDriver {
     /// Number of TCK cycles issued so far (for benchmarks).
     std::uint64_t tck_count() const { return tck_count_; }
 
+    /// Install (or clear, with nullptr) a fault model on the TCK/TDI/TDO
+    /// wiring between this driver and the device.  Not owned.
+    void set_fault_hook(ScanFaultHook* hook) { fault_hook_ = hook; }
+    ScanFaultHook* fault_hook() const { return fault_hook_; }
+
   private:
     bool clock(bool tms, bool tdi);
 
     TapController& tap_;
     std::uint64_t tck_count_ = 0;
+    ScanFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace rfabm::jtag

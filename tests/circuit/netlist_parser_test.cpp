@@ -179,6 +179,80 @@ TEST(Netlist, ErrorCases) {
     EXPECT_THROW(parse_netlist(ckt, "V1 a 0 SIN(0 1\n"), NetlistError);  // missing ')'
 }
 
+TEST(Netlist, ErrorsCarrySourceNameAndColumn) {
+    Circuit ckt;
+    try {
+        parse_netlist(ckt, "R1 a 0 1k\nV1 a 0 TRIANGLE 1\n", "deck.cir");
+        FAIL() << "expected NetlistError";
+    } catch (const NetlistError& e) {
+        EXPECT_EQ(e.source(), "deck.cir");
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_EQ(e.column(), 8u);  // points at the TRIANGLE token
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("deck.cir:2:8"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("unknown source kind"), std::string::npos) << msg;
+    }
+}
+
+TEST(Netlist, ErrorColumnPointsAtBadValueToken) {
+    Circuit ckt;
+    try {
+        parse_netlist(ckt, "R1 a 0 1x\n", "deck.cir");
+        FAIL() << "expected NetlistError";
+    } catch (const NetlistError& e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_EQ(e.column(), 8u);  // the malformed "1x" value
+    }
+}
+
+TEST(Netlist, ErrorColumnAccountsForLeadingWhitespace) {
+    Circuit ckt;
+    try {
+        parse_netlist(ckt, "   .weird\n");
+        FAIL() << "expected NetlistError";
+    } catch (const NetlistError& e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_EQ(e.column(), 4u);  // card starts after three spaces
+        // Without a source name the classic "netlist line N" prefix remains.
+        EXPECT_NE(std::string(e.what()).find("netlist line 1:4"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Netlist, ErrorColumnPointsAtUnexpectedToken) {
+    Circuit ckt;
+    try {
+        parse_netlist(ckt, "D1 a 0 IS=1e-15 garbage\n", "d.cir");
+        FAIL() << "expected NetlistError";
+    } catch (const NetlistError& e) {
+        EXPECT_EQ(e.column(), 17u);  // the loose "garbage" token
+        EXPECT_NE(std::string(e.what()).find("garbage"), std::string::npos);
+    }
+}
+
+TEST(Netlist, ContinuationWithoutCardReportsItsLine) {
+    Circuit ckt;
+    try {
+        parse_netlist(ckt, "* header comment\n+ R1 a 0 1k\n", "frag.cir");
+        FAIL() << "expected NetlistError";
+    } catch (const NetlistError& e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_EQ(e.column(), 1u);
+    }
+}
+
+TEST(Netlist, UndefinedModelErrorNamesTheToken) {
+    Circuit ckt;
+    try {
+        parse_netlist(ckt, "M1 d g s nomodel\n", "m.cir");
+        FAIL() << "expected NetlistError";
+    } catch (const NetlistError& e) {
+        EXPECT_EQ(e.line(), 1u);
+        EXPECT_EQ(e.column(), 10u);  // the model-name token
+        EXPECT_NE(std::string(e.what()).find("undefined model"), std::string::npos);
+    }
+}
+
 TEST(Netlist, HalfWaveRectifierDeckEndToEnd) {
     // The paper's detector concept as a netlist: biased MOS + RC load.
     Circuit ckt;

@@ -1,0 +1,303 @@
+// Unit tests for the fault models: each injected defect must stamp / behave
+// exactly as specified, and disarming must restore healthy behavior.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "circuit/circuit.hpp"
+#include "circuit/dc.hpp"
+#include "circuit/devices/defects.hpp"
+#include "circuit/devices/diode.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "faults/circuit_faults.hpp"
+#include "faults/jtag_faults.hpp"
+#include "jtag/serial_bus.hpp"
+#include "jtag/tap.hpp"
+
+namespace rfabm::faults {
+namespace {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::solve_dc;
+using circuit::VSource;
+using circuit::Waveform;
+
+// --- circuit-level defect devices ------------------------------------------
+
+TEST(BridgeDefect, DisarmedStampsNothing) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(10.0));
+    ckt.add<Resistor>("R1", in, mid, 1e3);
+    ckt.add<Resistor>("R2", mid, kGround, 1e3);
+    auto& bridge = ckt.add<circuit::BridgeDefect>("DEF", mid, kGround, 10.0);
+    EXPECT_FALSE(bridge.armed());
+    const auto r = solve_dc(ckt);
+    EXPECT_NEAR(r.solution.v(mid), 5.0, 1e-9);  // defect-free divider
+}
+
+TEST(BridgeDefect, ArmedShortsTheNode) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId mid = ckt.node("mid");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(10.0));
+    ckt.add<Resistor>("R1", in, mid, 1e3);
+    ckt.add<Resistor>("R2", mid, kGround, 1e3);
+    auto& bridge = ckt.add<circuit::BridgeDefect>("DEF", mid, kGround, 10.0);
+    bridge.arm();
+    const auto r = solve_dc(ckt);
+    // 1k || 10 ohm against 1k: the bridge drags the node to ~0.1 V.
+    EXPECT_NEAR(r.solution.v(mid), 10.0 * (1e3 * 10 / 1010.0) / (1e3 + 1e3 * 10 / 1010.0),
+                1e-6);
+    bridge.disarm();
+    const auto healthy = solve_dc(ckt);
+    EXPECT_NEAR(healthy.solution.v(mid), 5.0, 1e-9);
+}
+
+TEST(BridgeDefect, RejectsBadParameters) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    const NodeId b = ckt.node("b");
+    EXPECT_THROW(ckt.add<circuit::BridgeDefect>("bad", a, b, 0.0), std::invalid_argument);
+    EXPECT_THROW(ckt.add<circuit::BridgeDefect>("bad2", a, a, 10.0), std::invalid_argument);
+}
+
+TEST(StuckSwitch, FaultOverridesControl) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VSource>("V1", in, kGround, Waveform::dc(1.0));
+    auto& sw = ckt.add<circuit::Switch>("SW", in, out, 10.0, 1e9);
+    ckt.add<Resistor>("RL", out, kGround, 1e3);
+    sw.set_closed(true);
+    sw.set_fault(circuit::SwitchFault::kStuckOpen);
+    EXPECT_FALSE(sw.effective_closed());
+    auto r = solve_dc(ckt);
+    EXPECT_LT(r.solution.v(out), 1e-3);  // commanded closed, electrically open
+
+    sw.set_fault(circuit::SwitchFault::kNone);
+    sw.set_closed(false);
+    sw.set_fault(circuit::SwitchFault::kStuckClosed);
+    EXPECT_TRUE(sw.effective_closed());
+    r = solve_dc(ckt);
+    EXPECT_GT(r.solution.v(out), 0.9);  // commanded open, electrically closed
+}
+
+TEST(StuckMosfet, StuckOffOpensTheChannel) {
+    Circuit ckt;
+    const NodeId vdd = ckt.node("vdd");
+    const NodeId gate = ckt.node("gate");
+    const NodeId drain = ckt.node("drain");
+    ckt.add<VSource>("VDD", vdd, kGround, Waveform::dc(3.0));
+    ckt.add<VSource>("VG", gate, kGround, Waveform::dc(3.0));
+    ckt.add<Resistor>("RD", vdd, drain, 10e3);
+    auto& fet = ckt.add<circuit::Mosfet>("M1", drain, gate, kGround, circuit::MosfetParams{});
+    const double healthy_vd = solve_dc(ckt).solution.v(drain);
+    EXPECT_LT(healthy_vd, 1.0);  // strongly on: drain pulled low
+
+    fet.set_fault(circuit::MosfetFault::kStuckOff);
+    EXPECT_NEAR(solve_dc(ckt).solution.v(drain), 3.0, 1e-3);  // channel open
+
+    fet.set_fault(circuit::MosfetFault::kStuckOn, 10e3);
+    EXPECT_NEAR(solve_dc(ckt).solution.v(drain), 1.5, 1e-3);  // 10k/10k divider
+
+    fet.set_fault(circuit::MosfetFault::kNone);
+    EXPECT_NEAR(solve_dc(ckt).solution.v(drain), healthy_vd, 1e-6);
+}
+
+TEST(StuckMosfet, RejectsNonPositiveOnResistance) {
+    Circuit ckt;
+    auto& fet = ckt.add<circuit::Mosfet>("M1", ckt.node("d"), ckt.node("g"), kGround,
+                                         circuit::MosfetParams{});
+    EXPECT_THROW(fet.set_fault(circuit::MosfetFault::kStuckOn, 0.0), std::invalid_argument);
+}
+
+// --- injector lifecycle -----------------------------------------------------
+
+TEST(OpenDeviceFault, ArmDisarmRestoresNominal) {
+    Circuit ckt;
+    auto& r = ckt.add<Resistor>("R1", ckt.node("a"), kGround, 2.2e3);
+    OpenDeviceFault fault("open:R1", r);
+    EXPECT_EQ(fault.fault_class(), FaultClass::kOpen);
+    EXPECT_FALSE(fault.armed());
+    fault.arm();
+    EXPECT_TRUE(fault.armed());
+    EXPECT_GE(r.nominal(), 1e12);
+    fault.arm();  // idempotent
+    EXPECT_GE(r.nominal(), 1e12);
+    fault.disarm();
+    EXPECT_DOUBLE_EQ(r.nominal(), 2.2e3);
+    fault.disarm();  // idempotent
+    EXPECT_DOUBLE_EQ(r.nominal(), 2.2e3);
+}
+
+TEST(DriftFault, ScalesNominalWhileArmed) {
+    Circuit ckt;
+    auto& r = ckt.add<Resistor>("R1", ckt.node("a"), kGround, 1e3);
+    DriftFault fault("drift:R1", r, 5.0);
+    fault.arm();
+    EXPECT_DOUBLE_EQ(r.nominal(), 5e3);
+    fault.disarm();
+    EXPECT_DOUBLE_EQ(r.nominal(), 1e3);
+}
+
+// --- scan-chain fault hooks -------------------------------------------------
+
+constexpr std::uint32_t kIdcode = 0x14940A4Bu;
+
+TEST(StuckLine, StuckTdoCorruptsReadback) {
+    jtag::TapController tap(kIdcode);
+    jtag::TapDriver drv(tap);
+    EXPECT_EQ(drv.read_idcode(), kIdcode);
+
+    StuckLineFault fault("stuck0:TDO", drv, StuckLineFault::Line::kTdo, false);
+    fault.arm();
+    EXPECT_EQ(drv.read_idcode(), 0u);
+    fault.disarm();
+    EXPECT_EQ(drv.fault_hook(), nullptr);
+    EXPECT_EQ(drv.read_idcode(), kIdcode);
+}
+
+TEST(TckGlitch, PersistentGlitchNeverHeals) {
+    jtag::TapController tap(kIdcode);
+    jtag::TapDriver drv(tap);
+    TckGlitchFault fault("glitch:TCK", drv, TckGlitchConfig{.drop_every = 7});
+    fault.arm();
+    EXPECT_NE(drv.read_idcode(), kIdcode);
+    EXPECT_NE(drv.read_idcode(), kIdcode);  // still broken on retry
+    fault.disarm();
+    drv.reset_via_tms();
+    EXPECT_EQ(drv.read_idcode(), kIdcode);
+}
+
+TEST(TckGlitch, BurstHealsAfterItsEdges) {
+    jtag::TapController tap(kIdcode);
+    jtag::TapDriver drv(tap);
+    TckGlitchFault fault("burst:TCK", drv, TckGlitchConfig{.burst_edges = 60});
+    fault.arm();
+    EXPECT_NE(drv.read_idcode(), kIdcode);  // desynchronized mid-burst
+    drv.reset_via_tms();                    // session retry after the burst
+    EXPECT_EQ(drv.read_idcode(), kIdcode);  // wiring healed
+    fault.disarm();
+}
+
+TEST(ScanBitFlip, FlipsEveryNthTdoBit) {
+    jtag::TapController tap(kIdcode);
+    jtag::TapDriver drv(tap);
+    ScanBitFlipFault fault("bitflip:TDO", drv, 3);
+    fault.arm();
+    EXPECT_NE(drv.read_idcode(), kIdcode);
+    fault.disarm();
+    EXPECT_EQ(drv.read_idcode(), kIdcode);
+}
+
+TEST(SelectBusFaults, StuckDataLineForcesWord) {
+    jtag::SerialSelectBus bus(8);
+    bus.write_word(0b10100101, 8);
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(bus.output(i), ((0b10100101u >> i) & 1u) != 0) << i;
+    }
+    StuckLineFault fault("stuck1:SEL", bus, true);
+    fault.arm();
+    bus.write_word(0b10100101, 8);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(bus.output(i)) << i;
+    fault.disarm();
+    bus.write_word(0b00000001, 8);
+    EXPECT_TRUE(bus.output(0));
+    EXPECT_FALSE(bus.output(7));
+}
+
+TEST(SelectBusFaults, DroppedClockEdgesShiftShortWord) {
+    jtag::SerialSelectBus bus(8);
+    TckGlitchFault fault("glitch:SELCLK", bus, TckGlitchConfig{.drop_every = 2});
+    fault.arm();
+    bus.write_word(0xFF, 8);  // half the edges swallowed: shift is short
+    int ones = 0;
+    for (std::size_t i = 0; i < 8; ++i) ones += bus.output(i) ? 1 : 0;
+    EXPECT_LT(ones, 8);
+    fault.disarm();
+    bus.write_word(0xFF, 8);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_TRUE(bus.output(i)) << i;
+}
+
+// --- solver diagnostics & budget (hardening satellites) ---------------------
+
+TEST(DcDiagnostics, ConvergenceErrorCarriesContext) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R", in, a, 100.0);
+    ckt.add<circuit::Diode>("D", a, kGround);
+    circuit::DcOptions opts;
+    opts.newton.max_iterations = 1;
+    opts.allow_gmin_stepping = true;
+    opts.allow_source_stepping = false;
+    try {
+        solve_dc(ckt, opts);
+        FAIL() << "expected ConvergenceError";
+    } catch (const circuit::ConvergenceError& e) {
+        const auto& diag = e.diagnostics();
+        EXPECT_GT(diag.total_iterations, 0);
+        EXPECT_TRUE(diag.gmin_stepping_attempted);
+        EXPECT_FALSE(diag.source_stepping_attempted);
+        EXPECT_FALSE(diag.worst_unknown.empty());
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("Newton iterations"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("gmin stepping attempted"), std::string::npos) << msg;
+    }
+}
+
+TEST(DcDiagnostics, TrySolveDcReturnsStructuredOutcome) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R", in, a, 100.0);
+    ckt.add<circuit::Diode>("D", a, kGround);
+    circuit::DcOptions opts;
+    opts.newton.max_iterations = 1;
+    opts.allow_gmin_stepping = false;
+    opts.allow_source_stepping = false;
+    const circuit::DcOutcome outcome = circuit::try_solve_dc(ckt, opts);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.diagnostics.total_iterations, 1);
+    EXPECT_FALSE(outcome.diagnostics.gmin_stepping_attempted);
+}
+
+TEST(NewtonBudget, TotalIterationBudgetBoundsAllStepping) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R", in, a, 100.0);
+    ckt.add<circuit::Diode>("D", a, kGround);
+    circuit::DcOptions opts;
+    opts.newton.max_total_iterations = 2;  // far too small: must stop, not spin
+    const circuit::DcOutcome outcome = circuit::try_solve_dc(ckt, opts);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_TRUE(outcome.diagnostics.budget_exhausted);
+    EXPECT_LE(outcome.diagnostics.total_iterations, 2);
+}
+
+TEST(NewtonBudget, HealthySolveUnaffectedByDefaultBudget) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V", in, kGround, Waveform::dc(5.0));
+    ckt.add<Resistor>("R", in, a, 100.0);
+    ckt.add<circuit::Diode>("D", a, kGround);
+    const circuit::DcOutcome outcome = circuit::try_solve_dc(ckt);
+    EXPECT_TRUE(outcome.ok);
+    EXPECT_GT(outcome.result.solution.v(a), 0.3);
+}
+
+}  // namespace
+}  // namespace rfabm::faults

@@ -1,0 +1,167 @@
+// Integration tests: injected faults against the hardened measurement
+// pipeline.  The contract under test is the ISSUE's acceptance criterion —
+// a stuck-open MUX switch must be *reported* (Degraded with a signal-path
+// suspect), never a silently wrong Vout; scan-chain faults must Fail with a
+// scan-chain suspect; transient faults must heal through retries that are
+// bounded and observable in the diagnostics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.hpp"
+#include "core/measurement.hpp"
+#include "faults/campaign.hpp"
+#include "faults/circuit_faults.hpp"
+#include "faults/jtag_faults.hpp"
+#include "rf/sweep.hpp"
+
+namespace rfabm::faults {
+namespace {
+
+/// Shared expensive fixture: one calibrated chip + a coarse power curve.
+class FaultPipelineFixture : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        chip_ = new core::RfAbmChip{core::RfAbmChipConfig{}};
+        controller_ = new core::MeasurementController(*chip_);
+        controller_->open_session();
+        core::dc_calibrate(*controller_);
+        power_curve_ = new rf::MonotoneCurve(
+            core::acquire_power_curve(*controller_, rf::arange(-20.0, 7.0, 3.0), 1.5e9));
+    }
+
+    static void TearDownTestSuite() {
+        delete power_curve_;
+        delete controller_;
+        delete chip_;
+        power_curve_ = nullptr;
+        controller_ = nullptr;
+        chip_ = nullptr;
+    }
+
+    void SetUp() override { chip_->set_rf(-8.0, 1.5e9); }
+
+    static core::RfAbmChip* chip_;
+    static core::MeasurementController* controller_;
+    static rf::MonotoneCurve* power_curve_;
+};
+
+core::RfAbmChip* FaultPipelineFixture::chip_ = nullptr;
+core::MeasurementController* FaultPipelineFixture::controller_ = nullptr;
+rf::MonotoneCurve* FaultPipelineFixture::power_curve_ = nullptr;
+
+TEST_F(FaultPipelineFixture, HealthyCheckedMeasurementIsOk) {
+    const core::PowerMeasurement m = controller_->measure_power_checked(*power_curve_, -8.0);
+    EXPECT_EQ(m.diag.status, core::MeasurementStatus::kOk) << m.diag.to_string();
+    EXPECT_EQ(m.diag.suspect, core::SuspectedFault::kNone);
+    EXPECT_EQ(m.diag.retries, 0);
+    EXPECT_FALSE(m.diag.fallback_used);
+    EXPECT_NEAR(m.dbm, -8.0, 0.5) << m.diag.to_string();
+}
+
+// The ISSUE's integration criterion: a stuck-open MUX switch must be
+// reported Degraded with a signal-path suspect — not a silently wrong Vout.
+TEST_F(FaultPipelineFixture, StuckOpenMuxSwitchIsDegradedNotSilent) {
+    StuckSwitchFault fault("stuckopen:MUX4.out_minus",
+                           chip_->mux().switch_for(core::SelectBit::kOutMinusToAb2),
+                           circuit::SwitchFault::kStuckOpen);
+    fault.arm();
+    const core::PowerMeasurement m = controller_->measure_power_checked(*power_curve_, -8.0);
+    fault.disarm();
+
+    EXPECT_EQ(m.diag.status, core::MeasurementStatus::kDegraded) << m.diag.to_string();
+    EXPECT_EQ(m.diag.suspect, core::SuspectedFault::kSignalPath) << m.diag.to_string();
+    EXPECT_FALSE(m.diag.detail.empty());
+    // Bounded retries, all of them recorded.
+    EXPECT_EQ(m.diag.retries, controller_->options().retry.max_retries);
+
+    // And the pipeline heals once the fault is gone.
+    const core::PowerMeasurement healthy =
+        controller_->measure_power_checked(*power_curve_, -8.0);
+    EXPECT_EQ(healthy.diag.status, core::MeasurementStatus::kOk) << healthy.diag.to_string();
+    EXPECT_NEAR(healthy.dbm, -8.0, 0.5);
+}
+
+TEST_F(FaultPipelineFixture, StuckTdoFailsWithScanChainSuspect) {
+    StuckLineFault fault("stuck0:TDO", chip_->tap_driver(), StuckLineFault::Line::kTdo,
+                         false);
+    fault.arm();
+    const core::PowerMeasurement m = controller_->measure_power_checked(*power_curve_, -8.0);
+    fault.disarm();
+
+    EXPECT_EQ(m.diag.status, core::MeasurementStatus::kFailed) << m.diag.to_string();
+    EXPECT_EQ(m.diag.suspect, core::SuspectedFault::kScanChain);
+    // Retries are bounded by the policy and observable, with backoff applied.
+    EXPECT_EQ(m.diag.retries, controller_->options().retry.max_retries);
+    EXPECT_GT(m.diag.backoff_s_total, 0.0);
+}
+
+TEST_F(FaultPipelineFixture, TckGlitchBurstHealsThroughRetry) {
+    TckGlitchFault fault("burst:TCK", chip_->tap_driver(), TckGlitchConfig{.burst_edges = 60});
+    fault.arm();
+    const core::PowerMeasurement m = controller_->measure_power_checked(*power_curve_, -8.0);
+    fault.disarm();
+
+    // The burst desynchronizes at least the first attempt; a later attempt
+    // (after the burst is spent) succeeds -> Degraded with retries recorded.
+    EXPECT_EQ(m.diag.status, core::MeasurementStatus::kDegraded) << m.diag.to_string();
+    EXPECT_GE(m.diag.retries, 1);
+    EXPECT_LE(m.diag.retries, controller_->options().retry.max_retries);
+    EXPECT_NEAR(m.dbm, -8.0, 0.5) << m.diag.to_string();
+}
+
+TEST_F(FaultPipelineFixture, StuckSelectBusFailsWithSelectPathSuspect) {
+    StuckLineFault fault("stuck1:SEL", chip_->select_bus(), true);
+    fault.arm();
+    const core::PowerMeasurement m = controller_->measure_power_checked(*power_curve_, -8.0);
+    fault.disarm();
+
+    EXPECT_EQ(m.diag.status, core::MeasurementStatus::kFailed) << m.diag.to_string();
+    EXPECT_EQ(m.diag.suspect, core::SuspectedFault::kSelectPath);
+}
+
+TEST_F(FaultPipelineFixture, VerifyHelpersReportHealthyChip) {
+    EXPECT_TRUE(controller_->verify_scan_chain());
+    controller_->open_session();
+    EXPECT_TRUE(controller_->verify_select(
+        core::select_word({core::SelectBit::kDetectorPower})));
+    EXPECT_FALSE(controller_->verify_select(
+        core::select_word({core::SelectBit::kDetectorPower, core::SelectBit::kFdetToAb1})));
+}
+
+TEST_F(FaultPipelineFixture, CampaignDetectsAllAndGradesBaselineOk) {
+    FaultCampaign campaign(*controller_, *power_curve_, {-8.0, 1.5e9});
+    campaign.add(std::make_unique<StuckSwitchFault>(
+        "stuckopen:MUX4.out_minus",
+        chip_->mux().switch_for(core::SelectBit::kOutMinusToAb2),
+        circuit::SwitchFault::kStuckOpen));
+    campaign.add(std::make_unique<StuckLineFault>(
+        "stuck0:TDO", chip_->tap_driver(), StuckLineFault::Line::kTdo, false));
+
+    const CampaignReport report = campaign.run();
+    EXPECT_EQ(report.baseline.status, core::MeasurementStatus::kOk)
+        << report.baseline.diagnostics;
+    ASSERT_EQ(report.entries.size(), 2u);
+    EXPECT_TRUE(report.entries[0].detected) << report.entries[0].diagnostics;
+    EXPECT_TRUE(report.entries[1].detected) << report.entries[1].diagnostics;
+    EXPECT_EQ(report.silent_count(), 0u);
+    EXPECT_DOUBLE_EQ(report.coverage(), 1.0);
+    EXPECT_NE(report.to_string().find("coverage: 2/2"), std::string::npos);
+}
+
+TEST_F(FaultPipelineFixture, DiagnosticsFormatting) {
+    EXPECT_STREQ(core::to_string(core::MeasurementStatus::kDegraded), "Degraded");
+    EXPECT_STREQ(core::to_string(core::SuspectedFault::kScanChain), "scan-chain");
+    core::MeasurementDiagnostics d;
+    d.status = core::MeasurementStatus::kDegraded;
+    d.suspect = core::SuspectedFault::kSignalPath;
+    d.retries = 2;
+    d.detail = "whatever happened";
+    const std::string s = d.to_string();
+    EXPECT_NE(s.find("Degraded"), std::string::npos) << s;
+    EXPECT_NE(s.find("signal-path"), std::string::npos) << s;
+    EXPECT_NE(s.find("whatever happened"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace rfabm::faults
