@@ -1,0 +1,77 @@
+// Micro-benchmark: static-analyzer throughput on synthetic netlists.
+//
+// The admission guard runs the analyzer before every hardened measurement,
+// so its cost must stay negligible next to a transient solve.  This bench
+// generates resistor-ladder decks of growing size (every card grounded so
+// the deck lints clean) and times the full lint_netlist() pass — scanner,
+// text-level checks, parse into a scratch circuit, and the union-find ERC —
+// reporting cards/second at each size.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/netlist_lint.hpp"
+
+namespace {
+
+/// A clean deck with @p stages RC ladder stages hanging off one source.
+std::string make_deck(int stages) {
+    std::ostringstream deck;
+    deck << "V1 in 0 DC 1\n";
+    for (int i = 0; i < stages; ++i) {
+        deck << "R" << i << " ";
+        if (i == 0) {
+            deck << "in";
+        } else {
+            deck << "n" << (i - 1);
+        }
+        deck << " n" << i << " 1k\n";
+        deck << "C" << i << " n" << i << " 0 1p\n";
+    }
+    deck << "RL n" << (stages - 1) << " 0 50\n";
+    return deck.str();
+}
+
+}  // namespace
+
+int main() {
+    using clock = std::chrono::steady_clock;
+    std::printf("# lint_throughput: full lint_netlist() pass on clean RC ladders\n");
+    std::printf("%10s %10s %12s %14s %14s\n", "stages", "cards", "reps", "us/deck",
+                "cards/sec");
+
+    for (const int stages : {10, 100, 1000, 10000}) {
+        const std::string deck = make_deck(stages);
+        const std::size_t cards = 2 + 2 * static_cast<std::size_t>(stages);
+
+        // Warm-up + self-calibrating rep count for ~0.5 s per size.
+        rfabm::lint::Report warm;
+        rfabm::lint::lint_netlist(deck, "bench.cir", warm);
+        if (!warm.empty()) {
+            std::fprintf(stderr, "synthetic deck not clean:\n%s", warm.to_text().c_str());
+            return 1;
+        }
+        const auto probe_start = clock::now();
+        {
+            rfabm::lint::Report r;
+            rfabm::lint::lint_netlist(deck, "bench.cir", r);
+        }
+        const double probe_s = std::chrono::duration<double>(clock::now() - probe_start).count();
+        const int reps = std::max(1, static_cast<int>(0.5 / std::max(probe_s, 1e-7)));
+
+        const auto start = clock::now();
+        for (int i = 0; i < reps; ++i) {
+            rfabm::lint::Report report;
+            rfabm::lint::lint_netlist(deck, "bench.cir", report);
+            if (report.has_errors()) return 1;
+        }
+        const double total_s = std::chrono::duration<double>(clock::now() - start).count();
+        const double per_deck_us = total_s / reps * 1e6;
+        const double cards_per_s = static_cast<double>(cards) * reps / total_s;
+        std::printf("%10d %10zu %12d %14.1f %14.0f\n", stages, cards, reps, per_deck_us,
+                    cards_per_s);
+    }
+    return 0;
+}

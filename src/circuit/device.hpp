@@ -8,6 +8,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "circuit/mna.hpp"
 #include "circuit/process.hpp"
@@ -58,6 +60,16 @@ class Device {
 
     /// True if the device's stamp depends on the iterate (needs Newton).
     virtual bool is_nonlinear() const { return false; }
+
+    /// Nodes this device's terminals attach to, in the device's natural
+    /// terminal order.  Used by connectivity analyses (ERC lint); an empty
+    /// list means "opaque to connectivity checks".
+    virtual std::vector<NodeId> terminals() const { return {}; }
+
+    /// Terminal-node pairs between which the element conducts at DC (finite
+    /// resistance in at least one control state).  The static analyzer uses
+    /// these to find nodes without a DC path to ground before any solve.
+    virtual std::vector<std::pair<NodeId, NodeId>> dc_paths() const { return {}; }
 
     /// Write the device's contribution for the given context.
     virtual void stamp(MnaSystem& sys, const StampContext& ctx) = 0;

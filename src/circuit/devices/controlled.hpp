@@ -19,6 +19,15 @@ class Vccs : public Device {
     void set_gm(double gm) { gm_ = gm; }
     double gm() const { return gm_; }
 
+    NodeId out_p() const { return out_p_; }
+    NodeId out_n() const { return out_n_; }
+    NodeId cp() const { return cp_; }
+    NodeId cn() const { return cn_; }
+
+    /// Output is a controlled current source, control pins are sense-only:
+    /// no DC conduction through any terminal pair.
+    std::vector<NodeId> terminals() const override { return {out_p_, out_n_, cp_, cn_}; }
+
   private:
     NodeId out_p_, out_n_, cp_, cn_;
     double gm_;
@@ -36,6 +45,16 @@ class Vcvs : public Device {
 
     void set_gain(double gain) { gain_ = gain; }
     double gain() const { return gain_; }
+
+    NodeId p() const { return p_; }
+    NodeId n() const { return n_; }
+    NodeId cp() const { return cp_; }
+    NodeId cn() const { return cn_; }
+
+    std::vector<NodeId> terminals() const override { return {p_, n_, cp_, cn_}; }
+    /// The output branch behaves as a voltage source (DC short for
+    /// connectivity); the control pins only sense.
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override { return {{p_, n_}}; }
 
   private:
     NodeId p_, n_, cp_, cn_;

@@ -38,6 +38,16 @@ class BridgeDefect : public Device {
     NodeId a() const { return a_; }
     NodeId b() const { return b_; }
 
+    /// Disarmed defects are electrically absent, so they are invisible to
+    /// connectivity analyses too.
+    std::vector<NodeId> terminals() const override {
+        return armed_ ? std::vector<NodeId>{a_, b_} : std::vector<NodeId>{};
+    }
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+        if (!armed_) return {};
+        return {{a_, b_}};
+    }
+
   private:
     NodeId a_;
     NodeId b_;

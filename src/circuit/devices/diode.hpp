@@ -32,6 +32,15 @@ class Diode : public Device {
     /// Diode current at the junction voltage @p vd (after temperature scaling).
     double current(double vd) const;
 
+    NodeId anode() const { return anode_; }
+    NodeId cathode() const { return cathode_; }
+    const DiodeParams& params() const { return params_; }
+
+    std::vector<NodeId> terminals() const override { return {anode_, cathode_}; }
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override {
+        return {{anode_, cathode_}};
+    }
+
   private:
     /// Junction-voltage limiting (SPICE pnjlim) keeping exp() in range.
     double limit_voltage(double v_new) const;

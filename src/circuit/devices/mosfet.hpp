@@ -81,6 +81,15 @@ class Mosfet : public Device {
     void set_fault(MosfetFault fault, double stuck_on_ohms = 50.0);
     MosfetFault fault() const { return fault_; }
 
+    NodeId drain() const { return d_; }
+    NodeId gate() const { return g_; }
+    NodeId source() const { return s_; }
+
+    std::vector<NodeId> terminals() const override { return {d_, g_, s_}; }
+    /// The channel conducts; the gate is infinite impedance at DC, so a gate
+    /// node needs its bias path from elsewhere.
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override { return {{d_, s_}}; }
+
   private:
     void update_effective();
 

@@ -35,6 +35,9 @@ class Resistor : public Device {
     NodeId a() const { return a_; }
     NodeId b() const { return b_; }
 
+    std::vector<NodeId> terminals() const override { return {a_, b_}; }
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override { return {{a_, b_}}; }
+
   private:
     NodeId a_;
     NodeId b_;
@@ -64,6 +67,12 @@ class Capacitor : public Device {
     /// Voltage across the capacitor at the last accepted step.
     double last_voltage() const { return v_prev_; }
 
+    NodeId a() const { return a_; }
+    NodeId b() const { return b_; }
+
+    /// A capacitor is open at DC: terminals but no DC path.
+    std::vector<NodeId> terminals() const override { return {a_, b_}; }
+
   private:
     NodeId a_;
     NodeId b_;
@@ -88,6 +97,12 @@ class Inductor : public Device {
     void accept_step(const Solution& x, const StampContext& ctx) override;
 
     double inductance() const { return henries_; }
+
+    NodeId a() const { return a_; }
+    NodeId b() const { return b_; }
+
+    std::vector<NodeId> terminals() const override { return {a_, b_}; }
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override { return {{a_, b_}}; }
 
   private:
     NodeId a_;

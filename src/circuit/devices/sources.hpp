@@ -35,6 +35,10 @@ class VSource : public Device {
     NodeId p() const { return p_; }
     NodeId n() const { return n_; }
 
+    std::vector<NodeId> terminals() const override { return {p_, n_}; }
+    /// A voltage source is a DC short for connectivity purposes.
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override { return {{p_, n_}}; }
+
   private:
     NodeId p_;
     NodeId n_;
@@ -59,6 +63,9 @@ class ISource : public Device {
 
     NodeId p() const { return p_; }
     NodeId n() const { return n_; }
+
+    /// A current source is infinite impedance: terminals but no DC path.
+    std::vector<NodeId> terminals() const override { return {p_, n_}; }
 
   private:
     NodeId p_;

@@ -53,6 +53,11 @@ class Switch : public Device {
     NodeId a() const { return a_; }
     NodeId b() const { return b_; }
 
+    /// Both states have finite resistance (Ron / Roff), so a switch always
+    /// provides a (possibly weak) DC path.
+    std::vector<NodeId> terminals() const override { return {a_, b_}; }
+    std::vector<std::pair<NodeId, NodeId>> dc_paths() const override { return {{a_, b_}}; }
+
   private:
     NodeId a_;
     NodeId b_;

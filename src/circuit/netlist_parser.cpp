@@ -25,69 +25,66 @@ std::string lower(std::string_view s) {
     return out;
 }
 
-/// Split a card into tokens; parentheses become their own tokens so
-/// "SIN(0 1 1e9)" tokenizes as SIN ( 0 1 1e9 ).  @p columns receives the
-/// 1-based start column of each token within the card text.
-std::vector<std::string> tokenize(const std::string& line, std::vector<std::size_t>* columns) {
-    std::vector<std::string> tokens;
+/// Tokenize one physical-line fragment of a card; parentheses and '=' become
+/// their own tokens so "SIN(0 1 1e9)" tokenizes as SIN ( 0 1 1e9 ).
+/// @p line / @p first_column locate the fragment in the raw input.
+void tokenize_fragment(std::string_view fragment, std::size_t line, std::size_t first_column,
+                       std::vector<NetlistToken>* tokens) {
     std::string current;
     std::size_t current_col = 0;
     auto flush = [&] {
         if (!current.empty()) {
-            tokens.push_back(current);
-            columns->push_back(current_col);
+            tokens->push_back({current, line, current_col});
             current.clear();
         }
     };
-    for (std::size_t i = 0; i < line.size(); ++i) {
-        const char c = line[i];
+    for (std::size_t i = 0; i < fragment.size(); ++i) {
+        const char c = fragment[i];
         if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
             flush();
         } else if (c == '(' || c == ')' || c == '=') {
             flush();
-            tokens.push_back(std::string(1, c));
-            columns->push_back(i + 1);
+            tokens->push_back({std::string(1, c), line, first_column + i});
         } else {
-            if (current.empty()) current_col = i + 1;
+            if (current.empty()) current_col = first_column + i;
             current += c;
         }
     }
     flush();
-    return tokens;
 }
 
 /// Context for error reporting while parsing one card.
 struct CardContext {
     std::string source;
-    std::size_t line = 0;
-    std::size_t column_offset = 0;  ///< column of the card within its first raw line
-    const std::vector<std::size_t>* columns = nullptr;
+    const NetlistCard* card = nullptr;
 
     /// Throw for token @p index (or the card as a whole when out of range).
     [[noreturn]] void fail(std::size_t index, const std::string& message) const {
         std::size_t col = 0;
-        if (columns != nullptr && index < columns->size()) {
-            col = column_offset + (*columns)[index];
+        std::size_t phys = card->line;
+        if (index < card->tokens.size()) {
+            col = card->tokens[index].column;
+            phys = card->tokens[index].line;
         }
-        throw NetlistError(source, line, col, message);
+        throw NetlistError(source, card->line, col, message, phys);
     }
 };
 
 /// name=value pairs from the tail of a token list (handles "K = 1" spacing).
-std::map<std::string, std::string> parse_pairs(const std::vector<std::string>& tokens,
+std::map<std::string, std::string> parse_pairs(const std::vector<NetlistToken>& tokens,
                                                std::size_t start, const CardContext& ctx,
                                                std::vector<std::string>* loose = nullptr) {
     std::map<std::string, std::string> pairs;
     for (std::size_t i = start; i < tokens.size();) {
-        if (i + 1 < tokens.size() && tokens[i + 1] == "=") {
-            if (i + 2 >= tokens.size()) ctx.fail(i, "dangling '=' after " + tokens[i]);
-            pairs[lower(tokens[i])] = tokens[i + 2];
+        if (i + 1 < tokens.size() && tokens[i + 1].text == "=") {
+            if (i + 2 >= tokens.size()) ctx.fail(i, "dangling '=' after " + tokens[i].text);
+            pairs[lower(tokens[i].text)] = tokens[i + 2].text;
             i += 3;
         } else {
             if (loose != nullptr) {
-                loose->push_back(tokens[i]);
+                loose->push_back(tokens[i].text);
             } else {
-                ctx.fail(i, "unexpected token '" + tokens[i] + "'");
+                ctx.fail(i, "unexpected token '" + tokens[i].text + "'");
             }
             ++i;
         }
@@ -128,49 +125,49 @@ double parse_eng_value(std::string_view token) {
     throw std::invalid_argument("bad value suffix: " + std::string(token));
 }
 
-std::size_t parse_netlist(Circuit& circuit, std::string_view text,
-                          std::string_view source_name) {
+std::vector<NetlistCard> scan_netlist(std::string_view text, std::string_view source_name) {
     const std::string source(source_name);
-    // --- gather logical lines (handle '+' continuation, strip comments) -----
-    struct Card {
-        std::string text;
-        std::size_t line;
-        std::size_t column_offset;  ///< column of the card's first character
-    };
-    std::vector<Card> cards;
-    {
-        std::istringstream stream{std::string(text)};
-        std::string raw;
-        std::size_t lineno = 0;
-        while (std::getline(stream, raw)) {
-            ++lineno;
-            const std::size_t comment = raw.find_first_of("*;");
-            if (comment != std::string::npos) raw.erase(comment);
-            // Trim.
-            const auto begin = raw.find_first_not_of(" \t\r");
-            if (begin == std::string::npos) continue;
-            const auto end = raw.find_last_not_of(" \t\r");
-            std::string body = raw.substr(begin, end - begin + 1);
-            if (body.empty()) continue;
-            if (body[0] == '+') {
-                if (cards.empty()) {
-                    throw NetlistError(source, lineno, begin + 1,
-                                       "continuation without a card");
-                }
-                cards.back().text += " " + body.substr(1);
-            } else {
-                cards.push_back({body, lineno, begin});
+    std::vector<NetlistCard> cards;
+    std::istringstream stream{std::string(text)};
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(stream, raw)) {
+        ++lineno;
+        const std::size_t comment = raw.find_first_of("*;");
+        if (comment != std::string::npos) raw.erase(comment);
+        const auto begin = raw.find_first_not_of(" \t\r");
+        if (begin == std::string::npos) continue;
+        const auto end = raw.find_last_not_of(" \t\r");
+        const std::string body = raw.substr(begin, end - begin + 1);
+        if (body.empty()) continue;
+        if (body[0] == '+') {
+            if (cards.empty()) {
+                throw NetlistError(source, lineno, begin + 1, "continuation without a card");
             }
+            // Tokens on a continuation line keep their own physical position:
+            // the content starts one column after the '+'.
+            tokenize_fragment(body.substr(1), lineno, begin + 2, &cards.back().tokens);
+        } else {
+            NetlistCard card;
+            card.line = lineno;
+            tokenize_fragment(body, lineno, begin + 1, &card.tokens);
+            cards.push_back(std::move(card));
         }
     }
+    return cards;
+}
+
+std::size_t parse_netlist(Circuit& circuit, std::string_view text, std::string_view source_name,
+                          NetlistOrigins* origins) {
+    const std::string source(source_name);
+    const std::vector<NetlistCard> cards = scan_netlist(text, source_name);
 
     // --- first pass: .model cards -------------------------------------------
     std::map<std::string, MosModel> models;
-    for (const Card& card : cards) {
-        std::vector<std::size_t> cols;
-        auto tokens = tokenize(card.text, &cols);
-        if (tokens.empty() || lower(tokens[0]) != ".model") continue;
-        CardContext ctx{source, card.line, card.column_offset, &cols};
+    for (const NetlistCard& card : cards) {
+        const auto& tokens = card.tokens;
+        if (tokens.empty() || lower(tokens[0].text) != ".model") continue;
+        CardContext ctx{source, &card};
         auto value_of = [&](const std::string& tok, std::size_t idx) {
             try {
                 return parse_eng_value(tok);
@@ -180,13 +177,13 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text,
         };
         if (tokens.size() < 3) ctx.fail(0, ".model needs a name and a type");
         MosModel model;
-        const std::string type = lower(tokens[2]);
+        const std::string type = lower(tokens[2].text);
         if (type == "nmos") {
             model.params.type = MosType::kNmos;
         } else if (type == "pmos") {
             model.params.type = MosType::kPmos;
         } else {
-            ctx.fail(2, "unknown model type: " + tokens[2]);
+            ctx.fail(2, "unknown model type: " + tokens[2].text);
         }
         const auto pairs = parse_pairs(tokens, 3, ctx);
         for (const auto& [key, val] : pairs) {
@@ -205,22 +202,21 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text,
                 ctx.fail(0, "unknown .model parameter: " + key);
             }
         }
-        models[lower(tokens[1])] = model;
+        models[lower(tokens[1].text)] = model;
     }
 
     // --- second pass: devices -----------------------------------------------
     std::size_t created = 0;
-    for (const Card& card : cards) {
-        std::vector<std::size_t> cols;
-        auto tokens = tokenize(card.text, &cols);
+    for (const NetlistCard& card : cards) {
+        const auto& tokens = card.tokens;
         if (tokens.empty()) continue;
-        CardContext ctx{source, card.line, card.column_offset, &cols};
-        const std::string head = lower(tokens[0]);
+        CardContext ctx{source, &card};
+        const std::string head = lower(tokens[0].text);
         if (head == ".model") continue;
         if (head == ".end") break;
-        if (head[0] == '.') ctx.fail(0, "unknown directive: " + tokens[0]);
+        if (head[0] == '.') ctx.fail(0, "unknown directive: " + tokens[0].text);
 
-        const std::string& name = tokens[0];
+        const std::string& name = tokens[0].text;
         auto value_of = [&](const std::string& tok, std::size_t idx) {
             try {
                 return parse_eng_value(tok);
@@ -230,26 +226,27 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text,
         };
         auto node = [&](std::size_t idx) -> NodeId {
             if (idx >= tokens.size()) ctx.fail(0, "missing node on " + name);
-            return circuit.node(lower(tokens[idx]));
+            return circuit.node(lower(tokens[idx].text));
         };
         auto require = [&](std::size_t idx, const char* what) -> const std::string& {
             if (idx >= tokens.size()) {
                 ctx.fail(0, std::string("missing ") + what + " on " + name);
             }
-            return tokens[idx];
+            return tokens[idx].text;
         };
 
+        try {
         switch (std::tolower(static_cast<unsigned char>(head[0]))) {
             case 'r': {
                 const double v = value_of(require(3, "value"), 3);
-                const bool offchip = tokens.size() > 4 && lower(tokens[4]) == "offchip";
+                const bool offchip = tokens.size() > 4 && lower(tokens[4].text) == "offchip";
                 circuit.add<Resistor>(name, node(1), node(2), v,
                                       offchip ? Placement::kOffChip : Placement::kOnDie);
                 break;
             }
             case 'c': {
                 const double v = value_of(require(3, "value"), 3);
-                const bool offchip = tokens.size() > 4 && lower(tokens[4]) == "offchip";
+                const bool offchip = tokens.size() > 4 && lower(tokens[4].text) == "offchip";
                 circuit.add<Capacitor>(name, node(1), node(2), v,
                                        offchip ? Placement::kOffChip : Placement::kOnDie);
                 break;
@@ -269,12 +266,12 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text,
                 auto paren_args = [&](std::size_t first) {
                     std::vector<double> args;
                     std::size_t i = first;
-                    if (i >= tokens.size() || tokens[i] != "(") {
+                    if (i >= tokens.size() || tokens[i].text != "(") {
                         ctx.fail(first < tokens.size() ? first : 3,
                                  "expected '(' after " + kind);
                     }
-                    for (++i; i < tokens.size() && tokens[i] != ")"; ++i) {
-                        args.push_back(value_of(tokens[i], i));
+                    for (++i; i < tokens.size() && tokens[i].text != ")"; ++i) {
+                        args.push_back(value_of(tokens[i].text, i));
                     }
                     if (i >= tokens.size()) ctx.fail(first, "missing ')'");
                     next = i + 1;
@@ -304,7 +301,7 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text,
                     ctx.fail(3, "unknown source kind: " + kind);
                 }
                 double ac = 0.0;
-                if (next < tokens.size() && lower(tokens[next]) == "ac") {
+                if (next < tokens.size() && lower(tokens[next].text) == "ac") {
                     ac = value_of(require(next + 1, "AC magnitude"), next + 1);
                 }
                 if (std::tolower(static_cast<unsigned char>(head[0])) == 'v') {
@@ -384,6 +381,14 @@ std::size_t parse_netlist(Circuit& circuit, std::string_view text,
             }
             default:
                 ctx.fail(0, "unknown device type: " + name);
+        }
+        } catch (const std::invalid_argument& e) {
+            // Device constructors validate their parameters (positive values,
+            // unique names); surface those as located card errors.
+            ctx.fail(0, e.what());
+        }
+        if (origins != nullptr) {
+            (*origins)[name] = NetlistOrigin{tokens[0].line, tokens[0].column};
         }
         ++created;
     }

@@ -26,52 +26,103 @@
 //   .end                            (optional, stops parsing)
 #pragma once
 
+#include <map>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "circuit/circuit.hpp"
 
 namespace rfabm::circuit {
 
 /// Thrown on malformed input; carries the source name (when given), the
-/// 1-based line number and the 1-based column of the offending token.  A
-/// column of 0 means "the card as a whole".  For '+'-continued cards the
-/// column indexes the logical (joined) card text.
+/// 1-based line number of the card, the 1-based physical line the offending
+/// token sits on, and the 1-based column of that token within its physical
+/// line.  A column of 0 means "the card as a whole".  For '+'-continued
+/// cards the card line and the physical line differ; the location prefix of
+/// what() uses the physical line so editors jump to the token itself.
 class NetlistError : public std::runtime_error {
   public:
     NetlistError(std::size_t line, const std::string& message)
         : NetlistError("", line, 0, message) {}
     NetlistError(std::string source, std::size_t line, std::size_t column,
-                 const std::string& message)
-        : std::runtime_error(format(source, line, column, message)),
+                 const std::string& message, std::size_t physical_line = 0)
+        : std::runtime_error(
+              format(source, line, column, message, physical_line == 0 ? line : physical_line)),
           source_(std::move(source)),
+          message_(message),
           line_(line),
-          column_(column) {}
+          column_(column),
+          physical_line_(physical_line == 0 ? line : physical_line) {}
 
     const std::string& source() const { return source_; }
+    /// The bare message, without the location prefix what() carries.
+    const std::string& message() const { return message_; }
+    /// Line the card starts on (the line a SPICE listing attributes the card to).
     std::size_t line() const { return line_; }
     std::size_t column() const { return column_; }
+    /// Line the offending token physically sits on; equals line() except for
+    /// tokens on '+' continuation lines.
+    std::size_t physical_line() const { return physical_line_; }
 
   private:
     static std::string format(const std::string& source, std::size_t line, std::size_t column,
-                              const std::string& message) {
-        std::string where = source.empty() ? "netlist line " + std::to_string(line)
-                                           : source + ":" + std::to_string(line);
+                              const std::string& message, std::size_t physical_line) {
+        std::string where = source.empty() ? "netlist line " + std::to_string(physical_line)
+                                           : source + ":" + std::to_string(physical_line);
         if (column > 0) where += ":" + std::to_string(column);
-        return where + ": " + message;
+        std::string out = where + ": " + message;
+        if (physical_line != line) {
+            out += " (in card starting at line " + std::to_string(line) + ")";
+        }
+        return out;
     }
 
     std::string source_;
+    std::string message_;
     std::size_t line_;
     std::size_t column_;
+    std::size_t physical_line_;
 };
+
+/// One token of a logical card with its exact physical position (continuation
+/// lines resolved): @p line / @p column are 1-based and index the raw input,
+/// not the joined card text.
+struct NetlistToken {
+    std::string text;
+    std::size_t line = 0;
+    std::size_t column = 0;
+};
+
+/// One logical card: comment-stripped, '+'-continuations joined, tokenized.
+struct NetlistCard {
+    std::vector<NetlistToken> tokens;
+    std::size_t line = 0;  ///< line the card starts on
+};
+
+/// Split @p text into tokenized logical cards (the parser's front end, also
+/// used by the static netlist linter).  Throws NetlistError on a '+'
+/// continuation with no preceding card.
+std::vector<NetlistCard> scan_netlist(std::string_view text, std::string_view source_name = "");
+
+/// Where a device's card sits in the source (for lint diagnostics).
+struct NetlistOrigin {
+    std::size_t line = 0;    ///< physical line of the device name token
+    std::size_t column = 0;  ///< 1-based column of the device name token
+};
+
+/// Device name -> card origin, filled by parse_netlist when requested.
+using NetlistOrigins = std::map<std::string, NetlistOrigin>;
 
 /// Parse @p text into @p circuit (devices are added to whatever is already
 /// there).  Returns the number of devices created.  @p source_name (a file
-/// name, typically) is prepended to error messages when non-empty.
+/// name, typically) is prepended to error messages when non-empty.  When
+/// @p origins is non-null it receives the source position of every created
+/// device (keyed by device name).
 std::size_t parse_netlist(Circuit& circuit, std::string_view text,
-                          std::string_view source_name = "");
+                          std::string_view source_name = "",
+                          NetlistOrigins* origins = nullptr);
 
 /// Parse a single engineering-notation value ("2.2k", "10p", "1meg", "-0.5").
 /// Throws std::invalid_argument on garbage.

@@ -44,6 +44,9 @@ class TunedCurrentSource : public circuit::Device {
     /// Output current for a given tune voltage.
     double current_for(double vtune) const { return vtune / r_eff_; }
 
+    /// Current-source output plus a sense-only tune pin: no DC conduction.
+    std::vector<circuit::NodeId> terminals() const override { return {out_, tune_}; }
+
   private:
     void update();
 

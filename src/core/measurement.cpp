@@ -6,6 +6,7 @@
 
 #include "circuit/measure.hpp"
 #include "jtag/instructions.hpp"
+#include "lint/erc.hpp"
 
 namespace rfabm::core {
 
@@ -30,8 +31,24 @@ const char* to_string(SuspectedFault fault) {
         case SuspectedFault::kConvergence: return "convergence";
         case SuspectedFault::kSignalPath: return "signal-path";
         case SuspectedFault::kNonSettling: return "non-settling";
+        case SuspectedFault::kConfigLint: return "config-lint";
     }
     return "?";
+}
+
+lint::SelectBusModel mux4_select_model() {
+    lint::SelectBusModel model;
+    model.name = ".4MUX";
+    model.power_bit = static_cast<int>(SelectBit::kDetectorPower);
+    model.routes = {
+        {static_cast<std::size_t>(SelectBit::kOutPlusToAb1), 1, true, "out+ -> AB1"},
+        {static_cast<std::size_t>(SelectBit::kOutMinusToAb2), 2, true, "out- -> AB2"},
+        {static_cast<std::size_t>(SelectBit::kFdetToAb1), 1, true, "Fdet -> AB1"},
+        {static_cast<std::size_t>(SelectBit::kTunePFromAb2), 2, false, "tuneP <- AB2"},
+        {static_cast<std::size_t>(SelectBit::kTuneFFromAb2), 2, false, "tuneF <- AB2"},
+        {static_cast<std::size_t>(SelectBit::kIbiasFromAb1), 1, false, "Ibias <- AB1"},
+    };
+    return model;
 }
 
 std::string MeasurementDiagnostics::to_string() const {
@@ -233,6 +250,52 @@ double MeasurementController::liveness_read(NodeId pin) {
     return circuit::settle_cycle_average(chip_.engine(), pin, circuit::kGround, sopts).value;
 }
 
+std::size_t MeasurementController::lint_preflight(std::uint8_t word, lint::Report& report) {
+    const std::size_t before = report.diagnostics().size();
+    // Electrical rules over the whole chip netlist.  Dangling-node checks are
+    // off: chip-level blocks legitimately own sense-only nets (comparator
+    // taps, probe nodes) that a board-level ERC would not see.
+    lint::ErcOptions erc;
+    erc.check_dangling = false;
+    lint::run_erc(chip_.circuit(), report, erc);
+    // 1149.4 switch-state rules for the current instruction.
+    lint::lint_abm_state(chip_.rf_pin_abm(), report);
+    lint::lint_abm_state(chip_.fin_pin_abm(), report);
+    lint::lint_tbic_state(chip_.tbic(), report);
+    // Select-word contention rules plus the MUX-vs-latch cross-check: a
+    // routing switch whose electrical state disagrees with its latched select
+    // bit is stuck (the select readback cannot see this).
+    const lint::SelectBusModel model = mux4_select_model();
+    lint::lint_select_word(model, word, report);
+    for (const lint::SelectRoute& route : model.routes) {
+        const auto bit = static_cast<SelectBit>(route.bit);
+        const bool latched = chip_.select_bus().output(route.bit);
+        const bool closed = chip_.mux().switch_for(bit).effective_closed();
+        if (latched != closed) {
+            report.add("mux-select-mismatch", lint::Severity::kError, lint::SourceLoc{},
+                       ".4 MUX route '" + route.name + "' is " +
+                           (closed ? "closed" : "open") + " but its select latch says " +
+                           (latched ? "closed" : "open") + ": switch stuck?",
+                       "", model.name);
+        }
+    }
+    return report.diagnostics().size() - before;
+}
+
+namespace {
+
+/// First error in @p report (for MeasurementDiagnostics::detail).
+std::string first_lint_error(const lint::Report& report) {
+    for (const auto& diag : report.diagnostics()) {
+        if (diag.severity == lint::Severity::kError) {
+            return diag.message + " [" + diag.rule + "]";
+        }
+    }
+    return "static lint reported errors";
+}
+
+}  // namespace
+
 PowerMeasurement MeasurementController::measure_power_checked(
     const rfabm::rf::MonotoneCurve& cal, std::optional<double> expected_dbm) {
     PowerMeasurement m;
@@ -267,6 +330,20 @@ PowerMeasurement MeasurementController::measure_power_checked(
         try {
             open_session();
             ++d.reopened_sessions;
+            if (options_.lint_before_measure) {
+                set_select(word);
+                lint::Report preflight;
+                lint_preflight(word, preflight);
+                if (preflight.has_errors()) {
+                    // A statically-detectable configuration defect: reject
+                    // immediately instead of burning retries on transient
+                    // reads that cannot succeed.
+                    d.suspect = SuspectedFault::kConfigLint;
+                    d.status = MeasurementStatus::kFailed;
+                    d.detail = first_lint_error(preflight);
+                    return m;
+                }
+            }
             m.vout = measure_power_vout();
             m.settled = last_settled_;
         } catch (const circuit::ConvergenceError& e) {
@@ -412,6 +489,17 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
         try {
             open_session();
             ++d.reopened_sessions;
+            if (options_.lint_before_measure) {
+                set_select(word);
+                lint::Report preflight;
+                lint_preflight(word, preflight);
+                if (preflight.has_errors()) {
+                    d.suspect = SuspectedFault::kConfigLint;
+                    d.status = MeasurementStatus::kFailed;
+                    d.detail = first_lint_error(preflight);
+                    return m;
+                }
+            }
             m.vout = measure_freq_vout(use_fin);
             m.settled = last_settled_;
         } catch (const circuit::ConvergenceError& e) {

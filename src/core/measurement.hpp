@@ -16,6 +16,8 @@
 #include <string>
 
 #include "core/chip.hpp"
+#include "lint/abm_rules.hpp"
+#include "lint/diagnostics.hpp"
 #include "rf/curve.hpp"
 
 namespace rfabm::core {
@@ -37,6 +39,7 @@ enum class SuspectedFault {
     kConvergence,  ///< the circuit solver failed to converge
     kSignalPath,   ///< analog path implausible (dead pin, out-of-range Vout)
     kNonSettling,  ///< the DC read never settled within the window budget
+    kConfigLint,   ///< the pre-measurement static lint found hard errors
 };
 const char* to_string(SuspectedFault fault);
 
@@ -96,7 +99,15 @@ struct MeasureOptions {
     int lookback = 3;             ///< drift check span (windows)
     int freq_cycles_per_window = 8;  ///< window in divided-clock periods
     RetryPolicy retry{};          ///< hardened-pipeline retry/backoff knobs
+    /// Run the static analyzer (ERC + 1149.4 switch/select rules) after the
+    /// session is opened and reject the measurement on hard errors, before
+    /// any transient read is attempted.
+    bool lint_before_measure = false;
 };
+
+/// The lint-facing description of the paper's ".4 MUX" select word (see
+/// core/mux4.hpp for the bit layout).
+lint::SelectBusModel mux4_select_model();
 
 /// Drives measurements on one chip instance.
 class MeasurementController {
@@ -165,6 +176,13 @@ class MeasurementController {
     FrequencyMeasurement measure_frequency_checked(
         const rfabm::rf::MonotoneCurve& calibration, bool use_fin = false,
         std::optional<double> expected_ghz = std::nullopt);
+
+    /// The admission guard's static checks for select word @p word: chip ERC,
+    /// ABM/TBIC switch-state rules, select-word contention rules, and the
+    /// .4-MUX-vs-latched-select cross-check.  Appends to @p report and
+    /// returns the number of findings.  Called automatically by the checked
+    /// measurements when options().lint_before_measure is set.
+    std::size_t lint_preflight(std::uint8_t word, lint::Report& report);
 
     RfAbmChip& chip() { return chip_; }
     bool session_open() const { return session_open_; }

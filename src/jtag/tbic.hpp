@@ -70,6 +70,8 @@ class Tbic {
         return *switches_[static_cast<std::size_t>(s)];
     }
     const TbicNodes& nodes() const { return nodes_; }
+    /// Instruction the switch states were last computed for.
+    Instruction instruction() const { return instruction_; }
 
   private:
     std::string name_;

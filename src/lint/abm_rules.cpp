@@ -1,0 +1,220 @@
+#include "lint/abm_rules.hpp"
+
+#include <map>
+
+namespace rfabm::lint {
+
+namespace {
+
+using jtag::AbmSwitch;
+using jtag::Instruction;
+using jtag::TbicSwitch;
+
+bool abm_closed(const jtag::AnalogBoundaryModule& abm, AbmSwitch s) {
+    return abm.switch_dev(s).effective_closed();
+}
+
+bool tbic_closed(const jtag::Tbic& tbic, TbicSwitch s) {
+    return tbic.switch_dev(s).effective_closed();
+}
+
+bool is_mission(Instruction i) {
+    return i == Instruction::kBypass || i == Instruction::kIdcode ||
+           i == Instruction::kSamplePreload;
+}
+
+}  // namespace
+
+std::size_t lint_abm_state(const jtag::AnalogBoundaryModule& abm, Report& report) {
+    const std::size_t before = report.diagnostics().size();
+    const Instruction instr = abm.last_instruction();
+    const std::string who(to_string(instr));
+
+    const bool sd = abm_closed(abm, AbmSwitch::kSD);
+    const bool sh = abm_closed(abm, AbmSwitch::kSH);
+    const bool sl = abm_closed(abm, AbmSwitch::kSL);
+    const bool sg = abm_closed(abm, AbmSwitch::kSG);
+    const bool sb1 = abm_closed(abm, AbmSwitch::kSB1);
+    const bool sb2 = abm_closed(abm, AbmSwitch::kSB2);
+
+    auto emit = [&](std::string rule, Severity severity, std::string message,
+                    std::string fixit = "") {
+        report.add(std::move(rule), severity, SourceLoc{}, std::move(message), std::move(fixit),
+                   abm.name());
+    };
+
+    if (sh && sl) {
+        emit("abm-sh-sl-short", Severity::kError,
+             "ABM '" + abm.name() + "' has SH and SL closed together under " + who +
+                 ": VH is crowbarred to VL through the pin",
+             "drive either the D latch or the E latch, not a pattern closing both");
+    }
+    if (sb1 && sb2) {
+        emit("abm-both-buses", Severity::kWarning,
+             "ABM '" + abm.name() + "' connects its pin to AB1 and AB2 simultaneously under " +
+                 who,
+             "clear B1 or B2 unless a differential bus measurement is intended");
+    }
+
+    switch (instr) {
+        case Instruction::kExtest:
+        case Instruction::kIntest:
+        case Instruction::kClamp:
+            if (sd) {
+                emit("abm-sd-not-isolated", Severity::kError,
+                     "ABM '" + abm.name() + "' has SD closed under " + who +
+                         ": the core is not isolated from the pin",
+                     "check SD for a stuck-closed defect; the mode table opens SD here");
+            }
+            break;
+        case Instruction::kProbe:
+            if (!sd) {
+                emit("abm-mode-mismatch", Severity::kError,
+                     "ABM '" + abm.name() +
+                         "' has SD open under PROBE: the mission path the instruction "
+                         "guarantees is broken",
+                     "check SD for a stuck-open defect");
+            }
+            if (sh || sl || sg) {
+                emit("abm-drive-during-probe", Severity::kError,
+                     "ABM '" + abm.name() + "' is driving its pin (SH/SL/SG closed) under PROBE",
+                     "PROBE must observe without disturbing; open SH, SL and SG");
+            }
+            break;
+        case Instruction::kHighz:
+            if (sd || sh || sl || sg || sb1 || sb2) {
+                emit("abm-mode-mismatch", Severity::kError,
+                     "ABM '" + abm.name() + "' has a switch closed under HIGHZ; all six must be "
+                                            "open",
+                     "check for stuck-closed switch defects");
+            }
+            break;
+        default:
+            if (is_mission(instr)) {
+                if (!sd) {
+                    emit("abm-mode-mismatch", Severity::kError,
+                         "ABM '" + abm.name() + "' has SD open under mission-mode " + who +
+                             ": the pin is cut off from the core",
+                         "check SD for a stuck-open defect");
+                }
+                if (sh || sl || sg || sb1 || sb2) {
+                    emit("abm-mode-mismatch", Severity::kError,
+                         "ABM '" + abm.name() + "' has a test switch closed under mission-mode " +
+                             who,
+                         "check SH/SL/SG/SB1/SB2 for stuck-closed defects");
+                }
+            }
+            break;
+    }
+
+    return report.diagnostics().size() - before;
+}
+
+std::size_t lint_tbic_state(const jtag::Tbic& tbic, Report& report, const std::string& name) {
+    const std::size_t before = report.diagnostics().size();
+    const Instruction instr = tbic.instruction();
+    const std::string who(to_string(instr));
+
+    const bool s1 = tbic_closed(tbic, TbicSwitch::kS1);
+    const bool s2 = tbic_closed(tbic, TbicSwitch::kS2);
+    const bool s3 = tbic_closed(tbic, TbicSwitch::kS3);
+    const bool s4 = tbic_closed(tbic, TbicSwitch::kS4);
+    const bool s5 = tbic_closed(tbic, TbicSwitch::kS5);
+    const bool s6 = tbic_closed(tbic, TbicSwitch::kS6);
+
+    auto emit = [&](std::string rule, Severity severity, std::string message,
+                    std::string fixit = "") {
+        report.add(std::move(rule), severity, SourceLoc{}, std::move(message), std::move(fixit),
+                   name);
+    };
+
+    if (!jtag::is_analog_test_mode(instr) && (s1 || s2 || s3 || s4 || s5 || s6)) {
+        emit("tbic-not-isolated", Severity::kError,
+             "TBIC '" + name + "' has a switch closed under " + who +
+                 ": the ATAP pins must be isolated outside analog test instructions",
+             "check the TBIC switches for stuck-closed defects");
+    }
+    if (s3 && s4) {
+        emit("tbic-vh-vl-short", Severity::kError,
+             "TBIC '" + name + "' closes S3 and S4 together: VH shorted to VL through AT1",
+             "use one characterization level per ATAP pin");
+    }
+    if (s5 && s6) {
+        emit("tbic-vh-vl-short", Severity::kError,
+             "TBIC '" + name + "' closes S5 and S6 together: VH shorted to VL through AT2",
+             "use one characterization level per ATAP pin");
+    }
+    if ((s3 && s5) || (s4 && s6)) {
+        emit("tbic-at-short", Severity::kError,
+             "TBIC '" + name + "' ties AT1 and AT2 to the same reference rail, shorting the "
+                               "two ATAP pins together",
+             "characterize with opposite rails (S3+S6 or S4+S5)");
+    }
+    if ((s1 && (s3 || s4)) || (s2 && (s5 || s6))) {
+        emit("tbic-drive-while-connect", Severity::kWarning,
+             "TBIC '" + name + "' drives a characterization level onto an ATAP pin that is "
+                               "also connected to an internal bus",
+             "open S1/S2 during bus characterization, or the rails during measurement");
+    }
+
+    return report.diagnostics().size() - before;
+}
+
+std::size_t lint_select_word(const SelectBusModel& model, std::uint64_t word, Report& report) {
+    const std::size_t before = report.diagnostics().size();
+
+    auto emit = [&](std::string rule, Severity severity, std::string message,
+                    std::string fixit = "") {
+        report.add(std::move(rule), severity, SourceLoc{}, std::move(message), std::move(fixit),
+                   model.name);
+    };
+
+    const bool powered =
+        model.power_bit < 0 || ((word >> static_cast<std::size_t>(model.power_bit)) & 1u) != 0;
+
+    std::map<int, std::vector<const SelectRoute*>> drivers;
+    std::map<int, std::vector<const SelectRoute*>> loads;
+    for (const SelectRoute& route : model.routes) {
+        if (((word >> route.bit) & 1u) == 0) continue;
+        (route.drives_bus ? drivers : loads)[route.bus].push_back(&route);
+        if (route.drives_bus && !powered) {
+            emit("select-unpowered", Severity::kWarning,
+                 "select word routes '" + route.name + "' while detector power (bit " +
+                     std::to_string(model.power_bit) + ") is off",
+                 "set the power bit in the same select word");
+        }
+    }
+
+    for (const auto& [bus, on_bus] : drivers) {
+        if (on_bus.size() > 1) {
+            std::string who = on_bus[0]->name;
+            for (std::size_t i = 1; i < on_bus.size(); ++i) who += "' and '" + on_bus[i]->name;
+            emit("select-bus-conflict", Severity::kError,
+                 "select word drives bus AB" + std::to_string(bus) + " from '" + who +
+                     "' simultaneously",
+                 "enable one driver per bus");
+        }
+        const auto it = loads.find(bus);
+        if (it != loads.end()) {
+            emit("select-bus-conflict", Severity::kError,
+                 "select word both drives bus AB" + std::to_string(bus) + " ('" +
+                     on_bus[0]->name + "') and loads it into '" + it->second[0]->name +
+                     "': the external instrument and the internal driver will fight",
+                 "separate the drive and the tune/load onto different select words");
+        }
+    }
+    for (const auto& [bus, on_bus] : loads) {
+        if (on_bus.size() > 1) {
+            std::string who = on_bus[0]->name;
+            for (std::size_t i = 1; i < on_bus.size(); ++i) who += "' and '" + on_bus[i]->name;
+            emit("select-double-load", Severity::kWarning,
+                 "select word routes bus AB" + std::to_string(bus) + " into '" + who +
+                     "' at once",
+                 "tune one input at a time");
+        }
+    }
+
+    return report.diagnostics().size() - before;
+}
+
+}  // namespace rfabm::lint

@@ -1,0 +1,54 @@
+// IEEE 1149.4 switch-state lint: checks the *electrically effective* state of
+// ABM and TBIC switches against the invariants the standard's mode table
+// implies for the active instruction.
+//
+// Because the checks read Switch::effective_closed() (the state after any
+// injected stuck-at defect) rather than the latched control bits, a healthy
+// pattern always passes while a stuck switch, a corrupted boundary latch or a
+// genuinely dangerous pattern (SH+SL crowbar, un-isolated core in EXTEST,
+// VH-VL short through the TBIC) is flagged before any solve is attempted.
+//
+// The select-bus rules work on an abstract SelectBusModel so they apply to
+// any serial select register, not just the paper's ".4 MUX" word; the core
+// layer builds the concrete model (see core/measurement).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "jtag/abm.hpp"
+#include "jtag/tbic.hpp"
+#include "lint/diagnostics.hpp"
+
+namespace rfabm::lint {
+
+/// Check one ABM's switch pattern for the instruction it was last applied
+/// with.  Returns the number of diagnostics added.
+std::size_t lint_abm_state(const jtag::AnalogBoundaryModule& abm, Report& report);
+
+/// Check the TBIC's switch pattern against its active instruction.
+/// @p name labels diagnostics (the Tbic object does not expose its own).
+std::size_t lint_tbic_state(const jtag::Tbic& tbic, Report& report,
+                            const std::string& name = "TBIC");
+
+/// One routing switch in a serial select word.
+struct SelectRoute {
+    std::size_t bit = 0;    ///< bit position in the select word
+    int bus = 0;            ///< analog bus index (e.g. 1 == AB1, 2 == AB2)
+    bool drives_bus = false;  ///< true: signal drives the bus; false: bus drives a load
+    std::string name;       ///< human label ("out+ -> AB1")
+};
+
+/// Abstract description of a select register's routing semantics.
+struct SelectBusModel {
+    std::vector<SelectRoute> routes;
+    int power_bit = -1;  ///< bit gating the routed detectors' power, -1 if none
+    std::string name = "select";
+};
+
+/// Check a latched select word for bus contention, double loads and
+/// power-gating mistakes.
+std::size_t lint_select_word(const SelectBusModel& model, std::uint64_t word, Report& report);
+
+}  // namespace rfabm::lint

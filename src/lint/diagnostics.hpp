@@ -1,0 +1,112 @@
+// Shared diagnostics engine for the static analysis subsystem.
+//
+// Every analysis family (netlist ERC, 1149.4 switch-state lint, scan-program
+// lint) reports through the same Report object so the CLI, the measurement
+// admission guard and the tests see one uniform stream of
+//
+//   source:line:column: severity: message [rule-id]
+//
+// records with optional fix-it hints, renderable as human text or JSON.
+// Source locations reuse the netlist parser's physical-line plumbing; rules
+// fired against live runtime state (an ABM switch pattern, a scan program)
+// carry a device path instead of a file location.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfabm::lint {
+
+/// Diagnostic severity, ordered by increasing weight.
+enum class Severity {
+    kNote,     ///< informational context
+    kWarning,  ///< suspicious but not necessarily wrong
+    kError,    ///< will not simulate / violates the standard
+};
+
+std::string_view to_string(Severity severity);
+
+/// A point in a netlist source file.  line == 0 means "no file location"
+/// (runtime-state rules); column may be 0 when only the line is known.
+struct SourceLoc {
+    std::string file;
+    std::size_t line = 0;
+    std::size_t column = 0;
+
+    bool valid() const { return line > 0; }
+};
+
+/// One finding.
+struct Diagnostic {
+    std::string rule;      ///< stable kebab-case rule id (see rule_catalog())
+    Severity severity = Severity::kWarning;
+    SourceLoc loc;         ///< netlist location, when the rule has one
+    std::string device;    ///< device / module path (e.g. "RF_ABM.SH")
+    std::string message;
+    std::string fixit;     ///< optional suggested remedy
+};
+
+/// Catalog entry: every rule id the analyses can emit, with its default
+/// severity and a one-line summary (drives `abm_lint --list-rules` and
+/// docs/lint.md).
+struct RuleInfo {
+    std::string_view id;
+    Severity severity;
+    std::string_view summary;
+};
+
+/// All known rules, sorted by id.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True if @p id is a known rule id.
+bool is_known_rule(std::string_view id);
+
+/// Collects diagnostics, applies suppressions, renders text / JSON.
+class Report {
+  public:
+    /// Add a finding (dropped silently if suppressed).  Returns true when the
+    /// diagnostic was recorded.
+    bool add(Diagnostic diag);
+
+    /// Convenience: add with explicit fields.
+    bool add(std::string rule, Severity severity, SourceLoc loc, std::string message,
+             std::string fixit = "", std::string device = "");
+
+    /// Suppress a rule id everywhere ("*" suppresses everything).
+    void suppress_rule(std::string rule);
+
+    /// Suppress a rule id on one physical source line ("*" for all rules).
+    void suppress_line(std::size_t line, std::string rule);
+
+    const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+    std::size_t count(Severity severity) const;
+    std::size_t error_count() const { return count(Severity::kError); }
+    std::size_t warning_count() const { return count(Severity::kWarning); }
+    bool has_errors() const { return error_count() > 0; }
+    bool empty() const { return diags_.empty(); }
+    std::size_t suppressed_count() const { return suppressed_; }
+
+    /// Sort by (file, line, column, rule) for stable output.
+    void sort();
+
+    /// Human-readable listing, one diagnostic per line plus fix-it lines,
+    /// ending with a summary ("2 errors, 1 warning.").
+    std::string to_text() const;
+
+    /// JSON document: {"diagnostics":[...],"errors":N,"warnings":N}.
+    std::string to_json() const;
+
+  private:
+    bool suppressed(const Diagnostic& diag) const;
+
+    std::vector<Diagnostic> diags_;
+    std::set<std::string> rule_suppressions_;
+    std::map<std::size_t, std::set<std::string>> line_suppressions_;
+    std::size_t suppressed_ = 0;
+};
+
+}  // namespace rfabm::lint

@@ -1,0 +1,304 @@
+#include "lint/erc.hpp"
+
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "circuit/devices/controlled.hpp"
+#include "circuit/devices/defects.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+
+namespace rfabm::lint {
+
+namespace {
+
+using circuit::Device;
+using circuit::NodeId;
+
+/// Union-find over node ids; unite() reports whether the edge merged two
+/// previously separate components (false == the edge closed a loop).
+class UnionFind {
+  public:
+    explicit UnionFind(std::size_t n) : parent_(n) {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::size_t find(std::size_t x) {
+        while (parent_[x] != x) {
+            parent_[x] = parent_[parent_[x]];
+            x = parent_[x];
+        }
+        return x;
+    }
+
+    bool unite(std::size_t a, std::size_t b) {
+        const std::size_t ra = find(a);
+        const std::size_t rb = find(b);
+        if (ra == rb) return false;
+        parent_[ra] = rb;
+        return true;
+    }
+
+  private:
+    std::vector<std::size_t> parent_;
+};
+
+SourceLoc locate(const std::string& device, const circuit::NetlistOrigins* origins,
+                 std::string_view source) {
+    SourceLoc loc;
+    loc.file = std::string(source);
+    if (origins != nullptr) {
+        const auto it = origins->find(device);
+        if (it != origins->end()) {
+            loc.line = it->second.line;
+            loc.column = it->second.column;
+        }
+    }
+    return loc;
+}
+
+std::string format_value(double value) {
+    std::ostringstream out;
+    out << value;
+    return out.str();
+}
+
+}  // namespace
+
+std::size_t run_erc(const circuit::Circuit& circuit, Report& report, const ErcOptions& options,
+                    const circuit::NetlistOrigins* origins, std::string_view source) {
+    const std::size_t before = report.diagnostics().size();
+    const auto& devices = circuit.devices();
+    const std::size_t num_nodes = circuit.num_nodes();
+
+    auto emit = [&](std::string rule, Severity severity, const std::string& device,
+                    std::string message, std::string fixit = "") {
+        report.add(std::move(rule), severity, locate(device, origins, source), std::move(message),
+                   std::move(fixit), device);
+    };
+
+    // Connectivity structures, filled while walking the devices once.
+    UnionFind touch_graph(num_nodes);  // every terminal-to-terminal adjacency
+    UnionFind dc_graph(num_nodes);    // only finite-resistance DC paths
+    UnionFind loop_graph(num_nodes);  // voltage-source/inductor loop detection
+    std::vector<std::size_t> touch_count(num_nodes, 0);
+    // First device touching each node, for locating node-level findings.
+    std::vector<const Device*> first_toucher(num_nodes, nullptr);
+
+    for (const auto& owned : devices) {
+        const Device* dev = owned.get();
+        const std::vector<NodeId> terminals = dev->terminals();
+
+        for (const NodeId t : terminals) {
+            const auto idx = static_cast<std::size_t>(t);
+            ++touch_count[idx];
+            if (first_toucher[idx] == nullptr) first_toucher[idx] = dev;
+            touch_graph.unite(static_cast<std::size_t>(terminals.front()), idx);
+        }
+
+        // Generic self-loop: a two-terminal element with both ends on one node
+        // stamps nothing useful.
+        if (terminals.size() == 2 && terminals[0] == terminals[1] &&
+            dynamic_cast<const circuit::VSource*>(dev) == nullptr) {
+            emit("erc-self-loop", Severity::kWarning, dev->name(),
+                 "device '" + dev->name() + "' connects node '" +
+                     circuit.node_name(terminals[0]) + "' to itself");
+        }
+
+        for (const auto& [a, b] : dev->dc_paths()) {
+            bool conducts = true;
+            if (const auto* r = dynamic_cast<const circuit::Resistor*>(dev)) {
+                conducts = r->resistance() < options.r_open;
+            }
+            if (conducts) dc_graph.unite(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+        }
+
+        // --- value plausibility ------------------------------------------------
+        if (options.check_values) {
+            if (const auto* r = dynamic_cast<const circuit::Resistor*>(dev)) {
+                if (r->resistance() <= 0.0) {
+                    emit("erc-value-zero", Severity::kError, dev->name(),
+                         "resistor '" + dev->name() + "' has non-positive resistance " +
+                             format_value(r->resistance()) + " ohm",
+                         "use a small positive resistance (e.g. 1m) for an ideal short");
+                } else if (r->resistance() < options.r_small || r->resistance() > options.r_large) {
+                    emit("erc-value-suspicious", Severity::kWarning, dev->name(),
+                         "resistor '" + dev->name() + "' value " + format_value(r->resistance()) +
+                             " ohm is outside the plausible range [" +
+                             format_value(options.r_small) + ", " + format_value(options.r_large) +
+                             "]",
+                         "check the engineering suffix on the value");
+                }
+            } else if (const auto* c = dynamic_cast<const circuit::Capacitor*>(dev)) {
+                if (c->capacitance() <= 0.0) {
+                    emit("erc-value-zero", Severity::kError, dev->name(),
+                         "capacitor '" + dev->name() + "' has non-positive capacitance " +
+                             format_value(c->capacitance()) + " F");
+                } else if (c->capacitance() < options.c_small ||
+                           c->capacitance() > options.c_large) {
+                    emit("erc-value-suspicious", Severity::kWarning, dev->name(),
+                         "capacitor '" + dev->name() + "' value " + format_value(c->capacitance()) +
+                             " F is outside the plausible range [" +
+                             format_value(options.c_small) + ", " + format_value(options.c_large) +
+                             "]",
+                         "check the engineering suffix on the value");
+                }
+            } else if (const auto* l = dynamic_cast<const circuit::Inductor*>(dev)) {
+                if (l->inductance() <= 0.0) {
+                    emit("erc-value-zero", Severity::kError, dev->name(),
+                         "inductor '" + dev->name() + "' has non-positive inductance " +
+                             format_value(l->inductance()) + " H");
+                } else if (l->inductance() < options.l_small ||
+                           l->inductance() > options.l_large) {
+                    emit("erc-value-suspicious", Severity::kWarning, dev->name(),
+                         "inductor '" + dev->name() + "' value " + format_value(l->inductance()) +
+                             " H is outside the plausible range [" +
+                             format_value(options.l_small) + ", " + format_value(options.l_large) +
+                             "]",
+                         "check the engineering suffix on the value");
+                }
+            } else if (const auto* sw = dynamic_cast<const circuit::Switch*>(dev)) {
+                if (sw->ron() >= sw->roff()) {
+                    emit("erc-switch-ron-roff", Severity::kError, dev->name(),
+                         "switch '" + dev->name() + "' has RON (" + format_value(sw->ron()) +
+                             ") >= ROFF (" + format_value(sw->roff()) +
+                             "): open and closed states are indistinguishable",
+                         "swap or fix the RON/ROFF parameters");
+                }
+            }
+        }
+
+        // --- injected-fault visibility ----------------------------------------
+        if (options.check_faults) {
+            if (const auto* defect = dynamic_cast<const circuit::BridgeDefect*>(dev)) {
+                if (defect->armed()) {
+                    emit("erc-defect-armed", Severity::kError, dev->name(),
+                         "defect device '" + dev->name() + "' is armed: " +
+                             format_value(defect->ohms()) + " ohm bridge between '" +
+                             circuit.node_name(defect->a()) + "' and '" +
+                             circuit.node_name(defect->b()) + "'",
+                         "disarm the defect population before measuring");
+                }
+            } else if (const auto* sw = dynamic_cast<const circuit::Switch*>(dev)) {
+                if (sw->fault() != circuit::SwitchFault::kNone) {
+                    const bool stuck_closed = sw->fault() == circuit::SwitchFault::kStuckClosed;
+                    emit("erc-device-fault", Severity::kError, dev->name(),
+                         "switch '" + dev->name() + "' is stuck " +
+                             (stuck_closed ? "closed" : "open") +
+                             " and ignores its control input");
+                }
+            } else if (const auto* fet = dynamic_cast<const circuit::Mosfet*>(dev)) {
+                if (fet->fault() != circuit::MosfetFault::kNone) {
+                    const bool on = fet->fault() == circuit::MosfetFault::kStuckOn;
+                    emit("erc-device-fault", Severity::kError, dev->name(),
+                         "MOSFET '" + dev->name() + "' channel is stuck " + (on ? "on" : "off"));
+                }
+            }
+        }
+
+        // --- voltage-source / inductor loops ----------------------------------
+        if (options.check_loops) {
+            const Device* loop_member = nullptr;
+            const char* rule = nullptr;
+            std::pair<NodeId, NodeId> edge{0, 0};
+            if (const auto* v = dynamic_cast<const circuit::VSource*>(dev)) {
+                loop_member = v;
+                rule = "erc-voltage-loop";
+                edge = {v->p(), v->n()};
+            } else if (const auto* e = dynamic_cast<const circuit::Vcvs*>(dev)) {
+                loop_member = e;
+                rule = "erc-voltage-loop";
+                edge = {e->p(), e->n()};
+            } else if (const auto* l = dynamic_cast<const circuit::Inductor*>(dev)) {
+                loop_member = l;
+                rule = "erc-inductor-loop";
+                edge = {l->a(), l->b()};
+            }
+            if (loop_member != nullptr) {
+                const bool merged = edge.first != edge.second &&
+                                    loop_graph.unite(static_cast<std::size_t>(edge.first),
+                                                     static_cast<std::size_t>(edge.second));
+                if (!merged) {
+                    const bool inductor = std::string_view(rule) == "erc-inductor-loop";
+                    emit(rule, Severity::kError, dev->name(),
+                         std::string(inductor ? "inductor '" : "voltage source '") + dev->name() +
+                             "' closes a loop of voltage sources/inductors between '" +
+                             circuit.node_name(edge.first) + "' and '" +
+                             circuit.node_name(edge.second) +
+                             "': the DC system is singular",
+                         "break the loop with a series resistance");
+                }
+            }
+        }
+    }
+
+    // --- node-level connectivity findings ---------------------------------
+    const std::size_t ground_comp = touch_graph.find(static_cast<std::size_t>(circuit::kGround));
+    const std::size_t ground_dc = dc_graph.find(static_cast<std::size_t>(circuit::kGround));
+
+    auto node_loc_device = [&](std::size_t idx) -> std::string {
+        return first_toucher[idx] != nullptr ? first_toucher[idx]->name() : std::string();
+    };
+
+    // Isolated subnets: touched components with no ground member, reported
+    // once per component.
+    if (options.check_isolated) {
+        std::vector<bool> reported_comp(num_nodes, false);
+        for (std::size_t idx = 1; idx < num_nodes; ++idx) {
+            if (touch_count[idx] == 0) continue;
+            const std::size_t comp = touch_graph.find(idx);
+            if (comp == ground_comp || reported_comp[comp]) continue;
+            reported_comp[comp] = true;
+            // Gather a few member names for the message.
+            std::string members;
+            std::size_t shown = 0;
+            std::size_t total = 0;
+            for (std::size_t j = 1; j < num_nodes; ++j) {
+                if (touch_count[j] == 0 || touch_graph.find(j) != comp) continue;
+                ++total;
+                if (shown < 4) {
+                    if (!members.empty()) members += ", ";
+                    members += "'" + circuit.node_name(static_cast<NodeId>(j)) + "'";
+                    ++shown;
+                }
+            }
+            if (total > shown) members += ", ...";
+            const std::string device = node_loc_device(idx);
+            emit("erc-isolated-subnet", Severity::kError, device,
+                 "subcircuit of " + std::to_string(total) +
+                     " node(s) has no ground reference: " + members,
+                 "connect the subcircuit to node '0' or remove it");
+        }
+    }
+
+    for (std::size_t idx = 1; idx < num_nodes; ++idx) {
+        if (touch_count[idx] == 0) continue;  // only opaque devices reference it
+        const std::string node_name = circuit.node_name(static_cast<NodeId>(idx));
+        const std::string device = node_loc_device(idx);
+
+        if (options.check_dangling && touch_count[idx] == 1) {
+            emit("erc-dangling-node", Severity::kWarning, device,
+                 "node '" + node_name + "' is touched by only one device terminal ('" + device +
+                     "')",
+                 "remove the dangling connection or wire the node up");
+        }
+
+        // Floating: in the grounded portion of the design but with no DC
+        // conduction path down to ground.  Isolated subnets are reported
+        // above, not double-counted here.
+        if (options.check_floating && touch_graph.find(idx) == ground_comp &&
+            dc_graph.find(idx) != ground_dc) {
+            emit("erc-floating-node", Severity::kError, device,
+                 "node '" + node_name +
+                     "' has no DC path to ground: its operating point is undefined",
+                 "add a DC return (e.g. a large resistor to ground) at '" + node_name + "'");
+        }
+    }
+
+    return report.diagnostics().size() - before;
+}
+
+}  // namespace rfabm::lint

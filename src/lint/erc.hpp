@@ -1,0 +1,57 @@
+// Electrical rule checks over a built Circuit, run before any solve.
+//
+// The checks work on the connectivity metadata every Device now exposes
+// (terminals() / dc_paths()) rather than on MNA matrices, so they are O(nodes
+// + devices) and catch the classic "solver will blow up or silently lie"
+// netlist defects:
+//
+//   * nodes with no DC path to ground (undefined operating point)
+//   * loops of voltage sources / inductors (singular MNA at DC)
+//   * connected subcircuits with no ground reference
+//   * dangling single-terminal nodes, self-looped devices
+//   * zero/negative and unit-implausible component values
+//   * switches whose Ron is not below Roff, armed defect devices,
+//     devices carrying injected stuck faults
+//
+// Device netlist origins (from parse_netlist) give each finding a
+// source:line:column; without origins the device name is reported instead.
+#pragma once
+
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+#include "circuit/netlist_parser.hpp"
+#include "lint/diagnostics.hpp"
+
+namespace rfabm::lint {
+
+/// Thresholds and toggles for the ERC pass.
+struct ErcOptions {
+    // A resistor at or above this value is treated as an open for DC
+    // connectivity (matches the fault injector's open model of 1e12 ohm).
+    double r_open = 1e10;
+    // Plausibility windows per unit.  Outside -> erc-value-suspicious.
+    double r_small = 1e-2;   ///< below: probably a units mistake
+    double r_large = 1e9;    ///< above: probably meant as an open
+    double c_small = 1e-18;  ///< sub-attofarad capacitors don't exist on-die
+    double c_large = 1e-3;   ///< a millifarad is not an integrated capacitor
+    double l_small = 1e-12;  ///< sub-picohenry inductance is wiring, not an L
+    double l_large = 1.0;    ///< a henry on-die is a typo
+
+    bool check_floating = true;
+    bool check_isolated = true;
+    bool check_dangling = true;
+    bool check_values = true;
+    bool check_loops = true;
+    bool check_faults = true;  ///< armed defects / stuck switch+MOSFET states
+};
+
+/// Run all enabled checks on @p circuit, appending findings to @p report.
+/// @p origins (optional) maps device names to netlist locations; @p source is
+/// the file name used for those locations.  Returns the number of findings
+/// added.
+std::size_t run_erc(const circuit::Circuit& circuit, Report& report, const ErcOptions& options = {},
+                    const circuit::NetlistOrigins* origins = nullptr,
+                    std::string_view source = "");
+
+}  // namespace rfabm::lint

@@ -1,0 +1,221 @@
+#include "lint/netlist_lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/netlist_parser.hpp"
+
+namespace rfabm::lint {
+
+namespace {
+
+std::string lower(std::string_view text) {
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+/// Parse "rule-a,rule-b" after a disable= directive and register the
+/// suppressions on @p target_line (0 == whole file).
+void register_rules(Report& report, std::string_view list, std::size_t target_line) {
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t end = list.find(',', start);
+        if (end == std::string_view::npos) end = list.size();
+        std::string_view rule = list.substr(start, end - start);
+        while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front()))) {
+            rule.remove_prefix(1);
+        }
+        while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back()))) {
+            rule.remove_suffix(1);
+        }
+        if (!rule.empty()) {
+            if (target_line == 0) {
+                report.suppress_rule(std::string(rule));
+            } else {
+                report.suppress_line(target_line, std::string(rule));
+            }
+        }
+        start = end + 1;
+    }
+}
+
+/// Scan raw text for `abm-lint:` comment directives (the card scanner strips
+/// comments, so this walks the raw lines).
+void collect_suppressions(std::string_view text, Report& report) {
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view raw = text.substr(pos, eol - pos);
+        ++line_no;
+
+        // Directives live in the comment portion only: either a whole-line
+        // '*' comment or an inline ';' comment.
+        std::size_t comment_start = std::string_view::npos;
+        bool whole_line = false;
+        std::size_t first_nonspace = raw.find_first_not_of(" \t\r");
+        if (first_nonspace != std::string_view::npos && raw[first_nonspace] == '*') {
+            comment_start = first_nonspace + 1;
+            whole_line = true;
+        } else if (std::size_t semi = raw.find(';'); semi != std::string_view::npos) {
+            comment_start = semi + 1;
+            whole_line = first_nonspace == semi;
+        }
+        if (comment_start != std::string_view::npos) {
+            const std::string comment = lower(raw.substr(comment_start));
+            static constexpr std::string_view kMarker = "abm-lint:";
+            if (const std::size_t mark = comment.find(kMarker); mark != std::string::npos) {
+                std::string_view directive = std::string_view(comment).substr(mark + kMarker.size());
+                while (!directive.empty() &&
+                       std::isspace(static_cast<unsigned char>(directive.front()))) {
+                    directive.remove_prefix(1);
+                }
+                static constexpr std::string_view kFile = "disable-file=";
+                static constexpr std::string_view kLine = "disable=";
+                if (directive.rfind(kFile, 0) == 0) {
+                    register_rules(report, directive.substr(kFile.size()), 0);
+                } else if (directive.rfind(kLine, 0) == 0) {
+                    // A whole-line comment guards the following line.
+                    register_rules(report, directive.substr(kLine.size()),
+                                   whole_line ? line_no + 1 : line_no);
+                }
+            }
+        }
+
+        if (eol == text.size()) break;
+        pos = eol + 1;
+    }
+}
+
+/// Text-level checks that must run before (or instead of) a parse: duplicate
+/// device names and undefined .model references, both of which the parser
+/// reports as hard exceptions without lint-friendly locations.  Returns true
+/// when the card list has errors that make a parse pointless.
+bool text_level_checks(const std::vector<circuit::NetlistCard>& cards, std::string_view source,
+                       Report& report) {
+    bool fatal = false;
+    std::map<std::string, const circuit::NetlistToken*> names;  // lowered name -> first token
+    std::map<std::string, const circuit::NetlistToken*> models;
+    // First pass: .model definitions (the parser resolves them file-globally).
+    for (const auto& card : cards) {
+        if (card.tokens.empty()) continue;
+        if (lower(card.tokens[0].text) == ".model" && card.tokens.size() >= 2) {
+            models.emplace(lower(card.tokens[1].text), &card.tokens[1]);
+        }
+    }
+    for (const auto& card : cards) {
+        if (card.tokens.empty()) continue;
+        const circuit::NetlistToken& head = card.tokens[0];
+        if (head.text.empty() || head.text[0] == '.') continue;
+        const std::string name = lower(head.text);
+        const auto [it, inserted] = names.emplace(name, &head);
+        if (!inserted) {
+            fatal = true;
+            report.add("erc-duplicate-name", Severity::kError,
+                       {std::string(source), head.line, head.column},
+                       "duplicate device name '" + head.text + "' (first defined at line " +
+                           std::to_string(it->second->line) + ")",
+                       "rename one of the devices");
+        }
+        // Zero/negative R, C, L values: the device constructors reject these
+        // at parse time, so catch them here with the value token's location.
+        if ((name[0] == 'r' || name[0] == 'c' || name[0] == 'l') && card.tokens.size() >= 4) {
+            const circuit::NetlistToken& value = card.tokens[3];
+            double parsed = 0.0;
+            bool numeric = true;
+            try {
+                parsed = circuit::parse_eng_value(value.text);
+            } catch (const std::invalid_argument&) {
+                numeric = false;  // the parser reports malformed values itself
+            }
+            if (numeric && parsed <= 0.0) {
+                fatal = true;
+                const char* unit = name[0] == 'r' ? "resistance" :
+                                   name[0] == 'c' ? "capacitance" : "inductance";
+                report.add("erc-value-zero", Severity::kError,
+                           {std::string(source), value.line, value.column},
+                           "device '" + head.text + "' has non-positive " + unit + " (" +
+                               value.text + ")",
+                           "use a small positive value instead of an ideal zero");
+            }
+        }
+        // RON >= ROFF on a switch card: the Switch constructor rejects it, so
+        // report it here under its own rule id with the card's location.
+        if (name[0] == 's' && card.tokens.size() >= 4) {
+            double ron = 100.0;   // the parser's defaults
+            double roff = 1e9;
+            for (std::size_t i = 4; i + 2 < card.tokens.size(); ++i) {
+                if (card.tokens[i + 1].text != "=") continue;
+                const std::string key = lower(card.tokens[i].text);
+                try {
+                    if (key == "ron") ron = circuit::parse_eng_value(card.tokens[i + 2].text);
+                    if (key == "roff") roff = circuit::parse_eng_value(card.tokens[i + 2].text);
+                } catch (const std::invalid_argument&) {
+                    // malformed value: the parser reports it
+                }
+            }
+            if (ron >= roff) {
+                fatal = true;
+                report.add("erc-switch-ron-roff", Severity::kError,
+                           {std::string(source), head.line, head.column},
+                           "switch '" + head.text + "' has RON (" + std::to_string(ron) +
+                               ") >= ROFF (" + std::to_string(roff) +
+                               "): open and closed states are indistinguishable",
+                           "swap or fix the RON/ROFF parameters");
+            }
+        }
+        if (name[0] == 'm' && card.tokens.size() >= 5) {
+            const circuit::NetlistToken& model = card.tokens[4];
+            if (models.find(lower(model.text)) == models.end()) {
+                fatal = true;
+                report.add("erc-undefined-model", Severity::kError,
+                           {std::string(source), model.line, model.column},
+                           "MOSFET '" + head.text + "' references undefined model '" + model.text +
+                               "'",
+                           "add a '.model " + model.text + " NMOS|PMOS ...' card");
+            }
+        }
+    }
+    return fatal;
+}
+
+}  // namespace
+
+std::size_t lint_netlist(std::string_view text, std::string_view source, Report& report,
+                         const NetlistLintOptions& options) {
+    const std::size_t before = report.diagnostics().size();
+    collect_suppressions(text, report);
+
+    std::vector<circuit::NetlistCard> cards;
+    try {
+        cards = circuit::scan_netlist(text, source);
+    } catch (const circuit::NetlistError& e) {
+        report.add("netlist-parse-error", Severity::kError,
+                   {std::string(source), e.physical_line(), e.column()}, e.message());
+        return report.diagnostics().size() - before;
+    }
+
+    const bool fatal = text_level_checks(cards, source, report);
+
+    if (options.run_erc && !fatal) {
+        circuit::Circuit scratch;
+        circuit::NetlistOrigins origins;
+        try {
+            circuit::parse_netlist(scratch, text, source, &origins);
+            run_erc(scratch, report, options.erc, &origins, source);
+        } catch (const circuit::NetlistError& e) {
+            report.add("netlist-parse-error", Severity::kError,
+                       {std::string(source), e.physical_line(), e.column()}, e.message());
+        }
+    }
+
+    return report.diagnostics().size() - before;
+}
+
+}  // namespace rfabm::lint

@@ -1,0 +1,34 @@
+// Front door for linting a SPICE netlist: text-level checks first (duplicate
+// device names, undefined .model references, suppression directives), then —
+// when the text is parseable — a full parse into a scratch Circuit and the
+// ERC pass over it.
+//
+// Suppression directives live in netlist comments:
+//
+//   R1 a 0 1k        ; abm-lint: disable=erc-value-suspicious
+//   * abm-lint: disable=erc-floating-node     <- applies to the next line
+//   * abm-lint: disable-file=erc-dangling-node
+//
+// `disable=` takes a comma-separated rule list (or `*`) and applies to the
+// directive's own physical line — or, for a whole-line comment, to the line
+// after it.  `disable-file=` suppresses the rules everywhere in the file.
+#pragma once
+
+#include <string_view>
+
+#include "lint/diagnostics.hpp"
+#include "lint/erc.hpp"
+
+namespace rfabm::lint {
+
+struct NetlistLintOptions {
+    ErcOptions erc;
+    bool run_erc = true;  ///< parse + electrical checks after the text pass
+};
+
+/// Lint @p text (named @p source in diagnostics) into @p report.  Returns the
+/// number of diagnostics added.
+std::size_t lint_netlist(std::string_view text, std::string_view source, Report& report,
+                         const NetlistLintOptions& options = {});
+
+}  // namespace rfabm::lint

@@ -1,0 +1,179 @@
+#include "lint/scan_program.hpp"
+
+#include <string>
+
+namespace rfabm::lint {
+
+namespace {
+
+using jtag::Instruction;
+using jtag::TapState;
+
+bool is_stable(TapState s) {
+    return s == TapState::kTestLogicReset || s == TapState::kRunTestIdle ||
+           s == TapState::kPauseDr || s == TapState::kPauseIr;
+}
+
+bool is_shift(TapState s) { return s == TapState::kShiftDr || s == TapState::kShiftIr; }
+
+std::string op_label(const ScanOp& op, std::size_t index) {
+    std::string kind;
+    switch (op.kind) {
+        case ScanOp::Kind::kReset: kind = "reset"; break;
+        case ScanOp::Kind::kMoveTo: kind = "move-to"; break;
+        case ScanOp::Kind::kScanIr: kind = "scan-ir"; break;
+        case ScanOp::Kind::kScanDr: kind = "scan-dr"; break;
+        case ScanOp::Kind::kRunTest: kind = "run-test"; break;
+        case ScanOp::Kind::kTmsPath: kind = "tms-path"; break;
+    }
+    return "op " + std::to_string(index + 1) + " (" + kind + ")";
+}
+
+}  // namespace
+
+ScanProgram& ScanProgram::reset() {
+    ops.push_back({ScanOp::Kind::kReset, TapState::kTestLogicReset, 0, 0, {}});
+    return *this;
+}
+
+ScanProgram& ScanProgram::move_to(TapState target) {
+    ops.push_back({ScanOp::Kind::kMoveTo, target, 0, 0, {}});
+    return *this;
+}
+
+ScanProgram& ScanProgram::scan_ir(std::uint8_t ir) {
+    ops.push_back({ScanOp::Kind::kScanIr, TapState::kRunTestIdle, ir, 0, {}});
+    return *this;
+}
+
+ScanProgram& ScanProgram::scan_dr(std::size_t length) {
+    ops.push_back({ScanOp::Kind::kScanDr, TapState::kRunTestIdle, 0, length, {}});
+    return *this;
+}
+
+ScanProgram& ScanProgram::run_test(std::size_t cycles) {
+    ops.push_back({ScanOp::Kind::kRunTest, TapState::kRunTestIdle, 0, cycles, {}});
+    return *this;
+}
+
+ScanProgram& ScanProgram::tms_path(std::vector<bool> tms) {
+    ops.push_back({ScanOp::Kind::kTmsPath, TapState::kRunTestIdle, 0, 0, std::move(tms)});
+    return *this;
+}
+
+ScanLintOptions ScanLintOptions::with_boundary_length(std::size_t boundary_length) {
+    ScanLintOptions options;
+    options.dr_lengths[opcode(Instruction::kBypass)] = 1;
+    options.dr_lengths[opcode(Instruction::kClamp)] = 1;   // clamp selects bypass
+    options.dr_lengths[opcode(Instruction::kHighz)] = 1;   // so does high-z
+    options.dr_lengths[opcode(Instruction::kIdcode)] = 32;
+    if (boundary_length > 0) {
+        options.dr_lengths[opcode(Instruction::kExtest)] = boundary_length;
+        options.dr_lengths[opcode(Instruction::kSamplePreload)] = boundary_length;
+        options.dr_lengths[opcode(Instruction::kProbe)] = boundary_length;
+        options.dr_lengths[opcode(Instruction::kIntest)] = boundary_length;
+    }
+    return options;
+}
+
+std::size_t lint_scan_program(const ScanProgram& program, Report& report,
+                              const ScanLintOptions& options) {
+    const std::size_t before = report.diagnostics().size();
+
+    // The power-up state of the simulated TAP: unknown until the program
+    // establishes it.  We start at Test-Logic-Reset (what TRST*/power-on
+    // gives) but remember whether the program itself ever guaranteed it.
+    TapState state = TapState::kTestLogicReset;
+    std::uint8_t current_ir = opcode(Instruction::kIdcode);
+    bool seen_reset = false;
+    bool warned_no_reset = false;
+
+    auto emit = [&](std::string rule, Severity severity, std::string message,
+                    std::string fixit = "") {
+        report.add(std::move(rule), severity, SourceLoc{}, std::move(message), std::move(fixit),
+                   "scan-program");
+    };
+
+    for (std::size_t i = 0; i < program.ops.size(); ++i) {
+        const ScanOp& op = program.ops[i];
+        switch (op.kind) {
+            case ScanOp::Kind::kReset:
+                state = TapState::kTestLogicReset;
+                current_ir = opcode(Instruction::kIdcode);
+                seen_reset = true;
+                break;
+
+            case ScanOp::Kind::kMoveTo:
+                state = op.target;
+                break;
+
+            case ScanOp::Kind::kScanIr:
+            case ScanOp::Kind::kScanDr: {
+                const bool is_ir = op.kind == ScanOp::Kind::kScanIr;
+                if (!seen_reset && !warned_no_reset) {
+                    warned_no_reset = true;
+                    emit("scan-missing-reset", Severity::kWarning,
+                         op_label(op, i) + ": no Test-Logic-Reset established before the first "
+                                           "scan; the TAP state and IR content are assumptions",
+                         "start the program with a reset op");
+                }
+                if (!is_stable(state)) {
+                    emit("scan-from-unstable-state", Severity::kError,
+                         op_label(op, i) + ": launched from non-stable TAP state '" +
+                             std::string(to_string(state)) + "'",
+                         "move to Run-Test/Idle (or a Pause state) before scanning");
+                }
+                if (is_ir) {
+                    current_ir = opcode(jtag::decode_instruction(op.ir));
+                } else {
+                    if (op.length == 0) {
+                        emit("scan-dr-length", Severity::kError,
+                             op_label(op, i) + ": zero-length DR scan",
+                             "scan at least one bit");
+                    } else if (const auto it = options.dr_lengths.find(current_ir);
+                               it != options.dr_lengths.end() && it->second != op.length) {
+                        emit("scan-dr-length", Severity::kError,
+                             op_label(op, i) + ": scans " + std::to_string(op.length) +
+                                 " bit(s) but instruction '" +
+                                 std::string(to_string(jtag::decode_instruction(current_ir))) +
+                                 "' selects a " + std::to_string(it->second) +
+                                 "-bit register; the pattern will arrive shifted",
+                             "match the scan length to the selected register");
+                    }
+                }
+                state = TapState::kRunTestIdle;
+                break;
+            }
+
+            case ScanOp::Kind::kRunTest:
+                state = TapState::kRunTestIdle;
+                break;
+
+            case ScanOp::Kind::kTmsPath: {
+                bool strayed = false;
+                for (const bool tms : op.tms) {
+                    state = jtag::next_tap_state(state, tms);
+                    if (is_shift(state)) strayed = true;
+                }
+                if (strayed) {
+                    emit("scan-stray-shift", Severity::kWarning,
+                         op_label(op, i) + ": raw TMS move passes through a Shift state, "
+                                           "clocking unintended data into the register",
+                         "route moves around Shift-IR/Shift-DR or use an explicit scan op");
+                }
+                break;
+            }
+        }
+    }
+
+    if (!program.ops.empty() && !is_stable(state)) {
+        emit("scan-unstable-endpoint", Severity::kError,
+             "program ends in non-stable TAP state '" + std::string(to_string(state)) +
+                 "'; the next TCK edge will move the TAP unpredictably",
+             "finish in Run-Test/Idle or Test-Logic-Reset");
+    }
+
+    return report.diagnostics().size() - before;
+}
+
+}  // namespace rfabm::lint

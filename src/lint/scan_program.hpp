@@ -1,0 +1,75 @@
+// Static validation of queued scan programs against the IEEE 1149.1 TAP
+// state machine — an SVF-checker in miniature.
+//
+// A program is a list of abstract operations (reset, state move, IR scan, DR
+// scan, run-test, raw TMS vector).  The linter walks the program through
+// next_tap_state() without touching any hardware model, tracking the state
+// the real TapDriver would be in and the instruction that would be latched,
+// and flags sequences that would shift garbage or leave the TAP somewhere a
+// subsequent step does not expect:
+//
+//   * scans launched from a non-stable state
+//   * DR scans whose length does not match the register the latched
+//     instruction selects
+//   * raw TMS moves that pass through Shift-IR/Shift-DR (clocking data)
+//   * programs that never reset and programs ending in unstable states
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "jtag/instructions.hpp"
+#include "jtag/tap_state.hpp"
+#include "lint/diagnostics.hpp"
+
+namespace rfabm::lint {
+
+/// One abstract scan-program step.
+struct ScanOp {
+    enum class Kind {
+        kReset,    ///< TRST*/five-TMS-ones: Test-Logic-Reset
+        kMoveTo,   ///< TapDriver::go_to(target)
+        kScanIr,   ///< scan_ir(ir): latch an instruction, end in Run-Test/Idle
+        kScanDr,   ///< scan_dr of @p length bits, end in Run-Test/Idle
+        kRunTest,  ///< stay in Run-Test/Idle for @p length TCK cycles
+        kTmsPath,  ///< raw TMS vector clocked as-is
+    };
+
+    Kind kind = Kind::kReset;
+    jtag::TapState target = jtag::TapState::kRunTestIdle;  ///< kMoveTo
+    std::uint8_t ir = 0;                                   ///< kScanIr opcode
+    std::size_t length = 0;                                ///< kScanDr bits / kRunTest cycles
+    std::vector<bool> tms;                                 ///< kTmsPath levels
+};
+
+/// A program plus convenience builders.
+struct ScanProgram {
+    std::vector<ScanOp> ops;
+
+    ScanProgram& reset();
+    ScanProgram& move_to(jtag::TapState target);
+    ScanProgram& scan_ir(std::uint8_t ir);
+    ScanProgram& scan_ir(jtag::Instruction instruction) { return scan_ir(opcode(instruction)); }
+    ScanProgram& scan_dr(std::size_t length);
+    ScanProgram& run_test(std::size_t cycles);
+    ScanProgram& tms_path(std::vector<bool> tms);
+};
+
+struct ScanLintOptions {
+    /// Expected DR length per instruction opcode (e.g. boundary-register
+    /// length for EXTEST/SAMPLE/PROBE, 1 for BYPASS, 32 for IDCODE).  DR
+    /// scans under opcodes not listed here are not length-checked.
+    std::map<std::uint8_t, std::size_t> dr_lengths;
+
+    /// Seed the standard lengths: BYPASS=1, IDCODE=32, boundary instructions
+    /// = @p boundary_length (skipped if 0).
+    static ScanLintOptions with_boundary_length(std::size_t boundary_length);
+};
+
+/// Simulate @p program against the TAP state machine, appending findings to
+/// @p report.  Returns the number of diagnostics added.
+std::size_t lint_scan_program(const ScanProgram& program, Report& report,
+                              const ScanLintOptions& options = {});
+
+}  // namespace rfabm::lint

@@ -1,0 +1,214 @@
+// Cross-validation between the static analyzer and the fault-injection
+// campaign: every defect class the campaign plants that is *statically
+// detectable* (visible in netlist/switch state without solving) must fire a
+// lint rule, and the admission guard must reject measurements on those
+// defects before any transient read.  Classes that are only dynamically
+// observable (drift within tolerance windows, stuck TAP lines, TCK glitches,
+// scan bit flips) must NOT fire — lint staying quiet on them is part of the
+// agreement.
+#include <gtest/gtest.h>
+
+#include "circuit/devices/defects.hpp"
+#include "circuit/devices/passive.hpp"
+#include "core/calibration.hpp"
+#include "core/measurement.hpp"
+#include "faults/circuit_faults.hpp"
+#include "faults/jtag_faults.hpp"
+#include "lint/diagnostics.hpp"
+#include "rf/sweep.hpp"
+
+namespace rfabm::faults {
+namespace {
+
+/// Shared expensive fixture: one calibrated chip + a coarse power curve.
+class LintAgreementFixture : public ::testing::Test {
+  protected:
+    static void SetUpTestSuite() {
+        chip_ = new core::RfAbmChip{core::RfAbmChipConfig{}};
+        controller_ = new core::MeasurementController(*chip_);
+        controller_->open_session();
+        core::dc_calibrate(*controller_);
+        power_curve_ = new rf::MonotoneCurve(
+            core::acquire_power_curve(*controller_, rf::arange(-20.0, 7.0, 3.0), 1.5e9));
+    }
+
+    static void TearDownTestSuite() {
+        delete power_curve_;
+        delete controller_;
+        delete chip_;
+        power_curve_ = nullptr;
+        controller_ = nullptr;
+        chip_ = nullptr;
+    }
+
+    void SetUp() override { chip_->set_rf(-8.0, 1.5e9); }
+
+    /// The power-measurement select word the checked pipeline preflights.
+    static std::uint8_t power_word() {
+        return core::select_word({core::SelectBit::kOutPlusToAb1,
+                                  core::SelectBit::kOutMinusToAb2,
+                                  core::SelectBit::kDetectorPower});
+    }
+
+    /// Preflight with the measurement states latched, as the guard does.
+    static lint::Report preflight() {
+        controller_->open_session();
+        controller_->set_select(power_word());
+        lint::Report report;
+        controller_->lint_preflight(power_word(), report);
+        return report;
+    }
+
+    static bool fires(const lint::Report& report, const std::string& rule) {
+        for (const lint::Diagnostic& d : report.diagnostics()) {
+            if (d.rule == rule) return true;
+        }
+        return false;
+    }
+
+    static core::RfAbmChip* chip_;
+    static core::MeasurementController* controller_;
+    static rf::MonotoneCurve* power_curve_;
+};
+
+core::RfAbmChip* LintAgreementFixture::chip_ = nullptr;
+core::MeasurementController* LintAgreementFixture::controller_ = nullptr;
+rf::MonotoneCurve* LintAgreementFixture::power_curve_ = nullptr;
+
+// Baseline for every per-class test below: the shipped chip, in a properly
+// opened session with the power-measurement routing latched, has zero lint
+// errors.
+TEST_F(LintAgreementFixture, HealthyChipPreflightHasNoErrors) {
+    const lint::Report r = preflight();
+    EXPECT_FALSE(r.has_errors()) << r.to_text();
+}
+
+// Campaign class kOpen: a series-open device (resistance driven to 1e12).
+TEST_F(LintAgreementFixture, OpenDefectClassFiresErc) {
+    OpenDeviceFault fault("open:PDET.R8",
+                          chip_->circuit().get<circuit::Resistor>("PDET.R8"));
+    fault.arm();
+    const lint::Report r = preflight();
+    fault.disarm();
+
+    EXPECT_TRUE(fires(r, "erc-value-suspicious") || fires(r, "erc-floating-node"))
+        << r.to_text();
+
+    const lint::Report healed = preflight();
+    EXPECT_FALSE(healed.has_errors()) << healed.to_text();
+}
+
+// Campaign class kBridge: an armed bridge/leak defect device.
+TEST_F(LintAgreementFixture, BridgeDefectClassFiresErc) {
+    auto& bridge = chip_->circuit().add<circuit::BridgeDefect>(
+        "DEF.lint_voutp_gnd", chip_->pdet().vout_p(), circuit::kGround, 25.0);
+    BridgeFault fault("bridge:voutp-gnd", bridge);
+
+    fault.arm();
+    const lint::Report r = preflight();
+    fault.disarm();
+
+    EXPECT_TRUE(fires(r, "erc-defect-armed")) << r.to_text();
+    EXPECT_TRUE(r.has_errors());
+
+    // Disarmed, the defect device is electrically absent and lint is quiet.
+    const lint::Report healed = preflight();
+    EXPECT_FALSE(fires(healed, "erc-defect-armed")) << healed.to_text();
+}
+
+// Campaign class kStuckSwitch: a routing switch that ignores its latch.
+TEST_F(LintAgreementFixture, StuckSwitchClassFiresFaultAndMismatchRules) {
+    StuckSwitchFault fault("stuckopen:MUX.out-",
+                           chip_->mux().switch_for(core::SelectBit::kOutMinusToAb2),
+                           circuit::SwitchFault::kStuckOpen);
+    fault.arm();
+    const lint::Report r = preflight();
+    fault.disarm();
+
+    EXPECT_TRUE(fires(r, "erc-device-fault")) << r.to_text();
+    // The select readback cannot see this defect (the latch reads back
+    // fine); the electrical-vs-latched cross-check is what catches it.
+    EXPECT_TRUE(fires(r, "mux-select-mismatch")) << r.to_text();
+
+    const lint::Report healed = preflight();
+    EXPECT_FALSE(healed.has_errors()) << healed.to_text();
+}
+
+// Campaign class kStuckMosfet: a detector transistor stuck off.
+TEST_F(LintAgreementFixture, StuckMosfetClassFiresDeviceFault) {
+    StuckMosfetFault fault("stuckoff:PDET.Q1", chip_->pdet().q1(),
+                           circuit::MosfetFault::kStuckOff);
+    fault.arm();
+    const lint::Report r = preflight();
+    fault.disarm();
+
+    EXPECT_TRUE(fires(r, "erc-device-fault")) << r.to_text();
+    EXPECT_TRUE(r.has_errors());
+}
+
+// The other side of the agreement: defect classes the campaign can only
+// catch dynamically must not trip the static analyzer.
+TEST_F(LintAgreementFixture, DynamicOnlyClassesStayQuiet) {
+    // kDrift: value moves but stays inside the plausible window.
+    DriftFault drift("drift:PDET.R4", chip_->circuit().get<circuit::Resistor>("PDET.R4"),
+                     5.0);
+    drift.arm();
+    const lint::Report drift_report = preflight();
+    drift.disarm();
+    EXPECT_FALSE(drift_report.has_errors()) << drift_report.to_text();
+
+    // kStuckLine: a TAP wiring defect, invisible to netlist/switch-state
+    // analysis (only the IDCODE readback path exercises it).
+    StuckLineFault tdo("stuck0:TDO", chip_->tap_driver(), StuckLineFault::Line::kTdo,
+                       false);
+    tdo.arm();
+    const lint::Report tdo_report = preflight();
+    tdo.disarm();
+    EXPECT_FALSE(tdo_report.has_errors()) << tdo_report.to_text();
+
+    // Re-establish a clean session for later tests.
+    controller_->open_session();
+}
+
+// The admission guard end to end: with lint_before_measure set, an armed
+// statically-detectable defect turns the checked measurement into an
+// immediate kFailed/kConfigLint — no retries burned on transient reads —
+// and disarming heals the pipeline.
+TEST_F(LintAgreementFixture, AdmissionGuardRejectsThenHeals) {
+    core::MeasureOptions options;
+    options.lint_before_measure = true;
+    core::MeasurementController guarded(*chip_, options);
+    guarded.open_session();
+
+    const core::PowerMeasurement healthy = guarded.measure_power_checked(*power_curve_, -8.0);
+    EXPECT_EQ(healthy.diag.status, core::MeasurementStatus::kOk) << healthy.diag.to_string();
+    EXPECT_NEAR(healthy.dbm, -8.0, 0.5);
+
+    auto& bridge = chip_->circuit().add<circuit::BridgeDefect>(
+        "DEF.lint_guard", chip_->pdet().vout_n(), circuit::kGround, 30.0);
+    BridgeFault fault("bridge:voutn-gnd", bridge);
+    fault.arm();
+    const core::PowerMeasurement rejected = guarded.measure_power_checked(*power_curve_, -8.0);
+    fault.disarm();
+
+    EXPECT_EQ(rejected.diag.status, core::MeasurementStatus::kFailed)
+        << rejected.diag.to_string();
+    EXPECT_EQ(rejected.diag.suspect, core::SuspectedFault::kConfigLint)
+        << rejected.diag.to_string();
+    EXPECT_EQ(rejected.diag.retries, 0) << "guard must reject before burning retries";
+    EXPECT_NE(rejected.diag.detail.find("erc-defect-armed"), std::string::npos)
+        << rejected.diag.detail;
+
+    const core::PowerMeasurement healed = guarded.measure_power_checked(*power_curve_, -8.0);
+    EXPECT_EQ(healed.diag.status, core::MeasurementStatus::kOk) << healed.diag.to_string();
+
+    // Leave the shared controller's session consistent for later tests.
+    controller_->open_session();
+}
+
+TEST_F(LintAgreementFixture, ConfigLintSuspectFormatting) {
+    EXPECT_STREQ(core::to_string(core::SuspectedFault::kConfigLint), "config-lint");
+}
+
+}  // namespace
+}  // namespace rfabm::faults

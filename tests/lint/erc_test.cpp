@@ -1,0 +1,223 @@
+// Negative-path coverage for the netlist ERC: one fixture netlist per rule,
+// asserting the rule id AND the source:line:column it anchors to, plus
+// in-memory circuit checks for the fault-visibility rules and the
+// suppression machinery.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices/defects.hpp"
+#include "circuit/devices/mosfet.hpp"
+#include "circuit/devices/passive.hpp"
+#include "circuit/devices/sources.hpp"
+#include "circuit/devices/switch_device.hpp"
+#include "lint/erc.hpp"
+#include "lint/netlist_lint.hpp"
+
+namespace rfabm::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+    const std::string path = std::string(LINT_FIXTURE_DIR) + "/" + name;
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "missing fixture " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+Report lint_fixture(const std::string& name) {
+    Report report;
+    lint_netlist(read_fixture(name), name, report);
+    report.sort();
+    return report;
+}
+
+/// The diagnostic with @p rule, or nullptr.
+const Diagnostic* find_rule(const Report& report, const std::string& rule) {
+    for (const Diagnostic& d : report.diagnostics()) {
+        if (d.rule == rule) return &d;
+    }
+    return nullptr;
+}
+
+::testing::AssertionResult has_rule_at(const Report& report, const std::string& rule,
+                                       std::size_t line, std::size_t column) {
+    const Diagnostic* d = find_rule(report, rule);
+    if (d == nullptr) {
+        return ::testing::AssertionFailure()
+               << "rule " << rule << " not reported; got:\n" << report.to_text();
+    }
+    if (d->loc.line != line || (column != 0 && d->loc.column != column)) {
+        return ::testing::AssertionFailure()
+               << rule << " reported at " << d->loc.line << ":" << d->loc.column << ", expected "
+               << line << ":" << column;
+    }
+    return ::testing::AssertionSuccess();
+}
+
+TEST(ErcFixtures, CleanDeckHasZeroDiagnostics) {
+    const Report r = lint_fixture("clean.cir");
+    EXPECT_TRUE(r.empty()) << r.to_text();
+}
+
+TEST(ErcFixtures, FloatingNode) {
+    const Report r = lint_fixture("floating_node.cir");
+    // 'f' is cut off from ground by the capacitor; located at C1's card.
+    EXPECT_TRUE(has_rule_at(r, "erc-floating-node", 2, 1));
+    EXPECT_TRUE(r.has_errors());
+    const Diagnostic* d = find_rule(r, "erc-floating-node");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->loc.file, "floating_node.cir");
+    EXPECT_NE(d->message.find("'f'"), std::string::npos) << d->message;
+    // 'g' hangs off R1 alone.
+    EXPECT_TRUE(has_rule_at(r, "erc-dangling-node", 3, 1));
+}
+
+TEST(ErcFixtures, VoltageLoop) {
+    const Report r = lint_fixture("voltage_loop.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-voltage-loop", 2, 1));
+    EXPECT_EQ(r.error_count(), 1u) << r.to_text();
+}
+
+TEST(ErcFixtures, InductorLoop) {
+    const Report r = lint_fixture("inductor_loop.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-inductor-loop", 2, 1));
+}
+
+TEST(ErcFixtures, DuplicateName) {
+    const Report r = lint_fixture("duplicate_name.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-duplicate-name", 2, 1));
+    const Diagnostic* d = find_rule(r, "erc-duplicate-name");
+    ASSERT_NE(d, nullptr);
+    EXPECT_NE(d->message.find("line 1"), std::string::npos) << d->message;
+}
+
+TEST(ErcFixtures, UndefinedModel) {
+    const Report r = lint_fixture("undefined_model.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-undefined-model", 1, 10));
+}
+
+TEST(ErcFixtures, SwitchRonRoff) {
+    const Report r = lint_fixture("ron_roff.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-switch-ron-roff", 2, 1));
+}
+
+TEST(ErcFixtures, ValueZero) {
+    const Report r = lint_fixture("value_zero.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-value-zero", 2, 8));
+}
+
+TEST(ErcFixtures, SuspiciousValueIsWarningOnly) {
+    const Report r = lint_fixture("suspicious.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-value-suspicious", 3, 1));
+    EXPECT_FALSE(r.has_errors()) << r.to_text();
+}
+
+TEST(ErcFixtures, SelfLoop) {
+    const Report r = lint_fixture("self_loop.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-self-loop", 2, 1));
+    EXPECT_FALSE(r.has_errors());
+}
+
+TEST(ErcFixtures, IsolatedSubnetReportedOnce) {
+    const Report r = lint_fixture("isolated_subnet.cir");
+    EXPECT_TRUE(has_rule_at(r, "erc-isolated-subnet", 3, 1));
+    std::size_t count = 0;
+    for (const Diagnostic& d : r.diagnostics()) {
+        if (d.rule == "erc-isolated-subnet") ++count;
+    }
+    EXPECT_EQ(count, 1u) << "one finding per component, not per node";
+}
+
+TEST(ErcFixtures, InlineSuppressionDirective) {
+    const Report r = lint_fixture("suppressed.cir");
+    EXPECT_TRUE(r.empty()) << r.to_text();
+    EXPECT_EQ(r.suppressed_count(), 1u);
+}
+
+TEST(ErcFixtures, ParseErrorIsReportedNotThrown) {
+    Report r;
+    lint_netlist("Q1 a b c\n", "bad.cir", r);
+    const Diagnostic* d = find_rule(r, "netlist-parse-error");
+    ASSERT_NE(d, nullptr) << r.to_text();
+    EXPECT_EQ(d->loc.line, 1u);
+}
+
+// --- in-memory circuit rules (no netlist form exists for these) -----------
+
+TEST(ErcCircuit, ArmedDefectIsFlagged) {
+    circuit::Circuit ckt;
+    const auto a = ckt.node("a");
+    ckt.add<circuit::VSource>("V1", a, circuit::kGround, circuit::Waveform::dc(1.0));
+    ckt.add<circuit::Resistor>("R1", a, circuit::kGround, 1e3);
+    auto& defect = ckt.add<circuit::BridgeDefect>("DEF", a, circuit::kGround, 25.0);
+
+    Report healthy;
+    run_erc(ckt, healthy);
+    EXPECT_TRUE(healthy.empty()) << healthy.to_text();
+
+    defect.arm();
+    Report armed;
+    run_erc(ckt, armed);
+    const Diagnostic* d = nullptr;
+    for (const Diagnostic& diag : armed.diagnostics()) {
+        if (diag.rule == "erc-defect-armed") d = &diag;
+    }
+    ASSERT_NE(d, nullptr) << armed.to_text();
+    EXPECT_EQ(d->device, "DEF");
+}
+
+TEST(ErcCircuit, StuckSwitchAndMosfetAreFlagged) {
+    circuit::Circuit ckt;
+    const auto a = ckt.node("a");
+    const auto b = ckt.node("b");
+    ckt.add<circuit::VSource>("V1", a, circuit::kGround, circuit::Waveform::dc(1.0));
+    auto& sw = ckt.add<circuit::Switch>("S1", a, b, 100.0, 1e9);
+    ckt.add<circuit::Resistor>("R1", b, circuit::kGround, 1e3);
+    auto& fet = ckt.add<circuit::Mosfet>("M1", a, b, circuit::kGround);
+
+    Report healthy;
+    run_erc(ckt, healthy);
+    EXPECT_FALSE(healthy.has_errors()) << healthy.to_text();
+
+    sw.set_fault(circuit::SwitchFault::kStuckOpen);
+    fet.set_fault(circuit::MosfetFault::kStuckOff);
+    Report faulty;
+    run_erc(ckt, faulty);
+    std::size_t flagged = 0;
+    for (const Diagnostic& diag : faulty.diagnostics()) {
+        if (diag.rule == "erc-device-fault") ++flagged;
+    }
+    EXPECT_EQ(flagged, 2u) << faulty.to_text();
+}
+
+TEST(ErcCircuit, OpenResistorBreaksConductivity) {
+    circuit::Circuit ckt;
+    const auto a = ckt.node("a");
+    const auto b = ckt.node("b");
+    ckt.add<circuit::ISource>("I1", a, circuit::kGround, circuit::Waveform::dc(1e-3));
+    auto& r1 = ckt.add<circuit::Resistor>("R1", a, b, 1e3);
+    ckt.add<circuit::Resistor>("R2", b, circuit::kGround, 1e3);
+
+    Report healthy;
+    run_erc(ckt, healthy);
+    EXPECT_FALSE(healthy.has_errors()) << healthy.to_text();
+
+    // The fault injector's series-open model: drive the resistance to 1e12.
+    r1.set_nominal(1e12);
+    Report open;
+    run_erc(ckt, open);
+    EXPECT_TRUE(open.has_errors()) << open.to_text();
+    bool floating = false;
+    for (const Diagnostic& diag : open.diagnostics()) {
+        if (diag.rule == "erc-floating-node") floating = true;
+    }
+    EXPECT_TRUE(floating) << open.to_text();
+}
+
+}  // namespace
+}  // namespace rfabm::lint

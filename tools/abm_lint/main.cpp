@@ -1,0 +1,116 @@
+// abm_lint: command-line front end of the static netlist analyzer.
+//
+//   abm_lint [options] netlist.cir [more.cir ...]
+//
+// Runs the text-level checks and the electrical rule checks (ERC) on each
+// netlist and prints the findings as compiler-style diagnostics
+// (file:line:column: severity: message [rule-id]) or as one JSON document.
+//
+// Exit status: 0 clean, 1 findings at or above the failing severity,
+// 2 usage or I/O error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/netlist_lint.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+    out << "usage: abm_lint [options] <netlist.cir> [...]\n"
+           "\n"
+           "options:\n"
+           "  --json               emit diagnostics as a JSON document\n"
+           "  --werror             exit non-zero on warnings, not only errors\n"
+           "  --no-erc             text-level checks only (skip parse + ERC)\n"
+           "  --suppress=<rules>   comma-separated rule ids to suppress\n"
+           "  --list-rules         print the rule catalog and exit\n"
+           "  -h, --help           this message\n"
+           "\n"
+           "Suppressions can also live in netlist comments:\n"
+           "  R1 a 0 1k  ; abm-lint: disable=erc-value-suspicious\n"
+           "  * abm-lint: disable-file=erc-dangling-node\n";
+}
+
+void list_rules(std::ostream& out) {
+    for (const auto& rule : rfabm::lint::rule_catalog()) {
+        out << rule.id << " (" << to_string(rule.severity) << ")\n    " << rule.summary << "\n";
+    }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool json = false;
+    bool werror = false;
+    bool run_erc = true;
+    std::vector<std::string> suppressions;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--werror") {
+            werror = true;
+        } else if (arg == "--no-erc") {
+            run_erc = false;
+        } else if (arg.rfind("--suppress=", 0) == 0) {
+            std::string list = arg.substr(std::string("--suppress=").size());
+            std::istringstream in(list);
+            std::string rule;
+            while (std::getline(in, rule, ',')) {
+                if (!rule.empty()) suppressions.push_back(rule);
+            }
+        } else if (arg == "--list-rules") {
+            list_rules(std::cout);
+            return 0;
+        } else if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "abm_lint: unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    if (files.empty()) {
+        std::cerr << "abm_lint: no input files\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    rfabm::lint::Report report;
+    for (const std::string& rule : suppressions) report.suppress_rule(rule);
+
+    rfabm::lint::NetlistLintOptions options;
+    options.run_erc = run_erc;
+
+    for (const std::string& file : files) {
+        std::ifstream in(file);
+        if (!in) {
+            std::cerr << "abm_lint: cannot open '" << file << "'\n";
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        rfabm::lint::lint_netlist(text.str(), file, report, options);
+    }
+
+    report.sort();
+    if (json) {
+        std::cout << report.to_json() << "\n";
+    } else {
+        std::cout << report.to_text();
+    }
+
+    if (report.has_errors()) return 1;
+    if (werror && report.warning_count() > 0) return 1;
+    return 0;
+}
