@@ -20,39 +20,47 @@ int main(int argc, char** argv) {
                   "design-choice ablation (DESIGN.md section 4)", opts);
 
     const core::RfAbmChipConfig config{};
-    const bench::DieCalibration cal = bench::calibrate_die(config, circuit::ProcessCorner{});
     const double dbm = -6.0;
 
-    double nominal_single = 0.0;
-    double nominal_diff = 0.0;
-    double nominal_tared = 0.0;
+    // One engine cell per corner; rows and the nominal-first baseline are
+    // reconstructed from the ordered results, so output matches the serial
+    // run exactly.
+    struct Readings {
+        double vp = 0.0;
+        double diff = 0.0;
+        double tared = 0.0;
+    };
+    bench::Exec exec(opts);
+    const std::vector<core::OperatingConditions> envs = opts.envs();
+    const auto cells = exec.map_die_env<Readings>(
+        config, {circuit::ProcessCorner{}}, envs,
+        [&](bench::DutSession& dut, std::size_t, std::size_t) {
+            dut.chip.set_rf(dbm, 1.5e9);
+            Readings r;
+            r.tared = dut.controller.measure_power_vout();
+            // Raw levels straight off the detector nodes (settled by the read).
+            r.vp = dut.chip.live_v(dut.chip.pdet().vout_p());
+            const double vn = dut.chip.live_v(dut.chip.pdet().vout_n());
+            r.diff = vn - r.vp;
+            return r;
+        });
+
     double drift_single = 0.0;
     double drift_diff = 0.0;
     double drift_tared = 0.0;
 
     bench::TablePrinter table(
         {"condition", "VoutP/V", "diff/mV", "tared/mV"});
-    bool first = true;
-    for (const auto& env : opts.envs()) {
-        bench::DutSession dut(config, cal, env);
-        dut.chip.set_rf(dbm, 1.5e9);
-        const double tared = dut.controller.measure_power_vout();
-        // Raw levels straight off the detector nodes (settled by the read).
-        const double vp = dut.chip.live_v(dut.chip.pdet().vout_p());
-        const double vn = dut.chip.live_v(dut.chip.pdet().vout_n());
-        const double diff = vn - vp;
-        table.row({env.label(), bench::TablePrinter::num(vp, 4),
-                   bench::TablePrinter::num(diff * 1e3, 2),
-                   bench::TablePrinter::num(tared * 1e3, 2)});
-        if (first) {
-            nominal_single = vp;
-            nominal_diff = diff;
-            nominal_tared = tared;
-            first = false;
-        } else {
-            drift_single = std::max(drift_single, std::fabs(vp - nominal_single));
-            drift_diff = std::max(drift_diff, std::fabs(diff - nominal_diff));
-            drift_tared = std::max(drift_tared, std::fabs(tared - nominal_tared));
+    const Readings& nominal = cells.front();
+    for (std::size_t e = 0; e < envs.size(); ++e) {
+        const Readings& r = cells[e];
+        table.row({envs[e].label(), bench::TablePrinter::num(r.vp, 4),
+                   bench::TablePrinter::num(r.diff * 1e3, 2),
+                   bench::TablePrinter::num(r.tared * 1e3, 2)});
+        if (e > 0) {
+            drift_single = std::max(drift_single, std::fabs(r.vp - nominal.vp));
+            drift_diff = std::max(drift_diff, std::fabs(r.diff - nominal.diff));
+            drift_tared = std::max(drift_tared, std::fabs(r.tared - nominal.tared));
         }
     }
 
@@ -64,5 +72,6 @@ int main(int argc, char** argv) {
                 drift_single / std::max(drift_tared, 1e-9));
     std::printf("\nconclusion: the replica branch absorbs the supply/temperature\n"
                 "common mode; the bench tare removes most of the residual.\n");
+    exec.print_summary();
     return 0;
 }

@@ -34,24 +34,34 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> err_process(powers.size());
     std::vector<std::vector<double>> err_env_only(powers.size());
 
-    auto sweep_die = [&](const bench::DieCalibration& cal,
-                         std::vector<std::vector<double>>& sink) {
-        for (const auto& env : opts.envs()) {
-            bench::DutSession dut(config, cal, env);
-            for (std::size_t i = 0; i < powers.size(); ++i) {
-                dut.chip.set_rf(powers[i], carrier);
-                const core::PowerMeasurement m = dut.controller.measure_power(ref.power_curve);
-                sink[i].push_back(m.dbm - powers[i]);
-            }
+    // Each (die, env) cell sweeps Pin on its own DUT session and returns the
+    // per-Pin errors; the die-major merge below reproduces the serial
+    // accumulation order exactly (summarize() sums in push order).
+    bench::Exec exec(opts);
+    const std::vector<core::OperatingConditions> envs = opts.envs();
+    auto sweep = [&](const std::vector<circuit::ProcessCorner>& dies,
+                     std::vector<std::vector<double>>& sink) {
+        const auto cells = exec.map_die_env<std::vector<double>>(
+            config, dies, envs, [&](bench::DutSession& dut, std::size_t, std::size_t) {
+                std::vector<double> errs(powers.size());
+                for (std::size_t i = 0; i < powers.size(); ++i) {
+                    dut.chip.set_rf(powers[i], carrier);
+                    const core::PowerMeasurement m =
+                        dut.controller.measure_power(ref.power_curve);
+                    errs[i] = m.dbm - powers[i];
+                }
+                return errs;
+            });
+        for (const auto& cell : cells) {
+            for (std::size_t i = 0; i < powers.size(); ++i) sink[i].push_back(cell[i]);
         }
     };
 
     std::printf("[2/3] sweeping Monte-Carlo dies across corners...\n");
-    for (const auto& corner : opts.dies()) {
-        sweep_die(bench::calibrate_die(config, corner), err_process);
-    }
+    sweep(opts.dies(), err_process);
     std::printf("[3/3] sweeping the nominal die across corners...\n");
-    sweep_die(bench::calibrate_die(config, circuit::ProcessCorner{}), err_env_only);
+    sweep({circuit::ProcessCorner{}}, err_env_only);
+    exec.print_summary();
 
     std::printf("\nFig. 4 series (errors in dB, |worst| over the population):\n");
     bench::TablePrinter table({"Pin/dBm", "err_proc_max", "err_proc_mean", "err_env_max",

@@ -31,29 +31,41 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> err_env_only(freqs.size());
     int invalid_reads = 0;
 
-    auto sweep_die = [&](const bench::DieCalibration& cal,
-                         std::vector<std::vector<double>>& sink) {
-        for (const auto& env : opts.envs()) {
-            bench::DutSession dut(config, cal, env);
-            for (std::size_t i = 0; i < freqs.size(); ++i) {
-                dut.chip.set_rf(drive_dbm, freqs[i] * 1e9);
-                const core::FrequencyMeasurement m =
-                    dut.controller.measure_frequency(ref.freq_curve);
-                if (!m.valid) {
-                    ++invalid_reads;
-                    continue;
+    // Each (die, env) cell sweeps fin on its own DUT session; the die-major
+    // merge reproduces the serial accumulation order (and invalid-read
+    // count) exactly.  {valid, error} per fin index.
+    bench::Exec exec(opts);
+    const std::vector<core::OperatingConditions> envs = opts.envs();
+    using CellErrors = std::vector<std::pair<bool, double>>;
+    auto sweep = [&](const std::vector<circuit::ProcessCorner>& dies,
+                     std::vector<std::vector<double>>& sink) {
+        const auto cells = exec.map_die_env<CellErrors>(
+            config, dies, envs, [&](bench::DutSession& dut, std::size_t, std::size_t) {
+                CellErrors errs(freqs.size(), {false, 0.0});
+                for (std::size_t i = 0; i < freqs.size(); ++i) {
+                    dut.chip.set_rf(drive_dbm, freqs[i] * 1e9);
+                    const core::FrequencyMeasurement m =
+                        dut.controller.measure_frequency(ref.freq_curve);
+                    if (m.valid) errs[i] = {true, m.ghz - freqs[i]};
                 }
-                sink[i].push_back(m.ghz - freqs[i]);
+                return errs;
+            });
+        for (const auto& cell : cells) {
+            for (std::size_t i = 0; i < freqs.size(); ++i) {
+                if (cell[i].first) {
+                    sink[i].push_back(cell[i].second);
+                } else {
+                    ++invalid_reads;
+                }
             }
         }
     };
 
     std::printf("[2/3] sweeping Monte-Carlo dies across corners...\n");
-    for (const auto& corner : opts.dies()) {
-        sweep_die(bench::calibrate_die(config, corner), err_process);
-    }
+    sweep(opts.dies(), err_process);
     std::printf("[3/3] sweeping the nominal die across corners...\n");
-    sweep_die(bench::calibrate_die(config, circuit::ProcessCorner{}), err_env_only);
+    sweep({circuit::ProcessCorner{}}, err_env_only);
+    exec.print_summary();
 
     std::printf("\nFig. 5 series (errors in GHz, |worst| over the population):\n");
     bench::TablePrinter table({"fin/GHz", "err_proc_max", "err_proc_mean", "err_env_max",

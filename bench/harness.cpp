@@ -1,9 +1,32 @@
 #include "bench/harness.hpp"
 
+#include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "exec/thread_pool.hpp"
 
 namespace rfabm::bench {
+
+namespace {
+
+/// One sink mutex for every harness print path (tables, banner, say):
+/// campaign workers stream progress while the main thread prints rows, and
+/// lines must never interleave mid-row.
+std::mutex& sink_mutex() {
+    static std::mutex m;
+    return m;
+}
+
+}  // namespace
+
+std::size_t HarnessOptions::effective_jobs() const {
+    if (jobs != 0) return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
 
 std::vector<core::OperatingConditions> HarnessOptions::envs() const {
     std::vector<core::OperatingConditions> out;
@@ -38,6 +61,9 @@ HarnessOptions parse_options(int argc, char** argv) {
     if (const char* env = std::getenv("RFABM_FAST"); env != nullptr && env[0] == '1') {
         opts.fast = true;
     }
+    if (const char* env = std::getenv("RFABM_JOBS"); env != nullptr && env[0] != '\0') {
+        opts.jobs = std::strtoull(env, nullptr, 10);
+    }
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--fast") == 0) {
             opts.fast = true;
@@ -45,6 +71,8 @@ HarnessOptions parse_options(int argc, char** argv) {
             opts.seed = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--dies") == 0 && i + 1 < argc) {
             opts.monte_carlo_dies = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            opts.jobs = std::strtoull(argv[++i], nullptr, 10);
         }
     }
     return opts;
@@ -66,20 +94,115 @@ NominalReference acquire_reference(const core::RfAbmChipConfig& config,
 }
 
 DieCalibration calibrate_die(const core::RfAbmChipConfig& config,
-                             const circuit::ProcessCorner& corner) {
+                             const circuit::ProcessCorner& corner,
+                             std::uint64_t* newton_iterations) {
     core::RfAbmChip chip{config, core::nominal_conditions(), corner};
     core::MeasurementController controller(chip);
     controller.open_session();
     const core::DcCalibration cal = core::dc_calibrate(controller);
+    if (newton_iterations != nullptr) *newton_iterations = chip.engine().newton_iterations();
     return DieCalibration{corner, cal.tune_p.bench_volts, cal.tune_f.bench_volts};
 }
 
 DutSession::DutSession(const core::RfAbmChipConfig& config, const DieCalibration& cal,
-                       const core::OperatingConditions& env)
-    : chip(config, env, cal.corner), controller(chip) {
+                       const core::OperatingConditions& env, core::MeasureOptions options)
+    : chip(config, env, cal.corner), controller(chip, options) {
     controller.open_session();
     controller.apply_tune_p(cal.tune_p);
     controller.apply_tune_f(cal.tune_f);
+}
+
+Exec::Exec(const HarnessOptions& opts) : jobs_(opts.effective_jobs()) {
+    cache_.attach_metrics(&metrics_);
+    if (jobs_ > 1) {
+        rfabm::exec::ThreadPool::Options popts;
+        popts.workers = jobs_;
+        pool_ = std::make_unique<rfabm::exec::ThreadPool>(popts);
+    }
+}
+
+Exec::~Exec() = default;
+
+DieCalibration Exec::calibrate(const core::RfAbmChipConfig& config,
+                               const circuit::ProcessCorner& corner) {
+    return cache_.get_or_compute(config, corner, [&] {
+        std::uint64_t newton = 0;
+        DieCalibration cal = calibrate_die(config, corner, &newton);
+        metrics_.add_newton(newton);
+        metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+        return cal;
+    });
+}
+
+void Exec::run_cells(const core::RfAbmChipConfig& config,
+                     const std::vector<circuit::ProcessCorner>& dies,
+                     const std::vector<core::OperatingConditions>& envs,
+                     const std::function<void(DutSession&, std::size_t, std::size_t)>& cell) {
+    core::MeasureOptions mopts;
+    mopts.cancel = cancel_.token();
+    std::vector<rfabm::exec::DieChain> chains;
+    chains.reserve(dies.size());
+    for (std::size_t d = 0; d < dies.size(); ++d) {
+        rfabm::exec::DieChain chain;
+        // Warm the cache before the per-env fan-out, so corner measurements
+        // of one die never recalibrate concurrently.
+        chain.calibrate = [this, &config, &dies, d](rfabm::exec::TaskContext&) {
+            (void)calibrate(config, dies[d]);
+        };
+        for (std::size_t e = 0; e < envs.size(); ++e) {
+            chain.measurements.push_back([this, &config, &dies, &envs, &cell, mopts, d,
+                                          e](rfabm::exec::TaskContext&) {
+                const DieCalibration cal = calibrate(config, dies[d]);
+                DutSession dut(config, cal, envs[e], mopts);
+                metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+                cell(dut, d, e);
+                metrics_.add_newton(dut.chip.engine().newton_iterations());
+            });
+        }
+        chains.push_back(std::move(chain));
+    }
+    run_chains(chains);
+}
+
+void Exec::run_cells_calibrated(
+    const core::RfAbmChipConfig& config, const std::vector<DieCalibration>& cals,
+    const std::vector<core::OperatingConditions>& envs,
+    const std::function<void(DutSession&, std::size_t, std::size_t)>& cell) {
+    core::MeasureOptions mopts;
+    mopts.cancel = cancel_.token();
+    std::vector<rfabm::exec::DieChain> chains;
+    chains.reserve(cals.size());
+    for (std::size_t d = 0; d < cals.size(); ++d) {
+        rfabm::exec::DieChain chain;  // no calibrate node: tunes are given
+        for (std::size_t e = 0; e < envs.size(); ++e) {
+            chain.measurements.push_back([this, &config, &cals, &envs, &cell, mopts, d,
+                                          e](rfabm::exec::TaskContext&) {
+                DutSession dut(config, cals[d], envs[e], mopts);
+                metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+                cell(dut, d, e);
+                metrics_.add_newton(dut.chip.engine().newton_iterations());
+            });
+        }
+        chains.push_back(std::move(chain));
+    }
+    run_chains(chains);
+}
+
+void Exec::run_chains(const std::vector<rfabm::exec::DieChain>& chains) {
+    if (pool_) {
+        last_result_ = rfabm::exec::run_campaign(*pool_, chains, cancel_.token(), &metrics_);
+    } else {
+        rfabm::exec::CampaignOptions copts;
+        copts.jobs = 1;
+        copts.token = cancel_.token();
+        copts.metrics = &metrics_;
+        last_result_ = rfabm::exec::run_campaign(chains, copts);
+    }
+}
+
+void Exec::print_summary() const {
+    const auto s = metrics_.snapshot();
+    say("[exec] jobs=%zu  %s\n", jobs_, s.to_string().c_str());
 }
 
 rfabm::rf::MonotoneCurve acquire_trimmed_power_curve(core::MeasurementController& controller,
@@ -112,6 +235,7 @@ TablePrinter::TablePrinter(std::vector<std::string> headers) {
         line += h;
         line.append(widths_.back() - h.size() + 2, ' ');
     }
+    const std::lock_guard<std::mutex> lock(sink_mutex());
     std::printf("%s\n", line.c_str());
     std::printf("%s\n", std::string(line.size(), '-').c_str());
 }
@@ -124,6 +248,7 @@ void TablePrinter::row(const std::vector<std::string>& cells) {
         // Pad to the column width, but never merge adjacent cells.
         line.append(cells[i].size() < w + 2 ? w + 2 - cells[i].size() : 2, ' ');
     }
+    const std::lock_guard<std::mutex> lock(sink_mutex());
     std::printf("%s\n", line.c_str());
 }
 
@@ -133,12 +258,23 @@ std::string TablePrinter::num(double v, int precision) {
     return buf;
 }
 
+void say(const char* fmt, ...) {
+    const std::lock_guard<std::mutex> lock(sink_mutex());
+    std::va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::fflush(stdout);
+}
+
 void banner(const char* experiment, const char* paper_artifact, const HarnessOptions& opts) {
+    const std::lock_guard<std::mutex> lock(sink_mutex());
     std::printf("================================================================\n");
     std::printf("%s\n", experiment);
     std::printf("reproduces: %s  (Syri et al., DATE 2005)\n", paper_artifact);
-    std::printf("mode: %s  seed: %llu  MC dies: %zu\n", opts.fast ? "FAST" : "full",
-                static_cast<unsigned long long>(opts.seed), opts.dies().size());
+    std::printf("mode: %s  seed: %llu  MC dies: %zu  jobs: %zu\n", opts.fast ? "FAST" : "full",
+                static_cast<unsigned long long>(opts.seed), opts.dies().size(),
+                opts.effective_jobs());
     std::printf("================================================================\n");
 }
 

@@ -10,10 +10,20 @@
 //   4. report the error against the known bench truth.
 // The "with process variation" series uses Monte-Carlo dies; the "without"
 // series uses the nominal die.  All randomness is seeded and deterministic.
+//
+// Execution model: the (die x environment) grid is a measurement campaign on
+// the src/exec engine — each die DC-calibrates once (memoized in a
+// calibration cache), then its per-corner measurements fan out across a
+// work-stealing thread pool.  --jobs 1 runs the identical cells inline in
+// the historical serial order; results are bit-identical for any worker
+// count because every cell owns a private chip instance and its own result
+// slot (see docs/parallel.md).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -23,20 +33,30 @@
 #include "core/chip.hpp"
 #include "core/environment.hpp"
 #include "core/measurement.hpp"
+#include "exec/calibration_cache.hpp"
+#include "exec/campaign.hpp"
 #include "rf/curve.hpp"
 
 namespace rfabm::bench {
 
-/// Harness-wide options, parsed from argv (--fast, --seed N, --dies N) and
-/// the RFABM_FAST environment variable.
+/// Harness-wide options, parsed from argv (--fast, --seed N, --dies N,
+/// --jobs N) and the RFABM_FAST / RFABM_JOBS environment variables.
 struct HarnessOptions {
     bool fast = false;
     std::uint64_t seed = 20050307;  // DATE'05 session date, why not
     std::size_t monte_carlo_dies = 5;
+    /// Worker threads for the campaign engine: 0 = hardware concurrency,
+    /// 1 = the historical serial path.
+    std::size_t jobs = 0;
+
+    /// jobs with 0 resolved to the hardware concurrency (min 1).
+    std::size_t effective_jobs() const;
 
     /// Environmental corners to sweep (nominal first).
     std::vector<core::OperatingConditions> envs() const;
-    /// Monte-Carlo dies (nominal corner NOT included).
+    /// Monte-Carlo dies (nominal corner NOT included).  Pre-sampled up
+    /// front from the seed, so the population never depends on how the
+    /// measurements are scheduled.
     std::vector<circuit::ProcessCorner> dies() const;
 };
 
@@ -57,27 +77,109 @@ NominalReference acquire_reference(const core::RfAbmChipConfig& config,
                                    double freq_power_dbm = 6.0);
 
 /// One DUT's one-time DC calibration state (the control unit's DAC values).
-struct DieCalibration {
-    circuit::ProcessCorner corner;
-    double tune_p = 0.0;
-    double tune_f = 2.0;
-};
+/// The canonical definition lives with the exec-layer calibration cache.
+using DieCalibration = rfabm::exec::DieCalibration;
 
 /// Run the paper's one-time DC calibration of a die at nominal conditions.
+/// @p newton_iterations (when given) receives the solver iterations spent.
 DieCalibration calibrate_die(const core::RfAbmChipConfig& config,
-                             const circuit::ProcessCorner& corner);
+                             const circuit::ProcessCorner& corner,
+                             std::uint64_t* newton_iterations = nullptr);
 
 /// Build a chip session for a calibrated die at given conditions: opens the
 /// 1149.4 session and programs the stored tuning voltages over the bus.
 struct DutSession {
     DutSession(const core::RfAbmChipConfig& config, const DieCalibration& cal,
-               const core::OperatingConditions& env);
+               const core::OperatingConditions& env, core::MeasureOptions options = {});
 
     core::RfAbmChip chip;
     core::MeasurementController controller;
 };
 
-/// Simple aligned table printer for harness output.
+/// Per-bench execution context: thread pool (campaigns), memoizing
+/// calibration cache and campaign metrics.  One per bench run (or one per
+/// timed phase, when the cache must not leak between phases).
+class Exec {
+  public:
+    explicit Exec(const HarnessOptions& opts);
+    ~Exec();
+
+    std::size_t jobs() const { return jobs_; }
+    rfabm::exec::CampaignMetrics& metrics() { return metrics_; }
+    rfabm::exec::CalibrationCache& cache() { return cache_; }
+    rfabm::exec::CancellationToken token() const { return cancel_.token(); }
+    /// Cancel the campaign: running cells finish, queued cells are skipped
+    /// and the checked measurement pipeline stops retrying.
+    void cancel() { cancel_.cancel(); }
+
+    /// Memoized DC calibration of (config, corner).
+    DieCalibration calibrate(const core::RfAbmChipConfig& config,
+                             const circuit::ProcessCorner& corner);
+
+    /// Run @p cell for every (die, env) on the engine: per die, a calibrate
+    /// node (cache-memoized) fans out one measurement task per environment.
+    /// Each task gets a fresh DutSession wired to this context's
+    /// cancellation token.  Results return in die-major, env-minor order —
+    /// the historical serial order — regardless of worker count.
+    template <class R>
+    std::vector<R> map_die_env(
+        const core::RfAbmChipConfig& config, const std::vector<circuit::ProcessCorner>& dies,
+        const std::vector<core::OperatingConditions>& envs,
+        const std::function<R(DutSession&, std::size_t die, std::size_t env)>& cell) {
+        std::vector<R> results(dies.size() * envs.size());
+        run_cells(config, dies, envs,
+                  [&](DutSession& dut, std::size_t die, std::size_t env) {
+                      results[die * envs.size() + env] = cell(dut, die, env);
+                  });
+        return results;
+    }
+
+    /// As map_die_env, but with explicitly supplied per-die calibrations
+    /// (e.g. the no-DC-calibration ablation) — the cache is bypassed.
+    template <class R>
+    std::vector<R> map_die_env(
+        const core::RfAbmChipConfig& config, const std::vector<DieCalibration>& cals,
+        const std::vector<core::OperatingConditions>& envs,
+        const std::function<R(DutSession&, std::size_t die, std::size_t env)>& cell) {
+        std::vector<R> results(cals.size() * envs.size());
+        run_cells_calibrated(config, cals, envs,
+                             [&](DutSession& dut, std::size_t die, std::size_t env) {
+                                 results[die * envs.size() + env] = cell(dut, die, env);
+                             });
+        return results;
+    }
+
+    /// Type-erased campaign core behind map_die_env (usable directly when
+    /// the cell writes its own sinks).
+    void run_cells(const core::RfAbmChipConfig& config,
+                   const std::vector<circuit::ProcessCorner>& dies,
+                   const std::vector<core::OperatingConditions>& envs,
+                   const std::function<void(DutSession&, std::size_t, std::size_t)>& cell);
+    void run_cells_calibrated(
+        const core::RfAbmChipConfig& config, const std::vector<DieCalibration>& cals,
+        const std::vector<core::OperatingConditions>& envs,
+        const std::function<void(DutSession&, std::size_t, std::size_t)>& cell);
+
+    /// Last campaign's drained graph result (tasks ran/skipped/cancelled).
+    const rfabm::exec::TaskGraphResult& last_result() const { return last_result_; }
+
+    /// One-line engine summary (workers, tasks, steals, cache, Newton).
+    void print_summary() const;
+
+  private:
+    void run_chains(const std::vector<rfabm::exec::DieChain>& chains);
+
+    std::size_t jobs_ = 1;
+    rfabm::exec::CancellationSource cancel_;
+    std::unique_ptr<rfabm::exec::ThreadPool> pool_;  ///< null when jobs == 1
+    rfabm::exec::CalibrationCache cache_;
+    rfabm::exec::CampaignMetrics metrics_;
+    rfabm::exec::TaskGraphResult last_result_;
+};
+
+/// Simple aligned table printer for harness output.  All output (including
+/// banner() and say()) serializes on one sink mutex, so worker-thread
+/// progress lines never interleave mid-row.
 class TablePrinter {
   public:
     explicit TablePrinter(std::vector<std::string> headers);
@@ -87,6 +189,10 @@ class TablePrinter {
   private:
     std::vector<std::size_t> widths_;
 };
+
+/// printf onto the shared sink, serialized against TablePrinter/banner —
+/// safe from campaign worker threads (per-die progress streaming).
+void say(const char* fmt, ...);
 
 /// Acquire a power calibration curve but trim fold-over at the ends: deep
 /// compression can make the raw Vout(P) characteristic non-monotone outside

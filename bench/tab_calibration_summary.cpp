@@ -36,10 +36,13 @@ int main(int argc, char** argv) {
     const bench::NominalReference ref = bench::acquire_reference(
         config, rf::arange(-20.0, 7.0, 1.0), rf::arange(0.9, 2.1, 0.1), 1.5e9);
 
-    auto sweep = [&](const bench::DieCalibration& cal) {
-        ErrorPair worst;
-        for (const auto& env : opts.envs()) {
-            bench::DutSession dut(config, cal, env);
+    // One engine cell per (die, env); every merge below is a worst-case max
+    // (order-free), so the parallel fan-out reproduces the serial numbers.
+    bench::Exec exec(opts);
+    const std::vector<core::OperatingConditions> envs = opts.envs();
+    const std::function<ErrorPair(bench::DutSession&, std::size_t, std::size_t)> cell =
+        [&](bench::DutSession& dut, std::size_t, std::size_t) {
+            ErrorPair worst;
             for (double dbm : powers) {
                 dut.chip.set_rf(dbm, 1.5e9);
                 const auto m = dut.controller.measure_power(ref.power_curve);
@@ -52,35 +55,37 @@ int main(int argc, char** argv) {
                     worst.freq_ghz = std::max(worst.freq_ghz, std::fabs(m.ghz - ghz));
                 }
             }
+            return worst;
+        };
+    auto worst_of = [](const std::vector<ErrorPair>& cells) {
+        ErrorPair worst;
+        for (const ErrorPair& e : cells) {
+            worst.power_db = std::max(worst.power_db, e.power_db);
+            worst.freq_ghz = std::max(worst.freq_ghz, e.freq_ghz);
         }
         return worst;
     };
 
     // --- calibrated, with process variation -------------------------------
     std::printf("[1/3] calibrated dies, process + environment...\n");
-    ErrorPair with_process;
-    for (const auto& corner : opts.dies()) {
-        const ErrorPair e = sweep(bench::calibrate_die(config, corner));
-        with_process.power_db = std::max(with_process.power_db, e.power_db);
-        with_process.freq_ghz = std::max(with_process.freq_ghz, e.freq_ghz);
-    }
+    const ErrorPair with_process = worst_of(exec.map_die_env(config, opts.dies(), envs, cell));
 
     // --- calibrated, nominal die (process "calibrated out") ----------------
     std::printf("[2/3] calibrated nominal die, environment only...\n");
-    const ErrorPair env_only = sweep(bench::calibrate_die(config, circuit::ProcessCorner{}));
+    const ErrorPair env_only =
+        worst_of(exec.map_die_env(config, {circuit::ProcessCorner{}}, envs, cell));
 
     // --- ablation: NO DC calibration ---------------------------------------
     std::printf("[3/3] ablation: DC calibration skipped...\n");
-    ErrorPair uncalibrated;
+    std::vector<bench::DieCalibration> raw_cals;
     for (const auto& corner : opts.dies()) {
         bench::DieCalibration raw;
         raw.corner = corner;
         raw.tune_p = 0.0;  // power-on defaults, no tuneP/tunef procedure
         raw.tune_f = 2.0;
-        const ErrorPair e = sweep(raw);
-        uncalibrated.power_db = std::max(uncalibrated.power_db, e.power_db);
-        uncalibrated.freq_ghz = std::max(uncalibrated.freq_ghz, e.freq_ghz);
+        raw_cals.push_back(raw);
     }
+    const ErrorPair uncalibrated = worst_of(exec.map_die_env(config, raw_cals, envs, cell));
 
     std::printf("\nheadline errors (worst case over sweep):\n");
     bench::TablePrinter table({"configuration", "power_err/dB", "freq_err/GHz"});
@@ -98,5 +103,6 @@ int main(int argc, char** argv) {
                 "frequency error %.1fx versus the uncalibrated ablation.\n",
                 uncalibrated.power_db / std::max(with_process.power_db, 1e-9),
                 uncalibrated.freq_ghz / std::max(with_process.freq_ghz, 1e-9));
+    exec.print_summary();
     return 0;
 }

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
         {"preamplified ABM", true, -12.0, 2.0, -5.0},
     };
 
+    bench::Exec exec(opts);
     for (const Variant& v : variants) {
         core::RfAbmChipConfig config;
         config.with_preamp = v.with_preamp;
@@ -40,23 +41,31 @@ int main(int argc, char** argv) {
         const bench::NominalReference ref = bench::acquire_reference(
             config, rf::arange(-20.0, 7.0, 1.0), rf::arange(0.9, 2.1, 0.1), 1.5e9,
             curve_drive);
-        const bench::DieCalibration cal =
-            bench::calibrate_die(config, circuit::ProcessCorner{});
 
         const std::vector<double> powers = rf::arange(v.grid_lo, v.grid_hi, 1.0);
         std::vector<int> valid_count(powers.size(), 0);
         std::vector<double> worst_err(powers.size(), 0.0);
-        int num_envs = 0;
-        for (const auto& env : opts.envs()) {
-            ++num_envs;
-            bench::DutSession dut(config, cal, env);
-            // Sweep downward so the converter tracks from a strong signal.
-            for (std::size_t i = powers.size(); i-- > 0;) {
-                dut.chip.set_rf(powers[i], 1.5e9);
-                const auto m = dut.controller.measure_frequency(ref.freq_curve);
-                if (m.valid) {
+        // One engine cell per environmental corner; merges are count/max
+        // (order-free).  {valid, |f_err|} per drive-power index.
+        using CellReads = std::vector<std::pair<bool, double>>;
+        const auto cells = exec.map_die_env<CellReads>(
+            config, {circuit::ProcessCorner{}}, opts.envs(),
+            [&](bench::DutSession& dut, std::size_t, std::size_t) {
+                CellReads reads(powers.size(), {false, 0.0});
+                // Sweep downward so the converter tracks from a strong signal.
+                for (std::size_t i = powers.size(); i-- > 0;) {
+                    dut.chip.set_rf(powers[i], 1.5e9);
+                    const auto m = dut.controller.measure_frequency(ref.freq_curve);
+                    if (m.valid) reads[i] = {true, std::fabs(m.ghz - 1.5)};
+                }
+                return reads;
+            });
+        const int num_envs = static_cast<int>(cells.size());
+        for (const auto& cell : cells) {
+            for (std::size_t i = 0; i < powers.size(); ++i) {
+                if (cell[i].first) {
                     ++valid_count[i];
-                    worst_err[i] = std::max(worst_err[i], std::fabs(m.ghz - 1.5));
+                    worst_err[i] = std::max(worst_err[i], cell[i].second);
                 }
             }
         }
@@ -74,5 +83,6 @@ int main(int argc, char** argv) {
         std::printf("\n%s measured minimum: %+.0f dBm (paper: %+.0f dBm)\n", v.name,
                     measured_min, v.paper_min);
     }
+    exec.print_summary();
     return 0;
 }

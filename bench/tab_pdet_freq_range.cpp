@@ -28,21 +28,31 @@ int main(int argc, char** argv) {
     const bench::NominalReference ref = bench::acquire_reference(
         config, rf::arange(-20.0, 7.0, 1.0), rf::arange(0.9, 2.1, 0.2), 1.5e9);
 
-    const bench::DieCalibration cal = bench::calibrate_die(config, circuit::ProcessCorner{});
-    bench::DutSession dut(config, cal, core::nominal_conditions());
+    // The whole carrier sweep rides one DUT session (converter tracking
+    // along the band), so it stays a single engine task: one cell, one die,
+    // the nominal corner only.
+    bench::Exec exec(opts);
+    const auto cells = exec.map_die_env<std::vector<double>>(
+        config, {circuit::ProcessCorner{}}, {core::nominal_conditions()},
+        [&](bench::DutSession& dut, std::size_t, std::size_t) {
+            std::vector<double> measured;
+            measured.reserve(carriers.size());
+            for (double ghz : carriers) {
+                dut.chip.set_rf(probe_dbm, ghz * 1e9);
+                measured.push_back(dut.controller.measure_power(ref.power_curve).dbm);
+            }
+            return measured;
+        });
 
     bench::TablePrinter table({"carrier/GHz", "measured/dBm", "error/dB", "accurate"});
     double lo = 0.0;
     double hi = 0.0;
     bool in_band = false;
-    std::vector<std::pair<double, double>> errs;
-    for (double ghz : carriers) {
-        dut.chip.set_rf(probe_dbm, ghz * 1e9);
-        const auto m = dut.controller.measure_power(ref.power_curve);
-        const double err = m.dbm - probe_dbm;
-        errs.push_back({ghz, err});
+    for (std::size_t i = 0; i < carriers.size(); ++i) {
+        const double ghz = carriers[i];
+        const double err = cells.front()[i] - probe_dbm;
         const bool ok = std::fabs(err) <= kFlatnessDb;
-        table.row({bench::TablePrinter::num(ghz), bench::TablePrinter::num(m.dbm),
+        table.row({bench::TablePrinter::num(ghz), bench::TablePrinter::num(cells.front()[i]),
                    bench::TablePrinter::num(err), ok ? "yes" : "no"});
         if (ok && !in_band) {
             lo = ghz;
@@ -54,5 +64,6 @@ int main(int argc, char** argv) {
     std::printf("\nmeasured accurate range (|err| <= %.1f dB): %.2f ... %.2f GHz\n", kFlatnessDb,
                 lo, hi);
     std::printf("paper accurate range:                       1.20 ... 1.80 GHz\n");
+    exec.print_summary();
     return 0;
 }

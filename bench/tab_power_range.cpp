@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
         {"preamplified ABM", true, -34.0, 4.0, -25.0, -3.0},
     };
 
+    bench::Exec exec(opts);
     for (const Variant& v : variants) {
         core::RfAbmChipConfig config;
         config.with_preamp = v.with_preamp;
@@ -77,16 +78,23 @@ int main(int argc, char** argv) {
         const rf::MonotoneCurve curve = bench::acquire_trimmed_power_curve(
             nominal_ctl, rf::arange(v.grid_lo - 1.0, v.grid_hi + 1.0, 1.0), 1.5e9);
 
-        // Single characterized die, as on the paper's bench.
-        const bench::DieCalibration cal =
-            bench::calibrate_die(config, circuit::ProcessCorner{});
+        // Single characterized die, as on the paper's bench; one engine cell
+        // per environmental corner (worst[] is a max-merge, order-free).
+        const auto cells = exec.map_die_env<std::vector<double>>(
+            config, {circuit::ProcessCorner{}}, opts.envs(),
+            [&](bench::DutSession& dut, std::size_t, std::size_t) {
+                std::vector<double> errs(powers.size());
+                for (std::size_t i = 0; i < powers.size(); ++i) {
+                    dut.chip.set_rf(powers[i], 1.5e9);
+                    const auto m = dut.controller.measure_power(curve);
+                    errs[i] = std::fabs(m.dbm - powers[i]);
+                }
+                return errs;
+            });
         std::vector<double> worst(powers.size(), 0.0);
-        for (const auto& env : opts.envs()) {
-            bench::DutSession dut(config, cal, env);
+        for (const auto& cell : cells) {
             for (std::size_t i = 0; i < powers.size(); ++i) {
-                dut.chip.set_rf(powers[i], 1.5e9);
-                const auto m = dut.controller.measure_power(curve);
-                worst[i] = std::max(worst[i], std::fabs(m.dbm - powers[i]));
+                worst[i] = std::max(worst[i], cell[i]);
             }
         }
 
@@ -107,5 +115,6 @@ int main(int argc, char** argv) {
         std::printf("%s paper range:                     %+.0f ... %+.0f dBm\n", v.name,
                     v.paper_lo, v.paper_hi);
     }
+    exec.print_summary();
     return 0;
 }

@@ -20,21 +20,35 @@ struct MonteCarloSample {
     double value = 0.0;
 };
 
-/// Run @p trials measurements, one per sampled die.  The closure receives the
-/// corner and returns the measured quantity (e.g. power error in dB).
-/// Deterministic for a given seed/spread/trials.
-inline std::vector<MonteCarloSample> run_monte_carlo(
-    std::size_t trials, std::uint64_t seed, const ProcessSpread& spread,
-    const std::function<double(const ProcessCorner&)>& measure) {
+/// Draw the whole die population up front (values zeroed).  Sampling every
+/// corner before any measurement runs is what makes serial and parallel
+/// campaigns draw identical populations for a given seed: the RNG sequence
+/// depends only on the seed and trial count, never on how (or in what order)
+/// the measurements are later scheduled.
+inline std::vector<MonteCarloSample> presample_dies(std::size_t trials, std::uint64_t seed,
+                                                    const ProcessSpread& spread = {}) {
     rfabm::rf::Xoshiro256 rng(seed);
     std::vector<MonteCarloSample> samples;
     samples.reserve(trials);
     for (std::size_t i = 0; i < trials; ++i) {
         MonteCarloSample s;
         s.corner = sample_corner(rng, spread);
-        s.value = measure(s.corner);
         samples.push_back(s);
     }
+    return samples;
+}
+
+/// Run @p trials measurements, one per sampled die.  The closure receives the
+/// corner and returns the measured quantity (e.g. power error in dB).
+/// Deterministic for a given seed/spread/trials.  The population is fully
+/// pre-sampled before the first measurement (see presample_dies); the
+/// parallel twin lives in exec/montecarlo.hpp and produces bit-identical
+/// results.
+inline std::vector<MonteCarloSample> run_monte_carlo(
+    std::size_t trials, std::uint64_t seed, const ProcessSpread& spread,
+    const std::function<double(const ProcessCorner&)>& measure) {
+    std::vector<MonteCarloSample> samples = presample_dies(trials, seed, spread);
+    for (MonteCarloSample& s : samples) s.value = measure(s.corner);
     return samples;
 }
 

@@ -23,7 +23,9 @@ void TransientEngine::init() {
         DcOptions dc_opts;
         dc_opts.newton = options_.newton;
         dc_opts.gmin = options_.gmin;
-        x_ = solve_dc(circuit_, dc_opts).solution;
+        const DcResult dc = solve_dc(circuit_, dc_opts);
+        newton_iterations_ += static_cast<std::uint64_t>(dc.iterations);
+        x_ = dc.solution;
     } else {
         x_ = Solution(circuit_.num_nodes(), circuit_.num_branches());
     }
@@ -56,6 +58,7 @@ void TransientEngine::advance(double dt, int depth) {
 
     Solution candidate = x_;  // warm start from the current state
     const NewtonOutcome out = newton_iterate(circuit_, ctx, candidate, options_.newton, scratch_);
+    newton_iterations_ += static_cast<std::uint64_t>(out.iterations);
     if (!out.converged) {
         if (depth >= options_.max_step_subdivisions) {
             throw ConvergenceError("transient step did not converge at t=" +

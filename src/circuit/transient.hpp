@@ -8,6 +8,7 @@
 // source waveforms) between steps.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -69,6 +70,11 @@ class TransientEngine {
     const TransientOptions& options() const { return options_; }
     TransientOptions& options() { return options_; }
     std::size_t steps_taken() const { return steps_; }
+    /// Newton iterations accumulated over the engine's lifetime (initial DC
+    /// operating points plus every transient step, including subdivided
+    /// retries).  The campaign layer aggregates this across workers as a
+    /// cost metric; monotonic, never reset by init().
+    std::uint64_t newton_iterations() const { return newton_iterations_; }
     bool initialized() const { return initialized_; }
 
   private:
@@ -81,6 +87,7 @@ class TransientEngine {
     MnaSystem scratch_;
     double time_ = 0.0;
     std::size_t steps_ = 0;
+    std::uint64_t newton_iterations_ = 0;
     bool initialized_ = false;
     bool first_step_done_ = false;
 };

@@ -32,6 +32,7 @@ const char* to_string(SuspectedFault fault) {
         case SuspectedFault::kSignalPath: return "signal-path";
         case SuspectedFault::kNonSettling: return "non-settling";
         case SuspectedFault::kConfigLint: return "config-lint";
+        case SuspectedFault::kCancelled: return "cancelled";
     }
     return "?";
 }
@@ -306,6 +307,13 @@ PowerMeasurement MeasurementController::measure_power_checked(
     double backoff = policy.backoff_s;
     const int attempts = std::max(1, policy.max_retries + 1);
     for (int attempt = 0; attempt < attempts; ++attempt) {
+        // 0. Campaign cancellation/deadline: stop before spending a (re)try.
+        if (options_.cancel.stop_requested()) {
+            d.suspect = SuspectedFault::kCancelled;
+            d.status = MeasurementStatus::kFailed;
+            d.detail = options_.cancel.stop_reason();
+            return m;
+        }
         if (attempt > 0) {
             d.retries = attempt;
             if (engine_ready_ && backoff > 0.0) {
@@ -469,6 +477,13 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
     double backoff = policy.backoff_s;
     const int attempts = std::max(1, policy.max_retries + 1);
     for (int attempt = 0; attempt < attempts; ++attempt) {
+        // Campaign cancellation/deadline: stop before spending a (re)try.
+        if (options_.cancel.stop_requested()) {
+            d.suspect = SuspectedFault::kCancelled;
+            d.status = MeasurementStatus::kFailed;
+            d.detail = options_.cancel.stop_reason();
+            return m;
+        }
         if (attempt > 0) {
             d.retries = attempt;
             if (engine_ready_ && backoff > 0.0) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/chip.hpp"
+#include "exec/cancellation.hpp"
 #include "lint/abm_rules.hpp"
 #include "lint/diagnostics.hpp"
 #include "rf/curve.hpp"
@@ -40,6 +41,7 @@ enum class SuspectedFault {
     kSignalPath,   ///< analog path implausible (dead pin, out-of-range Vout)
     kNonSettling,  ///< the DC read never settled within the window budget
     kConfigLint,   ///< the pre-measurement static lint found hard errors
+    kCancelled,    ///< the campaign's cancellation token / deadline fired
 };
 const char* to_string(SuspectedFault fault);
 
@@ -103,6 +105,12 @@ struct MeasureOptions {
     /// session is opened and reject the measurement on hard errors, before
     /// any transient read is attempted.
     bool lint_before_measure = false;
+    /// Campaign cancellation/deadline token.  The checked pipeline polls it
+    /// before the first attempt and before every retry: once it fires, the
+    /// measurement stops early with status kFailed / suspect kCancelled
+    /// instead of burning the remaining retry budget.  Default token never
+    /// fires.
+    exec::CancellationToken cancel{};
 };
 
 /// The lint-facing description of the paper's ".4 MUX" select word (see

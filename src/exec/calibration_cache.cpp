@@ -1,0 +1,106 @@
+#include "exec/calibration_cache.hpp"
+
+#include <bit>
+
+namespace rfabm::exec {
+
+FieldHasher& FieldHasher::mix(double v) {
+    // Normalize -0.0 so that configs differing only in double sign-of-zero
+    // hash (and calibrate) identically.
+    if (v == 0.0) v = 0.0;
+    return mix_bits(std::bit_cast<std::uint64_t>(v));
+}
+
+FieldHasher& FieldHasher::mix_bits(std::uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+        hash_ ^= (bits >> (8 * i)) & 0xFFULL;
+        hash_ *= 0x100000001b3ULL;
+    }
+    return *this;
+}
+
+std::uint64_t hash_chip_config(const core::RfAbmChipConfig& c) {
+    FieldHasher h;
+    h.mix(c.with_preamp).mix(c.idcode);
+    // Power detector.
+    h.mix(c.pdet.q1_w).mix(c.pdet.q1_l).mix(c.pdet.q2_w).mix(c.pdet.q2_l);
+    h.mix(c.pdet.kp).mix(c.pdet.vt0).mix(c.pdet.lambda);
+    h.mix(c.pdet.q5_w).mix(c.pdet.q5_l);
+    h.mix(c.pdet.r_vth_bias).mix(c.pdet.r_bg).mix(c.pdet.r3);
+    h.mix(c.pdet.r4).mix(c.pdet.c2).mix(c.pdet.c1);
+    h.mix(c.pdet.r7).mix(c.pdet.r8).mix(c.pdet.c3);
+    // Frequency detector.
+    h.mix(c.fdet.c1).mix(c.fdet.c2).mix(c.fdet.r_bias).mix(c.fdet.r_tempco);
+    h.mix(c.fdet.ron_transfer).mix(c.fdet.ron_reset).mix(c.fdet.ron_steer);
+    h.mix(c.fdet.transfer_s).mix(c.fdet.reset_s).mix(c.fdet.charge_skew_s);
+    h.mix(c.fdet.r_load);
+    // Preamplifier (hashed even when with_preamp is false: cheap, and keeps
+    // the hash a pure function of the whole config).
+    h.mix(c.preamp.m_w).mix(c.preamp.m_l).mix(c.preamp.kp).mix(c.preamp.vt0);
+    h.mix(c.preamp.lambda).mix(c.preamp.rl).mix(c.preamp.rs);
+    h.mix(c.preamp.rb1).mix(c.preamp.rb2).mix(c.preamp.cin).mix(c.preamp.cload);
+    // Chip/bench level.
+    h.mix(c.comparator_hysteresis).mix(c.prescaler_divide).mix(c.rf_abm_ron);
+    h.mix(c.match_r).mix(c.match_l).mix(c.match_c);
+    h.mix(c.dmm_resistance).mix(c.source_impedance).mix(c.steps_per_rf_cycle);
+    return h.value();
+}
+
+std::uint64_t hash_corner(const circuit::ProcessCorner& corner) {
+    FieldHasher h;
+    h.mix(corner.nmos_vt_shift).mix(corner.pmos_vt_shift);
+    h.mix(corner.nmos_kp_factor).mix(corner.pmos_kp_factor);
+    h.mix(corner.res_factor).mix(corner.cap_factor);
+    return h.value();
+}
+
+DieCalibration CalibrationCache::get_or_compute(const core::RfAbmChipConfig& config,
+                                                const circuit::ProcessCorner& corner,
+                                                const ComputeFn& compute) {
+    const CalibrationKey key{hash_chip_config(config), hash_corner(corner)};
+    std::promise<DieCalibration> promise;
+    std::shared_future<DieCalibration> future;
+    bool owner = false;
+    {
+        std::lock_guard lock(mutex_);
+        if (auto it = entries_.find(key); it != entries_.end()) {
+            ++hits_;
+            if (metrics_) metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+            future = it->second;
+        } else {
+            ++misses_;
+            if (metrics_) metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            owner = true;
+        }
+    }
+    if (!owner) return future.get();  // another task owns the computation
+    // We inserted: compute outside the lock (calibration is seconds of
+    // circuit solving; the cache must stay usable for other keys meanwhile).
+    try {
+        promise.set_value(compute());
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard lock(mutex_);
+        entries_.erase(key);  // do not cache failures; a later call retries
+    }
+    return future.get();
+}
+
+std::uint64_t CalibrationCache::hits() const {
+    std::lock_guard lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t CalibrationCache::misses() const {
+    std::lock_guard lock(mutex_);
+    return misses_;
+}
+
+std::size_t CalibrationCache::size() const {
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace rfabm::exec

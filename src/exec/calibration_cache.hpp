@@ -1,0 +1,96 @@
+// Memoizing calibration cache keyed by (chip config hash, process corner).
+//
+// A test floor calibrates each die once and reuses the tuning DACs for every
+// subsequent corner/sweep on that die.  In a parallel campaign several tasks
+// can race to calibrate the same die; the cache gives single-flight
+// semantics: the first task computes, everyone else blocks on the shared
+// future and gets the identical (bit-for-bit) calibration.  Hit/miss counts
+// feed the campaign metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+
+#include "circuit/process.hpp"
+#include "core/chip.hpp"
+#include "exec/metrics.hpp"
+
+namespace rfabm::exec {
+
+/// One die's persistent DC-calibration state: the control unit's DAC values
+/// for the corner it was calibrated at (the bench harness re-exports this as
+/// bench::DieCalibration).
+struct DieCalibration {
+    circuit::ProcessCorner corner;
+    double tune_p = 0.0;
+    double tune_f = 2.0;
+};
+
+/// FNV-1a over an explicit field list — never over raw struct bytes, so
+/// padding and aliasing rules stay out of the hash.
+class FieldHasher {
+  public:
+    FieldHasher& mix(double v);
+    FieldHasher& mix(bool v) { return mix_bits(v ? 1ULL : 0ULL); }
+    FieldHasher& mix(std::uint32_t v) { return mix_bits(v); }
+    FieldHasher& mix(std::uint64_t v) { return mix_bits(v); }
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    FieldHasher& mix_bits(std::uint64_t bits);
+    std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// Hash of every config field the calibration outcome depends on.
+std::uint64_t hash_chip_config(const core::RfAbmChipConfig& config);
+/// Hash of the die's process parameters.
+std::uint64_t hash_corner(const circuit::ProcessCorner& corner);
+
+struct CalibrationKey {
+    std::uint64_t config_hash = 0;
+    std::uint64_t corner_hash = 0;
+    bool operator==(const CalibrationKey&) const = default;
+};
+
+struct CalibrationKeyHash {
+    std::size_t operator()(const CalibrationKey& k) const {
+        // The halves are already well-mixed FNV values; a rotate-xor combine
+        // is enough for the unordered_map bucket index.
+        return static_cast<std::size_t>(k.config_hash ^
+                                        (k.corner_hash << 1 | k.corner_hash >> 63));
+    }
+};
+
+class CalibrationCache {
+  public:
+    using ComputeFn = std::function<DieCalibration()>;
+
+    /// Return the cached calibration for (config, corner), computing it via
+    /// @p compute on first use.  Concurrent callers for the same key block
+    /// until the single in-flight computation finishes.  If @p compute
+    /// throws, the error propagates to every waiter and the entry is NOT
+    /// cached (a later call retries).
+    DieCalibration get_or_compute(const core::RfAbmChipConfig& config,
+                                  const circuit::ProcessCorner& corner,
+                                  const ComputeFn& compute);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+
+    /// Forward hit/miss counts into campaign metrics as they happen.
+    void attach_metrics(CampaignMetrics* metrics) { metrics_ = metrics; }
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<CalibrationKey, std::shared_future<DieCalibration>, CalibrationKeyHash>
+        entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    CampaignMetrics* metrics_ = nullptr;
+};
+
+}  // namespace rfabm::exec

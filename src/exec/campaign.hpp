@@ -1,0 +1,44 @@
+// Measurement-campaign scheduler: per-die chains on the task graph.
+//
+// A campaign is the paper's evaluation protocol at test-floor scale: for
+// every die, DC-calibrate once, then fan out one measurement task per
+// environmental corner / sweep segment.  run_campaign() builds the task
+// graph (calibrate -> measurements), executes it on a thread pool — or, for
+// jobs == 1, runs the identical chains inline in die-major order, byte-for-
+// byte the pre-engine serial path — and aggregates metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/metrics.hpp"
+#include "exec/task_graph.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace rfabm::exec {
+
+/// One die's task chain.  calibrate (optional) runs before every
+/// measurement; measurements of one die are independent of each other.
+struct DieChain {
+    TaskGraph::Body calibrate;                  ///< may be empty
+    std::vector<TaskGraph::Body> measurements;  ///< fan out after calibrate
+};
+
+struct CampaignOptions {
+    /// Worker threads; 1 = serial in-order execution on the calling thread
+    /// (no pool involved at all).
+    std::size_t jobs = 1;
+    CancellationToken token{};
+    CampaignMetrics* metrics = nullptr;  ///< optional tally sink
+};
+
+/// Run every chain.  Returns the drained graph result (ran + skipped +
+/// failed == total node count, cancellation included).  The first task
+/// failure aborts the remainder; its exception is rethrown.
+TaskGraphResult run_campaign(const std::vector<DieChain>& dies, const CampaignOptions& options);
+
+/// As above but on a caller-owned pool (jobs taken from the pool).
+TaskGraphResult run_campaign(ThreadPool& pool, const std::vector<DieChain>& dies,
+                             CancellationToken token = {}, CampaignMetrics* metrics = nullptr);
+
+}  // namespace rfabm::exec

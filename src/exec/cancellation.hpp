@@ -1,0 +1,100 @@
+// Cooperative cancellation and deadline propagation for the execution engine.
+//
+// A CancellationSource owns the shared stop state; CancellationTokens are
+// cheap copyable views of it that worker tasks (and the hardened measurement
+// pipeline's retry loops) poll between units of work.  Deadlines compose with
+// explicit cancellation: stop_requested() is true once either fires.
+//
+// Header-only on purpose: rfabm_core consults tokens from the checked
+// measurement pipeline without linking against the exec library (exec links
+// core, so a .cpp here would be a dependency cycle).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace rfabm::exec {
+
+namespace detail {
+
+struct CancelState {
+    std::atomic<bool> cancelled{false};
+    /// Deadline as nanoseconds on the steady clock; 0 = no deadline.
+    std::atomic<std::int64_t> deadline_ns{0};
+};
+
+inline std::int64_t steady_now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+}  // namespace detail
+
+/// View of a cancellation source.  A default-constructed token has no state
+/// and can never be cancelled (the "run to completion" token).
+class CancellationToken {
+  public:
+    CancellationToken() = default;
+
+    /// True when cancel() was called on the source.
+    bool cancelled() const { return state_ && state_->cancelled.load(std::memory_order_acquire); }
+
+    /// True when a deadline was set and has passed.
+    bool deadline_expired() const {
+        if (!state_) return false;
+        const std::int64_t d = state_->deadline_ns.load(std::memory_order_acquire);
+        return d != 0 && detail::steady_now_ns() >= d;
+    }
+
+    /// The polling predicate: cancelled or past the deadline.
+    bool stop_requested() const { return cancelled() || deadline_expired(); }
+
+    /// Why stop_requested() fired ("cancelled", "deadline", or "" when it
+    /// did not); for diagnostics strings.
+    const char* stop_reason() const {
+        if (cancelled()) return "cancelled";
+        if (deadline_expired()) return "deadline exceeded";
+        return "";
+    }
+
+    /// Tokens sharing a source compare equal in behaviour.
+    bool valid() const { return state_ != nullptr; }
+
+  private:
+    friend class CancellationSource;
+    explicit CancellationToken(std::shared_ptr<detail::CancelState> state)
+        : state_(std::move(state)) {}
+
+    std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Owns the stop state.  Copies share it (a campaign hands one source's
+/// tokens to every task it schedules).
+class CancellationSource {
+  public:
+    CancellationSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+    CancellationToken token() const { return CancellationToken(state_); }
+
+    /// Request cancellation; idempotent, safe from any thread.
+    void cancel() { state_->cancelled.store(true, std::memory_order_release); }
+
+    bool cancelled() const { return state_->cancelled.load(std::memory_order_acquire); }
+
+    /// Arm (or move) the deadline @p timeout from now.
+    void set_deadline_after(std::chrono::nanoseconds timeout) {
+        state_->deadline_ns.store(detail::steady_now_ns() + timeout.count(),
+                                  std::memory_order_release);
+    }
+
+    /// Remove the deadline (explicit cancel() still honoured).
+    void clear_deadline() { state_->deadline_ns.store(0, std::memory_order_release); }
+
+  private:
+    std::shared_ptr<detail::CancelState> state_;
+};
+
+}  // namespace rfabm::exec

@@ -1,0 +1,58 @@
+// Lightweight per-campaign metrics, aggregated lock-free from workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rfabm::exec {
+
+/// Counters a measurement campaign accumulates across all worker threads.
+/// Plain atomics: every field is a monotonic tally, so relaxed ordering is
+/// enough and a snapshot() taken after the pool drained is exact.
+struct CampaignMetrics {
+    std::atomic<std::uint64_t> tasks_run{0};        ///< task bodies executed
+    std::atomic<std::uint64_t> tasks_skipped{0};    ///< cancelled before running
+    std::atomic<std::uint64_t> steals{0};           ///< tasks taken from another worker
+    std::atomic<std::uint64_t> cache_hits{0};       ///< calibrations served from cache
+    std::atomic<std::uint64_t> cache_misses{0};     ///< calibrations computed
+    std::atomic<std::uint64_t> newton_iterations{0};///< solver iterations, all workers
+    std::atomic<std::uint64_t> sessions_opened{0};  ///< 1149.4 DUT sessions opened
+
+    void add_newton(std::uint64_t n) { newton_iterations.fetch_add(n, std::memory_order_relaxed); }
+
+    /// Value snapshot (atomics are not copyable; reports want plain numbers).
+    struct Snapshot {
+        std::uint64_t tasks_run = 0;
+        std::uint64_t tasks_skipped = 0;
+        std::uint64_t steals = 0;
+        std::uint64_t cache_hits = 0;
+        std::uint64_t cache_misses = 0;
+        std::uint64_t newton_iterations = 0;
+        std::uint64_t sessions_opened = 0;
+
+        std::string to_string() const {
+            return "tasks=" + std::to_string(tasks_run) +
+                   " skipped=" + std::to_string(tasks_skipped) +
+                   " steals=" + std::to_string(steals) +
+                   " cal_cache=" + std::to_string(cache_hits) + "/" +
+                   std::to_string(cache_hits + cache_misses) +
+                   " sessions=" + std::to_string(sessions_opened) +
+                   " newton_iters=" + std::to_string(newton_iterations);
+        }
+    };
+
+    Snapshot snapshot() const {
+        Snapshot s;
+        s.tasks_run = tasks_run.load(std::memory_order_relaxed);
+        s.tasks_skipped = tasks_skipped.load(std::memory_order_relaxed);
+        s.steals = steals.load(std::memory_order_relaxed);
+        s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+        s.cache_misses = cache_misses.load(std::memory_order_relaxed);
+        s.newton_iterations = newton_iterations.load(std::memory_order_relaxed);
+        s.sessions_opened = sessions_opened.load(std::memory_order_relaxed);
+        return s;
+    }
+};
+
+}  // namespace rfabm::exec

@@ -1,0 +1,42 @@
+// Parallel Monte-Carlo driver.
+//
+// The parallel twin of circuit::run_monte_carlo(): the die population is
+// pre-sampled up front from one RNG (identical draws to the serial driver
+// for a given seed — see circuit/montecarlo.hpp), then the measurement
+// closures fan out across the pool, each writing its own result slot.
+// Results are therefore bit-identical to the serial driver for any worker
+// count.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/montecarlo.hpp"
+#include "exec/campaign.hpp"
+
+namespace rfabm::exec {
+
+/// Parallel run_monte_carlo.  @p jobs == 1 degenerates to the serial driver.
+/// A cancelled run returns the samples measured so far with the remaining
+/// values left at 0 (check the returned count of the graph via @p result_out
+/// when partial populations matter).
+inline std::vector<circuit::MonteCarloSample> run_monte_carlo(
+    std::size_t trials, std::uint64_t seed, const circuit::ProcessSpread& spread,
+    const std::function<double(const circuit::ProcessCorner&)>& measure,
+    const CampaignOptions& options, TaskGraphResult* result_out = nullptr) {
+    // Pre-sample the whole population first: draws depend only on the seed,
+    // never on measurement scheduling.
+    std::vector<circuit::MonteCarloSample> samples =
+        circuit::presample_dies(trials, seed, spread);
+    std::vector<DieChain> chains(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        chains[i].measurements.push_back([&samples, &measure, i](TaskContext&) {
+            samples[i].value = measure(samples[i].corner);
+        });
+    }
+    const TaskGraphResult result = run_campaign(chains, options);
+    if (result_out) *result_out = result;
+    return samples;
+}
+
+}  // namespace rfabm::exec

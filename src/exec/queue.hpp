@@ -1,0 +1,107 @@
+// Bounded multi-producer/multi-consumer queue.
+//
+// The execution engine uses bounded queues for backpressure: a campaign that
+// generates work faster than the pool drains it blocks at submit() instead of
+// growing without bound (the test-floor analogue of a full conveyor).  Also
+// used directly by benches that stream per-die results to a writer thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "exec/cancellation.hpp"
+
+namespace rfabm::exec {
+
+template <class T>
+class BoundedQueue {
+  public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocks while full.  Returns false (drops @p value) once the queue is
+    /// closed or @p token requests stop.
+    bool push(T value, const CancellationToken& token = {}) {
+        std::unique_lock lock(mutex_);
+        not_full_.wait(lock, [&] {
+            return closed_ || token.stop_requested() || items_.size() < capacity_;
+        });
+        if (closed_ || token.stop_requested()) return false;
+        items_.push_back(std::move(value));
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push; false when full or closed.
+    bool try_push(T value) {
+        {
+            std::lock_guard lock(mutex_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(value));
+        }
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks while empty.  Returns nullopt once the queue is closed *and*
+    /// drained, or when @p token requests stop.
+    std::optional<T> pop(const CancellationToken& token = {}) {
+        std::unique_lock lock(mutex_);
+        not_empty_.wait(lock, [&] {
+            return closed_ || token.stop_requested() || !items_.empty();
+        });
+        if (token.stop_requested()) return std::nullopt;  // cancel wins over drain
+        if (items_.empty()) return std::nullopt;          // closed and drained
+        T value = std::move(items_.front());
+        items_.pop_front();
+        lock.unlock();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /// No new pushes; pending items stay poppable.  Wakes all waiters.
+    void close() {
+        {
+            std::lock_guard lock(mutex_);
+            closed_ = true;
+        }
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    /// Wake blocked producers/consumers so they can observe a cancelled
+    /// token (tokens have no wait-queue of their own).
+    void interrupt() {
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    std::size_t size() const {
+        std::lock_guard lock(mutex_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+    bool closed() const {
+        std::lock_guard lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace rfabm::exec

@@ -1,0 +1,103 @@
+#include "exec/task_graph.hpp"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace rfabm::exec {
+
+std::size_t TaskGraph::add(Body body, std::string label) {
+    nodes_.push_back(Node{std::move(body), std::move(label), {}, 0});
+    return nodes_.size() - 1;
+}
+
+void TaskGraph::depends_on(std::size_t node, std::size_t dependency) {
+    nodes_[dependency].successors.push_back(node);
+    ++nodes_[node].dependency_count;
+}
+
+TaskGraphResult TaskGraph::run(ThreadPool& pool, CancellationToken token) {
+    // Per-run state lives on the stack of run(); node bodies reference it
+    // only through this Run block, which outlives every submitted closure
+    // because run() blocks until all nodes are accounted for.  run() must be
+    // called from outside the pool: blocking a worker here could starve a
+    // small pool of the very threads the graph needs.
+    struct Run {
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        std::vector<std::size_t> remaining_deps;
+        std::size_t unaccounted = 0;  ///< nodes not yet ran/skipped/failed
+        std::size_t inflight = 0;     ///< nodes dispatched but unaccounted
+        bool abort = false;  ///< failure observed: skip everything not started
+        TaskGraphResult result;
+    };
+    Run run;
+    run.remaining_deps.reserve(nodes_.size());
+    for (const Node& n : nodes_) run.remaining_deps.push_back(n.dependency_count);
+    run.unaccounted = nodes_.size();
+
+    std::function<void(std::size_t)> dispatch = [&](std::size_t id) {
+        pool.submit([this, &run, &dispatch, token, id] {
+            bool skip = false;
+            {
+                std::lock_guard lock(run.mutex);
+                if (token.stop_requested()) run.result.cancelled = true;
+                skip = run.abort || run.result.cancelled;
+            }
+            if (skip) {
+                std::lock_guard lock(run.mutex);
+                ++run.result.skipped;
+            } else {
+                TaskContext ctx{id, token};
+                try {
+                    nodes_[id].body(ctx);
+                    std::lock_guard lock(run.mutex);
+                    ++run.result.ran;
+                } catch (...) {
+                    std::lock_guard lock(run.mutex);
+                    ++run.result.failed;
+                    run.abort = true;
+                    if (!run.result.first_error) run.result.first_error = std::current_exception();
+                }
+            }
+            // Release successors whether we ran or skipped: skipping must
+            // propagate so a cancelled graph still drains every node.
+            std::vector<std::size_t> ready;
+            {
+                std::lock_guard lock(run.mutex);
+                for (std::size_t succ : nodes_[id].successors) {
+                    if (--run.remaining_deps[succ] == 0) ready.push_back(succ);
+                }
+                --run.unaccounted;
+                run.inflight += ready.size();
+                --run.inflight;
+                if (run.inflight == 0 && run.unaccounted > 0) {
+                    // Nothing left in flight but nodes remain: a dependency
+                    // cycle.  Account the remnant as skipped so run() never
+                    // stalls on a malformed graph.
+                    run.result.skipped += run.unaccounted;
+                    run.unaccounted = 0;
+                }
+                if (run.unaccounted == 0) run.done_cv.notify_all();
+            }
+            for (std::size_t succ : ready) dispatch(succ);
+        });
+    };
+
+    std::vector<std::size_t> roots;
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+        if (nodes_[id].dependency_count == 0) roots.push_back(id);
+    }
+    if (roots.empty()) {
+        run.result.skipped = nodes_.size();  // empty graph or one big cycle
+        return run.result;
+    }
+    run.inflight = roots.size();
+    for (std::size_t id : roots) dispatch(id);
+
+    std::unique_lock lock(run.mutex);
+    run.done_cv.wait(lock, [&] { return run.unaccounted == 0; });
+    if (token.stop_requested()) run.result.cancelled = true;
+    return run.result;
+}
+
+}  // namespace rfabm::exec

@@ -1,0 +1,72 @@
+// Task-graph scheduler for measurement campaigns.
+//
+// A campaign is a DAG: per-die chains (sample corner -> DC-calibrate -> open
+// DUT session -> measure sweep points) whose calibrate node fans out to one
+// measurement node per environmental corner.  The graph tracks dependency
+// counts and releases nodes onto the thread pool as their predecessors
+// finish; cancellation marks not-yet-started nodes as skipped while letting
+// in-flight nodes finish, so a cancelled campaign always drains cleanly (no
+// leaked tasks — every node ends up ran, skipped, or failed).
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/cancellation.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace rfabm::exec {
+
+/// Handed to every node body.
+struct TaskContext {
+    std::size_t node = 0;        ///< node id within the graph
+    CancellationToken token{};   ///< poll between expensive sub-steps
+};
+
+/// Outcome of TaskGraph::run().
+struct TaskGraphResult {
+    std::size_t ran = 0;      ///< bodies executed to completion
+    std::size_t skipped = 0;  ///< cancelled (or downstream of a failure) before starting
+    std::size_t failed = 0;   ///< bodies that threw
+    bool cancelled = false;   ///< the token fired during the run
+    std::exception_ptr first_error;  ///< first failure, for rethrowing
+
+    bool ok() const { return failed == 0 && !cancelled; }
+    /// ran + skipped + failed always equals the node count: nothing leaks.
+    std::size_t accounted() const { return ran + skipped + failed; }
+};
+
+class TaskGraph {
+  public:
+    using Body = std::function<void(TaskContext&)>;
+
+    /// Add a node; returns its id.  @p label is for error reporting only.
+    std::size_t add(Body body, std::string label = {});
+
+    /// Declare that @p node runs only after @p dependency completed.
+    /// Edges must be added before run(); nodes trapped in a dependency cycle
+    /// are the caller's bug and are accounted as skipped (run() never stalls).
+    void depends_on(std::size_t node, std::size_t dependency);
+
+    std::size_t size() const { return nodes_.size(); }
+
+    /// Execute the graph on @p pool.  Blocks until every node is accounted
+    /// for.  On the first failure the remainder of the graph is skipped
+    /// (in-flight nodes finish).  Reentrant: a fresh run() resets state.
+    TaskGraphResult run(ThreadPool& pool, CancellationToken token = {});
+
+  private:
+    struct Node {
+        Body body;
+        std::string label;
+        std::vector<std::size_t> successors;
+        std::size_t dependency_count = 0;
+    };
+
+    std::vector<Node> nodes_;
+};
+
+}  // namespace rfabm::exec

@@ -68,4 +68,46 @@ double Xoshiro256::truncated_normal(double mean, double stddev, double nsigma) {
     }
 }
 
+void Xoshiro256::jump() {
+    // Canonical xoshiro256 jump polynomial (Blackman & Vigna): equivalent to
+    // 2^128 next_u64() calls.
+    static constexpr std::uint64_t kJump[4] = {0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL,
+                                               0xA9582618E03FC9AAULL, 0x39ABDC4529B1661CULL};
+    std::uint64_t s0 = 0;
+    std::uint64_t s1 = 0;
+    std::uint64_t s2 = 0;
+    std::uint64_t s3 = 0;
+    for (const std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (1ULL << b)) {
+                s0 ^= state_[0];
+                s1 ^= state_[1];
+                s2 ^= state_[2];
+                s3 ^= state_[3];
+            }
+            next_u64();
+        }
+    }
+    state_[0] = s0;
+    state_[1] = s1;
+    state_[2] = s2;
+    state_[3] = s3;
+    has_cached_ = false;  // a cached Box-Muller deviate belongs to the old stream
+}
+
+Xoshiro256 Xoshiro256::split(std::uint64_t stream_id) const {
+    // Fold the full 256-bit state down to one word, mix in the stream id,
+    // and expand through SplitMix64 (the same path reseed() takes, so a
+    // split stream is as well-mixed as a freshly seeded one).  Nonzero
+    // rotations keep symmetric states from colliding.
+    std::uint64_t folded = state_[0];
+    folded ^= rotl(state_[1], 13);
+    folded ^= rotl(state_[2], 29);
+    folded ^= rotl(state_[3], 47);
+    std::uint64_t sm = folded + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+    // One extra scramble round decouples adjacent stream ids before the
+    // per-word SplitMix64 expansion in reseed().
+    return Xoshiro256(splitmix64(sm));
+}
+
 }  // namespace rfabm::rf

@@ -38,6 +38,19 @@ class Xoshiro256 {
     /// process parameters that a foundry screens to a guaranteed window.
     double truncated_normal(double mean, double stddev, double nsigma);
 
+    /// Advance the state by 2^128 draws (the canonical xoshiro256 jump
+    /// polynomial): carves the period into non-overlapping blocks for
+    /// parallel workers that share one seed.  Clears the Box-Muller cache.
+    void jump();
+
+    /// Derive an independent substream for @p stream_id without advancing
+    /// this engine (const: the result depends only on the current state and
+    /// the id, never on how many times or in what order split() is called).
+    /// This is what gives per-die RNG streams that are independent of
+    /// measurement scheduling order: split the campaign engine once per die
+    /// index up front, then hand each task its own engine.
+    Xoshiro256 split(std::uint64_t stream_id) const;
+
   private:
     std::uint64_t state_[4] = {};
     bool has_cached_ = false;

@@ -1,0 +1,148 @@
+// Calibration cache: single-flight memoization, key hashing, statistics.
+#include "exec/calibration_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rfabm::exec {
+namespace {
+
+circuit::ProcessCorner shifted_corner() {
+    circuit::ProcessCorner corner;  // nominal
+    corner.nmos_kp_factor = 1.05;
+    return corner;
+}
+
+TEST(CalibrationCache, ComputesOnceThenHits) {
+    CalibrationCache cache;
+    const core::RfAbmChipConfig config{};
+    const circuit::ProcessCorner corner{};
+    std::atomic<int> computes{0};
+    auto compute = [&] {
+        computes.fetch_add(1);
+        return DieCalibration{corner, 0.25, 1.75};
+    };
+    const DieCalibration first = cache.get_or_compute(config, corner, compute);
+    const DieCalibration again = cache.get_or_compute(config, corner, compute);
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(first.tune_p, again.tune_p);
+    EXPECT_EQ(first.tune_f, again.tune_f);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(CalibrationCache, DistinctCornersGetDistinctEntries) {
+    CalibrationCache cache;
+    const core::RfAbmChipConfig config{};
+    int computes = 0;
+    auto make_compute = [&](double tune_p) {
+        return [&computes, tune_p] {
+            ++computes;
+            return DieCalibration{{}, tune_p, 2.0};
+        };
+    };
+    const DieCalibration nominal =
+        cache.get_or_compute(config, circuit::ProcessCorner{}, make_compute(0.1));
+    const DieCalibration shifted =
+        cache.get_or_compute(config, shifted_corner(), make_compute(0.2));
+    EXPECT_EQ(computes, 2);
+    EXPECT_NE(nominal.tune_p, shifted.tune_p);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(CalibrationCache, DistinctConfigsGetDistinctEntries) {
+    CalibrationCache cache;
+    core::RfAbmChipConfig basic{};
+    core::RfAbmChipConfig preamp{};
+    preamp.with_preamp = true;
+    int computes = 0;
+    auto compute = [&] {
+        ++computes;
+        return DieCalibration{};
+    };
+    cache.get_or_compute(basic, {}, compute);
+    cache.get_or_compute(preamp, {}, compute);
+    EXPECT_EQ(computes, 2);
+    EXPECT_NE(hash_chip_config(basic), hash_chip_config(preamp));
+}
+
+TEST(CalibrationCache, ConcurrentCallersSingleFlight) {
+    CalibrationCache cache;
+    const core::RfAbmChipConfig config{};
+    std::atomic<int> computes{0};
+    auto compute = [&] {
+        computes.fetch_add(1);
+        // Widen the race window: everyone should pile onto this one compute.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return DieCalibration{{}, 0.5, 1.5};
+    };
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            const DieCalibration cal = cache.get_or_compute(config, {}, compute);
+            if (cal.tune_p != 0.5 || cal.tune_f != 1.5) mismatches.fetch_add(1);
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 7u);
+}
+
+TEST(CalibrationCache, FailedComputeIsNotCached) {
+    CalibrationCache cache;
+    const core::RfAbmChipConfig config{};
+    int calls = 0;
+    EXPECT_THROW(cache.get_or_compute(config, {},
+                                      [&]() -> DieCalibration {
+                                          ++calls;
+                                          throw std::runtime_error("no convergence");
+                                      }),
+                 std::runtime_error);
+    // A later call retries instead of replaying the stored error.
+    const DieCalibration cal = cache.get_or_compute(config, {}, [&] {
+        ++calls;
+        return DieCalibration{{}, 0.3, 1.9};
+    });
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(cal.tune_p, 0.3);
+}
+
+TEST(CalibrationCache, MetricsForwarding) {
+    CalibrationCache cache;
+    CampaignMetrics metrics;
+    cache.attach_metrics(&metrics);
+    const core::RfAbmChipConfig config{};
+    auto compute = [] { return DieCalibration{}; };
+    cache.get_or_compute(config, {}, compute);
+    cache.get_or_compute(config, {}, compute);
+    const auto s = metrics.snapshot();
+    EXPECT_EQ(s.cache_misses, 1u);
+    EXPECT_EQ(s.cache_hits, 1u);
+}
+
+TEST(FieldHasherProperties, NegativeZeroNormalizesAndFieldsMatter) {
+    FieldHasher a;
+    a.mix(0.0);
+    FieldHasher b;
+    b.mix(-0.0);
+    EXPECT_EQ(a.value(), b.value());
+
+    FieldHasher c;
+    c.mix(1.0);
+    c.mix(2.0);
+    FieldHasher d;
+    d.mix(2.0);
+    d.mix(1.0);
+    EXPECT_NE(c.value(), d.value());  // order-sensitive, as a field list is
+}
+
+}  // namespace
+}  // namespace rfabm::exec

@@ -1,0 +1,155 @@
+// Work-stealing thread pool: execution, stealing, backpressure, nesting.
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "exec/queue.hpp"
+
+namespace rfabm::exec {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+    ThreadPool::Options opts;
+    opts.workers = 4;
+    ThreadPool pool(opts);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i) {
+        ASSERT_TRUE(pool.submit([&] { count.fetch_add(1, std::memory_order_relaxed); }));
+    }
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 200);
+    EXPECT_EQ(pool.tasks_executed(), 200u);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+    ThreadPool pool;
+    EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsTrueOnlyInsideTasks) {
+    ThreadPool::Options opts;
+    opts.workers = 2;
+    ThreadPool pool(opts);
+    EXPECT_FALSE(pool.on_worker_thread());
+    std::atomic<bool> inside{false};
+    pool.submit([&] { inside.store(pool.on_worker_thread()); });
+    pool.wait_idle();
+    EXPECT_TRUE(inside.load());
+}
+
+TEST(ThreadPool, WorkersStealWhenOneQueueIsLoaded) {
+    // External submissions round-robin across worker deques; a worker whose
+    // own deque drains while another's is long must steal.  With tasks that
+    // sleep, 4 workers on 64 tasks cannot finish without stealing unless the
+    // round-robin happens to balance perfectly — which it does.  Force the
+    // imbalance instead: one task fans out many nested submissions, which all
+    // land on the submitting worker's own deque; the other workers have
+    // nothing and must steal them.
+    ThreadPool::Options opts;
+    opts.workers = 4;
+    ThreadPool pool(opts);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                count.fetch_add(1);
+            });
+        }
+    });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 64);
+    if (std::thread::hardware_concurrency() > 1) {
+        EXPECT_GT(pool.steals(), 0u);
+    }
+}
+
+TEST(ThreadPool, NestedSubmitFromWorkerDoesNotDeadlockOnFullQueue) {
+    // queue_capacity bounds *external* submissions; workers are exempt so a
+    // task can always schedule follow-up work on a saturated pool.
+    ThreadPool::Options opts;
+    opts.workers = 2;
+    opts.queue_capacity = 2;
+    ThreadPool pool(opts);
+    std::atomic<int> count{0};
+    pool.submit([&] {
+        for (int i = 0; i < 32; ++i) pool.submit([&] { count.fetch_add(1); });
+    });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, ExternalSubmitBlocksAtCapacityThenProceeds) {
+    ThreadPool::Options opts;
+    opts.workers = 1;
+    opts.queue_capacity = 1;
+    ThreadPool pool(opts);
+
+    // Park the single worker so the queue backs up.
+    std::atomic<bool> release{false};
+    pool.submit([&] {
+        while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+    std::atomic<int> accepted{0};
+    std::thread producer([&] {
+        for (int i = 0; i < 8; ++i) {
+            pool.submit([] {});
+            accepted.fetch_add(1);
+        }
+    });
+    // The producer must stall well short of 8 while the worker is parked.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_LT(accepted.load(), 8);
+    release.store(true);
+    producer.join();
+    pool.wait_idle();
+    EXPECT_EQ(accepted.load(), 8);
+}
+
+TEST(ThreadPool, SubstreamSeedsAreStreamSpecificAndStable) {
+    const std::uint64_t a0 = substream_seed(42, 0);
+    const std::uint64_t a1 = substream_seed(42, 1);
+    const std::uint64_t b0 = substream_seed(43, 0);
+    EXPECT_NE(a0, a1);
+    EXPECT_NE(a0, b0);
+    EXPECT_EQ(a0, substream_seed(42, 0));  // pure function of (seed, id)
+}
+
+TEST(BoundedQueue, PushPopRoundTripsInOrder) {
+    BoundedQueue<int> q(4);
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+    EXPECT_FALSE(q.try_push(99));  // full
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(q.pop().value(), i);
+}
+
+TEST(BoundedQueue, CloseDrainsThenReturnsNullopt) {
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.close();
+    EXPECT_FALSE(q.push(2));
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CancelledTokenUnblocksProducerAndConsumer) {
+    BoundedQueue<int> q(1);
+    CancellationSource source;
+    q.push(0);  // now full
+
+    std::thread producer([&] { EXPECT_FALSE(q.push(1, source.token())); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    source.cancel();
+    q.interrupt();
+    producer.join();
+
+    // Cancel wins over drain: the queued item is not delivered.
+    EXPECT_EQ(q.pop(source.token()), std::nullopt);
+}
+
+}  // namespace
+}  // namespace rfabm::exec
