@@ -13,6 +13,35 @@
 
 #include "bench/harness.hpp"
 
+namespace {
+
+/// Per-corner raw readings of the three output flavours under comparison.
+struct Readings {
+    double vp = 0.0;
+    double diff = 0.0;
+    double tared = 0.0;
+};
+
+}  // namespace
+
+namespace rfabm::bench {
+
+template <>
+struct JournalCodec<Readings> {
+    static std::vector<double> encode(const Readings& r) { return {r.vp, r.diff, r.tared}; }
+    static Readings decode(const std::vector<double>& p) {
+        Readings r;
+        if (p.size() >= 3) {
+            r.vp = p[0];
+            r.diff = p[1];
+            r.tared = p[2];
+        }
+        return r;
+    }
+};
+
+}  // namespace rfabm::bench
+
 int main(int argc, char** argv) {
     using namespace rfabm;
     const bench::HarnessOptions opts = bench::parse_options(argc, argv);
@@ -25,11 +54,6 @@ int main(int argc, char** argv) {
     // One engine cell per corner; rows and the nominal-first baseline are
     // reconstructed from the ordered results, so output matches the serial
     // run exactly.
-    struct Readings {
-        double vp = 0.0;
-        double diff = 0.0;
-        double tared = 0.0;
-    };
     bench::Exec exec(opts);
     const std::vector<core::OperatingConditions> envs = opts.envs();
     const auto cells = exec.map_die_env<Readings>(
@@ -73,5 +97,6 @@ int main(int argc, char** argv) {
     std::printf("\nconclusion: the replica branch absorbs the supply/temperature\n"
                 "common mode; the bench tare removes most of the residual.\n");
     exec.print_summary();
+    exec.print_triage();
     return 0;
 }

@@ -87,18 +87,53 @@ int main(int argc, char** argv) {
     }
 
     std::vector<double> vout(variants.size(), 0.0);
-    std::vector<exec::DieChain> chains(variants.size());
-    for (std::size_t i = 0; i < variants.size(); ++i) {
-        chains[i].measurements.push_back([&, i](exec::TaskContext&) {
-            Bench bench;
-            vout[i] = bench.settled_vout(variants[i].method, variants[i].spc);
-        });
-    }
     exec::CampaignMetrics metrics;
     exec::CampaignOptions copts;
     copts.jobs = opts.effective_jobs();
     copts.metrics = &metrics;
-    exec::run_campaign(chains, copts);
+    if (opts.resilient()) {
+        // One journal cell per variant: key = (variant, 0, 0), payload = the
+        // settled Vout, so an interrupted sweep resumes without re-simulating
+        // finished variants.
+        std::vector<exec::ResilientChain> chains(variants.size());
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            exec::ResilientCell cell;
+            cell.key = {static_cast<std::uint32_t>(i), 0, 0};
+            cell.compute = [&, i](const exec::CellAttempt&) {
+                Bench bench;
+                exec::CellComputeResult out;
+                out.payload = {bench.settled_vout(variants[i].method, variants[i].spc)};
+                return out;
+            };
+            cell.deliver = [&, i](const std::vector<double>& payload, exec::CellOutcome,
+                                  bool) {
+                if (!payload.empty()) vout[i] = payload[0];
+            };
+            chains[i].cells.push_back(std::move(cell));
+        }
+        exec::ResilienceOptions ropts;
+        ropts.journal_path = opts.journal_path;
+        ropts.resume = opts.resume;
+        // Identity: anything that changes a payload.  The variant grid is
+        // hard-coded, so seed + grid size + fast flag cover it.
+        const std::uint64_t id_fields[] = {opts.seed, variants.size(),
+                                           opts.fast ? 1ull : 0ull};
+        ropts.campaign_id = exec::fnv1a64(id_fields, sizeof(id_fields));
+        ropts.cell_timeout =
+            std::chrono::nanoseconds(static_cast<std::int64_t>(opts.watchdog_ms * 1e6));
+        ropts.max_cell_attempts = opts.max_cell_attempts;
+        const exec::ResilientResult rr = exec::run_resilient_campaign(chains, copts, ropts);
+        std::printf("%s", rr.triage.to_string().c_str());
+    } else {
+        std::vector<exec::DieChain> chains(variants.size());
+        for (std::size_t i = 0; i < variants.size(); ++i) {
+            chains[i].measurements.push_back([&, i](exec::TaskContext&) {
+                Bench bench;
+                vout[i] = bench.settled_vout(variants[i].method, variants[i].spc);
+            });
+        }
+        exec::run_campaign(chains, copts);
+    }
 
     const double truth = vout[0];
     std::printf("reference (TRAP, 96 steps/cycle): Vout = %.4f mV\n\n", truth * 1e3);

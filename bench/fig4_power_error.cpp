@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
     std::printf("[3/3] sweeping the nominal die across corners...\n");
     sweep({circuit::ProcessCorner{}}, err_env_only);
     exec.print_summary();
+    exec.print_triage();
 
     std::printf("\nFig. 4 series (errors in dB, |worst| over the population):\n");
     bench::TablePrinter table({"Pin/dBm", "err_proc_max", "err_proc_mean", "err_env_max",

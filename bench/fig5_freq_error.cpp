@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
     std::printf("[3/3] sweeping the nominal die across corners...\n");
     sweep({circuit::ProcessCorner{}}, err_env_only);
     exec.print_summary();
+    exec.print_triage();
 
     std::printf("\nFig. 5 series (errors in GHz, |worst| over the population):\n");
     bench::TablePrinter table({"fin/GHz", "err_proc_max", "err_proc_mean", "err_env_max",

@@ -73,6 +73,16 @@ HarnessOptions parse_options(int argc, char** argv) {
             opts.monte_carlo_dies = std::strtoull(argv[++i], nullptr, 10);
         } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
             opts.jobs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) {
+            opts.journal_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--resume") == 0) {
+            opts.resume = true;
+        } else if (std::strcmp(argv[i], "--watchdog-ms") == 0 && i + 1 < argc) {
+            opts.watchdog_ms = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--triage") == 0 && i + 1 < argc) {
+            opts.triage_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--max-attempts") == 0 && i + 1 < argc) {
+            opts.max_cell_attempts = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
         }
     }
     return opts;
@@ -112,7 +122,8 @@ DutSession::DutSession(const core::RfAbmChipConfig& config, const DieCalibration
     controller.apply_tune_f(cal.tune_f);
 }
 
-Exec::Exec(const HarnessOptions& opts) : jobs_(opts.effective_jobs()) {
+Exec::Exec(const HarnessOptions& opts)
+    : opts_(opts), resilient_(opts.resilient()), jobs_(opts.effective_jobs()) {
     cache_.attach_metrics(&metrics_);
     if (jobs_ > 1) {
         rfabm::exec::ThreadPool::Options popts;
@@ -124,14 +135,18 @@ Exec::Exec(const HarnessOptions& opts) : jobs_(opts.effective_jobs()) {
 Exec::~Exec() = default;
 
 DieCalibration Exec::calibrate(const core::RfAbmChipConfig& config,
-                               const circuit::ProcessCorner& corner) {
-    return cache_.get_or_compute(config, corner, [&] {
-        std::uint64_t newton = 0;
-        DieCalibration cal = calibrate_die(config, corner, &newton);
-        metrics_.add_newton(newton);
-        metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
-        return cal;
-    });
+                               const circuit::ProcessCorner& corner,
+                               const rfabm::exec::CancellationToken& token) {
+    return cache_.get_or_compute(
+        config, corner,
+        [&] {
+            std::uint64_t newton = 0;
+            DieCalibration cal = calibrate_die(config, corner, &newton);
+            metrics_.add_newton(newton);
+            metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+            return cal;
+        },
+        token);
 }
 
 void Exec::run_cells(const core::RfAbmChipConfig& config,
@@ -200,9 +215,82 @@ void Exec::run_chains(const std::vector<rfabm::exec::DieChain>& chains) {
     }
 }
 
+std::uint64_t Exec::campaign_identity(const core::RfAbmChipConfig& config,
+                                      const std::vector<circuit::ProcessCorner>* dies,
+                                      const std::vector<DieCalibration>* cals,
+                                      std::size_t num_envs) const {
+    rfabm::exec::FieldHasher h;
+    h.mix(rfabm::exec::hash_chip_config(config));
+    h.mix(opts_.seed).mix(opts_.fast);
+    h.mix(static_cast<std::uint64_t>(num_envs));
+    h.mix(static_cast<std::uint64_t>(campaign_seq_));
+    if (dies != nullptr) {
+        h.mix(static_cast<std::uint64_t>(dies->size()));
+        for (const auto& corner : *dies) h.mix(rfabm::exec::hash_corner(corner));
+    }
+    if (cals != nullptr) {
+        h.mix(static_cast<std::uint64_t>(cals->size()));
+        for (const auto& cal : *cals) {
+            h.mix(rfabm::exec::hash_corner(cal.corner)).mix(cal.tune_p).mix(cal.tune_f);
+        }
+    }
+    return h.value();
+}
+
+void Exec::run_resilient_chains(const std::vector<rfabm::exec::ResilientChain>& chains,
+                                std::uint64_t campaign_id) {
+    rfabm::exec::ResilienceOptions ropts;
+    if (!opts_.journal_path.empty()) {
+        // Benches running several campaigns in one process number the later
+        // journals FILE.1, FILE.2, ... so resume pairs them up by position.
+        ropts.journal_path = campaign_seq_ == 0
+                                 ? opts_.journal_path
+                                 : opts_.journal_path + "." + std::to_string(campaign_seq_);
+    }
+    ropts.resume = opts_.resume;
+    ropts.campaign_id = campaign_id;
+    ropts.cell_timeout = std::chrono::nanoseconds(
+        static_cast<std::int64_t>(opts_.watchdog_ms * 1e6));
+    ropts.max_cell_attempts = opts_.max_cell_attempts;
+    ropts.on_journal_open = journal_open_hook_;
+
+    rfabm::exec::ResilientResult rr;
+    if (pool_) {
+        rfabm::exec::CampaignOptions copts;
+        copts.token = cancel_.token();
+        copts.metrics = &metrics_;
+        rr = rfabm::exec::run_resilient_campaign(chains, copts, ropts, pool_.get());
+    } else {
+        rfabm::exec::CampaignOptions copts;
+        copts.jobs = 1;
+        copts.token = cancel_.token();
+        copts.metrics = &metrics_;
+        rr = rfabm::exec::run_resilient_campaign(chains, copts, ropts);
+    }
+    last_result_ = rr.graph;
+    last_triage_ = rr.triage;
+
+    if (!opts_.triage_path.empty()) {
+        // One JSON object per campaign, line-delimited; truncate on the
+        // first campaign of the run.
+        std::FILE* f = std::fopen(opts_.triage_path.c_str(), campaign_seq_ == 0 ? "w" : "a");
+        if (f != nullptr) {
+            const std::string json = last_triage_.to_json();
+            std::fprintf(f, "%s\n", json.c_str());
+            std::fclose(f);
+        }
+    }
+    ++campaign_seq_;
+}
+
 void Exec::print_summary() const {
     const auto s = metrics_.snapshot();
     say("[exec] jobs=%zu  %s\n", jobs_, s.to_string().c_str());
+}
+
+void Exec::print_triage() const {
+    if (!resilient_) return;
+    say("%s\n", last_triage_.to_string().c_str());
 }
 
 rfabm::rf::MonotoneCurve acquire_trimmed_power_curve(core::MeasurementController& controller,

@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "circuit/montecarlo.hpp"
@@ -35,6 +36,7 @@
 #include "core/measurement.hpp"
 #include "exec/calibration_cache.hpp"
 #include "exec/campaign.hpp"
+#include "exec/resilient.hpp"
 #include "rf/curve.hpp"
 
 namespace rfabm::bench {
@@ -48,6 +50,25 @@ struct HarnessOptions {
     /// Worker threads for the campaign engine: 0 = hardware concurrency,
     /// 1 = the historical serial path.
     std::size_t jobs = 0;
+
+    // --- resilience flags (docs/resilience.md) ------------------------------
+    /// --journal FILE: write-ahead journal of completed cells.  A bench that
+    /// runs several campaigns numbers the later files FILE.1, FILE.2, ...
+    std::string journal_path;
+    /// --resume: replay an existing journal and re-run only missing cells.
+    bool resume = false;
+    /// --watchdog-ms N: per-attempt stall timeout (0 = no supervision).
+    double watchdog_ms = 0.0;
+    /// --triage FILE: append one TriageReport JSON line per campaign.
+    std::string triage_path;
+    /// --max-attempts N: attempts per cell before quarantine.
+    int max_cell_attempts = 2;
+
+    /// Any resilience feature requested?  Campaigns then run through
+    /// exec::run_resilient_campaign instead of the bare task graph.
+    bool resilient() const {
+        return !journal_path.empty() || watchdog_ms > 0.0 || !triage_path.empty();
+    }
 
     /// jobs with 0 resolved to the hardware concurrency (min 1).
     std::size_t effective_jobs() const;
@@ -96,6 +117,59 @@ struct DutSession {
     core::MeasurementController controller;
 };
 
+/// Bit-exact payload codec between a bench's per-cell result type and the
+/// journal's raw-double payload.  encode/decode MUST round-trip exactly
+/// (store the doubles verbatim, no formatting): the resilient campaign
+/// routes *fresh* results through the same decode(encode(r)) path as
+/// replayed ones, which is what makes a resumed run byte-identical.
+/// Specialize per bench result type (common shapes provided below).
+template <class R>
+struct JournalCodec;
+
+template <>
+struct JournalCodec<double> {
+    static std::vector<double> encode(double v) { return {v}; }
+    static double decode(const std::vector<double>& p) { return p.empty() ? 0.0 : p[0]; }
+};
+
+template <>
+struct JournalCodec<std::vector<double>> {
+    static std::vector<double> encode(const std::vector<double>& v) { return v; }
+    static std::vector<double> decode(const std::vector<double>& p) { return p; }
+};
+
+template <>
+struct JournalCodec<std::pair<bool, double>> {
+    static std::vector<double> encode(const std::pair<bool, double>& v) {
+        return {v.first ? 1.0 : 0.0, v.second};
+    }
+    static std::pair<bool, double> decode(const std::vector<double>& p) {
+        if (p.size() < 2) return {false, 0.0};
+        return {p[0] != 0.0, p[1]};
+    }
+};
+
+template <>
+struct JournalCodec<std::vector<std::pair<bool, double>>> {
+    static std::vector<double> encode(const std::vector<std::pair<bool, double>>& v) {
+        std::vector<double> p;
+        p.reserve(v.size() * 2);
+        for (const auto& [ok, value] : v) {
+            p.push_back(ok ? 1.0 : 0.0);
+            p.push_back(value);
+        }
+        return p;
+    }
+    static std::vector<std::pair<bool, double>> decode(const std::vector<double>& p) {
+        std::vector<std::pair<bool, double>> v;
+        v.reserve(p.size() / 2);
+        for (std::size_t i = 0; i + 1 < p.size(); i += 2) {
+            v.emplace_back(p[i] != 0.0, p[i + 1]);
+        }
+        return v;
+    }
+};
+
 /// Per-bench execution context: thread pool (campaigns), memoizing
 /// calibration cache and campaign metrics.  One per bench run (or one per
 /// timed phase, when the cache must not leak between phases).
@@ -112,20 +186,31 @@ class Exec {
     /// and the checked measurement pipeline stops retrying.
     void cancel() { cancel_.cancel(); }
 
-    /// Memoized DC calibration of (config, corner).
+    /// Memoized DC calibration of (config, corner).  @p token (when given)
+    /// lets a waiter stop waiting on a failed leader (see CalibrationCache).
     DieCalibration calibrate(const core::RfAbmChipConfig& config,
-                             const circuit::ProcessCorner& corner);
+                             const circuit::ProcessCorner& corner,
+                             const rfabm::exec::CancellationToken& token = {});
 
     /// Run @p cell for every (die, env) on the engine: per die, a calibrate
     /// node (cache-memoized) fans out one measurement task per environment.
     /// Each task gets a fresh DutSession wired to this context's
     /// cancellation token.  Results return in die-major, env-minor order —
     /// the historical serial order — regardless of worker count.
+    ///
+    /// When the harness options request resilience (--journal / --resume /
+    /// --watchdog-ms / --triage), the campaign instead runs through
+    /// exec::run_resilient_campaign: cells journal as they complete, resumes
+    /// replay the journal bit-exactly through JournalCodec<R>, hung attempts
+    /// are reclaimed by the watchdog, and repeat offenders are quarantined.
+    /// Fresh results also pass through the codec round-trip, so resumed and
+    /// uninterrupted runs produce byte-identical output.
     template <class R>
     std::vector<R> map_die_env(
         const core::RfAbmChipConfig& config, const std::vector<circuit::ProcessCorner>& dies,
         const std::vector<core::OperatingConditions>& envs,
         const std::function<R(DutSession&, std::size_t die, std::size_t env)>& cell) {
+        if (resilient_) return map_resilient<R>(config, &dies, nullptr, envs, cell);
         std::vector<R> results(dies.size() * envs.size());
         run_cells(config, dies, envs,
                   [&](DutSession& dut, std::size_t die, std::size_t env) {
@@ -141,6 +226,7 @@ class Exec {
         const core::RfAbmChipConfig& config, const std::vector<DieCalibration>& cals,
         const std::vector<core::OperatingConditions>& envs,
         const std::function<R(DutSession&, std::size_t die, std::size_t env)>& cell) {
+        if (resilient_) return map_resilient<R>(config, nullptr, &cals, envs, cell);
         std::vector<R> results(cals.size() * envs.size());
         run_cells_calibrated(config, cals, envs,
                              [&](DutSession& dut, std::size_t die, std::size_t env) {
@@ -163,18 +249,104 @@ class Exec {
     /// Last campaign's drained graph result (tasks ran/skipped/cancelled).
     const rfabm::exec::TaskGraphResult& last_result() const { return last_result_; }
 
+    /// Last resilient campaign's triage report (empty when not resilient).
+    const rfabm::exec::TriageReport& last_triage() const { return last_triage_; }
+    bool resilient() const { return resilient_; }
+
+    /// Test/fault hook forwarded to ResilienceOptions::on_journal_open (the
+    /// kCrashPoint fault installs its append hook through this).
+    void set_journal_open_hook(std::function<void(rfabm::exec::JournalWriter&)> hook) {
+        journal_open_hook_ = std::move(hook);
+    }
+
     /// One-line engine summary (workers, tasks, steals, cache, Newton).
     void print_summary() const;
+
+    /// Print the last triage report (no-op when not resilient).  The JSON
+    /// line was already appended to --triage FILE when the campaign ended.
+    void print_triage() const;
 
   private:
     void run_chains(const std::vector<rfabm::exec::DieChain>& chains);
 
+    /// Resilient campaign core behind map_die_env: builds ResilientChains
+    /// whose compute closures wire the per-attempt token and heartbeat into
+    /// the DUT's solver, runs them, and stores the triage report.
+    void run_resilient_chains(const std::vector<rfabm::exec::ResilientChain>& chains,
+                              std::uint64_t campaign_id);
+
+    /// Identity of a campaign: everything that affects its results.  A
+    /// journal written under a different identity is never replayed.
+    std::uint64_t campaign_identity(const core::RfAbmChipConfig& config,
+                                    const std::vector<circuit::ProcessCorner>* dies,
+                                    const std::vector<DieCalibration>* cals,
+                                    std::size_t num_envs) const;
+
+    template <class R>
+    std::vector<R> map_resilient(
+        const core::RfAbmChipConfig& config, const std::vector<circuit::ProcessCorner>* dies,
+        const std::vector<DieCalibration>* cals,
+        const std::vector<core::OperatingConditions>& envs,
+        const std::function<R(DutSession&, std::size_t die, std::size_t env)>& cell) {
+        const std::size_t num_dies = dies != nullptr ? dies->size() : cals->size();
+        std::vector<R> results(num_dies * envs.size());
+        std::vector<rfabm::exec::ResilientChain> chains;
+        chains.reserve(num_dies);
+        for (std::size_t d = 0; d < num_dies; ++d) {
+            rfabm::exec::ResilientChain chain;
+            if (dies != nullptr) {
+                chain.calibrate = [this, &config, dies, d](rfabm::exec::TaskContext& ctx) {
+                    (void)calibrate(config, (*dies)[d], ctx.token);
+                };
+            }
+            for (std::size_t e = 0; e < envs.size(); ++e) {
+                rfabm::exec::ResilientCell rc;
+                rc.key = {static_cast<std::uint32_t>(d), static_cast<std::uint32_t>(e), 0};
+                rc.compute = [this, &config, dies, cals, &envs, &cell, d,
+                              e](const rfabm::exec::CellAttempt& att) {
+                    const DieCalibration cal = dies != nullptr
+                                                   ? calibrate(config, (*dies)[d], att.token)
+                                                   : (*cals)[d];
+                    core::MeasureOptions mopts;
+                    mopts.cancel = att.token;
+                    DutSession dut(config, cal, envs[e], mopts);
+                    // Wire the watchdog into the solver: the token aborts a
+                    // hung solve, the heartbeat proves per-step progress.
+                    dut.chip.engine().options().cancel = att.token;
+                    dut.chip.engine().options().heartbeat = att.heartbeat;
+                    metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+                    R r = cell(dut, d, e);
+                    metrics_.add_newton(dut.chip.engine().newton_iterations());
+                    rfabm::exec::CellComputeResult out;
+                    out.payload = JournalCodec<R>::encode(r);
+                    return out;
+                };
+                rc.deliver = [&results, &envs, d, e](const std::vector<double>& payload,
+                                                     rfabm::exec::CellOutcome, bool) {
+                    // Fresh and replayed payloads take the identical path
+                    // into the cell's private slot: byte-identity by
+                    // construction.
+                    results[d * envs.size() + e] = JournalCodec<R>::decode(payload);
+                };
+                chain.cells.push_back(std::move(rc));
+            }
+            chains.push_back(std::move(chain));
+        }
+        run_resilient_chains(chains, campaign_identity(config, dies, cals, envs.size()));
+        return results;
+    }
+
+    HarnessOptions opts_;
+    bool resilient_ = false;
     std::size_t jobs_ = 1;
     rfabm::exec::CancellationSource cancel_;
     std::unique_ptr<rfabm::exec::ThreadPool> pool_;  ///< null when jobs == 1
     rfabm::exec::CalibrationCache cache_;
     rfabm::exec::CampaignMetrics metrics_;
     rfabm::exec::TaskGraphResult last_result_;
+    rfabm::exec::TriageReport last_triage_;
+    std::function<void(rfabm::exec::JournalWriter&)> journal_open_hook_;
+    std::size_t campaign_seq_ = 0;  ///< numbers journal files within one run
 };
 
 /// Simple aligned table printer for harness output.  All output (including

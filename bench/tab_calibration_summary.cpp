@@ -22,6 +22,23 @@ struct ErrorPair {
 
 }  // namespace
 
+namespace rfabm::bench {
+
+template <>
+struct JournalCodec<ErrorPair> {
+    static std::vector<double> encode(const ErrorPair& e) { return {e.power_db, e.freq_ghz}; }
+    static ErrorPair decode(const std::vector<double>& p) {
+        ErrorPair e;
+        if (p.size() >= 2) {
+            e.power_db = p[0];
+            e.freq_ghz = p[1];
+        }
+        return e;
+    }
+};
+
+}  // namespace rfabm::bench
+
 int main(int argc, char** argv) {
     using namespace rfabm;
     const bench::HarnessOptions opts = bench::parse_options(argc, argv);
@@ -104,5 +121,6 @@ int main(int argc, char** argv) {
                 uncalibrated.power_db / std::max(with_process.power_db, 1e-9),
                 uncalibrated.freq_ghz / std::max(with_process.freq_ghz, 1e-9));
     exec.print_summary();
+    exec.print_triage();
     return 0;
 }

@@ -84,5 +84,6 @@ int main(int argc, char** argv) {
                     measured_min, v.paper_min);
     }
     exec.print_summary();
+    exec.print_triage();
     return 0;
 }

@@ -65,5 +65,6 @@ int main(int argc, char** argv) {
                 lo, hi);
     std::printf("paper accurate range:                       1.20 ... 1.80 GHz\n");
     exec.print_summary();
+    exec.print_triage();
     return 0;
 }

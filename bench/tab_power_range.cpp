@@ -116,5 +116,6 @@ int main(int argc, char** argv) {
                     v.paper_lo, v.paper_hi);
     }
     exec.print_summary();
+    exec.print_triage();
     return 0;
 }

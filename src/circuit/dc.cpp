@@ -8,10 +8,6 @@
 
 namespace rfabm::circuit {
 
-namespace {
-
-/// Name of solution unknown @p index for diagnostics: the node's netlist name
-/// for voltage unknowns, "branch N" for MNA current unknowns.
 std::string unknown_name(const Circuit& circuit, std::size_t index) {
     const std::size_t num_node_unknowns = circuit.num_nodes() - 1;
     if (index < num_node_unknowns) {
@@ -19,6 +15,8 @@ std::string unknown_name(const Circuit& circuit, std::size_t index) {
     }
     return "branch " + std::to_string(index - num_node_unknowns);
 }
+
+namespace {
 
 /// Tracks the shared iteration budget across all attempts of one solve.
 class IterationBudget {
@@ -50,6 +48,12 @@ class IterationBudget {
 
 std::string ConvergenceDiagnostics::to_string() const {
     std::ostringstream os;
+    if (non_finite) {
+        os << "solve produced a non-finite (NaN/Inf) value";
+        if (!worst_unknown.empty()) os << " at " << worst_unknown;
+        os << " after " << total_iterations << " Newton iterations";
+        return os.str();
+    }
     os << "DC operating point did not converge after " << total_iterations
        << " Newton iterations";
     if (!worst_unknown.empty()) {
@@ -86,6 +90,7 @@ DcOutcome try_solve_dc(Circuit& circuit, const DcOptions& options, const Solutio
         diag.worst_delta = out.worst_delta;
         diag.worst_unknown = unknown_name(circuit, out.worst_unknown);
         diag.singular = diag.singular || out.singular;
+        diag.non_finite = diag.non_finite || out.non_finite;
         diag.budget_exhausted = budget.exhausted();
     };
 
@@ -102,6 +107,10 @@ DcOutcome try_solve_dc(Circuit& circuit, const DcOptions& options, const Solutio
                 outcome.ok = true;
                 return outcome;
             }
+            // NaN/Inf is arithmetic poison, not an iteration problem: no
+            // amount of gmin or source stepping can fix it, so fail fast
+            // with the located diagnostics instead of burning the budget.
+            if (out.non_finite) return outcome;
         }
     }
 
@@ -120,6 +129,7 @@ DcOutcome try_solve_dc(Circuit& circuit, const DcOptions& options, const Solutio
             }
             const NewtonOutcome out = newton_iterate(circuit, ctx, x, opts, scratch);
             record_attempt(out);
+            if (out.non_finite) return outcome;
             if (!out.converged) {
                 ok = false;
                 break;
@@ -139,6 +149,7 @@ DcOutcome try_solve_dc(Circuit& circuit, const DcOptions& options, const Solutio
                     outcome.ok = true;
                     return outcome;
                 }
+                if (out.non_finite) return outcome;
             }
         }
     }
@@ -157,6 +168,7 @@ DcOutcome try_solve_dc(Circuit& circuit, const DcOptions& options, const Solutio
             }
             const NewtonOutcome out = newton_iterate(circuit, ctx, x, opts, scratch);
             record_attempt(out);
+            if (out.non_finite) return outcome;
             if (!out.converged) {
                 ok = false;
                 break;

@@ -22,6 +22,10 @@ struct ConvergenceDiagnostics {
     bool source_stepping_attempted = false;
     bool budget_exhausted = false;    ///< max_total_iterations cap hit
     bool singular = false;            ///< LU found a singular pivot
+    /// The solver produced a NaN/Inf unknown (worst_unknown locates it).
+    /// Deterministic arithmetic poison, not an iteration problem: retrying or
+    /// stepping cannot fix it, so the solve aborts as soon as it appears.
+    bool non_finite = false;
 
     /// One-line human-readable summary (used as the exception message).
     std::string to_string() const;
@@ -37,10 +41,17 @@ class ConvergenceError : public std::runtime_error {
         : std::runtime_error(diagnostics.to_string()), diagnostics_(diagnostics) {}
 
     const ConvergenceDiagnostics& diagnostics() const { return diagnostics_; }
+    /// True when the failure was a NaN/Inf state vector (kNonFinite): the
+    /// hardened pipeline fails such measurements fast instead of retrying.
+    bool non_finite() const { return diagnostics_.non_finite; }
 
   private:
     ConvergenceDiagnostics diagnostics_{};
 };
+
+/// Name of solution unknown @p index for diagnostics: the node's netlist name
+/// for voltage unknowns, "branch N" for MNA current unknowns.
+std::string unknown_name(const Circuit& circuit, std::size_t index);
 
 /// Options for solve_dc().
 struct DcOptions {

@@ -60,6 +60,17 @@ NewtonOutcome newton_iterate(Circuit& circuit, StampContext ctx, Solution& x,
             outcome.singular = true;
             return outcome;
         }
+        // Non-finite guard: a NaN/Inf unknown can never converge, and every
+        // further iteration just smears the poison through the matrix.  Stop
+        // at the first one and report its location.
+        for (std::size_t i = 0; i < candidate.size(); ++i) {
+            if (!std::isfinite(candidate[i])) {
+                outcome.non_finite = true;
+                outcome.worst_delta = candidate[i];
+                outcome.worst_unknown = i;
+                return outcome;
+            }
+        }
         const bool converged =
             !limited && check_converged(x, candidate, num_nodes, options, &outcome);
         x.raw() = candidate;

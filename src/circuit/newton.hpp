@@ -29,6 +29,11 @@ struct NewtonOutcome {
     bool converged = false;
     int iterations = 0;
     bool singular = false;  ///< LU hit a structurally/numerically singular pivot
+    /// The iterate produced a NaN/Inf unknown.  Detected eagerly (the first
+    /// poisoned iteration aborts the solve) so a blown-up exponential fails
+    /// in one iteration instead of thrashing the whole budget; worst_unknown
+    /// locates the first non-finite entry.
+    bool non_finite = false;
     /// Worst per-unknown update of the final iteration: |delta| and the index
     /// of the unknown it occurred at (node order, then branches) — the seed
     /// for "which node is fighting convergence" diagnostics.

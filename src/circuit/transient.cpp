@@ -60,6 +60,16 @@ void TransientEngine::advance(double dt, int depth) {
     const NewtonOutcome out = newton_iterate(circuit_, ctx, candidate, options_.newton, scratch_);
     newton_iterations_ += static_cast<std::uint64_t>(out.iterations);
     if (!out.converged) {
+        if (out.non_finite) {
+            // NaN/Inf is arithmetic poison, not stiffness: halving the step
+            // re-runs the same blow-up, so raise a located error right away.
+            ConvergenceDiagnostics diag;
+            diag.non_finite = true;
+            diag.total_iterations = out.iterations;
+            diag.last_attempt_iterations = out.iterations;
+            diag.worst_unknown = unknown_name(circuit_, out.worst_unknown);
+            throw ConvergenceError(diag);
+        }
         if (depth >= options_.max_step_subdivisions) {
             throw ConvergenceError("transient step did not converge at t=" +
                                    std::to_string(ctx.time));
@@ -73,11 +83,18 @@ void TransientEngine::advance(double dt, int depth) {
     time_ = ctx.time;
     first_step_done_ = true;
     ++steps_;
+    if (options_.heartbeat != nullptr) {
+        options_.heartbeat->fetch_add(1, std::memory_order_relaxed);
+    }
     for (StepObserver* obs : observers_) obs->on_step(time_, x_, circuit_);
 }
 
 void TransientEngine::step() {
     if (!initialized_) init();
+    if (options_.cancel.stop_requested()) {
+        throw SolveAborted(std::string("transient solve aborted at t=") +
+                           std::to_string(time_) + ": " + options_.cancel.stop_reason());
+    }
     advance(options_.dt, 0);
 }
 

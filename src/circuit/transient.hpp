@@ -8,15 +8,28 @@
 // source waveforms) between steps.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "circuit/dc.hpp"
 #include "circuit/newton.hpp"
 #include "circuit/solution.hpp"
+#include "exec/cancellation.hpp"
 
 namespace rfabm::circuit {
+
+/// Thrown when a transient solve is abandoned because its cancellation token
+/// fired (watchdog deadline or campaign cancel) — distinct from
+/// ConvergenceError: the circuit did nothing wrong, the supervisor pulled the
+/// plug.  The hardened measurement pipeline maps it to kTimedOut/kFailed
+/// instead of retrying.
+class SolveAborted : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /// Callback invoked after every accepted transient step.
 class StepObserver {
@@ -34,6 +47,15 @@ struct TransientOptions {
     double gmin = kGminDefault;
     bool start_from_dc = true;  ///< init() solves the operating point first
     int max_step_subdivisions = 8;  ///< halvings tried when a step fails
+    /// Hard-cancellation token, polled before every base step: once it fires
+    /// (watchdog deadline, campaign cancel) the engine throws SolveAborted
+    /// instead of grinding on.  The default token never fires.  This is the
+    /// supervision hook the exec-layer watchdog uses to reclaim a worker from
+    /// a hung solve.
+    rfabm::exec::CancellationToken cancel{};
+    /// Progress heartbeat: incremented once per accepted (sub)step when set.
+    /// A watchdog distinguishes "slow but alive" from "hung" by watching it.
+    std::atomic<std::uint64_t>* heartbeat = nullptr;
 };
 
 /// Fixed-step transient integrator with Newton iteration per step and

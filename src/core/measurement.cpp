@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "circuit/measure.hpp"
+#include "circuit/transient.hpp"
 #include "jtag/instructions.hpp"
 #include "lint/erc.hpp"
 
@@ -19,6 +20,8 @@ const char* to_string(MeasurementStatus status) {
         case MeasurementStatus::kOk: return "Ok";
         case MeasurementStatus::kDegraded: return "Degraded";
         case MeasurementStatus::kFailed: return "Failed";
+        case MeasurementStatus::kTimedOut: return "TimedOut";
+        case MeasurementStatus::kNonFinite: return "NonFinite";
     }
     return "?";
 }
@@ -33,6 +36,7 @@ const char* to_string(SuspectedFault fault) {
         case SuspectedFault::kNonSettling: return "non-settling";
         case SuspectedFault::kConfigLint: return "config-lint";
         case SuspectedFault::kCancelled: return "cancelled";
+        case SuspectedFault::kNonFinite: return "non-finite";
     }
     return "?";
 }
@@ -310,7 +314,8 @@ PowerMeasurement MeasurementController::measure_power_checked(
         // 0. Campaign cancellation/deadline: stop before spending a (re)try.
         if (options_.cancel.stop_requested()) {
             d.suspect = SuspectedFault::kCancelled;
-            d.status = MeasurementStatus::kFailed;
+            d.status = options_.cancel.deadline_expired() ? MeasurementStatus::kTimedOut
+                                                          : MeasurementStatus::kFailed;
             d.detail = options_.cancel.stop_reason();
             return m;
         }
@@ -322,6 +327,8 @@ PowerMeasurement MeasurementController::measure_power_checked(
                     d.backoff_s_total += backoff;
                 } catch (const circuit::ConvergenceError&) {
                     // The engine is wedged; open_session() below re-solves.
+                } catch (const circuit::SolveAborted&) {
+                    // Token fired during the dwell; the loop-top poll exits.
                 }
                 backoff *= policy.backoff_factor;
             }
@@ -354,7 +361,26 @@ PowerMeasurement MeasurementController::measure_power_checked(
             }
             m.vout = measure_power_vout();
             m.settled = last_settled_;
+        } catch (const circuit::SolveAborted& e) {
+            // The supervisor pulled the plug mid-solve.  A watchdog deadline
+            // on our token maps to kTimedOut; anything else is a campaign
+            // cancel.  Either way the token stays fired — retrying is
+            // pointless, so stop immediately.
+            d.suspect = SuspectedFault::kCancelled;
+            d.status = options_.cancel.deadline_expired() ? MeasurementStatus::kTimedOut
+                                                          : MeasurementStatus::kFailed;
+            d.detail = e.what();
+            return m;
         } catch (const circuit::ConvergenceError& e) {
+            if (e.non_finite()) {
+                // NaN/Inf is deterministic arithmetic poison: a retry reruns
+                // the exact same blow-up, so fail fast with the located
+                // diagnosis instead of burning the budget.
+                d.suspect = SuspectedFault::kNonFinite;
+                d.status = MeasurementStatus::kNonFinite;
+                d.detail = e.what();
+                return m;
+            }
             d.suspect = SuspectedFault::kConvergence;
             d.detail = e.what();
             continue;
@@ -376,6 +402,8 @@ PowerMeasurement MeasurementController::measure_power_checked(
                 m.settled = last_settled_;
             } catch (const circuit::ConvergenceError&) {
                 m.settled = false;
+            } catch (const circuit::SolveAborted&) {
+                m.settled = false;  // loop-top poll turns this into kCancelled
             }
             options_ = saved;
             if (m.settled) {
@@ -480,7 +508,8 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
         // Campaign cancellation/deadline: stop before spending a (re)try.
         if (options_.cancel.stop_requested()) {
             d.suspect = SuspectedFault::kCancelled;
-            d.status = MeasurementStatus::kFailed;
+            d.status = options_.cancel.deadline_expired() ? MeasurementStatus::kTimedOut
+                                                          : MeasurementStatus::kFailed;
             d.detail = options_.cancel.stop_reason();
             return m;
         }
@@ -491,6 +520,8 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
                     chip_.engine().run_for(backoff);
                     d.backoff_s_total += backoff;
                 } catch (const circuit::ConvergenceError&) {
+                } catch (const circuit::SolveAborted&) {
+                    // Token fired during the dwell; the loop-top poll exits.
                 }
                 backoff *= policy.backoff_factor;
             }
@@ -517,7 +548,26 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
             }
             m.vout = measure_freq_vout(use_fin);
             m.settled = last_settled_;
+        } catch (const circuit::SolveAborted& e) {
+            // The supervisor pulled the plug mid-solve.  A watchdog deadline
+            // on our token maps to kTimedOut; anything else is a campaign
+            // cancel.  Either way the token stays fired — retrying is
+            // pointless, so stop immediately.
+            d.suspect = SuspectedFault::kCancelled;
+            d.status = options_.cancel.deadline_expired() ? MeasurementStatus::kTimedOut
+                                                          : MeasurementStatus::kFailed;
+            d.detail = e.what();
+            return m;
         } catch (const circuit::ConvergenceError& e) {
+            if (e.non_finite()) {
+                // NaN/Inf is deterministic arithmetic poison: a retry reruns
+                // the exact same blow-up, so fail fast with the located
+                // diagnosis instead of burning the budget.
+                d.suspect = SuspectedFault::kNonFinite;
+                d.status = MeasurementStatus::kNonFinite;
+                d.detail = e.what();
+                return m;
+            }
             d.suspect = SuspectedFault::kConvergence;
             d.detail = e.what();
             continue;
@@ -536,6 +586,8 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
                 m.settled = last_settled_;
             } catch (const circuit::ConvergenceError&) {
                 m.settled = false;
+            } catch (const circuit::SolveAborted&) {
+                m.settled = false;  // loop-top poll turns this into kCancelled
             }
             options_ = saved;
             if (m.settled) {

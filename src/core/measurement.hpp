@@ -29,6 +29,8 @@ enum class MeasurementStatus {
     kDegraded,  ///< a value was produced, but only after retries/fallbacks,
                 ///< or a plausibility check flags it as untrustworthy
     kFailed,    ///< no trustworthy value could be produced within the budget
+    kTimedOut,  ///< a watchdog deadline reclaimed the measurement mid-solve
+    kNonFinite, ///< the solver produced NaN/Inf — deterministic, not retried
 };
 const char* to_string(MeasurementStatus status);
 
@@ -42,6 +44,7 @@ enum class SuspectedFault {
     kNonSettling,  ///< the DC read never settled within the window budget
     kConfigLint,   ///< the pre-measurement static lint found hard errors
     kCancelled,    ///< the campaign's cancellation token / deadline fired
+    kNonFinite,    ///< the solver produced a NaN/Inf unknown (located in detail)
 };
 const char* to_string(SuspectedFault fault);
 
@@ -69,7 +72,9 @@ struct MeasurementDiagnostics {
     std::string fallback;         ///< which fallback succeeded (when used)
     std::string detail;           ///< human-readable description of the finding
 
-    bool ok() const { return status != MeasurementStatus::kFailed; }
+    bool ok() const {
+        return status == MeasurementStatus::kOk || status == MeasurementStatus::kDegraded;
+    }
     /// One-line summary, e.g. for logs and campaign reports.
     std::string to_string() const;
 };

@@ -56,36 +56,57 @@ std::uint64_t hash_corner(const circuit::ProcessCorner& corner) {
 
 DieCalibration CalibrationCache::get_or_compute(const core::RfAbmChipConfig& config,
                                                 const circuit::ProcessCorner& corner,
-                                                const ComputeFn& compute) {
+                                                const ComputeFn& compute,
+                                                const CancellationToken& token) {
     const CalibrationKey key{hash_chip_config(config), hash_corner(corner)};
-    std::promise<DieCalibration> promise;
-    std::shared_future<DieCalibration> future;
-    bool owner = false;
-    {
-        std::lock_guard lock(mutex_);
-        if (auto it = entries_.find(key); it != entries_.end()) {
-            ++hits_;
-            if (metrics_) metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
-            future = it->second;
-        } else {
-            ++misses_;
-            if (metrics_) metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
-            future = promise.get_future().share();
-            entries_.emplace(key, future);
-            owner = true;
+    for (;;) {
+        std::promise<DieCalibration> promise;
+        std::shared_future<DieCalibration> future;
+        bool owner = false;
+        {
+            std::lock_guard lock(mutex_);
+            if (auto it = entries_.find(key); it != entries_.end()) {
+                ++hits_;
+                if (metrics_) metrics_->cache_hits.fetch_add(1, std::memory_order_relaxed);
+                future = it->second;
+            } else {
+                ++misses_;
+                if (metrics_) metrics_->cache_misses.fetch_add(1, std::memory_order_relaxed);
+                future = promise.get_future().share();
+                entries_.emplace(key, future);
+                owner = true;
+            }
+        }
+        if (owner) {
+            // We inserted: compute outside the lock (calibration is seconds
+            // of circuit solving; the cache must stay usable for other keys
+            // meanwhile).
+            try {
+                promise.set_value(compute());
+            } catch (...) {
+                // Erase before publishing the exception: a waiter that wakes
+                // on the failure and re-elects must never find this dead
+                // entry still in the map.
+                {
+                    std::lock_guard lock(mutex_);
+                    entries_.erase(key);  // do not cache failures
+                }
+                promise.set_exception(std::current_exception());
+            }
+            // A failed leader rethrows its own failure here — each caller
+            // runs compute at most once, bounding re-election retries.
+            return future.get();
+        }
+        try {
+            return future.get();
+        } catch (...) {
+            // The leader failed — possibly cancelled or timed out on *its*
+            // token, which says nothing about ours.  Re-elect: loop back and
+            // either adopt a newer in-flight computation or become the
+            // leader ourselves.  Only give up when our own token fired.
+            if (token.stop_requested()) throw;
         }
     }
-    if (!owner) return future.get();  // another task owns the computation
-    // We inserted: compute outside the lock (calibration is seconds of
-    // circuit solving; the cache must stay usable for other keys meanwhile).
-    try {
-        promise.set_value(compute());
-    } catch (...) {
-        promise.set_exception(std::current_exception());
-        std::lock_guard lock(mutex_);
-        entries_.erase(key);  // do not cache failures; a later call retries
-    }
-    return future.get();
 }
 
 std::uint64_t CalibrationCache::hits() const {

@@ -16,6 +16,7 @@
 
 #include "circuit/process.hpp"
 #include "core/chip.hpp"
+#include "exec/cancellation.hpp"
 #include "exec/metrics.hpp"
 
 namespace rfabm::exec {
@@ -70,12 +71,20 @@ class CalibrationCache {
 
     /// Return the cached calibration for (config, corner), computing it via
     /// @p compute on first use.  Concurrent callers for the same key block
-    /// until the single in-flight computation finishes.  If @p compute
-    /// throws, the error propagates to every waiter and the entry is NOT
-    /// cached (a later call retries).
+    /// until the single in-flight computation finishes; failures are never
+    /// cached.
+    ///
+    /// A failed leader does not poison its waiters: when the in-flight
+    /// computation throws (including a watchdog-cancelled leader), each
+    /// waiter re-elects — one becomes the new leader and retries @p compute,
+    /// the rest wait on it — until a computation succeeds or the waiter's own
+    /// @p token fires (then the last failure propagates to that waiter).  A
+    /// caller runs @p compute at most once per call, so retry storms are
+    /// bounded by the number of concurrent callers.
     DieCalibration get_or_compute(const core::RfAbmChipConfig& config,
                                   const circuit::ProcessCorner& corner,
-                                  const ComputeFn& compute);
+                                  const ComputeFn& compute,
+                                  const CancellationToken& token = {});
 
     std::uint64_t hits() const;
     std::uint64_t misses() const;

@@ -23,6 +23,10 @@ struct CancelState {
     std::atomic<bool> cancelled{false};
     /// Deadline as nanoseconds on the steady clock; 0 = no deadline.
     std::atomic<std::int64_t> deadline_ns{0};
+    /// Optional parent state: a child source (per-task watchdog deadline)
+    /// also stops when the campaign-level parent fires.  Immutable after
+    /// construction, so lock-free reads stay safe.
+    std::shared_ptr<const CancelState> parent;
 };
 
 inline std::int64_t steady_now_ns() {
@@ -39,14 +43,22 @@ class CancellationToken {
   public:
     CancellationToken() = default;
 
-    /// True when cancel() was called on the source.
-    bool cancelled() const { return state_ && state_->cancelled.load(std::memory_order_acquire); }
+    /// True when cancel() was called on the source (or any ancestor source).
+    bool cancelled() const {
+        for (const detail::CancelState* s = state_.get(); s != nullptr; s = s->parent.get()) {
+            if (s->cancelled.load(std::memory_order_acquire)) return true;
+        }
+        return false;
+    }
 
-    /// True when a deadline was set and has passed.
+    /// True when a deadline was set and has passed (here or on an ancestor).
     bool deadline_expired() const {
-        if (!state_) return false;
-        const std::int64_t d = state_->deadline_ns.load(std::memory_order_acquire);
-        return d != 0 && detail::steady_now_ns() >= d;
+        const std::int64_t now = state_ ? detail::steady_now_ns() : 0;
+        for (const detail::CancelState* s = state_.get(); s != nullptr; s = s->parent.get()) {
+            const std::int64_t d = s->deadline_ns.load(std::memory_order_acquire);
+            if (d != 0 && now >= d) return true;
+        }
+        return false;
     }
 
     /// The polling predicate: cancelled or past the deadline.
@@ -76,6 +88,14 @@ class CancellationToken {
 class CancellationSource {
   public:
     CancellationSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+    /// A child source: its tokens also stop when @p parent fires, while
+    /// cancel()/deadlines on this source never propagate upward.  The
+    /// watchdog arms per-task deadlines on children of the campaign token.
+    explicit CancellationSource(const CancellationToken& parent)
+        : CancellationSource() {
+        state_->parent = parent.state_;
+    }
 
     CancellationToken token() const { return CancellationToken(state_); }
 

@@ -1,0 +1,215 @@
+#include "exec/resilient.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <tuple>
+#include <unordered_map>
+
+#include "circuit/dc.hpp"
+
+namespace rfabm::exec {
+
+namespace {
+
+/// Shared mutable state for one resilient run; cell bodies reference it.
+struct RunState {
+    const ResilienceOptions* res = nullptr;
+    JournalWriter writer;
+    std::unique_ptr<Watchdog> watchdog;
+    Quarantine quarantine;
+    FailureBreaker breaker;
+    std::mutex report_mutex;
+    TriageReport report;
+
+    explicit RunState(const ResilienceOptions& options)
+        : res(&options), breaker(options.breaker) {}
+
+    void tally(CellOutcome outcome) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        ++report.counts[static_cast<std::size_t>(outcome)];
+    }
+
+    void note_quarantine(const CellKey& key, CellOutcome terminal, const std::string& detail) {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        report.quarantine_details.push_back(key.to_string() + " [" +
+                                            rfabm::exec::to_string(terminal) + "] " + detail);
+    }
+};
+
+void run_cell(RunState& state, const ResilientCell& cell, TaskContext& ctx) {
+    if (cell.optional && state.breaker.tripped()) {
+        // Graceful degradation: the campaign is drowning in failures, shed
+        // optional work so mandatory cells keep their wall-clock budget.
+        state.tally(CellOutcome::kShed);
+        return;
+    }
+
+    const int max_attempts = std::max(1, state.res->max_cell_attempts);
+    CellComputeResult computed;
+    bool got = false;
+    CellOutcome last_fail = CellOutcome::kFailed;
+    std::string detail;
+    int attempts = 0;
+    while (attempts < max_attempts && !got) {
+        if (ctx.token.stop_requested()) break;
+        ++attempts;
+        // Each attempt gets a private child source: the watchdog expires the
+        // child's deadline without touching the campaign token, and a
+        // campaign-wide cancel still stops the child through the parent link.
+        std::atomic<std::uint64_t> beat{0};
+        CancellationSource attempt_source(ctx.token);
+        Watchdog::Guard guard(state.watchdog.get(), attempt_source, state.res->cell_timeout,
+                              &beat);
+        CellAttempt attempt{attempt_source.token(), &beat, attempts - 1};
+        try {
+            computed = cell.compute(attempt);
+            got = true;
+        } catch (const circuit::ConvergenceError& e) {
+            detail = e.what();
+            state.breaker.record(false);
+            if (e.non_finite()) {
+                // Deterministic arithmetic poison: a retry reruns the exact
+                // same blow-up, so fail fast instead of burning attempts.
+                last_fail = CellOutcome::kNonFinite;
+                break;
+            }
+            last_fail = CellOutcome::kFailed;
+        } catch (const std::exception& e) {
+            detail = e.what();
+            state.breaker.record(false);
+            const bool timed_out =
+                attempt_source.token().deadline_expired() && !ctx.token.stop_requested();
+            last_fail = timed_out ? CellOutcome::kTimedOut : CellOutcome::kFailed;
+        }
+    }
+
+    if (got) {
+        cell.deliver(computed.payload, computed.outcome, false);
+        if (state.writer.is_open()) {
+            state.writer.append_cell(
+                {cell.key, static_cast<std::uint32_t>(computed.outcome), computed.payload});
+        }
+        state.breaker.record(true);
+        state.tally(computed.outcome);
+        return;
+    }
+
+    if (ctx.token.stop_requested() && last_fail != CellOutcome::kNonFinite) {
+        // Campaign-level cancel interrupted the attempts: the cell did not
+        // genuinely exhaust its budget, so leave it unquarantined (the graph
+        // accounting covers the shutdown).
+        return;
+    }
+
+    // Attempt budget spent: quarantine.  The journal remembers, so a resumed
+    // campaign does not burn time re-failing this cell.
+    state.quarantine.add(cell.key, static_cast<std::uint32_t>(attempts));
+    if (state.writer.is_open()) {
+        state.writer.append_quarantine(cell.key, static_cast<std::uint32_t>(attempts));
+    }
+    state.tally(last_fail);
+    state.note_quarantine(cell.key, last_fail, detail);
+}
+
+}  // namespace
+
+ResilientResult run_resilient_campaign(const std::vector<ResilientChain>& chains,
+                                       const CampaignOptions& options,
+                                       const ResilienceOptions& res, ThreadPool* pool) {
+    auto state = std::make_shared<RunState>(res);
+    TriageReport& report = state->report;
+    for (const ResilientChain& chain : chains) report.cells_total += chain.cells.size();
+
+    // 1. Replay the journal (resume only).
+    JournalReplay replay;
+    std::unordered_map<CellKey, const CellRecord*, CellKeyHash> replayed;
+    if (!res.journal_path.empty() && res.resume) {
+        replay = replay_journal(res.journal_path, res.campaign_id);
+        for (const CellRecord& record : replay.cells) replayed[record.key] = &record;
+        for (const auto& [key, attempts] : replay.quarantined) {
+            state->quarantine.add(key, attempts);
+        }
+    }
+
+    // 2. Open the journal for appending (truncating any torn tail).
+    if (!res.journal_path.empty()) {
+        JournalWriter::Options jopts;
+        jopts.campaign_id = res.campaign_id;
+        jopts.checkpoint_every = res.checkpoint_every;
+        const bool open_ok =
+            replay.present ? state->writer.open_resume(res.journal_path, jopts, replay.valid_bytes)
+                           : state->writer.open_fresh(res.journal_path, jopts);
+        if (open_ok && res.on_journal_open) res.on_journal_open(state->writer);
+    }
+
+    if (res.cell_timeout.count() > 0) {
+        state->watchdog = std::make_unique<Watchdog>(res.watchdog);
+    }
+
+    // 3. Deliver replayed cells and build the graph for the remainder.
+    std::uint64_t delivered_replays = 0;
+    std::vector<DieChain> dies;
+    for (const ResilientChain& chain : chains) {
+        DieChain die;
+        for (const ResilientCell& cell : chain.cells) {
+            const auto it = replayed.find(cell.key);
+            if (it != replayed.end()) {
+                // Bit-exact replay into the cell's own result slot — this is
+                // what makes a resumed campaign byte-identical.
+                cell.deliver(it->second->payload,
+                             static_cast<CellOutcome>(it->second->outcome), true);
+                state->tally(CellOutcome::kReplayed);
+                ++delivered_replays;
+                continue;
+            }
+            if (state->quarantine.contains(cell.key)) {
+                // Quarantined by a previous run; counted, never retried.
+                state->tally(CellOutcome::kQuarantined);
+                continue;
+            }
+            die.measurements.push_back(
+                [state, &cell](TaskContext& ctx) { run_cell(*state, cell, ctx); });
+        }
+        if (die.measurements.empty()) continue;  // fully satisfied: skip calibration too
+        if (chain.calibrate) {
+            die.calibrate = [calibrate = chain.calibrate](TaskContext& ctx) {
+                try {
+                    calibrate(ctx);
+                } catch (const std::exception&) {
+                    // Not fatal: downstream cells fail (and retry/quarantine)
+                    // on their own terms instead of aborting the campaign.
+                }
+            };
+        }
+        dies.push_back(std::move(die));
+    }
+
+    // 4. Run what remains.
+    ResilientResult result;
+    if (pool != nullptr) {
+        result.graph = run_campaign(*pool, dies, options.token, options.metrics);
+    } else {
+        result.graph = run_campaign(dies, options);
+    }
+
+    // 5. Assemble the report.
+    state->writer.close();
+    report.quarantined_cells = state->quarantine.cells();
+    std::sort(report.quarantined_cells.begin(), report.quarantined_cells.end(),
+              [](const auto& a, const auto& b) {
+                  return std::tie(a.first.die, a.first.env, a.first.meas) <
+                         std::tie(b.first.die, b.first.env, b.first.meas);
+              });
+    report.watchdog_fires = state->watchdog ? state->watchdog->fires() : 0;
+    report.breaker_tripped = state->breaker.ever_tripped();
+    report.journal = state->writer.stats();
+    report.journal.records_replayed = delivered_replays;
+    report.journal.torn_tail = replay.torn_tail;
+    report.journal.checksum_mismatch = replay.checksum_mismatch;
+    report.journal.id_mismatch = replay.id_mismatch;
+    result.triage = std::move(report);
+    return result;
+}
+
+}  // namespace rfabm::exec

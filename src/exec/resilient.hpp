@@ -1,0 +1,114 @@
+// Resilient campaign driver: journaled, supervised, degradation-aware.
+//
+// run_resilient_campaign() wraps the plain task-graph campaign with the
+// crash-safety layer:
+//
+//   * journal + resume — completed cells append to a write-ahead journal;
+//     a resumed campaign replays intact records, delivers their bit-exact
+//     payloads into the same result slots, and only re-runs what is missing,
+//     so the merged output is byte-identical to an uninterrupted run at any
+//     --jobs count and for any crash/resume split;
+//   * watchdog — every attempt runs under a child cancellation source with
+//     a deadline; a stalled solver (no heartbeat progress) is fired and the
+//     attempt surfaces as timed-out instead of wedging a worker forever;
+//   * quarantine + breaker — a cell that fails max_cell_attempts times is
+//     quarantined (journaled, so resume skips it too); a sliding-window
+//     failure-rate breaker sheds *optional* cells while tripped so mandatory
+//     work still gets the wall-clock budget.
+//
+// Unlike run_campaign(), cell failures never abort the campaign: every cell
+// is accounted for in the final TriageReport.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/campaign.hpp"
+#include "exec/journal.hpp"
+#include "exec/triage.hpp"
+#include "exec/watchdog.hpp"
+
+namespace rfabm::exec {
+
+/// Per-attempt context handed to a cell's compute function.  Wire `token`
+/// into TransientOptions::cancel and `heartbeat` into
+/// TransientOptions::heartbeat so the watchdog can both observe progress and
+/// reclaim the worker.
+struct CellAttempt {
+    CancellationToken token{};
+    std::atomic<std::uint64_t>* heartbeat = nullptr;
+    int attempt = 0;  ///< 0-based retry index
+};
+
+/// What a successful compute hands back: the journalable payload (raw
+/// doubles, bit-exact) plus how cleanly it was obtained (kOk or kDegraded).
+struct CellComputeResult {
+    std::vector<double> payload;
+    CellOutcome outcome = CellOutcome::kOk;
+};
+
+/// One resilient campaign cell.
+struct ResilientCell {
+    CellKey key;
+    /// Optional cells are shed while the failure breaker is tripped.
+    bool optional = false;
+    /// Runs the measurement.  May throw; retried up to max_cell_attempts.
+    std::function<CellComputeResult(const CellAttempt&)> compute;
+    /// Called exactly once per delivered cell — with a freshly computed
+    /// payload or a journal-replayed one (replayed == true).  Must be the
+    /// ONLY route by which the cell's result reaches the output, and must
+    /// write to a slot owned by this cell, or byte-identical resume breaks.
+    std::function<void(const std::vector<double>& payload, CellOutcome outcome, bool replayed)>
+        deliver;
+};
+
+/// One die's worth of resilient cells.  calibrate (optional) runs before the
+/// cells; a throwing calibrate is recorded but not fatal — the cells then
+/// fail or succeed on their own merit.  Chains whose cells were all replayed
+/// or quarantined skip calibration entirely.
+struct ResilientChain {
+    TaskGraph::Body calibrate;
+    std::vector<ResilientCell> cells;
+};
+
+struct ResilienceOptions {
+    /// Journal file; empty disables journaling (watchdog/quarantine still
+    /// active).
+    std::string journal_path;
+    /// Replay an existing journal before running.  A missing/foreign/corrupt
+    /// journal degrades to a fresh run.
+    bool resume = false;
+    /// Identity tying a journal to a campaign configuration; replay refuses
+    /// records from a different id.  Derive it from everything that affects
+    /// results (config hash, seed, fast mode...).
+    std::uint64_t campaign_id = 0;
+    std::uint64_t checkpoint_every = 8;  ///< fsync cadence (records)
+    /// Per-attempt watchdog timeout; <= 0 disables supervision.  With a
+    /// heartbeat wired, this is a *stall* timeout, not a total-runtime cap.
+    std::chrono::nanoseconds cell_timeout{0};
+    int max_cell_attempts = 2;
+    FailureBreaker::Options breaker{};
+    Watchdog::Options watchdog{};
+    /// Invoked once the journal is open (fresh or resumed); the kCrashPoint
+    /// fault injector uses it to install its append hook.
+    std::function<void(JournalWriter&)> on_journal_open;
+};
+
+struct ResilientResult {
+    TaskGraphResult graph;
+    TriageReport triage;
+};
+
+/// Run @p chains under the resilience layer.  Never throws on cell failure;
+/// the TriageReport accounts for every cell.  With @p pool null, a pool (or
+/// the jobs==1 serial path) is chosen per @p options exactly like
+/// run_campaign().
+ResilientResult run_resilient_campaign(const std::vector<ResilientChain>& chains,
+                                       const CampaignOptions& options,
+                                       const ResilienceOptions& res, ThreadPool* pool = nullptr);
+
+}  // namespace rfabm::exec

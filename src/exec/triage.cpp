@@ -1,0 +1,129 @@
+#include "exec/triage.hpp"
+
+#include <sstream>
+
+namespace rfabm::exec {
+
+const char* to_string(CellOutcome outcome) {
+    switch (outcome) {
+        case CellOutcome::kOk: return "ok";
+        case CellOutcome::kDegraded: return "degraded";
+        case CellOutcome::kFailed: return "failed";
+        case CellOutcome::kTimedOut: return "timed_out";
+        case CellOutcome::kNonFinite: return "non_finite";
+        case CellOutcome::kQuarantined: return "quarantined";
+        case CellOutcome::kShed: return "shed";
+        case CellOutcome::kReplayed: return "replayed";
+    }
+    return "unknown";
+}
+
+FailureBreaker::FailureBreaker() : FailureBreaker(Options()) {}
+
+FailureBreaker::FailureBreaker(Options options) : options_(options) {
+    if (options_.window == 0) options_.window = 1;
+}
+
+void FailureBreaker::record(bool success) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    window_.push_back(!success);
+    if (!success) ++failures_;
+    while (window_.size() > options_.window) {
+        if (window_.front()) --failures_;
+        window_.pop_front();
+    }
+    if (window_.size() >= options_.min_samples &&
+        static_cast<double>(failures_) >= options_.threshold * static_cast<double>(window_.size())) {
+        ever_tripped_ = true;
+    }
+}
+
+bool FailureBreaker::tripped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return window_.size() >= options_.min_samples &&
+           static_cast<double>(failures_) >=
+               options_.threshold * static_cast<double>(window_.size());
+}
+
+bool FailureBreaker::ever_tripped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ever_tripped_;
+}
+
+void Quarantine::add(const CellKey& key, std::uint32_t attempts) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = cells_.emplace(key, attempts);
+    if (!inserted && attempts > it->second) it->second = attempts;
+}
+
+bool Quarantine::contains(const CellKey& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.find(key) != cells_.end();
+}
+
+std::vector<std::pair<CellKey, std::uint32_t>> Quarantine::cells() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::pair<CellKey, std::uint32_t>> out(cells_.begin(), cells_.end());
+    return out;
+}
+
+std::size_t Quarantine::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cells_.size();
+}
+
+bool TriageReport::clean() const {
+    return count(CellOutcome::kFailed) == 0 && count(CellOutcome::kTimedOut) == 0 &&
+           count(CellOutcome::kNonFinite) == 0 && count(CellOutcome::kQuarantined) == 0 &&
+           count(CellOutcome::kShed) == 0;
+}
+
+std::string TriageReport::to_string() const {
+    std::ostringstream os;
+    os << "triage: " << cells_total << " cells";
+    for (std::size_t i = 0; i < kNumCellOutcomes; ++i) {
+        if (counts[i] == 0) continue;
+        os << ", " << counts[i] << " " << rfabm::exec::to_string(static_cast<CellOutcome>(i));
+    }
+    os << "\n  watchdog fires: " << watchdog_fires
+       << ", breaker " << (breaker_tripped ? "TRIPPED" : "quiet");
+    os << "\n  journal: " << journal.records_written << " written, " << journal.records_replayed
+       << " replayed, " << journal.fsyncs << " fsyncs, " << journal.bytes_written << " bytes";
+    if (journal.torn_tail) os << ", torn tail recovered";
+    if (journal.checksum_mismatch) os << ", corrupt record truncated";
+    for (const auto& [key, attempts] : quarantined_cells) {
+        os << "\n  quarantined: " << key.to_string() << " after " << attempts << " attempts";
+    }
+    for (const std::string& detail : quarantine_details) {
+        os << "\n    " << detail;
+    }
+    return os.str();
+}
+
+std::string TriageReport::to_json() const {
+    std::ostringstream os;
+    os << "{\"cells_total\": " << cells_total;
+    for (std::size_t i = 0; i < kNumCellOutcomes; ++i) {
+        os << ", \"" << rfabm::exec::to_string(static_cast<CellOutcome>(i))
+           << "\": " << counts[i];
+    }
+    os << ", \"watchdog_fires\": " << watchdog_fires
+       << ", \"breaker_tripped\": " << (breaker_tripped ? "true" : "false");
+    os << ", \"journal\": {\"records_written\": " << journal.records_written
+       << ", \"quarantine_records\": " << journal.quarantine_records
+       << ", \"records_replayed\": " << journal.records_replayed
+       << ", \"bytes_written\": " << journal.bytes_written << ", \"fsyncs\": " << journal.fsyncs
+       << ", \"torn_tail\": " << (journal.torn_tail ? "true" : "false")
+       << ", \"checksum_mismatch\": " << (journal.checksum_mismatch ? "true" : "false") << "}";
+    os << ", \"quarantined_cells\": [";
+    for (std::size_t i = 0; i < quarantined_cells.size(); ++i) {
+        const auto& [key, attempts] = quarantined_cells[i];
+        if (i != 0) os << ", ";
+        os << "{\"die\": " << key.die << ", \"env\": " << key.env << ", \"meas\": " << key.meas
+           << ", \"attempts\": " << attempts << "}";
+    }
+    os << "]}";
+    return os.str();
+}
+
+}  // namespace rfabm::exec

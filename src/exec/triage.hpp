@@ -1,0 +1,106 @@
+// Campaign triage: quarantine, failure-rate breaker, and the structured
+// end-of-campaign TriageReport.
+//
+// Together with the journal and the watchdog these implement graceful
+// degradation: a cell that keeps failing is quarantined (its budget of
+// attempts is spent, the campaign moves on and the journal remembers so a
+// resumed run does not retry it either); a burst of failures trips a
+// sliding-window breaker that sheds *optional* cells to preserve wall-clock
+// budget for the mandatory ones; and every campaign ends with a TriageReport
+// tallying exactly what happened to every cell.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "exec/journal.hpp"
+
+namespace rfabm::exec {
+
+/// Terminal disposition of one campaign cell.  The numeric values are
+/// written into journal records — append only, never renumber.
+enum class CellOutcome : std::uint32_t {
+    kOk = 0,          ///< delivered a result on a clean attempt
+    kDegraded = 1,    ///< delivered a result via a fallback path
+    kFailed = 2,      ///< attempt threw (convergence or other error)
+    kTimedOut = 3,    ///< watchdog expired the attempt's deadline
+    kNonFinite = 4,   ///< solver produced NaN/Inf (not retried)
+    kQuarantined = 5, ///< exhausted max_cell_attempts, permanently benched
+    kShed = 6,        ///< optional cell skipped by the tripped breaker
+    kReplayed = 7,    ///< delivered from the journal on resume
+};
+constexpr std::size_t kNumCellOutcomes = 8;
+
+const char* to_string(CellOutcome outcome);
+
+/// Sliding-window failure-rate circuit breaker.  Trips when, over the last
+/// `window` cells, the failure fraction reaches `threshold` (after at least
+/// `min_samples` observations); recovers as successes refill the window.
+class FailureBreaker {
+  public:
+    struct Options {
+        std::size_t window = 16;
+        double threshold = 0.5;
+        std::size_t min_samples = 8;
+    };
+
+    FailureBreaker();
+    explicit FailureBreaker(Options options);
+
+    void record(bool success);
+    /// Current state (recovers when the windowed rate drops back).
+    bool tripped() const;
+    /// Sticky: has the breaker ever tripped this campaign?
+    bool ever_tripped() const;
+
+  private:
+    mutable std::mutex mutex_;
+    Options options_;
+    std::deque<bool> window_;  // true = failure
+    std::size_t failures_ = 0;
+    bool ever_tripped_ = false;
+};
+
+/// Cells permanently benched after exhausting their attempt budget.
+class Quarantine {
+  public:
+    void add(const CellKey& key, std::uint32_t attempts);
+    bool contains(const CellKey& key) const;
+    std::vector<std::pair<CellKey, std::uint32_t>> cells() const;
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<CellKey, std::uint32_t, CellKeyHash> cells_;
+};
+
+/// Structured end-of-campaign summary: per-outcome counts, the quarantine
+/// roster, watchdog and journal health.  Emitted as text (stderr) and JSON
+/// (machine triage).
+struct TriageReport {
+    std::array<std::uint64_t, kNumCellOutcomes> counts{};
+    std::vector<std::pair<CellKey, std::uint32_t>> quarantined_cells;
+    /// Human-readable details of quarantined cells ("die 3 / env 1: ...").
+    std::vector<std::string> quarantine_details;
+    std::uint64_t cells_total = 0;
+    std::uint64_t watchdog_fires = 0;
+    bool breaker_tripped = false;
+    JournalStats journal;
+
+    std::uint64_t count(CellOutcome outcome) const {
+        return counts[static_cast<std::size_t>(outcome)];
+    }
+    /// Every cell accounted for and none failed, timed out, or was benched.
+    bool clean() const;
+
+    std::string to_string() const;
+    std::string to_json() const;
+};
+
+}  // namespace rfabm::exec

@@ -1,0 +1,75 @@
+#include "exec/watchdog.hpp"
+
+namespace rfabm::exec {
+
+Watchdog::Watchdog() : Watchdog(Options()) {}
+
+Watchdog::Watchdog(Options options) : options_(options) {
+    thread_ = std::thread([this] { run(); });
+}
+
+Watchdog::~Watchdog() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+Watchdog::Ticket Watchdog::arm(CancellationSource source, std::chrono::nanoseconds timeout,
+                               const std::atomic<std::uint64_t>* heartbeat) {
+    Entry entry;
+    entry.source = std::move(source);
+    entry.timeout_ns = timeout.count();
+    entry.deadline_ns = detail::steady_now_ns() + entry.timeout_ns;
+    entry.heartbeat = heartbeat;
+    entry.last_beat =
+        heartbeat != nullptr ? heartbeat->load(std::memory_order_relaxed) : 0;
+
+    Ticket ticket = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ticket = next_ticket_++;
+        entries_.emplace(ticket, std::move(entry));
+    }
+    cv_.notify_all();
+    return ticket;
+}
+
+void Watchdog::disarm(Ticket ticket) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.erase(ticket);
+}
+
+void Watchdog::run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        cv_.wait_for(lock, options_.poll_interval, [this] { return stop_; });
+        if (stop_) break;
+        const std::int64_t now = detail::steady_now_ns();
+        for (auto& [ticket, entry] : entries_) {
+            if (entry.fired) continue;
+            if (entry.heartbeat != nullptr) {
+                const std::uint64_t beat = entry.heartbeat->load(std::memory_order_relaxed);
+                if (beat != entry.last_beat) {
+                    // Progress since the last sweep: the task is slow, not
+                    // hung.  Restart its window.
+                    entry.last_beat = beat;
+                    entry.deadline_ns = now + entry.timeout_ns;
+                    continue;
+                }
+            }
+            if (now >= entry.deadline_ns) {
+                // Expire the task's deadline rather than cancel() it so the
+                // token reports a deadline reason — the measurement pipeline
+                // maps that to kTimedOut instead of a generic failure.
+                entry.source.set_deadline_after(std::chrono::nanoseconds(0));
+                entry.fired = true;
+                fires_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+}  // namespace rfabm::exec

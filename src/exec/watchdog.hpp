@@ -1,0 +1,103 @@
+// Watchdog supervision for campaign tasks.
+//
+// A Watchdog runs one monitor thread.  Each supervised task arms a ticket:
+// a per-task CancellationSource (a child of the campaign token), a timeout,
+// and optionally a progress heartbeat (the transient engine bumps one per
+// accepted step).  A task that keeps beating has its deadline extended; a
+// task whose heartbeat stalls — or that has none and simply runs past its
+// deadline — is fired: the watchdog expires the task's deadline so the
+// solver's next cancellation poll throws SolveAborted and the worker thread
+// is reclaimed.  Firing is cooperative (no thread is killed), so a solve
+// stuck *inside* a single LU factorisation can only be reaped at its next
+// poll point; the per-base-step poll in TransientEngine bounds that window.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "exec/cancellation.hpp"
+
+namespace rfabm::exec {
+
+class Watchdog {
+  public:
+    struct Options {
+        /// Monitor wake-up cadence.  Effective timeout resolution: a hung
+        /// task is fired within one poll interval of its deadline.
+        std::chrono::nanoseconds poll_interval = std::chrono::milliseconds(20);
+    };
+
+    using Ticket = std::uint64_t;
+
+    Watchdog();
+    explicit Watchdog(Options options);
+    ~Watchdog();
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /// Supervise @p source: if neither disarm() nor heartbeat progress
+    /// happens within @p timeout, expire the source's deadline (its tokens
+    /// then report stop_requested() with a deadline reason).  When
+    /// @p heartbeat is non-null, each observed increment restarts the
+    /// timeout window — the watchdog fires on *stall*, not on total runtime.
+    Ticket arm(CancellationSource source, std::chrono::nanoseconds timeout,
+               const std::atomic<std::uint64_t>* heartbeat = nullptr);
+
+    /// Stop supervising (task finished or is handling its own failure).
+    /// Safe with a ticket that already fired.
+    void disarm(Ticket ticket);
+
+    /// Number of tasks fired over the watchdog's lifetime.
+    std::uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
+
+    /// RAII supervision for one attempt.  A null watchdog or zero timeout
+    /// degrades to "no supervision" so callers need no branching.
+    class Guard {
+      public:
+        Guard(Watchdog* dog, const CancellationSource& source, std::chrono::nanoseconds timeout,
+              const std::atomic<std::uint64_t>* heartbeat = nullptr)
+            : dog_(dog) {
+            if (dog_ != nullptr && timeout.count() > 0) {
+                ticket_ = dog_->arm(source, timeout, heartbeat);
+            }
+        }
+        ~Guard() {
+            if (dog_ != nullptr && ticket_ != 0) dog_->disarm(ticket_);
+        }
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+      private:
+        Watchdog* dog_ = nullptr;
+        Ticket ticket_ = 0;
+    };
+
+  private:
+    struct Entry {
+        CancellationSource source;
+        std::int64_t deadline_ns = 0;
+        std::int64_t timeout_ns = 0;
+        const std::atomic<std::uint64_t>* heartbeat = nullptr;
+        std::uint64_t last_beat = 0;
+        bool fired = false;
+    };
+
+    void run();
+
+    Options options_;
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::unordered_map<Ticket, Entry> entries_;
+    Ticket next_ticket_ = 1;
+    bool stop_ = false;
+    std::atomic<std::uint64_t> fires_{0};
+    std::thread thread_;
+};
+
+}  // namespace rfabm::exec

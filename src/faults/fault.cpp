@@ -12,6 +12,8 @@ const char* to_string(FaultClass fault_class) {
         case FaultClass::kStuckLine: return "stuck-line";
         case FaultClass::kTckGlitch: return "tck-glitch";
         case FaultClass::kBitFlip: return "bit-flip";
+        case FaultClass::kCrashPoint: return "crash-point";
+        case FaultClass::kHangSolver: return "hang-solver";
     }
     return "?";
 }

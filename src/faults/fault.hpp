@@ -24,6 +24,8 @@ enum class FaultClass {
     kStuckLine,    ///< scan-chain data line stuck at 0 or 1
     kTckGlitch,    ///< test-clock edges swallowed (persistent or burst)
     kBitFlip,      ///< intermittent scan-data bit corruption
+    kCrashPoint,   ///< process dies (SIGKILL) at a chosen journal append
+    kHangSolver,   ///< transient solver wedges until a watchdog reclaims it
 };
 const char* to_string(FaultClass fault_class);
 

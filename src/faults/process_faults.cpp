@@ -1,0 +1,50 @@
+#include "faults/process_faults.hpp"
+
+#include <csignal>
+#include <thread>
+
+namespace rfabm::faults {
+
+std::string CrashPointFault::describe() const {
+    return "SIGKILL the process after journal record " + std::to_string(crash_after_) +
+           " is appended (record is durable, nothing after it is)";
+}
+
+void CrashPointFault::do_arm() {
+    const std::uint64_t crash_after = crash_after_;
+    writer_.set_append_hook([crash_after](std::uint64_t appended) {
+        if (appended >= crash_after) {
+            // SIGKILL, not exit(): no atexit handlers, no stream flushing,
+            // no stack unwinding — the closest a test can get to a power
+            // cut while staying deterministic.
+            std::raise(SIGKILL);
+        }
+    });
+}
+
+void CrashPointFault::do_disarm() { writer_.set_append_hook(nullptr); }
+
+std::string HangSolverFault::describe() const {
+    return "transient solver wedges after its next accepted step until the attempt's "
+           "cancellation token fires";
+}
+
+void HangSolverFault::do_arm() { engine_.add_observer(this); }
+
+void HangSolverFault::do_disarm() { engine_.remove_observer(this); }
+
+void HangSolverFault::on_step(double, const circuit::Solution&, circuit::Circuit&) {
+    ++hangs_;
+    const auto start = std::chrono::steady_clock::now();
+    // Spin-sleep: no heartbeat increments while wedged, so a heartbeat-aware
+    // watchdog sees a stall (not slowness) and expires the deadline.
+    while (!engine_.options().cancel.stop_requested()) {
+        if (max_hang_.count() > 0 &&
+            std::chrono::steady_clock::now() - start >= max_hang_) {
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+}  // namespace rfabm::faults

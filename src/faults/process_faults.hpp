@@ -1,0 +1,76 @@
+// Process-level fault injectors: crash points and hung solvers.
+//
+// Unlike the electrical/scan-chain faults, these model the *test program*
+// failing — the kind of trouble the resilience layer (journal + watchdog,
+// src/exec/) exists to absorb:
+//
+//   * CrashPointFault kills the process (SIGKILL, no cleanup, no flush
+//     beyond what the journal already did) at a chosen journal append —
+//     the exact adversary of crash-safe journaling, used by the
+//     kill-and-resume tests and the CI crash-resume smoke job;
+//   * HangSolverFault wedges the transient solver mid-measurement by
+//     spinning inside a step observer until the attempt's cancellation
+//     token fires — the exact adversary of watchdog supervision.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "circuit/transient.hpp"
+#include "exec/journal.hpp"
+#include "faults/fault.hpp"
+
+namespace rfabm::faults {
+
+/// SIGKILLs the process when the journal's Nth record is appended.  The
+/// record itself is already flushed when the hook runs, so the journal is
+/// guaranteed to survive with exactly `crash_after` records — a fully
+/// deterministic crash for byte-identity tests.
+class CrashPointFault : public FaultInjector {
+  public:
+    CrashPointFault(rfabm::exec::JournalWriter& writer, std::uint64_t crash_after)
+        : FaultInjector("crash-point@" + std::to_string(crash_after), FaultClass::kCrashPoint),
+          writer_(writer), crash_after_(crash_after) {}
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    rfabm::exec::JournalWriter& writer_;
+    std::uint64_t crash_after_;
+};
+
+/// Wedges @p engine: after the next accepted step, a planted observer spins
+/// (sleeping, not burning CPU) until the engine's cancellation token fires —
+/// exactly what a solver stuck in a numerical limit cycle looks like to the
+/// campaign.  Once the watchdog expires the attempt's deadline the spin
+/// exits and the engine's next step() throws SolveAborted.  @p max_hang
+/// bounds the spin as a safety net for un-supervised runs (0 = unbounded).
+class HangSolverFault : public FaultInjector, private circuit::StepObserver {
+  public:
+    explicit HangSolverFault(circuit::TransientEngine& engine,
+                             std::chrono::nanoseconds max_hang = std::chrono::nanoseconds(0))
+        : FaultInjector("hang-solver", FaultClass::kHangSolver), engine_(engine),
+          max_hang_(max_hang) {}
+
+    std::string describe() const override;
+
+    /// Times the observer actually wedged a solve (for test assertions).
+    std::uint64_t hangs() const { return hangs_; }
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    void on_step(double time, const circuit::Solution& x, circuit::Circuit& circuit) override;
+
+    circuit::TransientEngine& engine_;
+    std::chrono::nanoseconds max_hang_;
+    std::uint64_t hangs_ = 0;
+};
+
+}  // namespace rfabm::faults

@@ -3,6 +3,10 @@
 // failure-path behaviour.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+
 #include "circuit/dc.hpp"
 #include "circuit/devices/diode.hpp"
 #include "circuit/devices/mosfet.hpp"
@@ -152,6 +156,104 @@ TEST(Convergence, TransientStepSubdivisionOnHardEdge) {
     EXPECT_NO_THROW(engine.run_until(5e-9));
     EXPECT_GT(engine.v(a), 0.5);
     EXPECT_LT(engine.v(a), 1.2);
+}
+
+TEST(Convergence, NonFiniteSourceFailsFastWithLocation) {
+    // A NaN stimulus poisons the RHS: the guard must abort on the FIRST
+    // poisoned iteration (not grind through gmin/source stepping, which can
+    // never fix arithmetic poison) and name the poisoned unknown.
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    ckt.add<VSource>("V", in, kGround, Waveform::dc(std::nan("")));
+    ckt.add<Resistor>("R", in, a, 100.0);
+    ckt.add<Diode>("D", a, kGround);
+    try {
+        solve_dc(ckt);
+        FAIL() << "expected ConvergenceError";
+    } catch (const ConvergenceError& e) {
+        EXPECT_TRUE(e.non_finite());
+        const ConvergenceDiagnostics& diag = e.diagnostics();
+        EXPECT_FALSE(diag.worst_unknown.empty()) << "must locate the poisoned unknown";
+        EXPECT_LE(diag.total_iterations, 2) << "non-finite must fail fast, not retry";
+        EXPECT_FALSE(diag.gmin_stepping_attempted);
+        EXPECT_FALSE(diag.source_stepping_attempted);
+    }
+}
+
+TEST(Convergence, NonFiniteDuringTransientIsLocatedAndNotSubdivided) {
+    // The engine starts healthy (DC op at t=0 is finite), then the stimulus
+    // goes NaN mid-run: advance() must raise the located non-finite error
+    // instead of burning max_step_subdivisions on un-fixable poison.
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId a = ckt.node("a");
+    PulseWave pw;
+    pw.v1 = 0.0;
+    pw.v2 = std::nan("");
+    pw.delay = 1e-9;
+    pw.rise = 1e-12;
+    pw.width = 1.0;
+    ckt.add<VSource>("V", in, kGround, Waveform::pulse(pw));
+    ckt.add<Resistor>("R", in, a, 50.0);
+    ckt.add<Capacitor>("C", a, kGround, 1e-12);
+    TransientOptions topts;
+    topts.dt = 0.5e-9;
+    TransientEngine engine(ckt, topts);
+    engine.init();
+    try {
+        engine.run_until(5e-9);
+        FAIL() << "expected ConvergenceError";
+    } catch (const ConvergenceError& e) {
+        EXPECT_TRUE(e.non_finite());
+        EXPECT_FALSE(e.diagnostics().worst_unknown.empty());
+    }
+}
+
+TEST(Convergence, CancelledTokenAbortsTransientAsSolveAborted) {
+    // SolveAborted (cancellation) is deliberately NOT a ConvergenceError:
+    // the campaign layer must distinguish "watchdog reclaimed it" from "the
+    // numerics failed".
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    ckt.add<VSource>("V", in, kGround, Waveform::sine(0.0, 1.0, 1e9));
+    ckt.add<Resistor>("R", in, ckt.node("a"), 1e3);
+    ckt.add<Capacitor>("C", ckt.node("a"), kGround, 1e-12);
+    rfabm::exec::CancellationSource source;
+    TransientOptions topts;
+    topts.dt = 50e-12;
+    topts.cancel = source.token();
+    TransientEngine engine(ckt, topts);
+    engine.init();
+    EXPECT_NO_THROW(engine.step());  // healthy while the token is quiet
+    source.cancel();
+    EXPECT_THROW(engine.step(), SolveAborted);
+    // SolveAborted must not be catchable as ConvergenceError.
+    try {
+        engine.step();
+        FAIL() << "expected SolveAborted";
+    } catch (const ConvergenceError&) {
+        FAIL() << "cancellation must not masquerade as a convergence failure";
+    } catch (const SolveAborted&) {
+        SUCCEED();
+    }
+}
+
+TEST(Convergence, HeartbeatAdvancesWithAcceptedSteps) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    ckt.add<VSource>("V", in, kGround, Waveform::sine(0.0, 1.0, 1e9));
+    ckt.add<Resistor>("R", in, ckt.node("a"), 1e3);
+    ckt.add<Capacitor>("C", ckt.node("a"), kGround, 1e-12);
+    std::atomic<std::uint64_t> beat{0};
+    TransientOptions topts;
+    topts.dt = 50e-12;
+    topts.heartbeat = &beat;
+    TransientEngine engine(ckt, topts);
+    engine.init();
+    engine.run_for(2e-9);
+    EXPECT_GE(beat.load(), engine.steps_taken())
+        << "every accepted step must pulse the watchdog heartbeat";
 }
 
 }  // namespace

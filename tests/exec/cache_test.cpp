@@ -144,5 +144,82 @@ TEST(FieldHasherProperties, NegativeZeroNormalizesAndFieldsMatter) {
     EXPECT_NE(c.value(), d.value());  // order-sensitive, as a field list is
 }
 
+TEST(CalibrationCache, WaitersReElectAfterLeaderFailure) {
+    CalibrationCache cache;
+    const core::RfAbmChipConfig config{};
+    std::atomic<bool> leader_in_flight{false};
+    std::atomic<int> waiter_computes{0};
+    std::atomic<int> waiter_failures{0};
+
+    // The leader holds the in-flight slot, then dies (e.g. its watchdog
+    // deadline fired mid-calibration).
+    std::thread leader([&] {
+        EXPECT_THROW(cache.get_or_compute(config, {},
+                                          [&]() -> DieCalibration {
+                                              leader_in_flight.store(true);
+                                              std::this_thread::sleep_for(
+                                                  std::chrono::milliseconds(50));
+                                              throw std::runtime_error("leader cancelled");
+                                          }),
+                     std::runtime_error);
+    });
+    while (!leader_in_flight.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Waiters pile onto the doomed leader; on its failure they re-elect and
+    // one of THEIR computes runs — nobody is poisoned by the dead leader.
+    std::vector<std::thread> waiters;
+    for (int t = 0; t < 4; ++t) {
+        waiters.emplace_back([&] {
+            try {
+                const DieCalibration cal = cache.get_or_compute(config, {}, [&] {
+                    waiter_computes.fetch_add(1);
+                    return DieCalibration{{}, 0.6, 1.4};
+                });
+                if (cal.tune_p != 0.6) waiter_failures.fetch_add(1);
+            } catch (const std::exception&) {
+                waiter_failures.fetch_add(1);
+            }
+        });
+    }
+    leader.join();
+    for (auto& t : waiters) t.join();
+    EXPECT_EQ(waiter_failures.load(), 0) << "leader failure must not poison waiters";
+    EXPECT_GE(waiter_computes.load(), 1);
+    EXPECT_LE(waiter_computes.load(), 4) << "at most one compute per caller";
+}
+
+TEST(CalibrationCache, CancelledWaiterStopsReElecting) {
+    CalibrationCache cache;
+    const core::RfAbmChipConfig config{};
+    CancellationSource source;
+    source.cancel();  // the waiter's own attempt is already dead
+    std::atomic<bool> leader_in_flight{false};
+
+    std::thread leader([&] {
+        EXPECT_THROW(cache.get_or_compute(config, {},
+                                          [&]() -> DieCalibration {
+                                              leader_in_flight.store(true);
+                                              std::this_thread::sleep_for(
+                                                  std::chrono::milliseconds(50));
+                                              throw std::runtime_error("leader cancelled");
+                                          }),
+                     std::runtime_error);
+    });
+    while (!leader_in_flight.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // With its token fired, the waiter must NOT take over the computation; it
+    // propagates the failure instead.
+    int own_computes = 0;
+    EXPECT_THROW(cache.get_or_compute(config, {},
+                                      [&] {
+                                          ++own_computes;
+                                          return DieCalibration{};
+                                      },
+                                      source.token()),
+                 std::runtime_error);
+    EXPECT_EQ(own_computes, 0);
+    leader.join();
+}
+
 }  // namespace
 }  // namespace rfabm::exec

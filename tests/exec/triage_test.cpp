@@ -1,0 +1,105 @@
+// Triage bookkeeping: failure breaker, quarantine roster, report rendering.
+#include "exec/triage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rfabm::exec {
+namespace {
+
+FailureBreaker::Options small_window() {
+    FailureBreaker::Options opts;
+    opts.window = 8;
+    opts.threshold = 0.5;
+    opts.min_samples = 4;
+    return opts;
+}
+
+TEST(FailureBreakerTest, StaysQuietBelowMinSamples) {
+    FailureBreaker breaker{small_window()};
+    breaker.record(false);
+    breaker.record(false);
+    breaker.record(false);
+    EXPECT_FALSE(breaker.tripped()) << "tripped before min_samples";
+}
+
+TEST(FailureBreakerTest, TripsOnFailureBurstAndRecovers) {
+    FailureBreaker breaker{small_window()};
+    for (int i = 0; i < 4; ++i) breaker.record(false);
+    EXPECT_TRUE(breaker.tripped());
+    // A run of successes pushes the failures out of the sliding window.
+    for (int i = 0; i < 8; ++i) breaker.record(true);
+    EXPECT_FALSE(breaker.tripped());
+    EXPECT_TRUE(breaker.ever_tripped()) << "history must stay visible to the report";
+}
+
+TEST(FailureBreakerTest, MixedLoadBelowThresholdStaysClosed) {
+    FailureBreaker breaker{small_window()};
+    for (int i = 0; i < 16; ++i) breaker.record(i % 3 == 0);  // ~67% failures
+    EXPECT_TRUE(breaker.tripped());
+    FailureBreaker healthy{small_window()};
+    for (int i = 0; i < 16; ++i) healthy.record(i % 3 != 0);  // ~33% failures
+    EXPECT_FALSE(healthy.tripped());
+}
+
+TEST(QuarantineTest, RosterRemembersCellsAndAttempts) {
+    Quarantine quarantine;
+    EXPECT_FALSE(quarantine.contains({1, 2, 0}));
+    quarantine.add({1, 2, 0}, 3);
+    quarantine.add({1, 2, 0}, 3);  // idempotent
+    quarantine.add({4, 0, 0}, 2);
+    EXPECT_TRUE(quarantine.contains({1, 2, 0}));
+    EXPECT_FALSE(quarantine.contains({1, 3, 0}));
+    EXPECT_EQ(quarantine.size(), 2u);
+}
+
+TEST(TriageReportTest, CountsAndCleanliness) {
+    TriageReport report;
+    report.cells_total = 3;
+    report.counts[static_cast<std::size_t>(CellOutcome::kOk)] = 2;
+    report.counts[static_cast<std::size_t>(CellOutcome::kReplayed)] = 1;
+    EXPECT_EQ(report.count(CellOutcome::kOk), 2u);
+    EXPECT_TRUE(report.clean());
+    report.counts[static_cast<std::size_t>(CellOutcome::kTimedOut)] = 1;
+    EXPECT_FALSE(report.clean());
+}
+
+TEST(TriageReportTest, TextAndJsonCarryTheStory) {
+    TriageReport report;
+    report.cells_total = 4;
+    report.counts[static_cast<std::size_t>(CellOutcome::kOk)] = 2;
+    report.counts[static_cast<std::size_t>(CellOutcome::kTimedOut)] = 1;
+    report.counts[static_cast<std::size_t>(CellOutcome::kShed)] = 1;
+    report.watchdog_fires = 2;
+    report.breaker_tripped = true;
+    report.quarantined_cells.push_back({{0, 3, 0}, 2});
+    report.journal.records_written = 3;
+    report.journal.torn_tail = true;
+
+    const std::string text = report.to_string();
+    EXPECT_NE(text.find("4 cells"), std::string::npos);
+    EXPECT_NE(text.find("timed_out"), std::string::npos);
+    EXPECT_NE(text.find("watchdog fires: 2"), std::string::npos);
+
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"cells_total\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"timed_out\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"watchdog_fires\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"breaker_tripped\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"torn_tail\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"die\": 0"), std::string::npos);
+}
+
+TEST(TriageReportTest, OutcomeNamesAreStable) {
+    // The journal stores outcomes as raw integers; renames are format breaks.
+    EXPECT_STREQ(to_string(CellOutcome::kOk), "ok");
+    EXPECT_STREQ(to_string(CellOutcome::kTimedOut), "timed_out");
+    EXPECT_STREQ(to_string(CellOutcome::kNonFinite), "non_finite");
+    EXPECT_STREQ(to_string(CellOutcome::kReplayed), "replayed");
+    EXPECT_EQ(static_cast<std::uint32_t>(CellOutcome::kOk), 0u);
+    EXPECT_EQ(static_cast<std::uint32_t>(CellOutcome::kReplayed), 7u);
+}
+
+}  // namespace
+}  // namespace rfabm::exec

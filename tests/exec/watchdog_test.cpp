@@ -1,0 +1,113 @@
+// Watchdog supervisor: stalled attempts are fired, heartbeats keep them alive.
+#include "exec/watchdog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace rfabm::exec {
+namespace {
+
+using namespace std::chrono_literals;
+
+Watchdog::Options fast_poll() {
+    Watchdog::Options opts;
+    opts.poll_interval = 2ms;
+    return opts;
+}
+
+/// Wait (bounded) until @p done returns true.
+template <class Pred>
+bool eventually(Pred done, std::chrono::milliseconds limit = 5000ms) {
+    const auto deadline = std::chrono::steady_clock::now() + limit;
+    while (std::chrono::steady_clock::now() < deadline) {
+        if (done()) return true;
+        std::this_thread::sleep_for(1ms);
+    }
+    return done();
+}
+
+TEST(WatchdogTest, FiresStalledAttempt) {
+    Watchdog dog{fast_poll()};
+    CancellationSource source;
+    const auto ticket = dog.arm(source, 20ms);
+    EXPECT_TRUE(eventually([&] { return source.token().deadline_expired(); }));
+    EXPECT_GE(dog.fires(), 1u);
+    dog.disarm(ticket);
+}
+
+TEST(WatchdogTest, HeartbeatProgressRestartsTheWindow) {
+    Watchdog dog{fast_poll()};
+    CancellationSource source;
+    std::atomic<std::uint64_t> beat{0};
+    const auto ticket = dog.arm(source, 150ms, &beat);
+    // Beat for several windows' worth of wall clock: a *stall* timeout must
+    // not fire while the solver demonstrably makes progress.  Timeout >>
+    // beat period keeps this robust under sanitizer slowdowns.
+    const auto until = std::chrono::steady_clock::now() + 500ms;
+    while (std::chrono::steady_clock::now() < until) {
+        beat.fetch_add(1);
+        std::this_thread::sleep_for(5ms);
+        ASSERT_FALSE(source.token().deadline_expired()) << "fired despite heartbeat";
+    }
+    // Stop beating: now it is a stall, and the dog must reclaim it.
+    EXPECT_TRUE(eventually([&] { return source.token().deadline_expired(); }));
+    EXPECT_EQ(dog.fires(), 1u);
+    dog.disarm(ticket);
+}
+
+TEST(WatchdogTest, DisarmedAttemptIsLeftAlone) {
+    Watchdog dog{fast_poll()};
+    CancellationSource source;
+    const auto ticket = dog.arm(source, 20ms);
+    dog.disarm(ticket);
+    std::this_thread::sleep_for(60ms);
+    EXPECT_FALSE(source.token().deadline_expired());
+    EXPECT_EQ(dog.fires(), 0u);
+}
+
+TEST(WatchdogTest, GuardDisarmsOnScopeExit) {
+    Watchdog dog{fast_poll()};
+    CancellationSource source;
+    {
+        Watchdog::Guard guard(&dog, source, std::chrono::milliseconds(20));
+    }
+    std::this_thread::sleep_for(60ms);
+    EXPECT_FALSE(source.token().deadline_expired());
+}
+
+TEST(WatchdogTest, NullDogOrZeroTimeoutGuardIsNoop) {
+    CancellationSource source;
+    Watchdog::Guard no_dog(nullptr, source, std::chrono::milliseconds(1));
+    Watchdog dog{fast_poll()};
+    Watchdog::Guard no_timeout(&dog, source, std::chrono::milliseconds(0));
+    std::this_thread::sleep_for(20ms);
+    EXPECT_FALSE(source.token().deadline_expired());
+    EXPECT_EQ(dog.fires(), 0u);
+}
+
+TEST(WatchdogTest, SupervisesManyAttemptsIndependently) {
+    Watchdog dog{fast_poll()};
+    CancellationSource hung1, hung2, healthy;
+    std::atomic<std::uint64_t> beat{0};
+    const auto t1 = dog.arm(hung1, 20ms);
+    const auto t2 = dog.arm(hung2, 20ms);
+    const auto t3 = dog.arm(healthy, 150ms, &beat);
+    const auto until = std::chrono::steady_clock::now() + 200ms;
+    while (std::chrono::steady_clock::now() < until) {
+        beat.fetch_add(1);
+        std::this_thread::sleep_for(5ms);
+    }
+    EXPECT_TRUE(hung1.token().deadline_expired());
+    EXPECT_TRUE(hung2.token().deadline_expired());
+    EXPECT_FALSE(healthy.token().deadline_expired());
+    EXPECT_EQ(dog.fires(), 2u);
+    dog.disarm(t1);
+    dog.disarm(t2);
+    dog.disarm(t3);
+}
+
+}  // namespace
+}  // namespace rfabm::exec
