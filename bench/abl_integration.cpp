@@ -127,10 +127,10 @@ int main(int argc, char** argv) {
     } else {
         std::vector<exec::DieChain> chains(variants.size());
         for (std::size_t i = 0; i < variants.size(); ++i) {
-            chains[i].measurements.push_back([&, i](exec::TaskContext&) {
+            chains[i].measurements.push_back({[&, i](exec::TaskContext&) {
                 Bench bench;
                 vout[i] = bench.settled_vout(variants[i].method, variants[i].spc);
-            });
+            }});
         }
         exec::run_campaign(chains, copts);
     }

@@ -83,6 +83,13 @@ HarnessOptions parse_options(int argc, char** argv) {
             opts.triage_path = argv[++i];
         } else if (std::strcmp(argv[i], "--max-attempts") == 0 && i + 1 < argc) {
             opts.max_cell_attempts = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+        } else if (std::strcmp(argv[i], "--watchdog-auto") == 0) {
+            opts.watchdog_auto = true;
+        } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+            opts.shard_count = std::strtoull(argv[++i], nullptr, 10);
+            if (opts.shard_count == 0) opts.shard_count = 1;
+        } else if (std::strcmp(argv[i], "--shard-index") == 0 && i + 1 < argc) {
+            opts.shard_index = std::strtoull(argv[++i], nullptr, 10);
         }
     }
     return opts;
@@ -165,14 +172,14 @@ void Exec::run_cells(const core::RfAbmChipConfig& config,
             (void)calibrate(config, dies[d]);
         };
         for (std::size_t e = 0; e < envs.size(); ++e) {
-            chain.measurements.push_back([this, &config, &dies, &envs, &cell, mopts, d,
-                                          e](rfabm::exec::TaskContext&) {
+            chain.measurements.push_back({[this, &config, &dies, &envs, &cell, mopts, d,
+                                           e](rfabm::exec::TaskContext&) {
                 const DieCalibration cal = calibrate(config, dies[d]);
                 DutSession dut(config, cal, envs[e], mopts);
                 metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
                 cell(dut, d, e);
                 metrics_.add_newton(dut.chip.engine().newton_iterations());
-            });
+            }});
         }
         chains.push_back(std::move(chain));
     }
@@ -190,13 +197,13 @@ void Exec::run_cells_calibrated(
     for (std::size_t d = 0; d < cals.size(); ++d) {
         rfabm::exec::DieChain chain;  // no calibrate node: tunes are given
         for (std::size_t e = 0; e < envs.size(); ++e) {
-            chain.measurements.push_back([this, &config, &cals, &envs, &cell, mopts, d,
-                                          e](rfabm::exec::TaskContext&) {
+            chain.measurements.push_back({[this, &config, &cals, &envs, &cell, mopts, d,
+                                           e](rfabm::exec::TaskContext&) {
                 DutSession dut(config, cals[d], envs[e], mopts);
                 metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
                 cell(dut, d, e);
                 metrics_.add_newton(dut.chip.engine().newton_iterations());
-            });
+            }});
         }
         chains.push_back(std::move(chain));
     }
@@ -246,11 +253,18 @@ void Exec::run_resilient_chains(const std::vector<rfabm::exec::ResilientChain>& 
         ropts.journal_path = campaign_seq_ == 0
                                  ? opts_.journal_path
                                  : opts_.journal_path + "." + std::to_string(campaign_seq_);
+        // A shard never writes the campaign journal directly — it owns its
+        // own FILE.shardI.wal, which the coordinator merges (docs/sharding.md).
+        if (opts_.shard_count > 1) {
+            ropts.journal_path = rfabm::exec::shard_journal_path(
+                ropts.journal_path, static_cast<std::uint32_t>(opts_.shard_index));
+        }
     }
     ropts.resume = opts_.resume;
     ropts.campaign_id = campaign_id;
     ropts.cell_timeout = std::chrono::nanoseconds(
         static_cast<std::int64_t>(opts_.watchdog_ms * 1e6));
+    ropts.watchdog.auto_tune = opts_.watchdog_auto;
     ropts.max_cell_attempts = opts_.max_cell_attempts;
     ropts.on_journal_open = journal_open_hook_;
 
@@ -363,6 +377,10 @@ void banner(const char* experiment, const char* paper_artifact, const HarnessOpt
     std::printf("mode: %s  seed: %llu  MC dies: %zu  jobs: %zu\n", opts.fast ? "FAST" : "full",
                 static_cast<unsigned long long>(opts.seed), opts.dies().size(),
                 opts.effective_jobs());
+    if (opts.shard_count > 1) {
+        std::printf("shard: %zu of %zu  (die %% %zu == %zu)\n", opts.shard_index,
+                    opts.shard_count, opts.shard_count, opts.shard_index);
+    }
     std::printf("================================================================\n");
 }
 

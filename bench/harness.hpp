@@ -37,6 +37,7 @@
 #include "exec/calibration_cache.hpp"
 #include "exec/campaign.hpp"
 #include "exec/resilient.hpp"
+#include "exec/shard.hpp"
 #include "rf/curve.hpp"
 
 namespace rfabm::bench {
@@ -63,11 +64,25 @@ struct HarnessOptions {
     std::string triage_path;
     /// --max-attempts N: attempts per cell before quarantine.
     int max_cell_attempts = 2;
+    /// --watchdog-auto: derive the per-cell stall timeout from the observed
+    /// heartbeat cadence (EWMA x safety factor) instead of --watchdog-ms.
+    bool watchdog_auto = false;
+
+    // --- sharding flags (docs/sharding.md) ----------------------------------
+    /// --shards N: this process is one shard of an N-way campaign; only dies
+    /// with exec::shard_of_die(die, N) == shard_index are measured, and the
+    /// journal lands in exec::shard_journal_path(journal, shard_index) so a
+    /// coordinator can merge the shard journals deterministically.
+    std::size_t shard_count = 1;
+    /// --shard-index I: which shard this process runs (0-based).
+    std::size_t shard_index = 0;
 
     /// Any resilience feature requested?  Campaigns then run through
-    /// exec::run_resilient_campaign instead of the bare task graph.
+    /// exec::run_resilient_campaign instead of the bare task graph.  Sharded
+    /// runs are always resilient: the merge contract needs a journal.
     bool resilient() const {
-        return !journal_path.empty() || watchdog_ms > 0.0 || !triage_path.empty();
+        return !journal_path.empty() || watchdog_ms > 0.0 || !triage_path.empty() ||
+               watchdog_auto || shard_count > 1;
     }
 
     /// jobs with 0 resolved to the hardware concurrency (min 1).
@@ -293,6 +308,16 @@ class Exec {
         std::vector<rfabm::exec::ResilientChain> chains;
         chains.reserve(num_dies);
         for (std::size_t d = 0; d < num_dies; ++d) {
+            // Sharded run: this process only measures its own dies.  Cells of
+            // other shards stay default-initialized in `results`; a caller
+            // wanting the full grid merges the shard journals instead
+            // (exec::merge_shard_journals, docs/sharding.md).
+            if (opts_.shard_count > 1 &&
+                rfabm::exec::shard_of_die(static_cast<std::uint32_t>(d),
+                                          static_cast<std::uint32_t>(opts_.shard_count)) !=
+                    static_cast<std::uint32_t>(opts_.shard_index)) {
+                continue;
+            }
             rfabm::exec::ResilientChain chain;
             if (dies != nullptr) {
                 chain.calibrate = [this, &config, dies, d](rfabm::exec::TaskContext& ctx) {

@@ -1,6 +1,7 @@
 #include "core/measurement.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
@@ -84,6 +85,18 @@ YRange curve_y_range(const rfabm::rf::MonotoneCurve& cal) {
 
 }  // namespace
 
+namespace {
+
+/// Session-boundary crash-point plumbing (see set_session_open_hook).
+std::atomic<void (*)(std::uint64_t)> g_session_open_hook{nullptr};
+std::atomic<std::uint64_t> g_sessions_opened{0};
+
+}  // namespace
+
+void MeasurementController::set_session_open_hook(void (*hook)(std::uint64_t)) {
+    g_session_open_hook.store(hook, std::memory_order_release);
+}
+
 MeasurementController::MeasurementController(RfAbmChip& chip, MeasureOptions options)
     : chip_(chip), options_(options) {}
 
@@ -106,6 +119,8 @@ void MeasurementController::open_session() {
     chip_.engine().init();
     session_open_ = true;
     engine_ready_ = true;
+    const std::uint64_t seq = g_sessions_opened.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (auto* hook = g_session_open_hook.load(std::memory_order_acquire)) hook(seq);
 }
 
 void MeasurementController::set_select(std::uint8_t word) {

@@ -131,6 +131,14 @@ class MeasurementController {
     /// engine (DC operating point with the test topology in place).
     void open_session();
 
+    /// Process-wide hook invoked at the end of every open_session(), with a
+    /// running session count.  The kCrashPoint fault injector uses it to
+    /// kill the process exactly at a TAP session boundary — after the chip
+    /// holds session state but before any measurement of the session is
+    /// journaled.  Pass nullptr to clear.  Not thread-safe against
+    /// concurrent open_session() calls; install before the campaign starts.
+    static void set_session_open_hook(void (*hook)(std::uint64_t));
+
     /// Program the .4 MUX select register verbatim (include
     /// SelectBit::kDetectorPower in the word to keep the detectors powered).
     void set_select(std::uint8_t word);

@@ -83,6 +83,14 @@ DieCalibration CalibrationCache::get_or_compute(const core::RfAbmChipConfig& con
             // meanwhile).
             try {
                 promise.set_value(compute());
+                std::uint64_t publish_seq = 0;
+                std::function<void(std::uint64_t)> hook;
+                {
+                    std::lock_guard lock(mutex_);
+                    publish_seq = ++publishes_;
+                    hook = publish_hook_;
+                }
+                if (hook) hook(publish_seq);
             } catch (...) {
                 // Erase before publishing the exception: a waiter that wakes
                 // on the failure and re-elects must never find this dead
@@ -107,6 +115,11 @@ DieCalibration CalibrationCache::get_or_compute(const core::RfAbmChipConfig& con
             if (token.stop_requested()) throw;
         }
     }
+}
+
+void CalibrationCache::set_publish_hook(std::function<void(std::uint64_t)> hook) {
+    std::lock_guard lock(mutex_);
+    publish_hook_ = std::move(hook);
 }
 
 std::uint64_t CalibrationCache::hits() const {

@@ -93,13 +93,22 @@ class CalibrationCache {
     /// Forward hit/miss counts into campaign metrics as they happen.
     void attach_metrics(CampaignMetrics* metrics) { metrics_ = metrics; }
 
+    /// Hook invoked (outside the cache lock) right after a leader publishes
+    /// a freshly computed calibration, with the running publish count.  The
+    /// kCrashPoint fault injector uses it to kill the process at the moment
+    /// a calibration becomes visible to other tasks but may not yet be
+    /// journaled — the classic torn-state window for resume testing.
+    void set_publish_hook(std::function<void(std::uint64_t)> hook);
+
   private:
     mutable std::mutex mutex_;
     std::unordered_map<CalibrationKey, std::shared_future<DieCalibration>, CalibrationKeyHash>
         entries_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t publishes_ = 0;
     CampaignMetrics* metrics_ = nullptr;
+    std::function<void(std::uint64_t)> publish_hook_;
 };
 
 }  // namespace rfabm::exec

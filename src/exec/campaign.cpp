@@ -14,14 +14,17 @@ TaskGraph::Body counted(TaskGraph::Body body, CampaignMetrics* metrics) {
 }
 
 /// jobs == 1: the pre-engine serial path — die-major, calibrate first, then
-/// the die's measurements in order, on the calling thread.
-TaskGraphResult run_serial(const std::vector<DieChain>& dies, const CancellationToken& token,
-                           CampaignMetrics* metrics) {
+/// the die's measurements in order, on the calling thread.  Deferral keeps
+/// the same semantics as the pool path: a deferrable task whose predicate
+/// holds at its turn is parked and run after the mandatory sweep, in the
+/// order it was parked.
+TaskGraphResult run_serial(const std::vector<DieChain>& dies, const CampaignOptions& options) {
+    const CancellationToken& token = options.token;
+    CampaignMetrics* metrics = options.metrics;
     TaskGraphResult result;
     std::size_t id = 0;
     bool abort = false;
-    auto run_one = [&](const TaskGraph::Body& body) {
-        const std::size_t node = id++;
+    auto run_one = [&](const TaskGraph::Body& body, std::size_t node) {
         if (abort || token.stop_requested()) {
             result.cancelled = result.cancelled || token.stop_requested();
             ++result.skipped;
@@ -39,27 +42,39 @@ TaskGraphResult run_serial(const std::vector<DieChain>& dies, const Cancellation
             if (!result.first_error) result.first_error = std::current_exception();
         }
     };
+    std::vector<std::pair<const TaskGraph::Body*, std::size_t>> parked;
     for (const DieChain& die : dies) {
-        if (die.calibrate) run_one(die.calibrate);
-        for (const TaskGraph::Body& m : die.measurements) run_one(m);
+        if (die.calibrate) run_one(die.calibrate, id++);
+        for (const DieTask& m : die.measurements) {
+            const std::size_t node = id++;
+            if (m.deferrable && options.defer_optional && options.defer_optional()) {
+                parked.emplace_back(&m.body, node);
+                ++result.deferred;
+                continue;
+            }
+            run_one(m.body, node);
+        }
     }
+    for (const auto& [body, node] : parked) run_one(*body, node);
     if (result.first_error) std::rethrow_exception(result.first_error);
     return result;
 }
 
 TaskGraphResult run_on_pool(ThreadPool& pool, const std::vector<DieChain>& dies,
-                            const CancellationToken& token, CampaignMetrics* metrics) {
+                            const CampaignOptions& options) {
+    CampaignMetrics* metrics = options.metrics;
     TaskGraph graph;
+    if (options.defer_optional) graph.set_defer_predicate(options.defer_optional);
     for (const DieChain& die : dies) {
         std::size_t cal_node = static_cast<std::size_t>(-1);
         if (die.calibrate) cal_node = graph.add(counted(die.calibrate, metrics));
-        for (const TaskGraph::Body& m : die.measurements) {
-            const std::size_t node = graph.add(counted(m, metrics));
+        for (const DieTask& m : die.measurements) {
+            const std::size_t node = graph.add(counted(m.body, metrics), {}, m.deferrable);
             if (die.calibrate) graph.depends_on(node, cal_node);
         }
     }
     const std::uint64_t steals_before = pool.steals();
-    TaskGraphResult result = graph.run(pool, token);
+    TaskGraphResult result = graph.run(pool, options.token);
     if (metrics) {
         metrics->tasks_skipped.fetch_add(result.skipped, std::memory_order_relaxed);
         metrics->steals.fetch_add(pool.steals() - steals_before, std::memory_order_relaxed);
@@ -71,14 +86,22 @@ TaskGraphResult run_on_pool(ThreadPool& pool, const std::vector<DieChain>& dies,
 }  // namespace
 
 TaskGraphResult run_campaign(const std::vector<DieChain>& dies, const CampaignOptions& options) {
-    if (options.jobs == 1) return run_serial(dies, options.token, options.metrics);
+    if (options.jobs == 1) return run_serial(dies, options);
     ThreadPool pool({options.jobs, 4096});
-    return run_on_pool(pool, dies, options.token, options.metrics);
+    return run_on_pool(pool, dies, options);
 }
 
 TaskGraphResult run_campaign(ThreadPool& pool, const std::vector<DieChain>& dies,
                              CancellationToken token, CampaignMetrics* metrics) {
-    return run_on_pool(pool, dies, token, metrics);
+    CampaignOptions options;
+    options.token = std::move(token);
+    options.metrics = metrics;
+    return run_on_pool(pool, dies, options);
+}
+
+TaskGraphResult run_campaign(ThreadPool& pool, const std::vector<DieChain>& dies,
+                             const CampaignOptions& options) {
+    return run_on_pool(pool, dies, options);
 }
 
 }  // namespace rfabm::exec

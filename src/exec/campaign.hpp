@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "exec/metrics.hpp"
@@ -17,11 +18,20 @@
 
 namespace rfabm::exec {
 
+/// One unit of die work.  A deferrable task is optional-priority: while the
+/// campaign's defer_optional predicate holds (typically "the failure breaker
+/// has tripped"), the scheduler parks it and spends workers on mandatory
+/// tasks first; parked tasks still run once mandatory work drains.
+struct DieTask {
+    TaskGraph::Body body;
+    bool deferrable = false;
+};
+
 /// One die's task chain.  calibrate (optional) runs before every
 /// measurement; measurements of one die are independent of each other.
 struct DieChain {
-    TaskGraph::Body calibrate;                  ///< may be empty
-    std::vector<TaskGraph::Body> measurements;  ///< fan out after calibrate
+    TaskGraph::Body calibrate;            ///< may be empty
+    std::vector<DieTask> measurements;    ///< fan out after calibrate
 };
 
 struct CampaignOptions {
@@ -30,6 +40,10 @@ struct CampaignOptions {
     std::size_t jobs = 1;
     CancellationToken token{};
     CampaignMetrics* metrics = nullptr;  ///< optional tally sink
+    /// When set and returning true at a deferrable task's ready time, the
+    /// task is parked until mandatory work drains (see DieTask).  Called on
+    /// scheduler threads: must be O(1) and thread-safe.
+    std::function<bool()> defer_optional;
 };
 
 /// Run every chain.  Returns the drained graph result (ran + skipped +
@@ -40,5 +54,10 @@ TaskGraphResult run_campaign(const std::vector<DieChain>& dies, const CampaignOp
 /// As above but on a caller-owned pool (jobs taken from the pool).
 TaskGraphResult run_campaign(ThreadPool& pool, const std::vector<DieChain>& dies,
                              CancellationToken token = {}, CampaignMetrics* metrics = nullptr);
+
+/// Caller-owned pool with full options (options.jobs is ignored — the pool
+/// decides parallelism).
+TaskGraphResult run_campaign(ThreadPool& pool, const std::vector<DieChain>& dies,
+                             const CampaignOptions& options);
 
 }  // namespace rfabm::exec

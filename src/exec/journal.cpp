@@ -1,7 +1,9 @@
 #include "exec/journal.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
+#include <unordered_map>
 
 #include <unistd.h>
 
@@ -24,6 +26,7 @@ constexpr std::uint32_t kMaxPayload = 1u << 26;
 
 constexpr std::uint32_t kRecordCell = 1;
 constexpr std::uint32_t kRecordQuarantine = 2;
+constexpr std::uint32_t kRecordAttempt = 3;
 
 template <typename T>
 void put(std::vector<unsigned char>& buf, const T& value) {
@@ -57,6 +60,23 @@ std::string CellKey::to_string() const {
     return os.str();
 }
 
+bool read_journal_id(const std::string& path, std::uint64_t* campaign_id) {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) return false;
+    unsigned char header[kHeaderSize];
+    const bool ok = std::fread(header, 1, kHeaderSize, file) == kHeaderSize &&
+                    std::memcmp(header, kMagic, sizeof kMagic) == 0;
+    std::fclose(file);
+    if (!ok) return false;
+    std::uint32_t version = 0;
+    std::memcpy(&version, header + sizeof kMagic, sizeof version);
+    if (version != kVersion) return false;
+    if (campaign_id != nullptr) {
+        std::memcpy(campaign_id, header + sizeof kMagic + sizeof version, sizeof *campaign_id);
+    }
+    return true;
+}
+
 JournalReplay replay_journal(const std::string& path, std::uint64_t campaign_id) {
     JournalReplay replay;
     std::FILE* file = std::fopen(path.c_str(), "rb");
@@ -86,6 +106,12 @@ JournalReplay replay_journal(const std::string& path, std::uint64_t campaign_id)
 
     replay.present = true;
     replay.valid_bytes = kHeaderSize;
+
+    // Deduplication state: last record per key wins (merged shard journals
+    // and compaction rely on this), earlier ones count as superseded.
+    std::unordered_map<CellKey, std::size_t, CellKeyHash> cell_index;
+    std::unordered_map<CellKey, std::size_t, CellKeyHash> quarantine_index;
+    std::unordered_map<CellKey, std::uint32_t, CellKeyHash> attempts;
 
     std::vector<unsigned char> payload;
     for (;;) {
@@ -131,17 +157,43 @@ JournalReplay replay_journal(const std::string& path, std::uint64_t campaign_id)
                     std::memcpy(record.payload.data(), payload.data() + off,
                                 count * sizeof(double));
                 }
-                replay.cells.push_back(std::move(record));
+                if (auto it = cell_index.find(record.key); it != cell_index.end()) {
+                    replay.cells[it->second] = std::move(record);
+                    ++replay.superseded_records;
+                } else {
+                    cell_index.emplace(record.key, replay.cells.size());
+                    replay.cells.push_back(std::move(record));
+                }
             } else {
                 replay.checksum_mismatch = true;
                 break;
             }
         } else if (type == kRecordQuarantine) {
             CellKey key;
-            std::uint32_t attempts = 0;
+            std::uint32_t burned = 0;
             if (get(payload, off, key.die) && get(payload, off, key.env) &&
-                get(payload, off, key.meas) && get(payload, off, attempts)) {
-                replay.quarantined.emplace_back(key, attempts);
+                get(payload, off, key.meas) && get(payload, off, burned)) {
+                if (auto it = quarantine_index.find(key); it != quarantine_index.end()) {
+                    replay.quarantined[it->second].second = burned;
+                    ++replay.superseded_records;
+                } else {
+                    quarantine_index.emplace(key, replay.quarantined.size());
+                    replay.quarantined.emplace_back(key, burned);
+                }
+            } else {
+                replay.checksum_mismatch = true;
+                break;
+            }
+        } else if (type == kRecordAttempt) {
+            CellKey key;
+            std::uint32_t burned = 0;
+            if (get(payload, off, key.die) && get(payload, off, key.env) &&
+                get(payload, off, key.meas) && get(payload, off, burned)) {
+                auto [it, fresh] = attempts.emplace(key, burned);
+                if (!fresh) {
+                    it->second = std::max(it->second, burned);
+                    ++replay.superseded_records;
+                }
             } else {
                 replay.checksum_mismatch = true;
                 break;
@@ -152,6 +204,17 @@ JournalReplay replay_journal(const std::string& path, std::uint64_t campaign_id)
         replay.valid_bytes += kRecordHeaderSize + len;
     }
     std::fclose(file);
+
+    // An attempt tally only matters while its cell is still open: once the
+    // cell completed or quarantined, the records are superseded (compaction
+    // fodder).
+    for (const auto& [key, burned] : attempts) {
+        if (cell_index.count(key) != 0 || quarantine_index.count(key) != 0) {
+            ++replay.superseded_records;
+        } else {
+            replay.attempts.emplace_back(key, burned);
+        }
+    }
     return replay;
 }
 
@@ -223,6 +286,7 @@ void JournalWriter::append_record(std::uint32_t type, const std::vector<unsigned
         stats_.bytes_written += buf.size();
         ++stats_.records_written;
         if (type == kRecordQuarantine) ++stats_.quarantine_records;
+        if (type == kRecordAttempt) ++stats_.attempt_records;
         ++appends_since_sync_;
         if (options_.checkpoint_every != 0 && appends_since_sync_ >= options_.checkpoint_every) {
             ::fsync(fileno(file_));
@@ -254,6 +318,15 @@ void JournalWriter::append_quarantine(const CellKey& key, std::uint32_t attempts
     put(payload, key.meas);
     put(payload, attempts);
     append_record(kRecordQuarantine, payload);
+}
+
+void JournalWriter::append_attempt(const CellKey& key, std::uint32_t attempts) {
+    std::vector<unsigned char> payload;
+    put(payload, key.die);
+    put(payload, key.env);
+    put(payload, key.meas);
+    put(payload, attempts);
+    append_record(kRecordAttempt, payload);
 }
 
 void JournalWriter::checkpoint() {

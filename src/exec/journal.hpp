@@ -58,8 +58,9 @@ struct CellRecord {
 
 /// Journal health/effort counters, merged into the TriageReport.
 struct JournalStats {
-    std::uint64_t records_written = 0;    ///< cell + quarantine records appended
+    std::uint64_t records_written = 0;    ///< cell + quarantine + attempt records appended
     std::uint64_t quarantine_records = 0; ///< quarantine records among them
+    std::uint64_t attempt_records = 0;    ///< failed-attempt records among them
     std::uint64_t records_replayed = 0;   ///< intact cell records recovered
     std::uint64_t bytes_written = 0;
     std::uint64_t fsyncs = 0;             ///< durability checkpoints taken
@@ -70,9 +71,21 @@ struct JournalStats {
 
 /// Outcome of replaying a journal file.
 struct JournalReplay {
+    /// Intact completed cells, deduplicated: when a key appears more than
+    /// once (merged shard journals, a re-journaled retry) the LAST record
+    /// wins, and the earlier ones count as superseded_records.
     std::vector<CellRecord> cells;
     /// Cells a previous run quarantined (key, attempts burned).
     std::vector<std::pair<CellKey, std::uint32_t>> quarantined;
+    /// Attempts burned on cells that never completed nor quarantined: a
+    /// resumed run charges these against max_cell_attempts so a cell that
+    /// keeps crashing its worker cannot retry forever across restarts.
+    std::vector<std::pair<CellKey, std::uint32_t>> attempts;
+    /// Records folded away by deduplication: duplicate cell/quarantine
+    /// records plus attempt records whose cell since completed.  A resume
+    /// with superseded records compacts the journal (see shard.hpp) so the
+    /// next replay is O(cells), not O(attempts).
+    std::uint64_t superseded_records = 0;
     /// File offset just past the last intact record; a resuming writer
     /// truncates the file here before appending (dropping the torn tail).
     std::uint64_t valid_bytes = 0;
@@ -81,6 +94,10 @@ struct JournalReplay {
     bool checksum_mismatch = false;
     bool id_mismatch = false;
 };
+
+/// Read just the campaign id from a journal header.  False when the file is
+/// missing or not a journal.
+bool read_journal_id(const std::string& path, std::uint64_t* campaign_id);
 
 /// Replay @p path.  Never throws: a missing, empty or foreign file comes
 /// back with present == false and no cells.  Corruption truncates the replay
@@ -121,6 +138,10 @@ class JournalWriter {
 
     void append_cell(const CellRecord& record);
     void append_quarantine(const CellKey& key, std::uint32_t attempts);
+    /// Record that @p key has burned @p attempts attempts in total without
+    /// completing.  Superseded by a later cell/quarantine record for the same
+    /// key; folded away by compaction.
+    void append_attempt(const CellKey& key, std::uint32_t attempts);
 
     /// Force a durability checkpoint now (flush + fsync).
     void checkpoint();

@@ -30,9 +30,9 @@ inline std::vector<circuit::MonteCarloSample> run_monte_carlo(
         circuit::presample_dies(trials, seed, spread);
     std::vector<DieChain> chains(samples.size());
     for (std::size_t i = 0; i < samples.size(); ++i) {
-        chains[i].measurements.push_back([&samples, &measure, i](TaskContext&) {
+        chains[i].measurements.push_back({[&samples, &measure, i](TaskContext&) {
             samples[i].value = measure(samples[i].corner);
-        });
+        }});
     }
     const TaskGraphResult result = run_campaign(chains, options);
     if (result_out) *result_out = result;

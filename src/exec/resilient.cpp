@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "circuit/dc.hpp"
+#include "exec/shard.hpp"
 
 namespace rfabm::exec {
 
@@ -37,21 +38,33 @@ struct RunState {
     }
 };
 
-void run_cell(RunState& state, const ResilientCell& cell, TaskContext& ctx) {
+/// Journal a failed attempt so the budget survives a worker crash: the
+/// resumed process charges these against max_cell_attempts.
+void note_failed_attempt(RunState& state, const CellKey& key, std::uint32_t burned_total) {
+    if (state.writer.is_open()) state.writer.append_attempt(key, burned_total);
+}
+
+void run_cell(RunState& state, const ResilientCell& cell, std::uint32_t prior_attempts,
+              TaskContext& ctx) {
     if (cell.optional && state.breaker.tripped()) {
         // Graceful degradation: the campaign is drowning in failures, shed
         // optional work so mandatory cells keep their wall-clock budget.
+        // (Deferral already parked this cell past the mandatory sweep; a
+        // breaker still tripped now means the campaign never recovered.)
         state.tally(CellOutcome::kShed);
         return;
     }
 
+    // Attempts burned by previous incarnations of this process count against
+    // the same budget; the caller quarantines cells that arrive exhausted.
     const int max_attempts = std::max(1, state.res->max_cell_attempts);
+    const int budget = max_attempts - static_cast<int>(prior_attempts);
     CellComputeResult computed;
     bool got = false;
     CellOutcome last_fail = CellOutcome::kFailed;
     std::string detail;
     int attempts = 0;
-    while (attempts < max_attempts && !got) {
+    while (attempts < budget && !got) {
         if (ctx.token.stop_requested()) break;
         ++attempts;
         // Each attempt gets a private child source: the watchdog expires the
@@ -61,13 +74,15 @@ void run_cell(RunState& state, const ResilientCell& cell, TaskContext& ctx) {
         CancellationSource attempt_source(ctx.token);
         Watchdog::Guard guard(state.watchdog.get(), attempt_source, state.res->cell_timeout,
                               &beat);
-        CellAttempt attempt{attempt_source.token(), &beat, attempts - 1};
+        CellAttempt attempt{attempt_source.token(), &beat,
+                            static_cast<int>(prior_attempts) + attempts - 1};
         try {
             computed = cell.compute(attempt);
             got = true;
         } catch (const circuit::ConvergenceError& e) {
             detail = e.what();
             state.breaker.record(false);
+            note_failed_attempt(state, cell.key, prior_attempts + attempts);
             if (e.non_finite()) {
                 // Deterministic arithmetic poison: a retry reruns the exact
                 // same blow-up, so fail fast instead of burning attempts.
@@ -78,6 +93,7 @@ void run_cell(RunState& state, const ResilientCell& cell, TaskContext& ctx) {
         } catch (const std::exception& e) {
             detail = e.what();
             state.breaker.record(false);
+            note_failed_attempt(state, cell.key, prior_attempts + attempts);
             const bool timed_out =
                 attempt_source.token().deadline_expired() && !ctx.token.stop_requested();
             last_fail = timed_out ? CellOutcome::kTimedOut : CellOutcome::kFailed;
@@ -104,9 +120,10 @@ void run_cell(RunState& state, const ResilientCell& cell, TaskContext& ctx) {
 
     // Attempt budget spent: quarantine.  The journal remembers, so a resumed
     // campaign does not burn time re-failing this cell.
-    state.quarantine.add(cell.key, static_cast<std::uint32_t>(attempts));
+    const std::uint32_t burned = prior_attempts + static_cast<std::uint32_t>(attempts);
+    state.quarantine.add(cell.key, burned);
     if (state.writer.is_open()) {
-        state.writer.append_quarantine(cell.key, static_cast<std::uint32_t>(attempts));
+        state.writer.append_quarantine(cell.key, burned);
     }
     state.tally(last_fail);
     state.note_quarantine(cell.key, last_fail, detail);
@@ -121,15 +138,28 @@ ResilientResult run_resilient_campaign(const std::vector<ResilientChain>& chains
     TriageReport& report = state->report;
     for (const ResilientChain& chain : chains) report.cells_total += chain.cells.size();
 
-    // 1. Replay the journal (resume only).
+    // 1. Replay the journal (resume only).  A journal carrying superseded
+    // records — duplicate cells from merged shards, attempt tallies of cells
+    // that since completed — is compacted in place first, so this replay and
+    // every future one stays O(cells) instead of O(attempts).
     JournalReplay replay;
+    bool orig_torn_tail = false;
+    bool orig_checksum_mismatch = false;
     std::unordered_map<CellKey, const CellRecord*, CellKeyHash> replayed;
+    std::unordered_map<CellKey, std::uint32_t, CellKeyHash> prior_attempts;
     if (!res.journal_path.empty() && res.resume) {
         replay = replay_journal(res.journal_path, res.campaign_id);
+        orig_torn_tail = replay.torn_tail;
+        orig_checksum_mismatch = replay.checksum_mismatch;
+        if (replay.present && replay.superseded_records > 0 &&
+            compact_journal(res.journal_path, res.campaign_id)) {
+            replay = replay_journal(res.journal_path, res.campaign_id);
+        }
         for (const CellRecord& record : replay.cells) replayed[record.key] = &record;
         for (const auto& [key, attempts] : replay.quarantined) {
             state->quarantine.add(key, attempts);
         }
+        for (const auto& [key, attempts] : replay.attempts) prior_attempts[key] = attempts;
     }
 
     // 2. Open the journal for appending (truncating any torn tail).
@@ -143,11 +173,12 @@ ResilientResult run_resilient_campaign(const std::vector<ResilientChain>& chains
         if (open_ok && res.on_journal_open) res.on_journal_open(state->writer);
     }
 
-    if (res.cell_timeout.count() > 0) {
+    if (res.cell_timeout.count() > 0 || res.watchdog.auto_tune) {
         state->watchdog = std::make_unique<Watchdog>(res.watchdog);
     }
 
     // 3. Deliver replayed cells and build the graph for the remainder.
+    const int max_attempts = std::max(1, res.max_cell_attempts);
     std::uint64_t delivered_replays = 0;
     std::vector<DieChain> dies;
     for (const ResilientChain& chain : chains) {
@@ -168,8 +199,22 @@ ResilientResult run_resilient_campaign(const std::vector<ResilientChain>& chains
                 state->tally(CellOutcome::kQuarantined);
                 continue;
             }
+            const auto pit = prior_attempts.find(cell.key);
+            const std::uint32_t prior = pit != prior_attempts.end() ? pit->second : 0;
+            if (prior >= static_cast<std::uint32_t>(max_attempts)) {
+                // The budget was exhausted by previous incarnations (each
+                // attempt crashed the process before a quarantine record
+                // could land).  Quarantine now, without burning another run.
+                state->quarantine.add(cell.key, prior);
+                if (state->writer.is_open()) state->writer.append_quarantine(cell.key, prior);
+                state->tally(CellOutcome::kQuarantined);
+                state->note_quarantine(cell.key, CellOutcome::kFailed,
+                                       "attempt budget exhausted across restarts");
+                continue;
+            }
             die.measurements.push_back(
-                [state, &cell](TaskContext& ctx) { run_cell(*state, cell, ctx); });
+                {[state, &cell, prior](TaskContext& ctx) { run_cell(*state, cell, prior, ctx); },
+                 cell.optional});
         }
         if (die.measurements.empty()) continue;  // fully satisfied: skip calibration too
         if (chain.calibrate) {
@@ -185,12 +230,19 @@ ResilientResult run_resilient_campaign(const std::vector<ResilientChain>& chains
         dies.push_back(std::move(die));
     }
 
-    // 4. Run what remains.
+    // 4. Run what remains.  Optional cells are deferrable: while the breaker
+    // is tripped the scheduler parks them so mandatory cells drain first —
+    // and a breaker that recovers in the meantime lets the parked cells run
+    // instead of being shed.
+    CampaignOptions copts = options;
+    if (!copts.defer_optional) {
+        copts.defer_optional = [state] { return state->breaker.tripped(); };
+    }
     ResilientResult result;
     if (pool != nullptr) {
-        result.graph = run_campaign(*pool, dies, options.token, options.metrics);
+        result.graph = run_campaign(*pool, dies, copts);
     } else {
-        result.graph = run_campaign(dies, options);
+        result.graph = run_campaign(dies, copts);
     }
 
     // 5. Assemble the report.
@@ -205,8 +257,8 @@ ResilientResult run_resilient_campaign(const std::vector<ResilientChain>& chains
     report.breaker_tripped = state->breaker.ever_tripped();
     report.journal = state->writer.stats();
     report.journal.records_replayed = delivered_replays;
-    report.journal.torn_tail = replay.torn_tail;
-    report.journal.checksum_mismatch = replay.checksum_mismatch;
+    report.journal.torn_tail = orig_torn_tail || replay.torn_tail;
+    report.journal.checksum_mismatch = orig_checksum_mismatch || replay.checksum_mismatch;
     report.journal.id_mismatch = replay.id_mismatch;
     result.triage = std::move(report);
     return result;

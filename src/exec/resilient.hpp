@@ -11,10 +11,16 @@
 //   * watchdog — every attempt runs under a child cancellation source with
 //     a deadline; a stalled solver (no heartbeat progress) is fired and the
 //     attempt surfaces as timed-out instead of wedging a worker forever;
-//   * quarantine + breaker — a cell that fails max_cell_attempts times is
+//   * quarantine + breaker — a cell that fails max_cell_attempts times
+//     (counted across process restarts via journaled attempt records) is
 //     quarantined (journaled, so resume skips it too); a sliding-window
-//     failure-rate breaker sheds *optional* cells while tripped so mandatory
-//     work still gets the wall-clock budget.
+//     failure-rate breaker first *defers* optional cells (the scheduler
+//     parks them so mandatory work drains first — see DieTask) and sheds
+//     those still facing a tripped breaker when they finally run.
+//
+// A resumed journal containing superseded records (duplicates, attempt
+// tallies of since-completed cells) is compacted in place before replay, so
+// resume cost stays O(cells) no matter how many crash/retry cycles preceded.
 //
 // Unlike run_campaign(), cell failures never abort the campaign: every cell
 // is accounted for in the final TriageReport.
@@ -87,9 +93,15 @@ struct ResilienceOptions {
     /// results (config hash, seed, fast mode...).
     std::uint64_t campaign_id = 0;
     std::uint64_t checkpoint_every = 8;  ///< fsync cadence (records)
-    /// Per-attempt watchdog timeout; <= 0 disables supervision.  With a
-    /// heartbeat wired, this is a *stall* timeout, not a total-runtime cap.
+    /// Per-attempt watchdog timeout; <= 0 disables supervision unless
+    /// watchdog.auto_tune is set (then <= 0 means "derive the stall timeout
+    /// from the observed heartbeat cadence").  With a heartbeat wired, this
+    /// is a *stall* timeout, not a total-runtime cap.
     std::chrono::nanoseconds cell_timeout{0};
+    /// Total attempt budget per cell — across process restarts: failed
+    /// attempts are journaled, so a resumed campaign charges attempts burned
+    /// by previous incarnations and a cell that keeps crashing its worker
+    /// cannot retry forever.
     int max_cell_attempts = 2;
     FailureBreaker::Options breaker{};
     Watchdog::Options watchdog{};

@@ -1,0 +1,266 @@
+#include "exec/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <csignal>
+
+#include "exec/cancellation.hpp"
+
+namespace rfabm::exec {
+
+HeartbeatEmitter::HeartbeatEmitter(int fd) : fd_(fd) {
+    if (fd_ >= 0) {
+        const int flags = fcntl(fd_, F_GETFL, 0);
+        if (flags >= 0) fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+        // An orphaned worker (its coordinator was SIGKILLed) must keep
+        // running to completion, not die of SIGPIPE on its next beat.
+        std::signal(SIGPIPE, SIG_IGN);
+    }
+}
+
+void HeartbeatEmitter::beat() {
+    beats_.fetch_add(1, std::memory_order_relaxed);
+    if (fd_ < 0) return;
+    const unsigned char byte = 0xB7;
+    // Best-effort: EAGAIN (a pipe full of undrained beats) and EPIPE (a dead
+    // coordinator) both leave the worker's own progress unaffected.
+    (void)!::write(fd_, &byte, 1);
+}
+
+namespace {
+
+struct WorkerState {
+    pid_t pid = -1;
+    int pipe_read = -1;
+    int pipe_write = -1;
+    std::int64_t last_beat_ns = 0;
+    std::int64_t restart_at_ns = 0;
+    int attempt = 0;
+    bool running = false;
+    bool done = false;
+    bool hang_killed = false;
+    bool slow_flagged = false;
+};
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(Options options) : options_(std::move(options)) {}
+
+ShardSupervisor::Result ShardSupervisor::supervise(std::uint32_t shard_count,
+                                                   const Spawn& spawn) {
+    Result result;
+    result.workers.resize(shard_count);
+    for (std::uint32_t s = 0; s < shard_count; ++s) result.workers[s].shard = s;
+    if (shard_count == 0) {
+        result.all_completed = true;
+        return result;
+    }
+
+    FailureBreaker breaker(options_.breaker);
+    bool shed = false;
+    double ewma_interval_ns = 0.0;  // observed inter-beat cadence, fleet-wide
+    constexpr double kEwmaAlpha = 0.2;
+
+    const auto emit = [&](EventKind kind, std::uint32_t s, int attempt, int status,
+                          std::string detail) {
+        if (options_.on_event) {
+            options_.on_event(Event{kind, s, attempt, status, std::move(detail)});
+        }
+    };
+    const auto stall_timeout_ns = [&]() -> std::int64_t {
+        using std::chrono::duration_cast;
+        using std::chrono::nanoseconds;
+        if (options_.heartbeat_timeout.count() > 0) {
+            return duration_cast<nanoseconds>(options_.heartbeat_timeout).count();
+        }
+        const std::int64_t floor_ns =
+            std::max<std::int64_t>(duration_cast<nanoseconds>(options_.min_timeout).count(), 1);
+        if (ewma_interval_ns <= 0.0) return floor_ns;
+        return std::max<std::int64_t>(
+            floor_ns,
+            static_cast<std::int64_t>(std::llround(ewma_interval_ns * options_.safety_factor)));
+    };
+
+    std::vector<WorkerState> workers(shard_count);
+    for (std::uint32_t s = 0; s < shard_count; ++s) {
+        int fds[2] = {-1, -1};
+        if (::pipe(fds) == 0) {
+            // Read end is the supervisor's alone; the write end is inherited
+            // across fork/exec into the worker.
+            fcntl(fds[0], F_SETFD, FD_CLOEXEC);
+            const int flags = fcntl(fds[0], F_GETFL, 0);
+            if (flags >= 0) fcntl(fds[0], F_SETFL, flags | O_NONBLOCK);
+            workers[s].pipe_read = fds[0];
+            workers[s].pipe_write = fds[1];
+        }
+    }
+
+    const auto fail = [&](std::uint32_t s, int status, bool hang, const std::string& what) {
+        WorkerState& w = workers[s];
+        WorkerReport& r = result.workers[s];
+        w.running = false;
+        ++r.crashes;
+        if (hang) ++r.hangs;
+        r.last_status = status;
+        breaker.record(false);
+        if (breaker.tripped() && !result.breaker_tripped) {
+            // Campaign-level escalation: per-shard restarts are not holding
+            // the line, so every launch from here on sheds optional work.
+            result.breaker_tripped = true;
+            shed = true;
+            emit(EventKind::kBreakerTrip, s, w.attempt, status, "shedding optional work");
+        }
+        emit(hang ? EventKind::kHang : EventKind::kCrash, s, w.attempt, status, what);
+        if (r.crashes > options_.max_restarts) {
+            r.gave_up = true;
+            w.done = true;
+            emit(EventKind::kGiveUp, s, w.attempt, status, "restart budget exhausted");
+            return;
+        }
+        ++result.restarts;
+        ++w.attempt;
+        std::int64_t backoff_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(options_.backoff_base).count();
+        for (int i = 1; i < w.attempt; ++i) backoff_ns *= 2;
+        const std::int64_t cap_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(options_.backoff_cap).count();
+        if (cap_ns > 0) backoff_ns = std::min(backoff_ns, cap_ns);
+        w.restart_at_ns = detail::steady_now_ns() + backoff_ns;
+    };
+
+    const auto launch = [&](std::uint32_t s) {
+        WorkerState& w = workers[s];
+        w.restart_at_ns = 0;
+        w.hang_killed = false;
+        w.slow_flagged = false;
+        w.last_beat_ns = detail::steady_now_ns();
+        Launch l;
+        l.shard = s;
+        l.attempt = w.attempt;
+        l.resume = options_.resume_first || w.attempt > 0;
+        l.shed_optional = shed;
+        l.heartbeat_fd = w.pipe_write;
+        w.pid = spawn(l);
+        ++result.workers[s].launches;
+        emit(EventKind::kLaunch, s, w.attempt, 0, l.resume ? "resume" : "fresh");
+        if (w.pid <= 0) {
+            fail(s, 0, false, "spawn failed");
+            return;
+        }
+        w.running = true;
+    };
+
+    for (std::uint32_t s = 0; s < shard_count; ++s) launch(s);
+
+    const auto all_done = [&] {
+        return std::all_of(workers.begin(), workers.end(),
+                           [](const WorkerState& w) { return w.done; });
+    };
+
+    std::vector<pollfd> pfds;
+    std::vector<std::uint32_t> pfd_shard;
+    while (!all_done()) {
+        pfds.clear();
+        pfd_shard.clear();
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            if (workers[s].running && workers[s].pipe_read >= 0) {
+                pfds.push_back(pollfd{workers[s].pipe_read, POLLIN, 0});
+                pfd_shard.push_back(s);
+            }
+        }
+        const int poll_ms =
+            static_cast<int>(std::max<std::int64_t>(options_.poll_interval.count(), 1));
+        (void)::poll(pfds.empty() ? nullptr : pfds.data(),
+                     static_cast<nfds_t>(pfds.size()), poll_ms);
+        const std::int64_t now = detail::steady_now_ns();
+
+        // Drain heartbeats.  Several beats can land inside one poll window;
+        // charge the average spacing to the cadence EWMA, as the per-cell
+        // watchdog does.
+        for (std::size_t i = 0; i < pfds.size(); ++i) {
+            if ((pfds[i].revents & POLLIN) == 0) continue;
+            WorkerState& w = workers[pfd_shard[i]];
+            unsigned char buf[256];
+            std::int64_t drained = 0;
+            ssize_t n = 0;
+            while ((n = ::read(w.pipe_read, buf, sizeof buf)) > 0) drained += n;
+            if (drained > 0) {
+                result.heartbeats += static_cast<std::uint64_t>(drained);
+                const std::int64_t gap = (now - w.last_beat_ns) / drained;
+                if (gap > 0) {
+                    ewma_interval_ns = ewma_interval_ns <= 0.0
+                                           ? static_cast<double>(gap)
+                                           : (1.0 - kEwmaAlpha) * ewma_interval_ns +
+                                                 kEwmaAlpha * static_cast<double>(gap);
+                }
+                w.last_beat_ns = now;
+                w.slow_flagged = false;
+            }
+        }
+
+        // Reap exits.
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            WorkerState& w = workers[s];
+            if (!w.running) continue;
+            int status = 0;
+            const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+            if (got != w.pid) continue;
+            if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+                w.running = false;
+                w.done = true;
+                result.workers[s].completed = true;
+                result.workers[s].last_status = status;
+                breaker.record(true);
+                emit(EventKind::kComplete, s, w.attempt, status, {});
+            } else {
+                fail(s, status, w.hang_killed, w.hang_killed ? "stalled" : "died");
+            }
+        }
+
+        // Stall / slow checks.
+        const std::int64_t timeout_ns = stall_timeout_ns();
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            WorkerState& w = workers[s];
+            if (!w.running || w.hang_killed) continue;
+            const std::int64_t silent_ns = now - w.last_beat_ns;
+            if (silent_ns > timeout_ns) {
+                // The worker still holds the shard journal open; SIGKILL is
+                // safe because every completed cell is already durable and
+                // the restart resumes from the journal.
+                ::kill(w.pid, SIGKILL);
+                w.hang_killed = true;
+            } else if (!w.slow_flagged && ewma_interval_ns > 0.0 &&
+                       static_cast<double>(silent_ns) >
+                           options_.slow_factor * ewma_interval_ns) {
+                w.slow_flagged = true;
+                ++result.workers[s].slow_flags;
+                emit(EventKind::kSlow, s, w.attempt, 0, "heartbeat lagging fleet cadence");
+            }
+        }
+
+        // Fire due restarts.
+        for (std::uint32_t s = 0; s < shard_count; ++s) {
+            WorkerState& w = workers[s];
+            if (!w.running && !w.done && w.restart_at_ns != 0 && now >= w.restart_at_ns) {
+                launch(s);
+            }
+        }
+    }
+
+    for (WorkerState& w : workers) {
+        if (w.pipe_read >= 0) ::close(w.pipe_read);
+        if (w.pipe_write >= 0) ::close(w.pipe_write);
+    }
+    result.all_completed = std::all_of(result.workers.begin(), result.workers.end(),
+                                       [](const WorkerReport& r) { return r.completed; });
+    result.effective_timeout = std::chrono::nanoseconds(stall_timeout_ns());
+    return result;
+}
+
+}  // namespace rfabm::exec

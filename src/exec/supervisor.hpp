@@ -1,0 +1,155 @@
+// Multi-process shard supervision: heartbeat pipes, crash/hang detection,
+// capped-backoff restarts, campaign-level degradation.
+//
+// The coordinator side of sharded campaign execution (see shard.hpp and
+// tools/rfabm_campaignd).  ShardSupervisor::supervise() launches one worker
+// process per shard through a caller-provided spawn callback and babysits
+// the fleet from a single poll() loop:
+//
+//   * liveness — each worker inherits the write end of a per-shard pipe and
+//     emits a heartbeat byte per unit of progress (HeartbeatEmitter); the
+//     supervisor drains the read ends and tracks per-shard last-beat times;
+//   * crash detection — waitpid(WNOHANG) catches workers that exited
+//     nonzero or died on a signal (SIGSEGV, SIGKILL, ...);
+//   * hang detection — a worker silent past the stall timeout is SIGKILLed
+//     and treated like a crash.  The timeout auto-tunes from the observed
+//     inter-beat cadence (EWMA x safety factor, floored at min_timeout)
+//     unless a fixed heartbeat_timeout overrides it; a worker silent past
+//     slow_factor x cadence is flagged slow (event only) before that;
+//   * restart — a crashed/hung worker is relaunched with resume semantics
+//     (its journal replays, so completed cells are never recomputed) under
+//     exponential backoff capped at backoff_cap, at most max_restarts times;
+//     a shard that keeps dying is given up on — its unfinished cells
+//     surface through the campaign's quarantine/triage accounting;
+//   * escalation — worker failures feed a sliding-window FailureBreaker;
+//     when it trips, subsequent (re)launches carry shed_optional so the
+//     remaining fleet degrades to mandatory-only work instead of burning
+//     the wall-clock budget on optional cells.
+//
+// Because every worker journals and every restart resumes, ANY interleaving
+// of crashes, hangs and restarts converges on the same set of journal
+// records — the merge (merge_shard_journals) then produces byte-identical
+// campaign output.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/triage.hpp"
+
+namespace rfabm::exec {
+
+/// Worker-side heartbeat: one byte per beat down an inherited pipe fd.
+/// Writes are non-blocking and failures (full pipe, closed peer) are
+/// ignored — a beat is a liveness hint, never a correctness dependency.
+class HeartbeatEmitter {
+  public:
+    /// @p fd is the pipe write end inherited from the coordinator; -1
+    /// disables emission (single-process runs).
+    explicit HeartbeatEmitter(int fd = -1);
+
+    void beat();
+    std::uint64_t beats() const { return beats_.load(std::memory_order_relaxed); }
+    bool enabled() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    std::atomic<std::uint64_t> beats_{0};
+};
+
+class ShardSupervisor {
+  public:
+    enum class EventKind {
+        kLaunch,       ///< worker (re)started
+        kComplete,     ///< worker exited 0
+        kCrash,        ///< worker exited nonzero or died on a signal
+        kHang,         ///< heartbeat stalled; worker SIGKILLed
+        kSlow,         ///< heartbeat lagging the fleet cadence (no action)
+        kGiveUp,       ///< restart budget exhausted for this shard
+        kBreakerTrip,  ///< escalation: subsequent launches shed optional work
+    };
+
+    struct Event {
+        EventKind kind;
+        std::uint32_t shard = 0;
+        int attempt = 0;      ///< 0-based launch attempt
+        int status = 0;       ///< raw waitpid status (exit/crash events)
+        std::string detail;
+    };
+
+    struct Options {
+        /// Restarts allowed per shard beyond the initial launch.
+        int max_restarts = 5;
+        std::chrono::milliseconds backoff_base{50};  ///< doubles per restart
+        std::chrono::milliseconds backoff_cap{2000};
+        /// Heartbeat stall timeout; 0 auto-tunes from the observed cadence
+        /// (EWMA x safety_factor, floored at min_timeout).
+        std::chrono::milliseconds heartbeat_timeout{0};
+        double safety_factor = 8.0;
+        std::chrono::milliseconds min_timeout{500};
+        /// A shard silent past slow_factor x cadence gets a kSlow event
+        /// (once per launch) before the stall timeout would kill it.
+        double slow_factor = 4.0;
+        std::chrono::milliseconds poll_interval{20};
+        /// Worker-level failure breaker: crashes/hangs count as failures,
+        /// clean completions as successes; tripping escalates to
+        /// shed_optional relaunches.
+        FailureBreaker::Options breaker{};
+        /// First launch of every shard already resumes (a coordinator
+        /// relaunched after its own crash finds shard journals on disk).
+        bool resume_first = false;
+        std::function<void(const Event&)> on_event;  ///< observer, may be null
+    };
+
+    /// One (re)launch request handed to the spawn callback.
+    struct Launch {
+        std::uint32_t shard = 0;
+        int attempt = 0;           ///< 0 on first launch, grows per restart
+        bool resume = false;       ///< replay the shard journal before running
+        bool shed_optional = false;///< breaker escalation in effect
+        int heartbeat_fd = -1;     ///< pipe write end the child must inherit
+    };
+
+    /// Fork/exec a worker for @p launch; return its pid, or -1 on failure
+    /// (counted like a crash).  The callback must leave heartbeat_fd open in
+    /// the child and close nothing the supervisor owns in the parent.
+    using Spawn = std::function<pid_t(const Launch&)>;
+
+    struct WorkerReport {
+        std::uint32_t shard = 0;
+        int launches = 0;
+        int crashes = 0;   ///< nonzero exits + signal deaths
+        int hangs = 0;     ///< stall kills among them
+        int slow_flags = 0;
+        bool completed = false;
+        bool gave_up = false;
+        int last_status = 0;
+    };
+
+    struct Result {
+        std::vector<WorkerReport> workers;
+        bool all_completed = false;
+        std::uint64_t restarts = 0;
+        bool breaker_tripped = false;
+        std::uint64_t heartbeats = 0;  ///< total beats drained
+        /// Auto-tuned stall timeout at the end of the run (diagnostic).
+        std::chrono::nanoseconds effective_timeout{0};
+    };
+
+    explicit ShardSupervisor(Options options);
+
+    /// Launch and babysit @p shard_count workers; block until every shard
+    /// completed or was given up on.  Not reentrant.
+    Result supervise(std::uint32_t shard_count, const Spawn& spawn);
+
+  private:
+    Options options_;
+};
+
+}  // namespace rfabm::exec

@@ -5,9 +5,13 @@
 
 namespace rfabm::exec {
 
-std::size_t TaskGraph::add(Body body, std::string label) {
-    nodes_.push_back(Node{std::move(body), std::move(label), {}, 0});
+std::size_t TaskGraph::add(Body body, std::string label, bool deferrable) {
+    nodes_.push_back(Node{std::move(body), std::move(label), {}, 0, deferrable});
     return nodes_.size() - 1;
+}
+
+void TaskGraph::set_defer_predicate(std::function<bool()> predicate) {
+    defer_predicate_ = std::move(predicate);
 }
 
 void TaskGraph::depends_on(std::size_t node, std::size_t dependency) {
@@ -25,6 +29,7 @@ TaskGraphResult TaskGraph::run(ThreadPool& pool, CancellationToken token) {
         std::mutex mutex;
         std::condition_variable done_cv;
         std::vector<std::size_t> remaining_deps;
+        std::vector<std::size_t> deferred;  ///< ready deferrable nodes, parked
         std::size_t unaccounted = 0;  ///< nodes not yet ran/skipped/failed
         std::size_t inflight = 0;     ///< nodes dispatched but unaccounted
         bool abort = false;  ///< failure observed: skip everything not started
@@ -35,8 +40,24 @@ TaskGraphResult TaskGraph::run(ThreadPool& pool, CancellationToken token) {
     for (const Node& n : nodes_) run.remaining_deps.push_back(n.dependency_count);
     run.unaccounted = nodes_.size();
 
+    // Called under run.mutex.  Route each newly ready node either to
+    // immediate dispatch or — deferrable node while the defer predicate
+    // holds — to the parked list.  Mandatory work therefore drains first
+    // when the campaign breaker has tripped.
+    auto admit = [&](const std::vector<std::size_t>& ready,
+                     std::vector<std::size_t>& to_dispatch) {
+        for (std::size_t id : ready) {
+            if (nodes_[id].deferrable && defer_predicate_ && defer_predicate_()) {
+                run.deferred.push_back(id);
+                ++run.result.deferred;
+            } else {
+                to_dispatch.push_back(id);
+            }
+        }
+    };
+
     std::function<void(std::size_t)> dispatch = [&](std::size_t id) {
-        pool.submit([this, &run, &dispatch, token, id] {
+        pool.submit([this, &run, &dispatch, &admit, token, id] {
             bool skip = false;
             {
                 std::lock_guard lock(run.mutex);
@@ -62,14 +83,25 @@ TaskGraphResult TaskGraph::run(ThreadPool& pool, CancellationToken token) {
             // Release successors whether we ran or skipped: skipping must
             // propagate so a cancelled graph still drains every node.
             std::vector<std::size_t> ready;
+            std::vector<std::size_t> to_dispatch;
             {
                 std::lock_guard lock(run.mutex);
                 for (std::size_t succ : nodes_[id].successors) {
                     if (--run.remaining_deps[succ] == 0) ready.push_back(succ);
                 }
                 --run.unaccounted;
-                run.inflight += ready.size();
+                admit(ready, to_dispatch);
+                run.inflight += to_dispatch.size();
                 --run.inflight;
+                if (run.inflight == 0 && !run.deferred.empty()) {
+                    // Mandatory work drained: flush the parked nodes.  They
+                    // dispatch unconditionally (no re-consulting the
+                    // predicate), so deferral can never livelock the run.
+                    to_dispatch.insert(to_dispatch.end(), run.deferred.begin(),
+                                       run.deferred.end());
+                    run.inflight += run.deferred.size();
+                    run.deferred.clear();
+                }
                 if (run.inflight == 0 && run.unaccounted > 0) {
                     // Nothing left in flight but nodes remain: a dependency
                     // cycle.  Account the remnant as skipped so run() never
@@ -79,7 +111,7 @@ TaskGraphResult TaskGraph::run(ThreadPool& pool, CancellationToken token) {
                 }
                 if (run.unaccounted == 0) run.done_cv.notify_all();
             }
-            for (std::size_t succ : ready) dispatch(succ);
+            for (std::size_t succ : to_dispatch) dispatch(succ);
         });
     };
 
@@ -91,8 +123,18 @@ TaskGraphResult TaskGraph::run(ThreadPool& pool, CancellationToken token) {
         run.result.skipped = nodes_.size();  // empty graph or one big cycle
         return run.result;
     }
-    run.inflight = roots.size();
-    for (std::size_t id : roots) dispatch(id);
+    std::vector<std::size_t> first_wave;
+    {
+        std::lock_guard lock(run.mutex);
+        admit(roots, first_wave);
+        if (first_wave.empty()) {
+            // Every root deferrable with the predicate already holding:
+            // flush immediately, or the graph would never start.
+            first_wave.swap(run.deferred);
+        }
+        run.inflight = first_wave.size();
+    }
+    for (std::size_t id : first_wave) dispatch(id);
 
     std::unique_lock lock(run.mutex);
     run.done_cv.wait(lock, [&] { return run.unaccounted == 0; });

@@ -31,6 +31,7 @@ struct TaskGraphResult {
     std::size_t ran = 0;      ///< bodies executed to completion
     std::size_t skipped = 0;  ///< cancelled (or downstream of a failure) before starting
     std::size_t failed = 0;   ///< bodies that threw
+    std::size_t deferred = 0; ///< ready nodes parked by the defer predicate
     bool cancelled = false;   ///< the token fired during the run
     std::exception_ptr first_error;  ///< first failure, for rethrowing
 
@@ -44,7 +45,19 @@ class TaskGraph {
     using Body = std::function<void(TaskContext&)>;
 
     /// Add a node; returns its id.  @p label is for error reporting only.
-    std::size_t add(Body body, std::string label = {});
+    /// A @p deferrable node is optional-priority: while the defer predicate
+    /// holds (e.g. the campaign failure breaker has tripped), the scheduler
+    /// parks it at the moment it becomes ready and spends the pool on
+    /// mandatory nodes instead; parked nodes are flushed — dispatched
+    /// unconditionally, so deferral can never livelock — once nothing
+    /// mandatory is left in flight.
+    std::size_t add(Body body, std::string label = {}, bool deferrable = false);
+
+    /// Install the deferral gate consulted each time a deferrable node
+    /// becomes ready.  Null (the default) means "never defer".  The
+    /// predicate is called under the scheduler lock: keep it O(1) (an
+    /// atomic/breaker read, not a lock acquisition).
+    void set_defer_predicate(std::function<bool()> predicate);
 
     /// Declare that @p node runs only after @p dependency completed.
     /// Edges must be added before run(); nodes trapped in a dependency cycle
@@ -64,9 +77,11 @@ class TaskGraph {
         std::string label;
         std::vector<std::size_t> successors;
         std::size_t dependency_count = 0;
+        bool deferrable = false;
     };
 
     std::vector<Node> nodes_;
+    std::function<bool()> defer_predicate_;
 };
 
 }  // namespace rfabm::exec

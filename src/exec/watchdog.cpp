@@ -1,6 +1,19 @@
 #include "exec/watchdog.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace rfabm::exec {
+
+namespace {
+
+/// EWMA smoothing weight for newly observed inter-beat intervals.  Heavy
+/// enough that a cadence shift (a campaign moving from fast AC sweeps to slow
+/// transient cells) re-tunes within a handful of beats, light enough that one
+/// anomalous gap does not swing the stall threshold.
+constexpr double kEwmaAlpha = 0.2;
+
+}  // namespace
 
 Watchdog::Watchdog() : Watchdog(Options()) {}
 
@@ -17,12 +30,31 @@ Watchdog::~Watchdog() {
     thread_.join();
 }
 
+std::int64_t Watchdog::auto_timeout_ns_locked() const {
+    const std::int64_t floor_ns = std::max<std::int64_t>(options_.min_timeout.count(), 1);
+    if (ewma_interval_ns_ <= 0.0) return floor_ns;
+    const double scaled = ewma_interval_ns_ * options_.safety_factor;
+    return std::max<std::int64_t>(floor_ns, static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+void Watchdog::observe_interval_locked(std::int64_t interval_ns) {
+    if (interval_ns <= 0) return;
+    const double sample = static_cast<double>(interval_ns);
+    ewma_interval_ns_ =
+        ewma_interval_ns_ <= 0.0 ? sample
+                                 : (1.0 - kEwmaAlpha) * ewma_interval_ns_ + kEwmaAlpha * sample;
+}
+
+std::chrono::nanoseconds Watchdog::auto_timeout() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::chrono::nanoseconds(auto_timeout_ns_locked());
+}
+
 Watchdog::Ticket Watchdog::arm(CancellationSource source, std::chrono::nanoseconds timeout,
                                const std::atomic<std::uint64_t>* heartbeat) {
     Entry entry;
     entry.source = std::move(source);
-    entry.timeout_ns = timeout.count();
-    entry.deadline_ns = detail::steady_now_ns() + entry.timeout_ns;
+    entry.timeout_ns = timeout.count() > 0 ? timeout.count() : 0;  // 0: auto-tuned
     entry.heartbeat = heartbeat;
     entry.last_beat =
         heartbeat != nullptr ? heartbeat->load(std::memory_order_relaxed) : 0;
@@ -30,6 +62,11 @@ Watchdog::Ticket Watchdog::arm(CancellationSource source, std::chrono::nanosecon
     Ticket ticket = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        const std::int64_t now = detail::steady_now_ns();
+        const std::int64_t effective =
+            entry.timeout_ns > 0 ? entry.timeout_ns : auto_timeout_ns_locked();
+        entry.deadline_ns = now + effective;
+        entry.last_beat_ns = now;
         ticket = next_ticket_++;
         entries_.emplace(ticket, std::move(entry));
     }
@@ -54,13 +91,35 @@ void Watchdog::run() {
                 const std::uint64_t beat = entry.heartbeat->load(std::memory_order_relaxed);
                 if (beat != entry.last_beat) {
                     // Progress since the last sweep: the task is slow, not
-                    // hung.  Restart its window.
+                    // hung.  Restart its window, and feed the observed beat
+                    // spacing into the cadence EWMA.  When several beats
+                    // landed inside one poll interval, charge the average
+                    // spacing rather than the whole sweep gap.
+                    const std::uint64_t delta = beat - entry.last_beat;
+                    const std::int64_t gap = now - entry.last_beat_ns;
+                    if (options_.auto_tune && delta > 0) {
+                        observe_interval_locked(gap / static_cast<std::int64_t>(delta));
+                    }
                     entry.last_beat = beat;
-                    entry.deadline_ns = now + entry.timeout_ns;
+                    entry.last_beat_ns = now;
+                    entry.deadline_ns =
+                        now + (entry.timeout_ns > 0 ? entry.timeout_ns
+                                                    : auto_timeout_ns_locked());
                     continue;
                 }
             }
             if (now >= entry.deadline_ns) {
+                // An auto-tuned entry's deadline was set from the EWMA at its
+                // last beat; if the cadence estimate has since grown (other
+                // tasks beating slower), honour the current, larger window
+                // before declaring a stall.
+                if (entry.timeout_ns == 0) {
+                    const std::int64_t fresh = entry.last_beat_ns + auto_timeout_ns_locked();
+                    if (now < fresh) {
+                        entry.deadline_ns = fresh;
+                        continue;
+                    }
+                }
                 // Expire the task's deadline rather than cancel() it so the
                 // token reports a deadline reason — the measurement pipeline
                 // maps that to kTimedOut instead of a generic failure.

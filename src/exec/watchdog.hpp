@@ -30,6 +30,15 @@ class Watchdog {
         /// Monitor wake-up cadence.  Effective timeout resolution: a hung
         /// task is fired within one poll interval of its deadline.
         std::chrono::nanoseconds poll_interval = std::chrono::milliseconds(20);
+        /// Auto-tune stall timeouts from the observed heartbeat cadence: a
+        /// task armed with timeout <= 0 gets `EWMA(inter-beat interval) *
+        /// safety_factor`, clamped below by min_timeout, re-derived on every
+        /// observed beat.  Until any cadence is observed, min_timeout holds.
+        /// Tasks armed with an explicit positive timeout keep it — the flag
+        /// stays a per-task override.
+        bool auto_tune = false;
+        double safety_factor = 8.0;
+        std::chrono::nanoseconds min_timeout = std::chrono::milliseconds(50);
     };
 
     using Ticket = std::uint64_t;
@@ -56,14 +65,24 @@ class Watchdog {
     /// Number of tasks fired over the watchdog's lifetime.
     std::uint64_t fires() const { return fires_.load(std::memory_order_relaxed); }
 
-    /// RAII supervision for one attempt.  A null watchdog or zero timeout
-    /// degrades to "no supervision" so callers need no branching.
+    /// Whether arm() with timeout <= 0 derives a timeout from the observed
+    /// heartbeat cadence instead of meaning "unsupervised".
+    bool auto_enabled() const { return options_.auto_tune; }
+
+    /// Current auto-tuned stall timeout: EWMA inter-beat interval times the
+    /// safety factor, never below min_timeout.  min_timeout until the first
+    /// cadence sample arrives.
+    std::chrono::nanoseconds auto_timeout() const;
+
+    /// RAII supervision for one attempt.  A null watchdog degrades to "no
+    /// supervision"; so does a zero timeout, unless the watchdog auto-tunes
+    /// (then zero means "derive my timeout from the heartbeat cadence").
     class Guard {
       public:
         Guard(Watchdog* dog, const CancellationSource& source, std::chrono::nanoseconds timeout,
               const std::atomic<std::uint64_t>* heartbeat = nullptr)
             : dog_(dog) {
-            if (dog_ != nullptr && timeout.count() > 0) {
+            if (dog_ != nullptr && (timeout.count() > 0 || dog_->auto_enabled())) {
                 ticket_ = dog_->arm(source, timeout, heartbeat);
             }
         }
@@ -82,13 +101,16 @@ class Watchdog {
     struct Entry {
         CancellationSource source;
         std::int64_t deadline_ns = 0;
-        std::int64_t timeout_ns = 0;
+        std::int64_t timeout_ns = 0;      ///< 0: auto-tuned, re-derived each sweep
         const std::atomic<std::uint64_t>* heartbeat = nullptr;
         std::uint64_t last_beat = 0;
+        std::int64_t last_beat_ns = 0;    ///< when the window last restarted
         bool fired = false;
     };
 
     void run();
+    std::int64_t auto_timeout_ns_locked() const;
+    void observe_interval_locked(std::int64_t interval_ns);
 
     Options options_;
     mutable std::mutex mutex_;
@@ -96,6 +118,9 @@ class Watchdog {
     std::unordered_map<Ticket, Entry> entries_;
     Ticket next_ticket_ = 1;
     bool stop_ = false;
+    /// EWMA of observed inter-beat intervals across all supervised tasks
+    /// (ns; 0 until the first sample).  Guarded by mutex_.
+    double ewma_interval_ns_ = 0.0;
     std::atomic<std::uint64_t> fires_{0};
     std::thread thread_;
 };

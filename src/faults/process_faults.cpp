@@ -3,6 +3,8 @@
 #include <csignal>
 #include <thread>
 
+#include "core/measurement.hpp"
+
 namespace rfabm::faults {
 
 std::string CrashPointFault::describe() const {
@@ -23,6 +25,41 @@ void CrashPointFault::do_arm() {
 }
 
 void CrashPointFault::do_disarm() { writer_.set_append_hook(nullptr); }
+
+std::string CrashAtCalibrationPublish::describe() const {
+    return "SIGKILL the process when calibration publish " + std::to_string(crash_after_) +
+           " lands in the cache (calibration visible, nothing of it journaled)";
+}
+
+void CrashAtCalibrationPublish::do_arm() {
+    const std::uint64_t crash_after = crash_after_;
+    cache_.set_publish_hook([crash_after](std::uint64_t published) {
+        if (published >= crash_after) std::raise(SIGKILL);
+    });
+}
+
+void CrashAtCalibrationPublish::do_disarm() { cache_.set_publish_hook(nullptr); }
+
+std::uint64_t CrashAtSessionOpen::crash_after_armed_ = 0;
+
+std::string CrashAtSessionOpen::describe() const {
+    return "SIGKILL the process when TAP session " + std::to_string(crash_after_) +
+           " is opened (session state established, nothing of it journaled)";
+}
+
+void CrashAtSessionOpen::hook(std::uint64_t opened) {
+    if (crash_after_armed_ != 0 && opened >= crash_after_armed_) std::raise(SIGKILL);
+}
+
+void CrashAtSessionOpen::do_arm() {
+    crash_after_armed_ = crash_after_;
+    rfabm::core::MeasurementController::set_session_open_hook(&CrashAtSessionOpen::hook);
+}
+
+void CrashAtSessionOpen::do_disarm() {
+    crash_after_armed_ = 0;
+    rfabm::core::MeasurementController::set_session_open_hook(nullptr);
+}
 
 std::string HangSolverFault::describe() const {
     return "transient solver wedges after its next accepted step until the attempt's "

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "circuit/transient.hpp"
+#include "exec/calibration_cache.hpp"
 #include "exec/journal.hpp"
 #include "faults/fault.hpp"
 
@@ -40,6 +41,53 @@ class CrashPointFault : public FaultInjector {
 
   private:
     rfabm::exec::JournalWriter& writer_;
+    std::uint64_t crash_after_;
+};
+
+/// SIGKILLs the process when the calibration cache publishes its Nth freshly
+/// computed calibration — the moment a die's tuning is visible to other
+/// tasks but no measurement of it is journaled yet.  A resumed campaign must
+/// recalibrate (the cache is in-memory) and still converge byte-identically.
+class CrashAtCalibrationPublish : public FaultInjector {
+  public:
+    CrashAtCalibrationPublish(rfabm::exec::CalibrationCache& cache, std::uint64_t crash_after)
+        : FaultInjector("crash-cal-publish@" + std::to_string(crash_after),
+                        FaultClass::kCrashPoint),
+          cache_(cache), crash_after_(crash_after) {}
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    rfabm::exec::CalibrationCache& cache_;
+    std::uint64_t crash_after_;
+};
+
+/// SIGKILLs the process when the Nth 1149.4 TAP measurement session is
+/// opened (process-wide hook on MeasurementController::open_session) — the
+/// chip already holds session state (PROBE loaded, TBIC connected, detectors
+/// powered) but the session has produced nothing journalable.  The exact
+/// boundary where an interrupted cell must be re-run from scratch on resume.
+class CrashAtSessionOpen : public FaultInjector {
+  public:
+    explicit CrashAtSessionOpen(std::uint64_t crash_after)
+        : FaultInjector("crash-session-open@" + std::to_string(crash_after),
+                        FaultClass::kCrashPoint),
+          crash_after_(crash_after) {}
+
+    std::string describe() const override;
+
+  protected:
+    void do_arm() override;
+    void do_disarm() override;
+
+  private:
+    static void hook(std::uint64_t opened);
+    static std::uint64_t crash_after_armed_;  ///< one armed instance per process
+
     std::uint64_t crash_after_;
 };
 

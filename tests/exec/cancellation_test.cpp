@@ -62,10 +62,10 @@ TEST(Campaign, CancelMidRunDrainsWithoutLeakingTasks) {
     for (auto& die : dies) {
         die.calibrate = [&](TaskContext&) { ran.fetch_add(1); };
         for (int m = 0; m < 3; ++m) {
-            die.measurements.push_back([&](TaskContext&) {
+            die.measurements.push_back({[&](TaskContext&) {
                 ran.fetch_add(1);
                 source.cancel();
-            });
+            }});
         }
     }
     const TaskGraphResult r = run_campaign(pool, dies, source.token(), &metrics);
@@ -83,7 +83,7 @@ TEST(Campaign, SerialPathHonoursPreCancelledToken) {
     std::atomic<int> ran{0};
     std::vector<DieChain> dies(3);
     for (auto& die : dies) {
-        die.measurements.push_back([&](TaskContext&) { ran.fetch_add(1); });
+        die.measurements.push_back({[&](TaskContext&) { ran.fetch_add(1); }});
     }
     CampaignOptions opts;
     opts.jobs = 1;

@@ -23,12 +23,12 @@ std::vector<double> run_synthetic(std::size_t jobs, std::size_t num_dies,
     for (std::size_t d = 0; d < num_dies; ++d) {
         for (std::size_t m = 0; m < num_measurements; ++m) {
             const std::size_t slot = d * num_measurements + m;
-            chains[d].measurements.push_back([&results, slot, seed](TaskContext&) {
+            chains[d].measurements.push_back({[&results, slot, seed](TaskContext&) {
                 rfabm::rf::Xoshiro256 rng(substream_seed(seed, slot));
                 double acc = 0.0;
                 for (int i = 0; i < 100; ++i) acc += rng.normal();
                 results[slot] = acc;
-            });
+            }});
         }
     }
     CampaignOptions opts;

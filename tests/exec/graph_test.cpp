@@ -129,6 +129,61 @@ TEST(TaskGraph, EmptyGraphCompletesImmediately) {
     EXPECT_EQ(r.accounted(), 0u);
 }
 
+TEST(TaskGraph, DeferrableNodesParkWhilePredicateHoldsThenFlush) {
+    ThreadPool pool(four_workers());
+    TaskGraph graph;
+    std::atomic<bool> defer{true};
+    std::atomic<int> mandatory_done{0};
+    std::vector<std::size_t> deferred_ids;
+    // Two mandatory nodes; once both finish, the predicate clears — the
+    // parked optional node must then run, not starve.
+    const std::size_t m1 = graph.add([&](TaskContext&) {
+        if (mandatory_done.fetch_add(1) + 1 == 2) defer.store(false);
+    });
+    const std::size_t m2 = graph.add([&](TaskContext&) {
+        if (mandatory_done.fetch_add(1) + 1 == 2) defer.store(false);
+    });
+    std::atomic<bool> optional_ran{false};
+    const std::size_t opt =
+        graph.add([&](TaskContext&) { optional_ran.store(true); }, "optional", true);
+    (void)m1;
+    (void)m2;
+    (void)opt;
+    graph.set_defer_predicate([&] { return defer.load(); });
+
+    const TaskGraphResult r = graph.run(pool);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.ran, 3u);
+    EXPECT_TRUE(optional_ran.load());
+    EXPECT_GE(r.deferred, 1u);  // it really was parked at least once
+}
+
+TEST(TaskGraph, AllRootsDeferrableStillMakesProgress) {
+    // Livelock guard: when everything ready is deferrable and the predicate
+    // never clears, the flush path must run the parked work anyway.
+    ThreadPool pool(four_workers());
+    TaskGraph graph;
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 3; ++i) {
+        graph.add([&](TaskContext&) { ran.fetch_add(1); }, "opt", true);
+    }
+    graph.set_defer_predicate([] { return true; });
+    const TaskGraphResult r = graph.run(pool);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.ran, 3u);
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(TaskGraph, DeferrableWithoutPredicateRunsNormally) {
+    ThreadPool pool(four_workers());
+    TaskGraph graph;
+    std::atomic<int> ran{0};
+    graph.add([&](TaskContext&) { ran.fetch_add(1); }, "opt", true);
+    const TaskGraphResult r = graph.run(pool);
+    EXPECT_EQ(r.ran, 1u);
+    EXPECT_EQ(r.deferred, 0u);
+}
+
 TEST(TaskGraph, ReRunResetsState) {
     ThreadPool pool(four_workers());
     TaskGraph graph;

@@ -187,19 +187,45 @@ TEST_F(JournalTest, CheckpointCadenceAndStats) {
     EXPECT_EQ(last_hook, 5u);
 }
 
-TEST_F(JournalTest, DuplicateKeyKeepsAppendOrder) {
+TEST_F(JournalTest, DuplicateKeyLastRecordWins) {
     // A crash can land between "record appended" and the campaign's bookkeeping,
     // so a resumed run may re-append a key the journal already holds.  Replay
-    // serves records in append order so a consumer building a map keeps the
-    // newest (see find_cell above, which mirrors the resilient driver).
+    // deduplicates with last-record-wins and counts the folded-away duplicate
+    // so the resilient driver knows the journal is worth compacting.
     JournalWriter writer;
     ASSERT_TRUE(writer.open_fresh(path_, {}));
     writer.append_cell(make_record(0, 0, 0, {1.0}));
     writer.append_cell(make_record(0, 0, 0, {2.0}));
     writer.close();
     const JournalReplay replay = replay_journal(path_, 0);
-    ASSERT_EQ(replay.cells.size(), 2u);
+    ASSERT_EQ(replay.cells.size(), 1u);
+    EXPECT_EQ(replay.superseded_records, 1u);
     EXPECT_EQ(find_cell(replay, {0, 0, 0})->payload, std::vector<double>{2.0});
+}
+
+TEST_F(JournalTest, AttemptRecordsReplayForOpenCellsOnly) {
+    // Attempt tallies persist the per-cell retry budget across process
+    // restarts — but only for cells that never completed nor quarantined; a
+    // later cell/quarantine record supersedes them.
+    JournalWriter writer;
+    ASSERT_TRUE(writer.open_fresh(path_, {}));
+    writer.append_attempt({0, 0, 0}, 1);
+    writer.append_attempt({0, 0, 0}, 2);   // max wins
+    writer.append_attempt({0, 1, 0}, 1);
+    writer.append_cell(make_record(0, 1, 0, {3.0}));  // completes: tally folded
+    writer.append_attempt({0, 2, 0}, 1);
+    writer.append_quarantine({0, 2, 0}, 2);  // quarantined: tally folded
+    const JournalStats stats = writer.stats();
+    writer.close();
+    EXPECT_EQ(stats.attempt_records, 4u);
+
+    const JournalReplay replay = replay_journal(path_, 0);
+    ASSERT_EQ(replay.attempts.size(), 1u);
+    EXPECT_EQ(replay.attempts[0].first, (CellKey{0, 0, 0}));
+    EXPECT_EQ(replay.attempts[0].second, 2u);
+    ASSERT_EQ(replay.cells.size(), 1u);
+    ASSERT_EQ(replay.quarantined.size(), 1u);
+    EXPECT_GE(replay.superseded_records, 3u);  // dup attempt + 2 folded tallies
 }
 
 }  // namespace

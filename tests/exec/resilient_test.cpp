@@ -289,6 +289,157 @@ TEST_F(ResilientCampaignTest, TrippedBreakerShedsOptionalCellsOnly) {
     EXPECT_TRUE(result.triage.breaker_tripped);
 }
 
+TEST_F(ResilientCampaignTest, AttemptBudgetPersistsAcrossProcessRestarts) {
+    // A previous incarnation burned 2 of 3 attempts on this cell (journaled
+    // as attempt tallies), then crashed.  The resumed campaign must grant
+    // only the one remaining attempt before quarantining.
+    {
+        JournalWriter w;
+        JournalWriter::Options jopts;
+        jopts.campaign_id = 42;
+        ASSERT_TRUE(w.open_fresh(path, jopts));
+        w.append_attempt({0, 0, 0}, 2);
+        w.close();
+    }
+    std::vector<ResilientChain> chains(1);
+    ResilientCell bad;
+    bad.key = {0, 0, 0};
+    bad.compute = [this](const CellAttempt& attempt) -> CellComputeResult {
+        computes.fetch_add(1);
+        EXPECT_EQ(attempt.attempt, 2) << "attempt index continues across restarts";
+        throw std::runtime_error("still broken");
+    };
+    bad.deliver = [](const std::vector<double>&, CellOutcome, bool) {};
+    chains[0].cells.push_back(std::move(bad));
+
+    CampaignOptions copts;
+    copts.jobs = 1;
+    ResilienceOptions ropts = journaled();
+    ropts.resume = true;
+    ropts.max_cell_attempts = 3;
+    const ResilientResult result = run_resilient_campaign(chains, copts, ropts);
+    EXPECT_EQ(computes.load(), 1) << "2 of 3 attempts already burned before the restart";
+    ASSERT_EQ(result.triage.quarantined_cells.size(), 1u);
+    EXPECT_EQ(result.triage.quarantined_cells[0].first, (CellKey{0, 0, 0}));
+    EXPECT_EQ(result.triage.quarantined_cells[0].second, 3u) << "total across restarts";
+}
+
+TEST_F(ResilientCampaignTest, ExhaustedBudgetQuarantinesWithoutRunning) {
+    // The crashed incarnations already spent the whole budget: the resumed
+    // campaign must bench the cell outright — a crash-looping cell cannot
+    // take the worker down a third time.
+    {
+        JournalWriter w;
+        JournalWriter::Options jopts;
+        jopts.campaign_id = 42;
+        ASSERT_TRUE(w.open_fresh(path, jopts));
+        w.append_attempt({0, 0, 0}, 2);
+        w.close();
+    }
+    std::vector<ResilientChain> chains(1);
+    ResilientCell cell;
+    cell.key = {0, 0, 0};
+    cell.compute = [this](const CellAttempt&) {
+        computes.fetch_add(1);  // would succeed — but must never get the chance
+        return CellComputeResult{{1.0}, CellOutcome::kOk};
+    };
+    cell.deliver = [](const std::vector<double>&, CellOutcome, bool) {};
+    chains[0].cells.push_back(std::move(cell));
+
+    CampaignOptions copts;
+    copts.jobs = 1;
+    ResilienceOptions ropts = journaled();
+    ropts.resume = true;
+    ropts.max_cell_attempts = 2;
+    const ResilientResult result = run_resilient_campaign(chains, copts, ropts);
+    EXPECT_EQ(computes.load(), 0);
+    EXPECT_EQ(result.triage.count(CellOutcome::kQuarantined), 1u);
+}
+
+TEST_F(ResilientCampaignTest, ResumeCompactsAttemptLitteredJournal) {
+    // First run: a flaky cell leaves an attempt tally behind its eventual
+    // completion record.  The resumed run must compact that litter away so
+    // replay cost stays O(cells), and still replay everything.
+    {
+        std::vector<ResilientChain> chains(1);
+        ResilientCell flaky;
+        flaky.key = {0, 0, 0};
+        flaky.compute = [this](const CellAttempt& attempt) {
+            computes.fetch_add(1);
+            if (attempt.attempt == 0) throw std::runtime_error("transient");
+            return CellComputeResult{{5.0}, CellOutcome::kOk};
+        };
+        flaky.deliver = [](const std::vector<double>&, CellOutcome, bool) {};
+        chains[0].cells.push_back(std::move(flaky));
+        CampaignOptions copts;
+        copts.jobs = 1;
+        ResilienceOptions ropts = journaled();
+        ropts.max_cell_attempts = 2;
+        run_resilient_campaign(chains, copts, ropts);
+    }
+    ASSERT_GE(replay_journal(path, 42).superseded_records, 1u) << "litter expected";
+
+    auto chains = make_chains(1, 1);
+    CampaignOptions copts;
+    copts.jobs = 1;
+    ResilienceOptions ropts = journaled();
+    ropts.resume = true;
+    const ResilientResult resumed = run_resilient_campaign(chains, copts, ropts);
+    EXPECT_EQ(resumed.triage.count(CellOutcome::kReplayed), 1u);
+    const JournalReplay after = replay_journal(path, 42);
+    EXPECT_EQ(after.superseded_records, 0u) << "resume must compact the journal";
+    ASSERT_EQ(after.cells.size(), 1u);
+    EXPECT_EQ(after.cells[0].payload, std::vector<double>{5.0});
+}
+
+TEST_F(ResilientCampaignTest, DeferredOptionalCellsRunWhenBreakerRecovers) {
+    // Breaker-aware scheduling: optional cells hitting a tripped breaker are
+    // *deferred*, not immediately shed — if the breaker recovers while
+    // mandatory work drains, the parked cells still run.
+    std::vector<ResilientChain> chains(1);
+    std::atomic<int> optional_ran{0};
+    for (std::uint32_t i = 0; i < 4; ++i) {  // trip the breaker
+        ResilientCell bad;
+        bad.key = {0, i, 0};
+        bad.compute = [](const CellAttempt&) -> CellComputeResult {
+            throw std::runtime_error("hard failure");
+        };
+        bad.deliver = [](const std::vector<double>&, CellOutcome, bool) {};
+        chains[0].cells.push_back(std::move(bad));
+    }
+    for (std::uint32_t i = 4; i < 6; ++i) {  // optional: deferred while tripped
+        ResilientCell opt;
+        opt.key = {0, i, 0};
+        opt.optional = true;
+        opt.compute = [&optional_ran](const CellAttempt&) {
+            optional_ran.fetch_add(1);
+            return CellComputeResult{{1.0}, CellOutcome::kOk};
+        };
+        opt.deliver = [](const std::vector<double>&, CellOutcome, bool) {};
+        chains[0].cells.push_back(std::move(opt));
+    }
+    for (std::uint32_t i = 6; i < 12; ++i) {  // recovery: failure rate drops
+        ResilientCell good;
+        good.key = {0, i, 0};
+        good.compute = [](const CellAttempt&) { return CellComputeResult{{2.0}, CellOutcome::kOk}; };
+        good.deliver = [](const std::vector<double>&, CellOutcome, bool) {};
+        chains[0].cells.push_back(std::move(good));
+    }
+
+    CampaignOptions copts;
+    copts.jobs = 1;
+    ResilienceOptions ropts;
+    ropts.max_cell_attempts = 1;
+    ropts.breaker.window = 8;
+    ropts.breaker.min_samples = 4;
+    ropts.breaker.threshold = 0.5;
+    const ResilientResult result = run_resilient_campaign(chains, copts, ropts);
+    EXPECT_TRUE(result.triage.breaker_tripped) << "the breaker really tripped mid-run";
+    EXPECT_EQ(optional_ran.load(), 2) << "deferred cells run once the breaker recovers";
+    EXPECT_EQ(result.triage.count(CellOutcome::kShed), 0u);
+    EXPECT_EQ(result.triage.count(CellOutcome::kOk), 8u);
+}
+
 TEST_F(ResilientCampaignTest, WatchdogReclaimsStalledCell) {
     std::vector<ResilientChain> chains(1);
     ResilientCell stuck;

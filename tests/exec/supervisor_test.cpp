@@ -1,0 +1,206 @@
+// ShardSupervisor: heartbeat liveness, crash/hang restarts, give-up and
+// breaker escalation — against real forked /bin/sh workers.
+#include "exec/supervisor.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rfabm::exec {
+namespace {
+
+using Event = ShardSupervisor::Event;
+using EventKind = ShardSupervisor::EventKind;
+using Launch = ShardSupervisor::Launch;
+
+/// fork + exec `/bin/sh -c script` with the launch's heartbeat pipe on fd 3,
+/// so scripts beat with `printf x >&3`.  Stdio goes to /dev/null: an orphaned
+/// grandchild (sh forks `sleep`, the supervisor SIGKILLs sh) must not keep
+/// the test's output pipes open and stall ctest until the sleep expires.
+pid_t spawn_sh(const Launch& launch, const std::string& script) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    const int null_fd = ::open("/dev/null", O_RDWR);
+    if (null_fd >= 0) {
+        ::dup2(null_fd, 0);
+        ::dup2(null_fd, 1);
+        ::dup2(null_fd, 2);
+        if (null_fd > 2) ::close(null_fd);
+    }
+    if (launch.heartbeat_fd >= 0) ::dup2(launch.heartbeat_fd, 3);
+    ::execl("/bin/sh", "sh", "-c", script.c_str(), static_cast<char*>(nullptr));
+    std::_Exit(127);
+}
+
+/// Collects supervisor events thread-safely (on_event runs on the
+/// supervising thread, but keep the pattern honest).
+struct EventLog {
+    std::mutex mu;
+    std::vector<Event> events;
+
+    std::function<void(const Event&)> sink() {
+        return [this](const Event& e) {
+            const std::lock_guard<std::mutex> lock(mu);
+            events.push_back(e);
+        };
+    }
+    int count(EventKind kind) {
+        const std::lock_guard<std::mutex> lock(mu);
+        int n = 0;
+        for (const Event& e : events) {
+            if (e.kind == kind) ++n;
+        }
+        return n;
+    }
+};
+
+TEST(SupervisorTest, CleanFleetCompletesWithoutRestarts) {
+    EventLog log;
+    ShardSupervisor::Options opts;
+    opts.poll_interval = std::chrono::milliseconds(5);
+    opts.on_event = log.sink();
+    ShardSupervisor sup(opts);
+
+    const auto result = sup.supervise(3, [](const Launch& launch) {
+        return spawn_sh(launch, "printf x >&3; printf x >&3; exit 0");
+    });
+
+    EXPECT_TRUE(result.all_completed);
+    EXPECT_EQ(result.restarts, 0u);
+    EXPECT_FALSE(result.breaker_tripped);
+    EXPECT_GE(result.heartbeats, 6u);
+    ASSERT_EQ(result.workers.size(), 3u);
+    for (const auto& w : result.workers) {
+        EXPECT_TRUE(w.completed);
+        EXPECT_FALSE(w.gave_up);
+        EXPECT_EQ(w.crashes, 0);
+        EXPECT_EQ(w.launches, 1);
+    }
+    EXPECT_EQ(log.count(EventKind::kLaunch), 3);
+    EXPECT_EQ(log.count(EventKind::kComplete), 3);
+    EXPECT_EQ(log.count(EventKind::kCrash), 0);
+}
+
+TEST(SupervisorTest, CrashedWorkerRestartsWithResume) {
+    EventLog log;
+    ShardSupervisor::Options opts;
+    opts.poll_interval = std::chrono::milliseconds(5);
+    opts.backoff_base = std::chrono::milliseconds(10);
+    opts.on_event = log.sink();
+    ShardSupervisor sup(opts);
+
+    bool resumed_launch_seen = false;
+    const auto result = sup.supervise(2, [&](const Launch& launch) {
+        // Shard 1 dies on its first attempt; its relaunch must carry resume
+        // so the worker replays its journal instead of recomputing.
+        if (launch.shard == 1 && launch.attempt == 0) {
+            return spawn_sh(launch, "exit 1");
+        }
+        if (launch.shard == 1 && launch.attempt > 0) {
+            EXPECT_TRUE(launch.resume);
+            resumed_launch_seen = true;
+        }
+        return spawn_sh(launch, "printf x >&3; exit 0");
+    });
+
+    EXPECT_TRUE(result.all_completed);
+    EXPECT_EQ(result.restarts, 1u);
+    EXPECT_TRUE(resumed_launch_seen);
+    ASSERT_EQ(result.workers.size(), 2u);
+    EXPECT_EQ(result.workers[0].crashes, 0);
+    EXPECT_EQ(result.workers[1].crashes, 1);
+    EXPECT_TRUE(result.workers[1].completed);
+    EXPECT_EQ(result.workers[1].launches, 2);
+    EXPECT_EQ(log.count(EventKind::kCrash), 1);
+}
+
+TEST(SupervisorTest, HungWorkerIsKilledAndRestarted) {
+    EventLog log;
+    ShardSupervisor::Options opts;
+    opts.poll_interval = std::chrono::milliseconds(5);
+    opts.backoff_base = std::chrono::milliseconds(10);
+    opts.heartbeat_timeout = std::chrono::milliseconds(300);  // fixed: no warmup
+    opts.on_event = log.sink();
+    ShardSupervisor sup(opts);
+
+    const auto result = sup.supervise(1, [](const Launch& launch) {
+        if (launch.attempt == 0) {
+            // One beat, then silence: a stall, not slowness.
+            return spawn_sh(launch, "printf x >&3; sleep 5");
+        }
+        return spawn_sh(launch, "printf x >&3; exit 0");
+    });
+
+    EXPECT_TRUE(result.all_completed);
+    ASSERT_EQ(result.workers.size(), 1u);
+    EXPECT_GE(result.workers[0].hangs, 1);
+    EXPECT_TRUE(result.workers[0].completed);
+    EXPECT_GE(log.count(EventKind::kHang), 1);
+}
+
+TEST(SupervisorTest, RepeatCrasherIsGivenUpOn) {
+    EventLog log;
+    ShardSupervisor::Options opts;
+    opts.poll_interval = std::chrono::milliseconds(5);
+    opts.backoff_base = std::chrono::milliseconds(5);
+    opts.max_restarts = 1;
+    opts.on_event = log.sink();
+    ShardSupervisor sup(opts);
+
+    const auto result = sup.supervise(1, [](const Launch& launch) {
+        return spawn_sh(launch, "exit 2");
+    });
+
+    EXPECT_FALSE(result.all_completed);
+    ASSERT_EQ(result.workers.size(), 1u);
+    EXPECT_TRUE(result.workers[0].gave_up);
+    EXPECT_FALSE(result.workers[0].completed);
+    EXPECT_EQ(result.workers[0].crashes, 2);  // initial launch + one restart
+    EXPECT_EQ(log.count(EventKind::kGiveUp), 1);
+}
+
+TEST(SupervisorTest, BreakerTripEscalatesToShedOptionalRelaunches) {
+    EventLog log;
+    ShardSupervisor::Options opts;
+    opts.poll_interval = std::chrono::milliseconds(5);
+    opts.backoff_base = std::chrono::milliseconds(5);
+    opts.max_restarts = 6;
+    opts.breaker.window = 4;
+    opts.breaker.min_samples = 2;
+    opts.breaker.threshold = 0.5;
+    opts.on_event = log.sink();
+    ShardSupervisor sup(opts);
+
+    // The worker keeps crashing until the breaker trips and the relaunch
+    // arrives with shed_optional — the degraded mode "succeeds".
+    const auto result = sup.supervise(1, [](const Launch& launch) {
+        if (launch.shed_optional) {
+            return spawn_sh(launch, "printf x >&3; exit 0");
+        }
+        return spawn_sh(launch, "exit 1");
+    });
+
+    EXPECT_TRUE(result.breaker_tripped);
+    EXPECT_TRUE(result.all_completed);
+    ASSERT_EQ(result.workers.size(), 1u);
+    EXPECT_TRUE(result.workers[0].completed);
+    EXPECT_GE(result.workers[0].crashes, 2);
+    EXPECT_GE(log.count(EventKind::kBreakerTrip), 1);
+}
+
+TEST(SupervisorTest, HeartbeatEmitterDisabledWithoutFd) {
+    HeartbeatEmitter emitter;  // -1: the single-process path
+    EXPECT_FALSE(emitter.enabled());
+    emitter.beat();
+    emitter.beat();
+    EXPECT_EQ(emitter.beats(), 2u);  // counting still works, no fd writes
+}
+
+}  // namespace
+}  // namespace rfabm::exec

@@ -109,5 +109,71 @@ TEST(WatchdogTest, SupervisesManyAttemptsIndependently) {
     dog.disarm(t3);
 }
 
+TEST(WatchdogTest, AutoTuneDerivesStallTimeoutFromHeartbeatCadence) {
+    Watchdog::Options opts = fast_poll();
+    opts.auto_tune = true;
+    opts.safety_factor = 6.0;
+    opts.min_timeout = 10ms;
+    Watchdog dog{opts};
+    ASSERT_TRUE(dog.auto_enabled());
+
+    CancellationSource source;
+    std::atomic<std::uint64_t> beat{0};
+    // timeout <= 0 with auto_tune on means "derive it from the cadence".
+    const auto ticket = dog.arm(source, 0ms, &beat);
+    const auto until = std::chrono::steady_clock::now() + 300ms;
+    while (std::chrono::steady_clock::now() < until) {
+        beat.fetch_add(1);
+        std::this_thread::sleep_for(5ms);
+        ASSERT_FALSE(source.token().deadline_expired()) << "fired despite heartbeat";
+    }
+    // The observed cadence is ~5ms/beat, so the derived stall timeout must
+    // sit well inside [min_timeout, 6x a generous cadence bound].
+    const auto derived = dog.auto_timeout();
+    EXPECT_GE(derived, opts.min_timeout);
+    EXPECT_LE(derived, 2000ms);
+    // Silence is now a stall: the auto-tuned deadline must reclaim it.
+    EXPECT_TRUE(eventually([&] { return source.token().deadline_expired(); }));
+    EXPECT_GE(dog.fires(), 1u);
+    dog.disarm(ticket);
+}
+
+TEST(WatchdogTest, AutoTuneFlooredAtMinTimeout) {
+    Watchdog::Options opts = fast_poll();
+    opts.auto_tune = true;
+    opts.safety_factor = 1.0;
+    opts.min_timeout = 150ms;
+    Watchdog dog{opts};
+
+    CancellationSource source;
+    std::atomic<std::uint64_t> beat{0};
+    const auto ticket = dog.arm(source, 0ms, &beat);
+    // Beat as fast as the sweep can observe: the raw EWMA x factor would be
+    // a hair-trigger, but the floor must keep the timeout sane.
+    const auto until = std::chrono::steady_clock::now() + 100ms;
+    while (std::chrono::steady_clock::now() < until) {
+        beat.fetch_add(1);
+        std::this_thread::sleep_for(1ms);
+    }
+    EXPECT_GE(dog.auto_timeout(), opts.min_timeout);
+    EXPECT_FALSE(source.token().deadline_expired());
+    dog.disarm(ticket);
+}
+
+TEST(WatchdogTest, GuardArmsAutoTunedEntryWithZeroTimeout) {
+    Watchdog::Options opts = fast_poll();
+    opts.auto_tune = true;
+    opts.min_timeout = 20ms;
+    Watchdog dog{opts};
+    CancellationSource source;
+    {
+        // With a fixed-timeout dog this would be a no-op (see
+        // NullDogOrZeroTimeoutGuardIsNoop); with auto_tune the guard arms.
+        Watchdog::Guard guard(&dog, source, 0ms);
+        EXPECT_TRUE(eventually([&] { return source.token().deadline_expired(); }));
+    }
+    EXPECT_GE(dog.fires(), 1u);
+}
+
 }  // namespace
 }  // namespace rfabm::exec

@@ -1,7 +1,10 @@
 // Kill-and-resume test subject: a small deterministic resilient campaign
-// with an optional SIGKILL crash point at a chosen journal record.
+// with an optional SIGKILL crash point at a chosen journal record, a chosen
+// calibration-cache publish, or a chosen 1149.4 session open.
 //
 // Usage: crash_resume_helper --journal FILE [--resume] [--crash-after N]
+//                            [--with-cal] [--crash-cal N]
+//                            [--sessions] [--crash-session N]
 //                            [--jobs N] [--out FILE]
 //
 // The campaign is a synthetic 4x4 (die, env) grid whose payloads are
@@ -10,6 +13,14 @@
 // cost.  What is under test is the journal/resume machinery itself, driven
 // by the same CrashPointFault the CI smoke job uses; --out writes every
 // delivered payload as hex-exact bytes for byte-identity diffs.
+//
+// --with-cal routes each die through the single-flight CalibrationCache (a
+// synthetic per-die calibration whose tune_p lands in the payload), so
+// --crash-cal N can SIGKILL at the Nth cache publish — the window where a
+// calibration is visible but nothing of it is journaled.  --sessions opens a
+// real 1149.4 measurement session per computed cell, so --crash-session N
+// can SIGKILL at the Nth TAP session boundary.  Replayed cells open no
+// session and trigger no calibration: resume cost shrinks with progress.
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -19,6 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "core/chip.hpp"
+#include "core/measurement.hpp"
+#include "exec/calibration_cache.hpp"
 #include "exec/resilient.hpp"
 #include "faults/process_faults.hpp"
 
@@ -32,6 +46,22 @@ std::vector<double> synth_payload(std::uint32_t die, std::uint32_t env) {
     return {a, std::exp(-a * a), a / (1.0 + die + env)};
 }
 
+/// Distinct process corner per die: distinct calibration-cache keys.
+rfabm::circuit::ProcessCorner synth_corner(std::uint32_t die) {
+    rfabm::circuit::ProcessCorner corner;
+    corner.nmos_vt_shift = 0.001 * (die + 1);
+    return corner;
+}
+
+/// Deterministic synthetic calibration (no solver: bit-exact and instant).
+rfabm::exec::DieCalibration synth_cal(std::uint32_t die) {
+    rfabm::exec::DieCalibration cal;
+    cal.corner = synth_corner(die);
+    cal.tune_p = 1.0 + 0.25 * die;
+    cal.tune_f = 2.0 - 0.125 * die;
+    return cal;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,14 +69,24 @@ int main(int argc, char** argv) {
     std::string journal;
     std::string out;
     bool resume = false;
+    bool with_cal = false;
+    bool sessions = false;
     std::uint64_t crash_after = 0;
+    std::uint64_t crash_cal = 0;
+    std::uint64_t crash_session = 0;
     std::size_t jobs = 1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--journal") == 0 && i + 1 < argc) journal = argv[++i];
         else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out = argv[++i];
         else if (std::strcmp(argv[i], "--resume") == 0) resume = true;
+        else if (std::strcmp(argv[i], "--with-cal") == 0) with_cal = true;
+        else if (std::strcmp(argv[i], "--sessions") == 0) sessions = true;
         else if (std::strcmp(argv[i], "--crash-after") == 0 && i + 1 < argc)
             crash_after = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--crash-cal") == 0 && i + 1 < argc)
+            crash_cal = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--crash-session") == 0 && i + 1 < argc)
+            crash_session = std::strtoull(argv[++i], nullptr, 10);
         else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
             jobs = std::strtoull(argv[++i], nullptr, 10);
     }
@@ -54,16 +94,41 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "usage: crash_resume_helper --journal FILE ...\n");
         return 2;
     }
+    if (crash_cal > 0) with_cal = true;
+    if (crash_session > 0) sessions = true;
 
+    exec::CalibrationCache cache;
+    const core::RfAbmChipConfig config{};
     std::vector<std::vector<double>> slots(kDies * kEnvs);
     std::vector<exec::ResilientChain> chains(kDies);
     for (std::uint32_t d = 0; d < kDies; ++d) {
+        if (with_cal) {
+            chains[d].calibrate = [&cache, &config, d](exec::TaskContext& ctx) {
+                (void)cache.get_or_compute(config, synth_corner(d),
+                                           [d] { return synth_cal(d); }, ctx.token);
+            };
+        }
         for (std::uint32_t e = 0; e < kEnvs; ++e) {
             exec::ResilientCell cell;
             cell.key = {d, e, 0};
-            cell.compute = [d, e](const exec::CellAttempt&) {
+            cell.compute = [&cache, &config, with_cal, sessions,
+                            d, e](const exec::CellAttempt& att) {
                 exec::CellComputeResult result;
                 result.payload = synth_payload(d, e);
+                if (with_cal) {
+                    // Cache hit (or recompute after a crash wiped the
+                    // in-memory cache): tune_p lands in the journaled bits.
+                    const exec::DieCalibration cal = cache.get_or_compute(
+                        config, synth_corner(d), [d] { return synth_cal(d); }, att.token);
+                    result.payload.push_back(cal.tune_p);
+                }
+                if (sessions) {
+                    // A real 1149.4 session per computed cell — the
+                    // CrashAtSessionOpen boundary.  Replays never get here.
+                    core::RfAbmChip chip{config};
+                    core::MeasurementController controller(chip);
+                    controller.open_session();
+                }
                 return result;
             };
             std::vector<double>* slot = &slots[d * kEnvs + e];
@@ -78,8 +143,10 @@ int main(int argc, char** argv) {
     exec::ResilienceOptions ropts;
     ropts.journal_path = journal;
     ropts.resume = resume;
-    ropts.campaign_id = 0x1149'0004;  // fixed grid, fixed payloads
-    ropts.checkpoint_every = 1;       // every record durable: deterministic crashes
+    // Fixed grid, fixed payloads — but the cal/session variants journal
+    // different bits, so they are different campaigns.
+    ropts.campaign_id = 0x1149'0004 ^ (with_cal ? 0x10 : 0) ^ (sessions ? 0x20 : 0);
+    ropts.checkpoint_every = 1;  // every record durable: deterministic crashes
     std::unique_ptr<faults::CrashPointFault> crash;
     if (crash_after > 0) {
         ropts.on_journal_open = [&](exec::JournalWriter& writer) {
@@ -87,8 +154,20 @@ int main(int argc, char** argv) {
             crash->arm();
         };
     }
+    std::unique_ptr<faults::CrashAtCalibrationPublish> cal_crash;
+    if (crash_cal > 0) {
+        cal_crash = std::make_unique<faults::CrashAtCalibrationPublish>(cache, crash_cal);
+        cal_crash->arm();
+    }
+    std::unique_ptr<faults::CrashAtSessionOpen> session_crash;
+    if (crash_session > 0) {
+        session_crash = std::make_unique<faults::CrashAtSessionOpen>(crash_session);
+        session_crash->arm();
+    }
     const exec::ResilientResult result = exec::run_resilient_campaign(chains, copts, ropts);
     if (crash) crash->disarm();
+    if (cal_crash) cal_crash->disarm();
+    if (session_crash) session_crash->disarm();
 
     if (!out.empty()) {
         std::FILE* f = std::fopen(out.c_str(), "w");

@@ -125,6 +125,44 @@ TEST_P(CrashResumeTest, DoubleCrashStillConverges) {
     EXPECT_EQ(slurp(resumed_out), reference);
 }
 
+TEST_P(CrashResumeTest, KilledAtCalibrationPublishResumesByteIdentical) {
+    // The cache publish is the window where a die's calibration is visible
+    // to other tasks but nothing of it is journaled: the resumed process
+    // must recalibrate (the cache is in-memory) and converge bit-exactly.
+    ASSERT_TRUE(exited_zero(run_helper("--with-cal --journal " + clean_journal +
+                                       " --out " + clean_out + jobs_arg())));
+    const std::string reference = slurp(clean_out);
+    ASSERT_FALSE(reference.empty());
+
+    const int crashed = run_helper("--journal " + crash_journal + " --crash-cal 2" +
+                                   jobs_arg());
+    ASSERT_TRUE(died_by_sigkill(crashed))
+        << "expected SIGKILL at the 2nd calibration publish, status=" << crashed;
+
+    ASSERT_TRUE(exited_zero(run_helper("--with-cal --journal " + crash_journal +
+                                       " --resume --out " + resumed_out + jobs_arg())));
+    EXPECT_EQ(slurp(resumed_out), reference);
+}
+
+TEST_P(CrashResumeTest, KilledAtSessionOpenResumesByteIdentical) {
+    // The TAP session boundary: chip state is established (PROBE loaded,
+    // TBIC connected) but the cell has produced nothing journalable — the
+    // interrupted cell must re-run from scratch on resume.
+    ASSERT_TRUE(exited_zero(run_helper("--sessions --journal " + clean_journal +
+                                       " --out " + clean_out + jobs_arg())));
+    const std::string reference = slurp(clean_out);
+    ASSERT_FALSE(reference.empty());
+
+    const int crashed = run_helper("--journal " + crash_journal + " --crash-session 3" +
+                                   jobs_arg());
+    ASSERT_TRUE(died_by_sigkill(crashed))
+        << "expected SIGKILL at the 3rd session open, status=" << crashed;
+
+    ASSERT_TRUE(exited_zero(run_helper("--sessions --journal " + crash_journal +
+                                       " --resume --out " + resumed_out + jobs_arg())));
+    EXPECT_EQ(slurp(resumed_out), reference);
+}
+
 INSTANTIATE_TEST_SUITE_P(JobCounts, CrashResumeTest, ::testing::Values(1, 8),
                          [](const ::testing::TestParamInfo<int>& info) {
                              return "jobs" + std::to_string(info.param);

@@ -1,0 +1,218 @@
+// Sharded kill-and-resume integration against the real coordinator binary:
+// SIGKILL workers at injected crash points, hang workers, SIGKILL the
+// coordinator itself at its own crash points — the merged campaign journal
+// and the derived output must stay byte-identical to an uninterrupted
+// single-process run, for every (shards, jobs) combination tested.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exec/shard.hpp"
+
+#ifndef CAMPAIGND_BIN
+#error "CAMPAIGND_BIN must point at the rfabm_campaignd binary"
+#endif
+#ifndef LINT_FIXTURE_DIR
+#error "LINT_FIXTURE_DIR must point at the lint fixture decks"
+#endif
+
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+bool file_exists(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fclose(f);
+    return true;
+}
+
+/// Run the coordinator; returns the raw std::system() status.
+int run_campaignd(const std::string& args) {
+    const std::string cmd =
+        std::string(CAMPAIGND_BIN) + " " + args + " > /dev/null 2>&1";
+    return std::system(cmd.c_str());
+}
+
+bool exited_with(int status, int code) {
+    return WIFEXITED(status) && WEXITSTATUS(status) == code;
+}
+bool died_by_sigkill(int status) {
+    if (WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL) return true;
+    return WIFEXITED(status) && WEXITSTATUS(status) == 128 + SIGKILL;
+}
+
+/// (shards, jobs-per-shard) matrix: the byte-identity contract must hold for
+/// any topology.
+struct Topo {
+    int shards;
+    int jobs;
+};
+
+class ShardResumeTest : public ::testing::TestWithParam<Topo> {
+  protected:
+    void SetUp() override {
+        stem_ = ::testing::TempDir() + "rfabm_shardresume_s" +
+                std::to_string(GetParam().shards) + "_j" + std::to_string(GetParam().jobs);
+        ref_stem_ = stem_ + "_ref";
+        clean(stem_);
+        clean(ref_stem_);
+    }
+    void TearDown() override {
+        clean(stem_);
+        clean(ref_stem_);
+    }
+
+    void clean(const std::string& stem) {
+        std::remove((stem + ".out").c_str());
+        std::remove((stem + ".wal").c_str());
+        for (std::uint32_t s = 0; s < 8; ++s) {
+            std::remove(rfabm::exec::shard_journal_path(stem, s).c_str());
+        }
+    }
+
+    /// The common campaign geometry: 6 dies x 4 corners, fast synthetic
+    /// cells.  @p stem owns the journal family and the output file.
+    std::string grid_args(const std::string& stem, int shards, int jobs) const {
+        return "--journal " + stem + " --out " + stem + ".out --dies 6 --envs 4" +
+               " --cell-ms 2 --shards " + std::to_string(shards) + " --jobs " +
+               std::to_string(jobs);
+    }
+
+    /// Uninterrupted --shards 1 reference for the same grid; returns the
+    /// output bytes and leaves the reference journal at ref_stem_.wal.
+    std::string reference(const std::string& extra = "") {
+        const int rc = run_campaignd(grid_args(ref_stem_, 1, GetParam().jobs) + extra);
+        EXPECT_TRUE(exited_with(rc, 0)) << "reference run failed, status=" << rc;
+        const std::string out = slurp(ref_stem_ + ".out");
+        EXPECT_FALSE(out.empty());
+        return out;
+    }
+
+    void expect_identical(const std::string& ref_out, const char* label) {
+        EXPECT_EQ(slurp(stem_ + ".out"), ref_out)
+            << label << ": output must be byte-identical to the single-process run";
+        EXPECT_EQ(slurp(stem_ + ".wal"), slurp(ref_stem_ + ".wal"))
+            << label << ": merged campaign journal must be byte-identical";
+    }
+
+    std::string stem_, ref_stem_;
+};
+
+TEST_P(ShardResumeTest, CleanShardedRunMatchesSingleProcess) {
+    const std::string ref = reference();
+    const int rc = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs));
+    ASSERT_TRUE(exited_with(rc, 0)) << "status=" << rc;
+    expect_identical(ref, "clean");
+}
+
+TEST_P(ShardResumeTest, SigkilledWorkerIsRestartedAndConverges) {
+    const std::string ref = reference();
+    // Worker for shard 1 SIGKILLs itself after journaling 2 records; the
+    // supervisor must restart it with resume and the merge must still fold
+    // to the reference bytes.
+    const int rc = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                 " --crash-in-shard 1:2");
+    ASSERT_TRUE(exited_with(rc, 0)) << "status=" << rc;
+    expect_identical(ref, "worker-crash");
+}
+
+TEST_P(ShardResumeTest, HungWorkerIsKilledByWatchdogAndConverges) {
+    const std::string ref = reference();
+    // Shard 1's worker goes silent mid-campaign; the auto-tuned heartbeat
+    // watchdog must SIGKILL and restart it.
+    const int rc = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                 " --hang-in-shard 1");
+    ASSERT_TRUE(exited_with(rc, 0)) << "status=" << rc;
+    expect_identical(ref, "worker-hang");
+}
+
+TEST_P(ShardResumeTest, SigkilledCoordinatorResumesAtEveryCrashPoint) {
+    const std::string ref = reference();
+    for (const char* point : {"pre-dispatch", "post-workers", "post-merge"}) {
+        clean(stem_);
+        const int crashed =
+            run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                          " --coord-crash " + point);
+        ASSERT_TRUE(died_by_sigkill(crashed))
+            << "expected coordinator SIGKILL at " << point << ", status=" << crashed;
+
+        const int resumed = run_campaignd(
+            grid_args(stem_, GetParam().shards, GetParam().jobs) + " --resume");
+        ASSERT_TRUE(exited_with(resumed, 0)) << point << ": status=" << resumed;
+        expect_identical(ref, point);
+    }
+}
+
+TEST_P(ShardResumeTest, CoordinatorCrashThenWorkerCrashStillConverges) {
+    const std::string ref = reference();
+    // Compound failure in one history: a worker SIGKILLs itself (and is
+    // restarted with resume), then the coordinator dies after the workers
+    // finish but before the merge.  The resumed coordinator finds complete
+    // shard journals and must only merge.
+    ASSERT_TRUE(died_by_sigkill(
+        run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                      " --crash-in-shard 0:1 --coord-crash post-workers")));
+    const int rc = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                 " --resume");
+    ASSERT_TRUE(exited_with(rc, 0)) << "status=" << rc;
+    expect_identical(ref, "coord+worker");
+}
+
+TEST_P(ShardResumeTest, PoisonedCellQuarantinesIdenticallyAcrossTopologies) {
+    // Die 2, env 1 always throws: both topologies must quarantine exactly
+    // that cell (exit 1 = degraded) and agree on every byte of the rest.
+    const int ref_rc = run_campaignd(grid_args(ref_stem_, 1, GetParam().jobs) +
+                                     " --poison 2:1 --max-attempts 2");
+    ASSERT_TRUE(exited_with(ref_rc, 1)) << "status=" << ref_rc;
+    const std::string ref = slurp(ref_stem_ + ".out");
+    ASSERT_FALSE(ref.empty());
+
+    const int rc = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                 " --poison 2:1 --max-attempts 2");
+    ASSERT_TRUE(exited_with(rc, 1)) << "status=" << rc;
+    expect_identical(ref, "poison");
+}
+
+TEST_P(ShardResumeTest, LintAdmissionGatesDispatch) {
+    const std::string fixtures = LINT_FIXTURE_DIR;
+    // A clean deck passes admission and the campaign runs.
+    const int ok = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                 " --netlist " + fixtures + "/clean.cir");
+    EXPECT_TRUE(exited_with(ok, 0)) << "status=" << ok;
+
+    // A rejected deck exits 3 before ANY shard work is dispatched: no shard
+    // journals, no campaign journal, no output.
+    clean(stem_);
+    const int bad = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                  " --netlist " + fixtures + "/floating_node.cir");
+    EXPECT_TRUE(exited_with(bad, 3)) << "status=" << bad;
+    EXPECT_FALSE(file_exists(stem_ + ".wal"));
+    EXPECT_FALSE(file_exists(stem_ + ".out"));
+    for (std::uint32_t s = 0; s < 8; ++s) {
+        EXPECT_FALSE(file_exists(rfabm::exec::shard_journal_path(stem_, s)))
+            << "shard " << s << " was dispatched despite lint rejection";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, ShardResumeTest,
+                         ::testing::Values(Topo{2, 1}, Topo{3, 1}, Topo{3, 4}),
+                         [](const ::testing::TestParamInfo<Topo>& info) {
+                             return "shards" + std::to_string(info.param.shards) + "jobs" +
+                                    std::to_string(info.param.jobs);
+                         });
+
+}  // namespace

@@ -1,0 +1,444 @@
+// rfabm_campaignd: sharded campaign coordinator with supervised workers.
+//
+// Partitions a synthetic (die x env) measurement campaign into --shards
+// worker PROCESSES (fork/exec of this same binary in --worker mode), each
+// writing its own write-ahead journal and heartbeating through an inherited
+// pipe.  The coordinator (ShardSupervisor) detects crashed, hung and slow
+// workers, restarts them with --worker-resume under a capped-backoff budget,
+// and escalates to shedding optional work when the failure breaker trips.
+// After the fleet drains, the shard journals are folded into one canonical
+// campaign journal (merge_shard_journals) and the output is derived ONLY
+// from that journal — which is what makes the bytes identical for any
+// --shards/--jobs combination and any crash/restart history, including
+// SIGKILLing the coordinator itself at the injectable crash points.
+//
+//   rfabm_campaignd --journal STEM [--shards N] [--jobs J] [--resume]
+//                   [--out FILE] [--dies D] [--envs E] [--cell-ms M]
+//                   [--netlist FILE]       lint admission; errors exit 3
+//                   [--poison D:E]         cell always fails -> quarantine
+//                   [--optional-env E]     cells with env E are optional
+//                   [--crash-in-shard S:N] SIGKILL shard S's worker at its
+//                                          Nth journal append (first launch
+//                                          only, so the restart self-heals)
+//                   [--hang-in-shard S]    shard S's worker stalls silently
+//                                          (first launch only)
+//                   [--coord-crash P]      SIGKILL the coordinator at P in
+//                                          {pre-dispatch,post-workers,
+//                                           post-merge}
+//                   [--max-restarts R] [--watchdog-ms M] [--max-attempts A]
+//
+// Exit: 0 every cell completed; 1 campaign finished degraded (quarantined /
+// given-up cells); 2 usage or I/O error; 3 netlist rejected by lint.
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/calibration_cache.hpp"
+#include "exec/resilient.hpp"
+#include "exec/shard.hpp"
+#include "exec/supervisor.hpp"
+#include "faults/process_faults.hpp"
+#include "lint/netlist_lint.hpp"
+
+namespace {
+
+using namespace rfabm;
+
+struct Args {
+    std::string journal_stem;
+    std::string out;
+    std::string netlist;
+    std::uint32_t shards = 1;
+    std::size_t jobs = 1;
+    std::uint32_t dies = 4;
+    std::uint32_t envs = 4;
+    int cell_ms = 0;
+    int max_attempts = 2;
+    int max_restarts = 5;
+    int watchdog_ms = 0;  // 0: auto-tune from heartbeat cadence
+    bool resume = false;
+    std::int64_t poison_die = -1, poison_env = -1;
+    std::int64_t optional_env = -1;
+    std::int64_t crash_shard = -1;
+    std::uint64_t crash_after = 0;
+    std::int64_t hang_shard = -1;
+    std::string coord_crash;
+    // Worker mode.
+    bool worker = false;
+    bool worker_resume = false;
+    bool shed_optional = false;
+    std::uint32_t shard_index = 0;
+    int heartbeat_fd = -1;
+};
+
+bool parse_pair(const char* s, std::int64_t* a, std::uint64_t* b) {
+    char* end = nullptr;
+    *a = std::strtoll(s, &end, 10);
+    if (end == nullptr || *end != ':') return false;
+    *b = std::strtoull(end + 1, nullptr, 10);
+    return true;
+}
+
+bool parse_args(int argc, char** argv, Args* args) {
+    for (int i = 1; i < argc; ++i) {
+        const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+        const char* a = argv[i];
+        const char* v = nullptr;
+        if (std::strcmp(a, "--journal") == 0 && (v = next())) args->journal_stem = v;
+        else if (std::strcmp(a, "--out") == 0 && (v = next())) args->out = v;
+        else if (std::strcmp(a, "--netlist") == 0 && (v = next())) args->netlist = v;
+        else if (std::strcmp(a, "--shards") == 0 && (v = next()))
+            args->shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (std::strcmp(a, "--jobs") == 0 && (v = next()))
+            args->jobs = std::strtoull(v, nullptr, 10);
+        else if (std::strcmp(a, "--dies") == 0 && (v = next()))
+            args->dies = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (std::strcmp(a, "--envs") == 0 && (v = next()))
+            args->envs = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (std::strcmp(a, "--cell-ms") == 0 && (v = next()))
+            args->cell_ms = std::atoi(v);
+        else if (std::strcmp(a, "--max-attempts") == 0 && (v = next()))
+            args->max_attempts = std::atoi(v);
+        else if (std::strcmp(a, "--max-restarts") == 0 && (v = next()))
+            args->max_restarts = std::atoi(v);
+        else if (std::strcmp(a, "--watchdog-ms") == 0 && (v = next()))
+            args->watchdog_ms = std::atoi(v);
+        else if (std::strcmp(a, "--resume") == 0) args->resume = true;
+        else if (std::strcmp(a, "--poison") == 0 && (v = next())) {
+            std::uint64_t env = 0;
+            if (!parse_pair(v, &args->poison_die, &env)) return false;
+            args->poison_env = static_cast<std::int64_t>(env);
+        } else if (std::strcmp(a, "--optional-env") == 0 && (v = next()))
+            args->optional_env = std::atoll(v);
+        else if (std::strcmp(a, "--crash-in-shard") == 0 && (v = next())) {
+            if (!parse_pair(v, &args->crash_shard, &args->crash_after)) return false;
+        } else if (std::strcmp(a, "--hang-in-shard") == 0 && (v = next()))
+            args->hang_shard = std::atoll(v);
+        else if (std::strcmp(a, "--coord-crash") == 0 && (v = next())) args->coord_crash = v;
+        else if (std::strcmp(a, "--worker") == 0) args->worker = true;
+        else if (std::strcmp(a, "--worker-resume") == 0) args->worker_resume = true;
+        else if (std::strcmp(a, "--shed-optional") == 0) args->shed_optional = true;
+        else if (std::strcmp(a, "--shard") == 0 && (v = next()))
+            args->shard_index = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+        else if (std::strcmp(a, "--heartbeat-fd") == 0 && (v = next()))
+            args->heartbeat_fd = std::atoi(v);
+        else return false;
+    }
+    return !args->journal_stem.empty() && args->shards >= 1 && args->dies >= 1 &&
+           args->envs >= 1;
+}
+
+/// Identity of the campaign CONTENT: everything that affects journaled
+/// records — and nothing about the execution topology (shards, jobs, crash
+/// injection, pacing), so journals written by any shard of any run of the
+/// same campaign merge and resume across topologies.
+std::uint64_t campaign_identity(const Args& args) {
+    exec::FieldHasher h;
+    h.mix(std::uint64_t{0x1149'0006});
+    h.mix(args.dies).mix(args.envs);
+    h.mix(static_cast<std::uint64_t>(args.max_attempts));
+    h.mix(static_cast<std::uint64_t>(args.poison_die + 1));
+    h.mix(static_cast<std::uint64_t>(args.poison_env + 1));
+    h.mix(static_cast<std::uint64_t>(args.optional_env + 1));
+    return h.value();
+}
+
+std::string campaign_journal_path(const Args& args) { return args.journal_stem + ".wal"; }
+
+std::vector<double> synth_payload(std::uint32_t die, std::uint32_t env) {
+    const double a = std::sin(0.7 * die + 0.3) * std::cos(1.1 * env + 0.5);
+    return {a, std::exp(-a * a), a / (1.0 + die + env)};
+}
+
+/// Build this process's slice of the campaign (the whole grid for the
+/// inline --shards 1 path; one shard's dies in worker mode).
+std::vector<exec::ResilientChain> build_chains(const Args& args, const exec::ShardSpec& shard,
+                                               exec::HeartbeatEmitter* heartbeat,
+                                               std::atomic<std::uint64_t>* computed) {
+    std::vector<exec::ResilientChain> chains;
+    for (std::uint32_t d = 0; d < args.dies; ++d) {
+        if (exec::shard_of_die(d, shard.count) != shard.index) continue;
+        exec::ResilientChain chain;
+        for (std::uint32_t e = 0; e < args.envs; ++e) {
+            const bool optional =
+                args.optional_env >= 0 && e == static_cast<std::uint32_t>(args.optional_env);
+            if (optional && args.shed_optional) continue;  // breaker escalation
+            exec::ResilientCell cell;
+            cell.key = {d, e, 0};
+            cell.optional = optional;
+            const bool poisoned = static_cast<std::int64_t>(d) == args.poison_die &&
+                                  static_cast<std::int64_t>(e) == args.poison_env;
+            const bool hang_here = args.hang_shard == static_cast<std::int64_t>(shard.index) &&
+                                   !args.worker_resume;
+            cell.compute = [d, e, poisoned, hang_here, &args, heartbeat,
+                            computed](const exec::CellAttempt& attempt) {
+                if (args.cell_ms > 0) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(args.cell_ms));
+                }
+                if (poisoned) throw std::runtime_error("poisoned cell");
+                // A hang: the worker goes silent AFTER journaling some cells
+                // (the supervisor must SIGKILL it and the restart resumes).
+                if (hang_here && computed != nullptr &&
+                    computed->load(std::memory_order_relaxed) >= 2) {
+                    for (;;) {
+                        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+                        if (attempt.token.stop_requested()) {
+                            throw std::runtime_error("hang interrupted");
+                        }
+                    }
+                }
+                exec::CellComputeResult result;
+                result.payload = synth_payload(d, e);
+                return result;
+            };
+            cell.deliver = [heartbeat, computed](const std::vector<double>&, exec::CellOutcome,
+                                                 bool replayed) {
+                if (computed != nullptr && !replayed) {
+                    computed->fetch_add(1, std::memory_order_relaxed);
+                }
+                if (heartbeat != nullptr) heartbeat->beat();
+            };
+            chain.cells.push_back(std::move(cell));
+        }
+        chains.push_back(std::move(chain));
+    }
+    return chains;
+}
+
+/// Run one shard's campaign slice in this process.  Shared by the worker
+/// mode and the --shards 1 inline path.
+int run_shard_inline(const Args& args, const exec::ShardSpec& shard,
+                     const std::string& journal, bool resume) {
+    exec::HeartbeatEmitter heartbeat(args.heartbeat_fd);
+    heartbeat.beat();
+    std::atomic<std::uint64_t> computed{0};
+    std::vector<exec::ResilientChain> chains = build_chains(args, shard, &heartbeat, &computed);
+
+    exec::CampaignOptions copts;
+    copts.jobs = args.jobs;
+    exec::ResilienceOptions ropts;
+    ropts.journal_path = journal;
+    ropts.resume = resume;
+    ropts.campaign_id = campaign_identity(args);
+    ropts.checkpoint_every = 1;  // every record durable: crashes stay deterministic
+    ropts.max_cell_attempts = args.max_attempts;
+    if (args.watchdog_ms > 0) {
+        ropts.cell_timeout = std::chrono::milliseconds(args.watchdog_ms);
+    }
+    std::unique_ptr<faults::CrashPointFault> crash;
+    if (args.crash_after > 0 &&
+        args.crash_shard == static_cast<std::int64_t>(shard.index) && !resume) {
+        ropts.on_journal_open = [&](exec::JournalWriter& writer) {
+            crash = std::make_unique<faults::CrashPointFault>(writer, args.crash_after);
+            crash->arm();
+        };
+    }
+    const exec::ResilientResult result = exec::run_resilient_campaign(chains, copts, ropts);
+    if (crash) crash->disarm();
+
+    std::size_t cells_total = 0;
+    for (const auto& chain : chains) cells_total += chain.cells.size();
+    const std::uint64_t accounted = result.triage.count(exec::CellOutcome::kOk) +
+                                    result.triage.count(exec::CellOutcome::kReplayed) +
+                                    result.triage.count(exec::CellOutcome::kQuarantined) +
+                                    result.triage.count(exec::CellOutcome::kDegraded) +
+                                    result.triage.count(exec::CellOutcome::kShed);
+    return accounted == cells_total ? 0 : 1;
+}
+
+pid_t spawn_worker(const Args& args, const exec::ShardSupervisor::Launch& launch,
+                   const char* self) {
+    const pid_t pid = ::fork();
+    if (pid != 0) return pid;
+    // Child: re-exec ourselves in worker mode.  The heartbeat fd is
+    // inherited (no CLOEXEC on the pipe's write end).
+    std::vector<std::string> argstrs = {
+        self, "--worker",
+        "--journal", args.journal_stem,
+        "--shards", std::to_string(args.shards),
+        "--shard", std::to_string(launch.shard),
+        "--jobs", std::to_string(args.jobs),
+        "--dies", std::to_string(args.dies),
+        "--envs", std::to_string(args.envs),
+        "--cell-ms", std::to_string(args.cell_ms),
+        "--max-attempts", std::to_string(args.max_attempts),
+        "--heartbeat-fd", std::to_string(launch.heartbeat_fd),
+    };
+    if (launch.resume) argstrs.push_back("--worker-resume");
+    if (launch.shed_optional) argstrs.push_back("--shed-optional");
+    if (args.poison_die >= 0) {
+        argstrs.push_back("--poison");
+        argstrs.push_back(std::to_string(args.poison_die) + ":" +
+                          std::to_string(args.poison_env));
+    }
+    if (args.optional_env >= 0) {
+        argstrs.push_back("--optional-env");
+        argstrs.push_back(std::to_string(args.optional_env));
+    }
+    if (args.crash_shard >= 0) {
+        argstrs.push_back("--crash-in-shard");
+        argstrs.push_back(std::to_string(args.crash_shard) + ":" +
+                          std::to_string(args.crash_after));
+    }
+    if (args.hang_shard >= 0) {
+        argstrs.push_back("--hang-in-shard");
+        argstrs.push_back(std::to_string(args.hang_shard));
+    }
+    std::vector<char*> argv;
+    argv.reserve(argstrs.size() + 1);
+    for (std::string& s : argstrs) argv.push_back(s.data());
+    argv.push_back(nullptr);
+    ::execv(self, argv.data());
+    std::_Exit(127);  // exec failed; never run the coordinator's atexit state
+}
+
+void coord_crash_point(const Args& args, const char* point) {
+    if (args.coord_crash == point) std::raise(SIGKILL);
+}
+
+int run_coordinator(const Args& args, const char* self) {
+    // Lint admission: a campaign whose netlist fails static analysis is
+    // rejected BEFORE any shard is dispatched — no worker is ever spawned
+    // for a program that cannot run.
+    if (!args.netlist.empty()) {
+        std::ifstream in(args.netlist);
+        if (!in) {
+            std::fprintf(stderr, "rfabm_campaignd: cannot read %s\n", args.netlist.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        lint::Report report;
+        lint::lint_netlist(text.str(), args.netlist, report);
+        if (report.has_errors()) {
+            report.sort();
+            std::fprintf(stderr, "%s", report.to_text().c_str());
+            std::fprintf(stderr, "rfabm_campaignd: netlist rejected, campaign not dispatched\n");
+            return 3;
+        }
+    }
+    coord_crash_point(args, "pre-dispatch");
+
+    bool degraded = false;
+    if (args.shards == 1) {
+        // Inline: no worker processes.  The journal is still compacted at
+        // the end — folding attempt records and rewriting in canonical
+        // order — so its bytes match a merged multi-shard run.
+        const int rc =
+            run_shard_inline(args, {0, 1}, campaign_journal_path(args), args.resume);
+        if (rc > 1) return rc;
+        degraded = rc != 0;
+        coord_crash_point(args, "post-workers");
+        if (!exec::compact_journal(campaign_journal_path(args), campaign_identity(args))) {
+            std::fprintf(stderr, "rfabm_campaignd: journal compaction failed\n");
+            return 2;
+        }
+    } else {
+        exec::ShardSupervisor::Options sopts;
+        sopts.max_restarts = args.max_restarts;
+        if (args.watchdog_ms > 0) {
+            sopts.heartbeat_timeout = std::chrono::milliseconds(args.watchdog_ms);
+        }
+        sopts.resume_first = args.resume;
+        sopts.on_event = [](const exec::ShardSupervisor::Event& event) {
+            const char* kind = "?";
+            using EK = exec::ShardSupervisor::EventKind;
+            switch (event.kind) {
+                case EK::kLaunch: kind = "launch"; break;
+                case EK::kComplete: kind = "complete"; break;
+                case EK::kCrash: kind = "crash"; break;
+                case EK::kHang: kind = "hang"; break;
+                case EK::kSlow: kind = "slow"; break;
+                case EK::kGiveUp: kind = "give-up"; break;
+                case EK::kBreakerTrip: kind = "breaker-trip"; break;
+            }
+            std::fprintf(stderr, "[campaignd] shard %u attempt %d: %s %s\n", event.shard,
+                         event.attempt, kind, event.detail.c_str());
+        };
+        exec::ShardSupervisor supervisor(sopts);
+        const exec::ShardSupervisor::Result fleet = supervisor.supervise(
+            args.shards, [&](const exec::ShardSupervisor::Launch& launch) {
+                return spawn_worker(args, launch, self);
+            });
+        degraded = !fleet.all_completed;
+        coord_crash_point(args, "post-workers");
+
+        std::vector<std::string> inputs;
+        for (std::uint32_t s = 0; s < args.shards; ++s) {
+            inputs.push_back(exec::shard_journal_path(args.journal_stem, s));
+        }
+        const exec::MergeStats merged = exec::merge_shard_journals(
+            inputs, campaign_journal_path(args), campaign_identity(args));
+        if (!merged.ok) {
+            std::fprintf(stderr, "rfabm_campaignd: journal merge failed\n");
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "[campaignd] merged %" PRIu64 " journals: %" PRIu64 " cells, %" PRIu64
+                     " quarantined, %" PRIu64 " superseded dropped\n",
+                     merged.journals_read, merged.cells, merged.quarantined,
+                     merged.superseded_dropped);
+    }
+    coord_crash_point(args, "post-merge");
+
+    // The output is derived ONLY from the canonical campaign journal — never
+    // from in-process state — so any run that converged on the same records
+    // emits the same bytes.
+    const exec::JournalReplay replay =
+        exec::replay_journal(campaign_journal_path(args), campaign_identity(args));
+    std::unordered_map<exec::CellKey, const exec::CellRecord*, exec::CellKeyHash> cells;
+    for (const exec::CellRecord& record : replay.cells) cells[record.key] = &record;
+    if (!args.out.empty()) {
+        std::FILE* f = std::fopen(args.out.c_str(), "w");
+        if (f == nullptr) return 2;
+        for (std::uint32_t d = 0; d < args.dies; ++d) {
+            for (std::uint32_t e = 0; e < args.envs; ++e) {
+                std::fprintf(f, "%" PRIu32 " %" PRIu32, d, e);
+                const auto it = cells.find(exec::CellKey{d, e, 0});
+                if (it != cells.end()) {
+                    for (const double v : it->second->payload) {
+                        std::uint64_t bits;
+                        std::memcpy(&bits, &v, sizeof bits);
+                        std::fprintf(f, " %016" PRIx64, bits);
+                    }
+                }
+                std::fputc('\n', f);
+            }
+        }
+        std::fclose(f);
+    }
+    const std::uint64_t expected = std::uint64_t{args.dies} * args.envs;
+    std::printf("cells %zu / %" PRIu64 " quarantined %zu\n", replay.cells.size(), expected,
+                replay.quarantined.size());
+    return !degraded && replay.cells.size() == expected ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Args args;
+    if (!parse_args(argc, argv, &args)) {
+        std::fprintf(stderr, "usage: rfabm_campaignd --journal STEM [options]\n");
+        return 2;
+    }
+    if (args.worker) {
+        const exec::ShardSpec shard{args.shard_index, args.shards};
+        if (!shard.valid()) return 2;
+        return run_shard_inline(args, shard,
+                                exec::shard_journal_path(args.journal_stem, shard.index),
+                                args.worker_resume);
+    }
+    return run_coordinator(args, argv[0]);
+}
