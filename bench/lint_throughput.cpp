@@ -1,17 +1,26 @@
-// Micro-benchmark: static-analyzer throughput on synthetic netlists.
+// Micro-benchmark: static-analyzer throughput on synthetic netlists and
+// campaign flow programs.
 //
 // The admission guard runs the analyzer before every hardened measurement,
-// so its cost must stay negligible next to a transient solve.  This bench
+// so its cost must stay negligible next to a transient solve.  Part 1
 // generates resistor-ladder decks of growing size (every card grounded so
 // the deck lints clean) and times the full lint_netlist() pass — scanner,
 // text-level checks, parse into a scratch circuit, and the union-find ERC —
 // reporting cards/second at each size.
+//
+// Part 2 times the flow-sensitive scan-program interpreter (lint/flow) on
+// synthetic campaigns, cold (full symbolic execution through the TAP
+// machine) versus warm through the FlowLintCache (fingerprint lookup).  The
+// warm path must be at least 10x the cold path: that ratio is what makes
+// per-shard re-admission in rfabm_campaignd effectively free.
 #include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/flow/cache.hpp"
+#include "lint/flow/interpreter.hpp"
 #include "lint/netlist_lint.hpp"
 
 namespace {
@@ -32,6 +41,91 @@ std::string make_deck(int stages) {
     }
     deck << "RL n" << (stages - 1) << " 0 50\n";
     return deck.str();
+}
+
+/// A clean synthetic campaign: per die, a full select/calibrate/measure
+/// round trip (power and frequency) behind one reset + PROBE.
+rfabm::lint::flow::CampaignProgram make_campaign(std::uint32_t dies) {
+    using rfabm::lint::flow::Detector;
+    rfabm::lint::flow::CampaignProgram program;
+    program.chain.dies = dies;
+    program.reset().ir_scan(rfabm::jtag::Instruction::kProbe);
+    for (std::uint32_t d = 0; d < dies; ++d) {
+        program.select(d, "01000011").calibrate(d).measure(d, Detector::kPower);
+        program.select(d, "01000100").measure(d, Detector::kFrequency);
+        program.select(d, "00000000");  // release the buses for the next die
+    }
+    return program;
+}
+
+/// Cold vs cached flow lint; returns the speedup and asserts the programs
+/// stay clean.
+bool bench_flow() {
+    using clock = std::chrono::steady_clock;
+    std::printf("\n# flow lint: cold interpretation vs FlowLintCache re-admission\n");
+    std::printf("%10s %10s %12s %14s %14s %10s\n", "dies", "steps", "reps", "us/cold",
+                "us/warm", "speedup");
+
+    bool ok = true;
+    for (const std::uint32_t dies : {8u, 32u, 64u, 256u}) {
+        const rfabm::lint::flow::CampaignProgram program = make_campaign(dies);
+
+        rfabm::lint::Report warm_check;
+        rfabm::lint::flow::flow_lint(program, warm_check);
+        if (!warm_check.empty()) {
+            std::fprintf(stderr, "synthetic campaign not clean:\n%s",
+                         warm_check.to_text().c_str());
+            return false;
+        }
+
+        const auto probe_start = clock::now();
+        {
+            rfabm::lint::Report r;
+            rfabm::lint::flow::flow_lint(program, r);
+        }
+        const double probe_s =
+            std::chrono::duration<double>(clock::now() - probe_start).count();
+        const int reps = std::max(10, static_cast<int>(0.2 / std::max(probe_s, 1e-7)));
+
+        const auto cold_start = clock::now();
+        for (int i = 0; i < reps; ++i) {
+            rfabm::lint::Report report;
+            rfabm::lint::flow::flow_lint(program, report);
+            if (report.has_errors()) return false;
+        }
+        const double cold_s =
+            std::chrono::duration<double>(clock::now() - cold_start).count();
+
+        rfabm::lint::flow::FlowLintCache cache;
+        {
+            rfabm::lint::Report report;
+            cache.admit(program, report);  // populate: one miss
+        }
+        const auto warm_start = clock::now();
+        for (int i = 0; i < reps; ++i) {
+            rfabm::lint::Report report;
+            cache.admit(program, report);
+            if (report.has_errors()) return false;
+        }
+        const double warm_s =
+            std::chrono::duration<double>(clock::now() - warm_start).count();
+
+        const double cold_us = cold_s / reps * 1e6;
+        const double warm_us = warm_s / reps * 1e6;
+        const double speedup = warm_s > 0.0 ? cold_s / warm_s : 0.0;
+        std::printf("%10u %10zu %12d %14.2f %14.3f %9.1fx\n", dies, program.ops.size(),
+                    reps, cold_us, warm_us, speedup);
+        // The whole point of the cache: re-admission must be >= 10x cheaper
+        // at campaign scale.  (A handful-of-dies program is already
+        // sub-microsecond cold, so the floor is asserted where admission
+        // cost actually matters.)
+        if (dies >= 32 && speedup < 10.0) {
+            std::fprintf(stderr, "flow cache speedup %.1fx below the 10x floor (%u dies)\n",
+                         speedup, dies);
+            ok = false;
+        }
+    }
+    return ok;
 }
 
 }  // namespace
@@ -73,5 +167,5 @@ int main() {
         std::printf("%10d %10zu %12d %14.1f %14.0f\n", stages, cards, reps, per_deck_us,
                     cards_per_s);
     }
-    return 0;
+    return bench_flow() ? 0 : 1;
 }

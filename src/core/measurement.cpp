@@ -9,6 +9,8 @@
 #include "circuit/transient.hpp"
 #include "jtag/instructions.hpp"
 #include "lint/erc.hpp"
+#include "lint/flow/cache.hpp"
+#include "lint/flow/interpreter.hpp"
 
 namespace rfabm::core {
 
@@ -316,10 +318,28 @@ std::string first_lint_error(const lint::Report& report) {
 
 }  // namespace
 
+bool MeasurementController::flow_admission_rejects(MeasurementDiagnostics& d) {
+    if (options_.admission_program == nullptr) return false;
+    lint::Report report;
+    if (options_.admission_cache != nullptr) {
+        options_.admission_cache->admit(*options_.admission_program, report);
+    } else {
+        lint::flow::flow_lint(*options_.admission_program, report);
+    }
+    if (!report.has_errors()) return false;
+    // The campaign's own scan-program sequence is statically broken: no
+    // retry or session can fix it, so reject before the TAP is touched.
+    d.suspect = SuspectedFault::kConfigLint;
+    d.status = MeasurementStatus::kFailed;
+    d.detail = first_lint_error(report);
+    return true;
+}
+
 PowerMeasurement MeasurementController::measure_power_checked(
     const rfabm::rf::MonotoneCurve& cal, std::optional<double> expected_dbm) {
     PowerMeasurement m;
     MeasurementDiagnostics& d = m.diag;
+    if (flow_admission_rejects(d)) return m;
     const RetryPolicy& policy = options_.retry;
     const std::uint8_t word = select_word(
         {SelectBit::kOutPlusToAb1, SelectBit::kOutMinusToAb2, SelectBit::kDetectorPower});
@@ -513,6 +533,7 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
     const rfabm::rf::MonotoneCurve& cal, bool use_fin, std::optional<double> expected_ghz) {
     FrequencyMeasurement m;
     MeasurementDiagnostics& d = m.diag;
+    if (flow_admission_rejects(d)) return m;
     const RetryPolicy& policy = options_.retry;
     auto word = use_fin ? select_word({SelectBit::kFdetToAb1, SelectBit::kDetectorPower,
                                        SelectBit::kInputSelectFin})

@@ -21,6 +21,11 @@
 #include "lint/diagnostics.hpp"
 #include "rf/curve.hpp"
 
+namespace rfabm::lint::flow {
+struct CampaignProgram;
+class FlowLintCache;
+}  // namespace rfabm::lint::flow
+
 namespace rfabm::core {
 
 /// Overall verdict of a hardened (checked) measurement.
@@ -110,6 +115,15 @@ struct MeasureOptions {
     /// session is opened and reject the measurement on hard errors, before
     /// any transient read is attempted.
     bool lint_before_measure = false;
+    /// Campaign-level admission: when set, every checked measurement first
+    /// runs the flow-sensitive scan-program lint (lint/flow) over this
+    /// program and rejects with kConfigLint on flow errors — before the TAP
+    /// is touched or any retry budget is spent.  The program outlives the
+    /// controller (not owned).
+    const lint::flow::CampaignProgram* admission_program = nullptr;
+    /// Optional incremental cache for the flow admission, shared across
+    /// measurements/controllers so an unchanged program is a hash lookup.
+    lint::flow::FlowLintCache* admission_cache = nullptr;
     /// Campaign cancellation/deadline token.  The checked pipeline polls it
     /// before the first attempt and before every retry: once it fires, the
     /// measurement stops early with status kFailed / suspect kCancelled
@@ -210,6 +224,9 @@ class MeasurementController {
     const MeasureOptions& options() const { return options_; }
 
   private:
+    /// Campaign-level flow admission (options().admission_program).  Fills
+    /// @p d and returns true when the campaign is statically rejected.
+    bool flow_admission_rejects(MeasurementDiagnostics& d);
     double settle_read(circuit::NodeId p, circuit::NodeId n, double period, int cycles,
                        bool* settled);
     double apply_tune(double volts, SelectBit bit, circuit::NodeId pin,

@@ -46,6 +46,7 @@ struct WorkerState {
     bool done = false;
     bool hang_killed = false;
     bool slow_flagged = false;
+    std::int64_t pending_backoff_ms = 0;  ///< delay charged to the next launch
 };
 
 }  // namespace
@@ -108,6 +109,10 @@ ShardSupervisor::Result ShardSupervisor::supervise(std::uint32_t shard_count,
         ++r.crashes;
         if (hang) ++r.hangs;
         r.last_status = status;
+        if (!r.attempts.empty()) {
+            r.attempts.back().ended =
+                hang ? "hung" : (what == "spawn failed" ? "spawn-failed" : "crashed");
+        }
         breaker.record(false);
         if (breaker.tripped() && !result.breaker_tripped) {
             // Campaign-level escalation: per-shard restarts are not holding
@@ -132,6 +137,7 @@ ShardSupervisor::Result ShardSupervisor::supervise(std::uint32_t shard_count,
             std::chrono::duration_cast<std::chrono::nanoseconds>(options_.backoff_cap).count();
         if (cap_ns > 0) backoff_ns = std::min(backoff_ns, cap_ns);
         w.restart_at_ns = detail::steady_now_ns() + backoff_ns;
+        w.pending_backoff_ms = backoff_ns / 1'000'000;
     };
 
     const auto launch = [&](std::uint32_t s) {
@@ -146,6 +152,13 @@ ShardSupervisor::Result ShardSupervisor::supervise(std::uint32_t shard_count,
         l.resume = options_.resume_first || w.attempt > 0;
         l.shed_optional = shed;
         l.heartbeat_fd = w.pipe_write;
+        ShardAttempt record;
+        record.attempt = w.attempt;
+        record.resume = l.resume;
+        record.shed = l.shed_optional;
+        record.backoff_ms = w.pending_backoff_ms;
+        w.pending_backoff_ms = 0;
+        result.workers[s].attempts.push_back(std::move(record));
         w.pid = spawn(l);
         ++result.workers[s].launches;
         emit(EventKind::kLaunch, s, w.attempt, 0, l.resume ? "resume" : "fresh");
@@ -216,6 +229,9 @@ ShardSupervisor::Result ShardSupervisor::supervise(std::uint32_t shard_count,
                 w.done = true;
                 result.workers[s].completed = true;
                 result.workers[s].last_status = status;
+                if (!result.workers[s].attempts.empty()) {
+                    result.workers[s].attempts.back().ended = "completed";
+                }
                 breaker.record(true);
                 emit(EventKind::kComplete, s, w.attempt, status, {});
             } else {
@@ -261,6 +277,24 @@ ShardSupervisor::Result ShardSupervisor::supervise(std::uint32_t shard_count,
                                        [](const WorkerReport& r) { return r.completed; });
     result.effective_timeout = std::chrono::nanoseconds(stall_timeout_ns());
     return result;
+}
+
+std::vector<ShardHistory> shard_histories(const ShardSupervisor::Result& result) {
+    std::vector<ShardHistory> histories;
+    histories.reserve(result.workers.size());
+    for (const ShardSupervisor::WorkerReport& worker : result.workers) {
+        ShardHistory history;
+        history.shard = worker.shard;
+        history.launches = worker.launches;
+        history.crashes = worker.crashes;
+        history.hangs = worker.hangs;
+        history.slow_flags = worker.slow_flags;
+        history.completed = worker.completed;
+        history.gave_up = worker.gave_up;
+        history.attempts = worker.attempts;
+        histories.push_back(std::move(history));
+    }
+    return histories;
 }
 
 }  // namespace rfabm::exec

@@ -130,6 +130,9 @@ class ShardSupervisor {
         bool completed = false;
         bool gave_up = false;
         int last_status = 0;
+        /// One record per launch, in order: how it started (resume/shed,
+        /// backoff waited) and how it ended.
+        std::vector<ShardAttempt> attempts;
     };
 
     struct Result {
@@ -151,5 +154,10 @@ class ShardSupervisor {
   private:
     Options options_;
 };
+
+/// Per-shard supervision telemetry of @p result in the TriageReport schema
+/// (TriageReport::shards), so campaign drivers can surface restart/backoff
+/// history in the triage JSON instead of only on stderr.
+std::vector<ShardHistory> shard_histories(const ShardSupervisor::Result& result);
 
 }  // namespace rfabm::exec

@@ -97,6 +97,19 @@ std::string TriageReport::to_string() const {
     for (const std::string& detail : quarantine_details) {
         os << "\n    " << detail;
     }
+    for (const ShardHistory& shard : shards) {
+        os << "\n  shard " << shard.shard << ": " << shard.launches << " launch"
+           << (shard.launches == 1 ? "" : "es") << ", " << shard.crashes << " crash"
+           << (shard.crashes == 1 ? "" : "es") << " (" << shard.hangs << " hung), "
+           << (shard.completed ? "completed" : (shard.gave_up ? "gave up" : "unfinished"));
+        for (const ShardAttempt& attempt : shard.attempts) {
+            os << "\n    attempt " << attempt.attempt << ": "
+               << (attempt.resume ? "resume" : "fresh");
+            if (attempt.backoff_ms > 0) os << " after " << attempt.backoff_ms << "ms backoff";
+            if (attempt.shed) os << ", shedding optional";
+            os << " -> " << attempt.ended;
+        }
+    }
     return os.str();
 }
 
@@ -121,6 +134,26 @@ std::string TriageReport::to_json() const {
         if (i != 0) os << ", ";
         os << "{\"die\": " << key.die << ", \"env\": " << key.env << ", \"meas\": " << key.meas
            << ", \"attempts\": " << attempts << "}";
+    }
+    os << "], \"shards\": [";
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const ShardHistory& shard = shards[i];
+        if (i != 0) os << ", ";
+        os << "{\"shard\": " << shard.shard << ", \"launches\": " << shard.launches
+           << ", \"crashes\": " << shard.crashes << ", \"hangs\": " << shard.hangs
+           << ", \"slow_flags\": " << shard.slow_flags
+           << ", \"completed\": " << (shard.completed ? "true" : "false")
+           << ", \"gave_up\": " << (shard.gave_up ? "true" : "false") << ", \"attempts\": [";
+        for (std::size_t a = 0; a < shard.attempts.size(); ++a) {
+            const ShardAttempt& attempt = shard.attempts[a];
+            if (a != 0) os << ", ";
+            os << "{\"attempt\": " << attempt.attempt
+               << ", \"resume\": " << (attempt.resume ? "true" : "false")
+               << ", \"shed\": " << (attempt.shed ? "true" : "false")
+               << ", \"backoff_ms\": " << attempt.backoff_ms << ", \"ended\": \""
+               << attempt.ended << "\"}";
+        }
+        os << "]}";
     }
     os << "]}";
     return os.str();

@@ -80,9 +80,33 @@ class Quarantine {
     std::unordered_map<CellKey, std::uint32_t, CellKeyHash> cells_;
 };
 
+/// One launch attempt of a supervised shard worker (ShardSupervisor).
+struct ShardAttempt {
+    int attempt = 0;          ///< 0-based launch attempt
+    bool resume = false;      ///< journal replayed before running
+    bool shed = false;        ///< breaker escalation was in effect
+    std::int64_t backoff_ms = 0;  ///< restart delay waited before this launch
+    /// How the attempt ended: "completed", "crashed", "hung",
+    /// "spawn-failed", or "running" (supervision ended mid-attempt).
+    std::string ended = "running";
+};
+
+/// Restart/backoff telemetry of one supervised shard, as surfaced in the
+/// TriageReport JSON (mirrors ShardSupervisor::WorkerReport).
+struct ShardHistory {
+    std::uint32_t shard = 0;
+    int launches = 0;
+    int crashes = 0;   ///< nonzero exits + signal deaths
+    int hangs = 0;     ///< stall kills among them
+    int slow_flags = 0;
+    bool completed = false;
+    bool gave_up = false;
+    std::vector<ShardAttempt> attempts;
+};
+
 /// Structured end-of-campaign summary: per-outcome counts, the quarantine
-/// roster, watchdog and journal health.  Emitted as text (stderr) and JSON
-/// (machine triage).
+/// roster, watchdog and journal health, per-shard supervision history.
+/// Emitted as text (stderr) and JSON (machine triage).
 struct TriageReport {
     std::array<std::uint64_t, kNumCellOutcomes> counts{};
     std::vector<std::pair<CellKey, std::uint32_t>> quarantined_cells;
@@ -92,6 +116,9 @@ struct TriageReport {
     std::uint64_t watchdog_fires = 0;
     bool breaker_tripped = false;
     JournalStats journal;
+    /// Per-shard restart/backoff/attempt history (sharded campaigns only;
+    /// empty for single-process runs).
+    std::vector<ShardHistory> shards;
 
     std::uint64_t count(CellOutcome outcome) const {
         return counts[static_cast<std::size_t>(outcome)];

@@ -54,6 +54,26 @@ const std::vector<RuleInfo>& rule_catalog() {
         {"erc-value-zero", Severity::kError, "component value is zero or negative"},
         {"erc-voltage-loop", Severity::kError,
          "loop of voltage sources (contradictory or redundant DC constraints)"},
+        // --- flow-sensitive scan-program rules (lint/flow) --------------------
+        {"flow-bad-die", Severity::kError,
+         "campaign step targets a die outside the declared chain topology"},
+        {"flow-break-before-make", Severity::kError,
+         "one update event hands a pin straight from AB1 to AB2 (or back) with no "
+         "disconnect interval"},
+        {"flow-bus-contention", Severity::kError,
+         "two latched drivers on one shared analog bus across the dies of a chain"},
+        {"flow-crowbar-window", Severity::kError,
+         "SH and SL latched closed together in the window between two update events"},
+        {"flow-dead-update", Severity::kWarning,
+         "select update overwritten before any measure/calibrate observes it (dead "
+         "program step)"},
+        {"flow-measure-before-calibrate", Severity::kWarning,
+         "die measured before any calibrate step anchors its conversion curve"},
+        {"flow-parse-error", Severity::kError, "campaign program file does not parse"},
+        {"flow-read-before-select", Severity::kError,
+         "detector read before its routing (or an analog test instruction) has landed"},
+        {"flow-unpowered-read", Severity::kError,
+         "detector read while the power-gating select bit is not known to be on"},
         {"mux-select-mismatch", Severity::kError,
          ".4 MUX switch state disagrees with the latched select word (stuck switch)"},
         {"netlist-parse-error", Severity::kError, "netlist does not parse"},
@@ -191,6 +211,10 @@ std::string Report::to_text() const {
         out << location_prefix(diag) << ": " << to_string(diag.severity) << ": " << diag.message
             << " [" << diag.rule << "]\n";
         if (!diag.fixit.empty()) out << "    fix-it: " << diag.fixit << "\n";
+        if (!diag.witness.empty()) {
+            out << "    witness:\n";
+            for (const std::string& step : diag.witness) out << "      " << step << "\n";
+        }
     }
     const std::size_t errors = error_count();
     const std::size_t warnings = warning_count();
@@ -226,6 +250,16 @@ std::string Report::to_json() const {
         if (!diag.fixit.empty()) {
             out += ",\"fixit\":";
             append_json_string(out, diag.fixit);
+        }
+        if (!diag.witness.empty()) {
+            out += ",\"witness\":[";
+            bool first_step = true;
+            for (const std::string& step : diag.witness) {
+                if (!first_step) out += ',';
+                first_step = false;
+                append_json_string(out, step);
+            }
+            out += ']';
         }
         out += '}';
     }

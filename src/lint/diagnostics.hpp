@@ -48,6 +48,10 @@ struct Diagnostic {
     std::string device;    ///< device / module path (e.g. "RF_ABM.SH")
     std::string message;
     std::string fixit;     ///< optional suggested remedy
+    /// Witness trace: the minimal op sequence establishing the reported
+    /// state, one human-readable line per step (flow rules; empty for
+    /// snapshot rules).
+    std::vector<std::string> witness;
 };
 
 /// Catalog entry: every rule id the analyses can emit, with its default

@@ -1,0 +1,78 @@
+// Incremental flow-lint cache.
+//
+// Campaign daemons re-admit the same scan programs on every shard launch and
+// every resume; the flow interpretation is pure in (program, chain topology,
+// options), so its verdict can be keyed by a fingerprint and replayed.
+// flow_fingerprint() hashes the semantic content of a CampaignProgram
+// (FNV-1a; implemented here rather than reusing exec::FieldHasher because
+// lint sits below the core/exec layers).
+//
+// FlowLintCache keeps two tiers:
+//
+//  * an in-memory verdict map (fingerprint -> diagnostics) so repeated
+//    admissions within one process replay instead of re-interpreting;
+//  * a persistent "admission ticket" file of fingerprints whose verdict was
+//    fully clean (zero diagnostics).  Workers of a sharded campaign load the
+//    coordinator's ticket file and admit a clean program with one hash
+//    lookup.  Only *clean* verdicts persist — a diagnostic-bearing verdict
+//    must re-lint in every process so suppression configuration cannot be
+//    laundered through the disk cache.
+//
+// Suppressions interact with the cache deliberately: admit() lints into a
+// scratch report with no suppressions, caches that full verdict, and replays
+// it into the caller's Report, where the caller's suppressions apply.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lint/diagnostics.hpp"
+#include "lint/flow/interpreter.hpp"
+#include "lint/flow/program.hpp"
+
+namespace rfabm::lint::flow {
+
+/// FNV-1a fingerprint of a program's semantic content (chain topology, ops,
+/// payloads, source locations) plus the lint options.
+std::uint64_t flow_fingerprint(const CampaignProgram& program,
+                               const FlowLintOptions& options = {});
+
+class FlowLintCache {
+  public:
+    struct Stats {
+        std::size_t hits = 0;    ///< verdict replayed from memory or ticket
+        std::size_t misses = 0;  ///< program interpreted
+    };
+
+    /// Lint @p program through the cache, replaying or recording its verdict,
+    /// and appending the (suppression-filtered) diagnostics to @p report.
+    /// Returns the number of diagnostics in the verdict, before suppression.
+    std::size_t admit(const CampaignProgram& program, Report& report,
+                      const FlowLintOptions& options = {});
+
+    /// True when @p fingerprint holds a clean admission ticket.
+    bool has_clean_ticket(std::uint64_t fingerprint) const {
+        return clean_.count(fingerprint) > 0;
+    }
+
+    const Stats& stats() const { return stats_; }
+    std::size_t size() const { return verdicts_.size() + clean_.size(); }
+
+    /// Merge tickets from @p path (missing file is not an error; a malformed
+    /// file is).  Returns false only on a malformed or unreadable-but-present
+    /// file.
+    bool load(const std::string& path);
+
+    /// Write every clean ticket to @p path (atomic: temp file + rename).
+    bool save(const std::string& path) const;
+
+  private:
+    std::unordered_map<std::uint64_t, std::vector<Diagnostic>> verdicts_;
+    std::unordered_set<std::uint64_t> clean_;
+    Stats stats_;
+};
+
+}  // namespace rfabm::lint::flow

@@ -1,0 +1,100 @@
+// The abstract domain of the flow-sensitive scan-program lint.
+//
+// The flow interpreter (see interpreter.hpp) symbolically executes a whole
+// campaign's scan programs and has to remember, per die in the chain, what
+// the *latched* test logic would hold at every point between Update events:
+// the instruction register, the six ABM switch-control latches, the eight
+// .4-MUX select bits, and the calibration ordering.  A latched bit is
+// abstracted into a three-valued lattice — known-0, known-1, unknown — with
+// the usual join; "unknown" covers payload bits a third-party vector leaves
+// unspecified and state before the program ever establishes it.
+//
+// Every tracked latch also remembers the index of the program step that
+// last assigned it.  That provenance is what lets a flow diagnostic carry a
+// *witness trace*: the minimal op sequence establishing the bad state.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace rfabm::lint::flow {
+
+/// Abstract value of one latched control bit.
+enum class Tri : std::uint8_t {
+    kZero,     ///< known to be 0
+    kOne,      ///< known to be 1
+    kUnknown,  ///< never established, or an unspecified payload bit
+};
+
+/// Lattice join: agreeing known values survive, everything else is unknown.
+constexpr Tri join(Tri a, Tri b) { return a == b ? a : Tri::kUnknown; }
+
+constexpr Tri tri_of(bool bit) { return bit ? Tri::kOne : Tri::kZero; }
+
+/// Render one abstract bit ('0', '1' or 'x').
+constexpr char to_char(Tri value) {
+    return value == Tri::kZero ? '0' : (value == Tri::kOne ? '1' : 'x');
+}
+
+/// The six ABM switch-control latches tracked per die, in the boundary
+/// payload order the flow program format uses (see jtag/abm.hpp for the
+/// electrical meaning of each switch).
+enum class AbmBit : std::size_t {
+    kSh = 0,   ///< pin to VH
+    kSl = 1,   ///< pin to VL
+    kSg = 2,   ///< pin to VG
+    kSd = 3,   ///< pin to core (mission path)
+    kSb1 = 4,  ///< pin to AB1
+    kSb2 = 5,  ///< pin to AB2
+};
+inline constexpr std::size_t kAbmBits = 6;
+
+const char* to_string(AbmBit bit);
+
+/// Width of the tracked .4-MUX select word (see core/mux4.hpp for the bit
+/// layout; the flow lint re-declares the routing semantics it needs in
+/// interpreter.cpp so lint stays below the core layer).
+inline constexpr std::size_t kSelectBits = 8;
+
+/// Sentinel for "no program step has assigned this latch yet".
+inline constexpr std::size_t kNoStep = std::numeric_limits<std::size_t>::max();
+
+/// How many devices share the chain, i.e. how wide the abstract state is.
+/// Kept as its own struct (rather than a bare count) so the lint fingerprint
+/// can grow topology fields without touching the cache key plumbing.
+struct ChainTopology {
+    std::uint32_t dies = 1;
+};
+
+/// Abstract latched state of one die between update events.
+struct DieState {
+    /// Decoded instruction opcode latched at the last Update-IR, or -1 when
+    /// the program has not established the IR.
+    int ir = -1;
+    std::size_t ir_step = kNoStep;
+
+    std::array<Tri, kAbmBits> abm{};
+    std::array<std::size_t, kAbmBits> abm_step{};
+
+    std::array<Tri, kSelectBits> select{};
+    std::array<std::size_t, kSelectBits> select_step{};
+
+    /// Set by a calibrate step; measure-before-calibrate ordering.
+    bool calibrated = false;
+
+    /// Dead-store tracking: the step of the last whole-word select update
+    /// and whether any later step observed (read through) it.
+    std::size_t last_select_update = kNoStep;
+    bool select_observed = true;
+
+    DieState() {
+        abm.fill(Tri::kUnknown);
+        abm_step.fill(kNoStep);
+        select.fill(Tri::kUnknown);
+        select_step.fill(kNoStep);
+    }
+};
+
+}  // namespace rfabm::lint::flow

@@ -1,0 +1,295 @@
+#include "lint/flow/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rfabm::lint::flow {
+
+namespace {
+
+std::string lower(std::string_view text) {
+    std::string out(text);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+/// Split a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(std::string_view line) {
+    std::vector<std::string> tokens;
+    std::istringstream stream{std::string(line)};
+    std::string token;
+    while (stream >> token) tokens.push_back(token);
+    return tokens;
+}
+
+void register_rules(Report& report, std::string_view list, std::size_t target_line) {
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t end = list.find(',', start);
+        if (end == std::string_view::npos) end = list.size();
+        std::string_view rule = list.substr(start, end - start);
+        while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front()))) {
+            rule.remove_prefix(1);
+        }
+        while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back()))) {
+            rule.remove_suffix(1);
+        }
+        if (!rule.empty()) {
+            if (target_line == 0) {
+                report.suppress_rule(std::string(rule));
+            } else {
+                report.suppress_line(target_line, std::string(rule));
+            }
+        }
+        start = end + 1;
+    }
+}
+
+/// Handle an `abm-lint:` directive in the comment @p comment of @p line_no.
+/// @p whole_line means the entire line was a comment (guards the next line).
+void handle_directive(Report& report, std::string_view comment, std::size_t line_no,
+                      bool whole_line) {
+    const std::string lowered = lower(comment);
+    static constexpr std::string_view kMarker = "abm-lint:";
+    const std::size_t mark = lowered.find(kMarker);
+    if (mark == std::string::npos) return;
+    std::string_view directive = std::string_view(lowered).substr(mark + kMarker.size());
+    while (!directive.empty() && std::isspace(static_cast<unsigned char>(directive.front()))) {
+        directive.remove_prefix(1);
+    }
+    static constexpr std::string_view kFile = "disable-file=";
+    static constexpr std::string_view kLine = "disable=";
+    if (directive.rfind(kFile, 0) == 0) {
+        register_rules(report, directive.substr(kFile.size()), 0);
+    } else if (directive.rfind(kLine, 0) == 0) {
+        register_rules(report, directive.substr(kLine.size()),
+                       whole_line ? line_no + 1 : line_no);
+    }
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+    if (text.empty()) return false;
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+        base = 16;
+        text.remove_prefix(2);
+        if (text.empty()) return false;
+    }
+    std::uint64_t value = 0;
+    for (const char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+            digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+            digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+            digit = c - 'A' + 10;
+        } else {
+            return false;
+        }
+        value = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
+    }
+    out = value;
+    return true;
+}
+
+/// Instruction by name (case-insensitive, matching jtag::to_string) or raw
+/// opcode.
+bool parse_instruction(std::string_view token, std::uint8_t& out) {
+    const std::string name = lower(token);
+    static constexpr jtag::Instruction kAll[] = {
+        jtag::Instruction::kExtest, jtag::Instruction::kSamplePreload,
+        jtag::Instruction::kIdcode, jtag::Instruction::kClamp,
+        jtag::Instruction::kHighz,  jtag::Instruction::kProbe,
+        jtag::Instruction::kIntest, jtag::Instruction::kBypass,
+    };
+    for (const jtag::Instruction i : kAll) {
+        if (name == lower(jtag::to_string(i))) {
+            out = jtag::opcode(i);
+            return true;
+        }
+    }
+    std::uint64_t raw = 0;
+    if (!parse_u64(token, raw) || raw > 0xFF) return false;
+    out = static_cast<std::uint8_t>(raw);
+    return true;
+}
+
+struct LineParser {
+    CampaignProgram& out;
+    Report& report;
+    std::string filename;
+    bool ok = true;
+    bool saw_op = false;
+
+    SourceLoc loc_of(std::size_t line_no) const {
+        SourceLoc loc;
+        loc.file = filename;
+        loc.line = line_no;
+        loc.column = 1;
+        return loc;
+    }
+
+    void error(std::size_t line_no, const std::string& message) {
+        ok = false;
+        Diagnostic diag;
+        diag.rule = "flow-parse-error";
+        diag.severity = Severity::kError;
+        diag.loc = loc_of(line_no);
+        diag.message = message;
+        report.add(std::move(diag));
+    }
+
+    bool parse_die(const std::string& token, std::size_t line_no, std::uint32_t& die) {
+        std::uint64_t value = 0;
+        if (!parse_u64(token, value) || value > 0xFFFFFFFFULL) {
+            error(line_no, "'" + token + "' is not a die index");
+            return false;
+        }
+        die = static_cast<std::uint32_t>(value);
+        return true;
+    }
+
+    void parse_line(const std::vector<std::string>& tokens, std::size_t line_no) {
+        const std::string op = lower(tokens[0]);
+        const std::size_t argc = tokens.size() - 1;
+        const auto want = [&](std::size_t n, const char* usage) {
+            if (argc == n) return true;
+            error(line_no, "'" + op + "' takes " + std::to_string(n) + " argument" +
+                               (n == 1 ? "" : "s") + " (usage: " + usage + ")");
+            return false;
+        };
+
+        if (op == "chain") {
+            if (!want(1, "chain <dies>")) return;
+            std::uint64_t dies = 0;
+            if (!parse_u64(tokens[1], dies) || dies == 0 || dies > 1024) {
+                error(line_no, "'" + tokens[1] + "' is not a valid die count (1..1024)");
+                return;
+            }
+            if (saw_op) {
+                error(line_no, "'chain' must precede the first op");
+                return;
+            }
+            out.chain.dies = static_cast<std::uint32_t>(dies);
+            return;
+        }
+
+        saw_op = true;
+        FlowOp flow_op;
+        flow_op.loc = loc_of(line_no);
+
+        if (op == "reset") {
+            if (!want(0, "reset")) return;
+            flow_op.kind = FlowOp::Kind::kReset;
+        } else if (op == "irscan") {
+            if (!want(1, "irscan <instruction|opcode>")) return;
+            flow_op.kind = FlowOp::Kind::kIrScan;
+            if (!parse_instruction(tokens[1], flow_op.ir)) {
+                error(line_no, "'" + tokens[1] + "' is not an instruction name or opcode");
+                return;
+            }
+        } else if (op == "abm") {
+            if (!want(2, "abm <die> <SH SL SG SD SB1 SB2 as 6 chars of 0/1/x>")) return;
+            flow_op.kind = FlowOp::Kind::kAbmScan;
+            if (!parse_die(tokens[1], line_no, flow_op.die)) return;
+            if (!parse_bits(tokens[2], kAbmBits, /*msb_first=*/false, flow_op.bits.data())) {
+                error(line_no, "'" + tokens[2] + "' is not a " + std::to_string(kAbmBits) +
+                                   "-char {0,1,x} ABM payload");
+                return;
+            }
+        } else if (op == "select") {
+            if (!want(2, "select <die> <8 chars of 0/1/x, MSB first>")) return;
+            flow_op.kind = FlowOp::Kind::kSelectScan;
+            if (!parse_die(tokens[1], line_no, flow_op.die)) return;
+            if (!parse_bits(tokens[2], kSelectBits, /*msb_first=*/true, flow_op.bits.data())) {
+                error(line_no, "'" + tokens[2] + "' is not a " + std::to_string(kSelectBits) +
+                                   "-char {0,1,x} select word");
+                return;
+            }
+        } else if (op == "runtest") {
+            if (!want(1, "runtest <cycles>")) return;
+            flow_op.kind = FlowOp::Kind::kRunTest;
+            std::uint64_t cycles = 0;
+            if (!parse_u64(tokens[1], cycles)) {
+                error(line_no, "'" + tokens[1] + "' is not a cycle count");
+                return;
+            }
+            flow_op.cycles = static_cast<std::size_t>(cycles);
+        } else if (op == "calibrate") {
+            if (!want(1, "calibrate <die>")) return;
+            flow_op.kind = FlowOp::Kind::kCalibrate;
+            if (!parse_die(tokens[1], line_no, flow_op.die)) return;
+        } else if (op == "measure") {
+            if (!want(2, "measure <die> <power|freq>")) return;
+            flow_op.kind = FlowOp::Kind::kMeasure;
+            if (!parse_die(tokens[1], line_no, flow_op.die)) return;
+            const std::string detector = lower(tokens[2]);
+            if (detector == "power") {
+                flow_op.detector = Detector::kPower;
+            } else if (detector == "freq" || detector == "frequency") {
+                flow_op.detector = Detector::kFrequency;
+            } else {
+                error(line_no, "'" + tokens[2] + "' is not a detector (power|freq)");
+                return;
+            }
+        } else {
+            error(line_no, "unknown op '" + op + "'");
+            return;
+        }
+        out.ops.push_back(flow_op);
+    }
+};
+
+}  // namespace
+
+bool parse_program(std::string_view text, std::string_view filename, CampaignProgram& out,
+                   Report& report) {
+    LineParser parser{out, report, std::string(filename)};
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = text.size();
+        const std::string_view raw = text.substr(pos, eol - pos);
+        ++line_no;
+
+        std::string_view body = raw;
+        if (const std::size_t hash = raw.find('#'); hash != std::string_view::npos) {
+            body = raw.substr(0, hash);
+            const std::size_t first_nonspace = raw.find_first_not_of(" \t\r");
+            handle_directive(report, raw.substr(hash + 1), line_no,
+                             /*whole_line=*/first_nonspace == hash);
+        }
+        const std::vector<std::string> tokens = tokenize(body);
+        if (!tokens.empty()) parser.parse_line(tokens, line_no);
+
+        if (eol == text.size()) break;
+        pos = eol + 1;
+    }
+    return parser.ok;
+}
+
+bool parse_program_file(const std::string& path, CampaignProgram& out, Report& report) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        Diagnostic diag;
+        diag.rule = "flow-parse-error";
+        diag.severity = Severity::kError;
+        diag.loc.file = path;
+        diag.loc.line = 1;
+        diag.message = "cannot open program file '" + path + "'";
+        report.add(std::move(diag));
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse_program(buffer.str(), path, out, report);
+}
+
+}  // namespace rfabm::lint::flow

@@ -1,0 +1,40 @@
+// Text format for campaign flow programs.
+//
+// One op per line, '#' comments, blank lines ignored:
+//
+//   chain 2                 # dies in the scan chain (default 1, once, first)
+//   reset                   # Test-Logic-Reset
+//   irscan PROBE            # instruction by name, or a raw opcode (0x05 / 5)
+//   abm 0 100011            # die, six {0,1,x} chars: SH SL SG SD SB1 SB2
+//   select 0 01000011       # die, eight {0,1,x} chars, MSB first
+//   runtest 100             # dwell cycles in Run-Test/Idle
+//   calibrate 0             # die
+//   measure 0 power         # die, detector: power | freq
+//
+// Suppression directives ride in comments exactly as in netlists:
+// `# abm-lint: disable=rule-a,rule-b` on its own line guards the next line,
+// inline it guards its own line, and `disable-file=` guards the whole file.
+//
+// Malformed lines produce flow-parse-error diagnostics with the file
+// location; parsing continues so one bad line does not hide the rest.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lint/diagnostics.hpp"
+#include "lint/flow/program.hpp"
+
+namespace rfabm::lint::flow {
+
+/// Parse @p text (from @p filename, used for locations) into @p out.
+/// Registers `abm-lint:` suppression directives on @p report and appends a
+/// flow-parse-error diagnostic per malformed line.  Returns true when the
+/// whole program parsed cleanly.
+bool parse_program(std::string_view text, std::string_view filename, CampaignProgram& out,
+                   Report& report);
+
+/// Read and parse @p path.  An unreadable file is itself a flow-parse-error.
+bool parse_program_file(const std::string& path, CampaignProgram& out, Report& report);
+
+}  // namespace rfabm::lint::flow

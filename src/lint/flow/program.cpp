@@ -1,0 +1,132 @@
+#include "lint/flow/program.hpp"
+
+namespace rfabm::lint::flow {
+
+const char* to_string(AbmBit bit) {
+    switch (bit) {
+        case AbmBit::kSh: return "SH";
+        case AbmBit::kSl: return "SL";
+        case AbmBit::kSg: return "SG";
+        case AbmBit::kSd: return "SD";
+        case AbmBit::kSb1: return "SB1";
+        case AbmBit::kSb2: return "SB2";
+    }
+    return "?";
+}
+
+const char* to_string(Detector detector) {
+    switch (detector) {
+        case Detector::kPower: return "power";
+        case Detector::kFrequency: return "freq";
+    }
+    return "?";
+}
+
+const char* to_string(FlowOp::Kind kind) {
+    switch (kind) {
+        case FlowOp::Kind::kReset: return "reset";
+        case FlowOp::Kind::kIrScan: return "irscan";
+        case FlowOp::Kind::kAbmScan: return "abm";
+        case FlowOp::Kind::kSelectScan: return "select";
+        case FlowOp::Kind::kRunTest: return "runtest";
+        case FlowOp::Kind::kCalibrate: return "calibrate";
+        case FlowOp::Kind::kMeasure: return "measure";
+    }
+    return "?";
+}
+
+std::string step_label(const FlowOp& op, std::size_t index) {
+    std::string label = "step " + std::to_string(index + 1) + " (" + to_string(op.kind);
+    switch (op.kind) {
+        case FlowOp::Kind::kAbmScan:
+        case FlowOp::Kind::kSelectScan:
+        case FlowOp::Kind::kCalibrate:
+            label += " die " + std::to_string(op.die);
+            break;
+        case FlowOp::Kind::kMeasure:
+            label += " die " + std::to_string(op.die) + " " + to_string(op.detector);
+            break;
+        case FlowOp::Kind::kIrScan:
+            label += std::string(" ") + std::string(to_string(jtag::decode_instruction(op.ir)));
+            break;
+        default:
+            break;
+    }
+    label += ")";
+    return label;
+}
+
+bool parse_bits(std::string_view text, std::size_t width, bool msb_first, Tri* out) {
+    if (text.size() != width) return false;
+    for (std::size_t i = 0; i < width; ++i) {
+        const char c = text[msb_first ? width - 1 - i : i];
+        switch (c) {
+            case '0': out[i] = Tri::kZero; break;
+            case '1': out[i] = Tri::kOne; break;
+            case 'x':
+            case 'X': out[i] = Tri::kUnknown; break;
+            default: return false;
+        }
+    }
+    return true;
+}
+
+CampaignProgram& CampaignProgram::reset() {
+    FlowOp op;
+    op.kind = FlowOp::Kind::kReset;
+    ops.push_back(op);
+    return *this;
+}
+
+CampaignProgram& CampaignProgram::ir_scan(std::uint8_t opcode) {
+    FlowOp op;
+    op.kind = FlowOp::Kind::kIrScan;
+    op.ir = opcode;
+    ops.push_back(op);
+    return *this;
+}
+
+CampaignProgram& CampaignProgram::abm(std::uint32_t die, std::string_view bits) {
+    FlowOp op;
+    op.kind = FlowOp::Kind::kAbmScan;
+    op.die = die;
+    parse_bits(bits, kAbmBits, /*msb_first=*/false, op.bits.data());
+    ops.push_back(op);
+    return *this;
+}
+
+CampaignProgram& CampaignProgram::select(std::uint32_t die, std::string_view bits) {
+    FlowOp op;
+    op.kind = FlowOp::Kind::kSelectScan;
+    op.die = die;
+    parse_bits(bits, kSelectBits, /*msb_first=*/true, op.bits.data());
+    ops.push_back(op);
+    return *this;
+}
+
+CampaignProgram& CampaignProgram::run_test(std::size_t cycles) {
+    FlowOp op;
+    op.kind = FlowOp::Kind::kRunTest;
+    op.cycles = cycles;
+    ops.push_back(op);
+    return *this;
+}
+
+CampaignProgram& CampaignProgram::calibrate(std::uint32_t die) {
+    FlowOp op;
+    op.kind = FlowOp::Kind::kCalibrate;
+    op.die = die;
+    ops.push_back(op);
+    return *this;
+}
+
+CampaignProgram& CampaignProgram::measure(std::uint32_t die, Detector detector) {
+    FlowOp op;
+    op.kind = FlowOp::Kind::kMeasure;
+    op.die = die;
+    op.detector = detector;
+    ops.push_back(op);
+    return *this;
+}
+
+}  // namespace rfabm::lint::flow

@@ -194,6 +194,61 @@ TEST(SupervisorTest, BreakerTripEscalatesToShedOptionalRelaunches) {
     EXPECT_GE(log.count(EventKind::kBreakerTrip), 1);
 }
 
+TEST(SupervisorTest, AttemptHistoryRecordsEveryLaunchAndItsEnd) {
+    ShardSupervisor::Options opts;
+    opts.poll_interval = std::chrono::milliseconds(5);
+    opts.backoff_base = std::chrono::milliseconds(10);
+    ShardSupervisor sup(opts);
+
+    const auto result = sup.supervise(1, [](const Launch& launch) {
+        if (launch.attempt == 0) return spawn_sh(launch, "exit 1");
+        return spawn_sh(launch, "printf x >&3; exit 0");
+    });
+
+    ASSERT_EQ(result.workers.size(), 1u);
+    const std::vector<ShardAttempt>& attempts = result.workers[0].attempts;
+    ASSERT_EQ(attempts.size(), 2u);
+    EXPECT_EQ(attempts[0].attempt, 0);
+    EXPECT_FALSE(attempts[0].resume);
+    EXPECT_EQ(attempts[0].backoff_ms, 0) << "first launch waits no backoff";
+    EXPECT_EQ(attempts[0].ended, "crashed");
+    EXPECT_EQ(attempts[1].attempt, 1);
+    EXPECT_TRUE(attempts[1].resume) << "relaunch must replay the shard journal";
+    EXPECT_GT(attempts[1].backoff_ms, 0) << "restart must record its backoff wait";
+    EXPECT_EQ(attempts[1].ended, "completed");
+
+    // The TriageReport projection carries the same history field for field.
+    const std::vector<ShardHistory> histories = shard_histories(result);
+    ASSERT_EQ(histories.size(), 1u);
+    EXPECT_EQ(histories[0].shard, 0u);
+    EXPECT_EQ(histories[0].launches, 2);
+    EXPECT_EQ(histories[0].crashes, 1);
+    EXPECT_TRUE(histories[0].completed);
+    ASSERT_EQ(histories[0].attempts.size(), 2u);
+    EXPECT_EQ(histories[0].attempts[0].ended, "crashed");
+    EXPECT_EQ(histories[0].attempts[1].ended, "completed");
+}
+
+TEST(SupervisorTest, AttemptHistoryNamesHangsAndSheds) {
+    ShardSupervisor::Options opts;
+    opts.poll_interval = std::chrono::milliseconds(5);
+    opts.backoff_base = std::chrono::milliseconds(10);
+    opts.heartbeat_timeout = std::chrono::milliseconds(300);  // fixed: no warmup
+    ShardSupervisor sup(opts);
+
+    const auto result = sup.supervise(1, [](const Launch& launch) {
+        if (launch.attempt == 0) {
+            return spawn_sh(launch, "printf x >&3; sleep 5");
+        }
+        return spawn_sh(launch, "printf x >&3; exit 0");
+    });
+
+    ASSERT_EQ(result.workers.size(), 1u);
+    ASSERT_GE(result.workers[0].attempts.size(), 2u);
+    EXPECT_EQ(result.workers[0].attempts.front().ended, "hung");
+    EXPECT_EQ(result.workers[0].attempts.back().ended, "completed");
+}
+
 TEST(SupervisorTest, HeartbeatEmitterDisabledWithoutFd) {
     HeartbeatEmitter emitter;  // -1: the single-process path
     EXPECT_FALSE(emitter.enabled());

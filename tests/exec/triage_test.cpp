@@ -91,6 +91,45 @@ TEST(TriageReportTest, TextAndJsonCarryTheStory) {
     EXPECT_NE(json.find("\"die\": 0"), std::string::npos);
 }
 
+TEST(TriageReportTest, ShardHistorySchemaInTextAndJson) {
+    TriageReport report;
+    report.cells_total = 8;
+    report.counts[static_cast<std::size_t>(CellOutcome::kOk)] = 8;
+
+    ShardHistory shard;
+    shard.shard = 1;
+    shard.launches = 2;
+    shard.crashes = 1;
+    shard.completed = true;
+    shard.attempts.push_back({0, false, false, 0, "crashed"});
+    shard.attempts.push_back({1, true, false, 50, "completed"});
+    report.shards.push_back(shard);
+
+    const std::string text = report.to_string();
+    EXPECT_NE(text.find("shard 1: 2 launches, 1 crash (0 hung), completed"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("after 50ms backoff"), std::string::npos) << text;
+
+    // The JSON schema the campaign drivers and dashboards key on: a
+    // "shards" array, each with an ordered "attempts" array recording how
+    // every launch started (resume/shed/backoff) and ended.
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"shards\": [{\"shard\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"launches\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"crashes\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"completed\": true"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"attempts\": [{\"attempt\": 0"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"resume\": false"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ended\": \"crashed\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"backoff_ms\": 50"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ended\": \"completed\""), std::string::npos) << json;
+
+    // A single-process campaign (no supervision) still renders: empty array.
+    TriageReport inline_report;
+    EXPECT_NE(inline_report.to_json().find("\"shards\": []"), std::string::npos);
+}
+
 TEST(TriageReportTest, OutcomeNamesAreStable) {
     // The journal stores outcomes as raw integers; renames are format breaks.
     EXPECT_STREQ(to_string(CellOutcome::kOk), "ok");

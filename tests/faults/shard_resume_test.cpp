@@ -79,6 +79,8 @@ class ShardResumeTest : public ::testing::TestWithParam<Topo> {
     void clean(const std::string& stem) {
         std::remove((stem + ".out").c_str());
         std::remove((stem + ".wal").c_str());
+        std::remove((stem + ".lintcache").c_str());
+        std::remove((stem + ".triage.json").c_str());
         for (std::uint32_t s = 0; s < 8; ++s) {
             std::remove(rfabm::exec::shard_journal_path(stem, s).c_str());
         }
@@ -206,6 +208,61 @@ TEST_P(ShardResumeTest, LintAdmissionGatesDispatch) {
         EXPECT_FALSE(file_exists(rfabm::exec::shard_journal_path(stem_, s)))
             << "shard " << s << " was dispatched despite lint rejection";
     }
+}
+
+TEST_P(ShardResumeTest, FlowProgramAdmissionGatesDispatch) {
+    const std::string programs = std::string(LINT_FIXTURE_DIR) + "/flow";
+    // A clean scan program admits, the campaign runs, and the clean verdict
+    // persists as an admission ticket the workers re-admitted against.
+    const int ok = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                 " --program " + programs + "/clean.prog");
+    EXPECT_TRUE(exited_with(ok, 0)) << "status=" << ok;
+    EXPECT_TRUE(file_exists(stem_ + ".lintcache"))
+        << "clean admission must leave a ticket file for the workers";
+
+    // A temporally broken program (unpowered detector read) exits 3 before
+    // ANY shard work is dispatched: no shard journals, no campaign journal,
+    // no output, no admission ticket.
+    clean(stem_);
+    const int bad = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                  " --program " + programs + "/unpowered.prog");
+    EXPECT_TRUE(exited_with(bad, 3)) << "status=" << bad;
+    EXPECT_FALSE(file_exists(stem_ + ".wal"));
+    EXPECT_FALSE(file_exists(stem_ + ".out"));
+    for (std::uint32_t s = 0; s < 8; ++s) {
+        EXPECT_FALSE(file_exists(rfabm::exec::shard_journal_path(stem_, s)))
+            << "shard " << s << " was dispatched despite flow-lint rejection";
+    }
+
+    // Warning-only findings (measure-before-calibrate) do not gate dispatch.
+    clean(stem_);
+    const int warned =
+        run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                      " --program " + programs + "/measure_before_calibrate.prog");
+    EXPECT_TRUE(exited_with(warned, 0)) << "status=" << warned;
+}
+
+TEST_P(ShardResumeTest, TriageJsonRecordsPerShardAttemptHistory) {
+    const std::string triage = stem_ + ".triage.json";
+    // Shard 1's worker SIGKILLs itself once; the triage JSON must carry the
+    // full supervision history — the crash, the backoff, and the resumed
+    // relaunch that completed.
+    const int rc = run_campaignd(grid_args(stem_, GetParam().shards, GetParam().jobs) +
+                                 " --crash-in-shard 1:2 --triage " + triage);
+    ASSERT_TRUE(exited_with(rc, 0)) << "status=" << rc;
+    const std::string json = slurp(triage);
+    ASSERT_FALSE(json.empty());
+    EXPECT_NE(json.find("\"shards\": ["), std::string::npos) << json;
+    EXPECT_NE(json.find("\"attempts\": ["), std::string::npos) << json;
+    EXPECT_NE(json.find("\"backoff_ms\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ended\": \"crashed\""), std::string::npos)
+        << "the injected SIGKILL must appear in the attempt history: " << json;
+    EXPECT_NE(json.find("\"ended\": \"completed\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"resume\": true"), std::string::npos)
+        << "the relaunch after the crash must be a resume: " << json;
+    // Every cell still converged: the degraded history is telemetry, not
+    // an outcome change.
+    EXPECT_NE(json.find("\"crashes\":"), std::string::npos) << json;
 }
 
 INSTANTIATE_TEST_SUITE_P(Topologies, ShardResumeTest,

@@ -15,6 +15,8 @@
 #include "faults/circuit_faults.hpp"
 #include "faults/jtag_faults.hpp"
 #include "lint/diagnostics.hpp"
+#include "lint/flow/cache.hpp"
+#include "lint/flow/interpreter.hpp"
 #include "rf/sweep.hpp"
 
 namespace rfabm::faults {
@@ -208,6 +210,164 @@ TEST_F(LintAgreementFixture, AdmissionGuardRejectsThenHeals) {
 
 TEST_F(LintAgreementFixture, ConfigLintSuspectFormatting) {
     EXPECT_STREQ(core::to_string(core::SuspectedFault::kConfigLint), "config-lint");
+}
+
+// --- temporal (flow) scan-program classes -----------------------------------
+//
+// The flow interpreter sits below core and restates the select-word routing
+// facts as local constants; these tests pin that restatement against the
+// core enum and the checked measurement pipeline, so the two layers cannot
+// drift apart silently.
+
+namespace flow = lint::flow;
+
+TEST_F(LintAgreementFixture, FlowSelectWordSemanticsMatchCore) {
+    EXPECT_EQ(core::select_word({core::SelectBit::kOutPlusToAb1}), 1u << 0);
+    EXPECT_EQ(core::select_word({core::SelectBit::kOutMinusToAb2}), 1u << 1);
+    EXPECT_EQ(core::select_word({core::SelectBit::kFdetToAb1}), 1u << 2);
+    EXPECT_EQ(core::select_word({core::SelectBit::kDetectorPower}), 1u << 6);
+    // The select word the flow rules demand for a power read ("01000011",
+    // MSB first) is exactly the word the checked pipeline latches.
+    EXPECT_EQ(power_word(), 0b01000011);
+    EXPECT_EQ(core::select_word({core::SelectBit::kFdetToAb1,
+                                 core::SelectBit::kDetectorPower}),
+              0b01000100);
+}
+
+// Temporal defect classes — state legal at every snapshot, broken only in
+// the flow between update events — must fire flow rules with witnesses.
+TEST_F(LintAgreementFixture, FlowTemporalClassesFireWithWitnesses) {
+    // Crowbar window: each update is individually clean; only the flow
+    // between them closes SH and SL together (the temporal analog of the
+    // snapshot rule abm-sh-sl-short).
+    {
+        flow::CampaignProgram program;
+        program.reset()
+            .ir_scan(jtag::Instruction::kExtest)
+            .abm(0, "100000")
+            .abm(0, "x1xxxx");
+        lint::Report report;
+        flow::flow_lint(program, report);
+        EXPECT_TRUE(fires(report, "flow-crowbar-window")) << report.to_text();
+    }
+    // Cross-die bus contention: two dies' select words are each clean in
+    // isolation (the snapshot rule select-bus-conflict sees one word at a
+    // time); only the campaign-level flow latches both drivers onto AB1.
+    {
+        flow::CampaignProgram program;
+        program.chain.dies = 2;
+        program.reset()
+            .ir_scan(jtag::Instruction::kProbe)
+            .select(0, "01000011")
+            .select(1, "01000100");
+        lint::Report report;
+        flow::flow_lint(program, report);
+        bool found = false;
+        for (const lint::Diagnostic& d : report.diagnostics()) {
+            if (d.rule != "flow-bus-contention") continue;
+            found = true;
+            EXPECT_FALSE(d.witness.empty()) << report.to_text();
+        }
+        EXPECT_TRUE(found) << report.to_text();
+    }
+    // Unpowered read: the power gate was latched off steps earlier.
+    {
+        flow::CampaignProgram program;
+        program.reset()
+            .ir_scan(jtag::Instruction::kProbe)
+            .select(0, "00000011")
+            .calibrate(0)
+            .measure(0, flow::Detector::kPower);
+        lint::Report report;
+        flow::flow_lint(program, report);
+        EXPECT_TRUE(fires(report, "flow-unpowered-read")) << report.to_text();
+    }
+    // Measure-before-calibrate: the ordering defect the dynamic pipeline
+    // only sees as a skewed conversion curve.
+    {
+        flow::CampaignProgram program;
+        program.reset()
+            .ir_scan(jtag::Instruction::kProbe)
+            .select(0, "01000011")
+            .measure(0, flow::Detector::kPower);
+        lint::Report report;
+        flow::flow_lint(program, report);
+        EXPECT_TRUE(fires(report, "flow-measure-before-calibrate")) << report.to_text();
+    }
+}
+
+// The other side of the agreement: the campaign sequence the checked
+// pipeline actually performs — route, power, calibrate, read, release —
+// must admit cleanly, and defects only observable dynamically (drift,
+// stuck TAP lines) have no flow-program signature to fire on.
+TEST_F(LintAgreementFixture, FlowHealthySequenceAdmitsCleanly) {
+    flow::CampaignProgram program;
+    program.chain.dies = 2;
+    program.reset().ir_scan(jtag::Instruction::kProbe);
+    for (std::uint32_t d = 0; d < 2; ++d) {
+        program.select(d, "01000011")
+            .calibrate(d)
+            .measure(d, flow::Detector::kPower)
+            .select(d, "01000100")
+            .measure(d, flow::Detector::kFrequency)
+            .select(d, "00000000");
+    }
+    lint::Report report;
+    EXPECT_EQ(flow::flow_lint(program, report), 0u) << report.to_text();
+}
+
+// The admission guard end to end: a campaign whose scan program is
+// temporally broken is rejected before the TAP is touched — kFailed with
+// kConfigLint and zero retries burned — while a clean program measures.
+// The second rejection replays from the FlowLintCache instead of
+// re-interpreting.
+TEST_F(LintAgreementFixture, FlowAdmissionGuardRejectsBrokenProgram) {
+    flow::CampaignProgram bad;
+    bad.reset()
+        .ir_scan(jtag::Instruction::kProbe)
+        .select(0, "00000011")
+        .calibrate(0)
+        .measure(0, flow::Detector::kPower);
+    flow::FlowLintCache cache;
+
+    core::MeasureOptions options;
+    options.admission_program = &bad;
+    options.admission_cache = &cache;
+    core::MeasurementController guarded(*chip_, options);
+    guarded.open_session();
+
+    const core::PowerMeasurement rejected = guarded.measure_power_checked(*power_curve_, -8.0);
+    EXPECT_EQ(rejected.diag.status, core::MeasurementStatus::kFailed)
+        << rejected.diag.to_string();
+    EXPECT_EQ(rejected.diag.suspect, core::SuspectedFault::kConfigLint)
+        << rejected.diag.to_string();
+    EXPECT_EQ(rejected.diag.retries, 0) << "guard must reject before burning retries";
+    EXPECT_NE(rejected.diag.detail.find("flow-unpowered-read"), std::string::npos)
+        << rejected.diag.detail;
+
+    const core::PowerMeasurement again = guarded.measure_power_checked(*power_curve_, -8.0);
+    EXPECT_EQ(again.diag.suspect, core::SuspectedFault::kConfigLint);
+    EXPECT_EQ(cache.stats().misses, 1u) << "second admission must replay from the cache";
+    EXPECT_EQ(cache.stats().hits, 1u);
+
+    // The same controller with a clean program admits and measures.
+    flow::CampaignProgram good;
+    good.reset()
+        .ir_scan(jtag::Instruction::kProbe)
+        .select(0, "01000011")
+        .calibrate(0)
+        .measure(0, flow::Detector::kPower);
+    core::MeasureOptions clean_options;
+    clean_options.admission_program = &good;
+    clean_options.admission_cache = &cache;
+    core::MeasurementController admitted(*chip_, clean_options);
+    admitted.open_session();
+    const core::PowerMeasurement ok = admitted.measure_power_checked(*power_curve_, -8.0);
+    EXPECT_EQ(ok.diag.status, core::MeasurementStatus::kOk) << ok.diag.to_string();
+    EXPECT_NEAR(ok.dbm, -8.0, 0.5);
+
+    // Leave the shared controller's session consistent for later tests.
+    controller_->open_session();
 }
 
 }  // namespace

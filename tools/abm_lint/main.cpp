@@ -1,10 +1,14 @@
-// abm_lint: command-line front end of the static netlist analyzer.
+// abm_lint: command-line front end of the static analyzer.
 //
 //   abm_lint [options] netlist.cir [more.cir ...]
+//   abm_lint --flow [options] campaign.prog [more.prog ...]
 //
-// Runs the text-level checks and the electrical rule checks (ERC) on each
-// netlist and prints the findings as compiler-style diagnostics
-// (file:line:column: severity: message [rule-id]) or as one JSON document.
+// Default mode runs the text-level checks and the electrical rule checks
+// (ERC) on each netlist; --flow instead treats each input as a campaign flow
+// program (see lint/flow/parser.hpp for the format) and runs the
+// flow-sensitive scan-program interpreter over it.  Findings print as
+// compiler-style diagnostics (file:line:column: severity: message [rule-id])
+// or as one JSON document.
 //
 // Exit status: 0 clean, 1 findings at or above the failing severity,
 // 2 usage or I/O error.
@@ -15,6 +19,8 @@
 #include <vector>
 
 #include "lint/diagnostics.hpp"
+#include "lint/flow/interpreter.hpp"
+#include "lint/flow/parser.hpp"
 #include "lint/netlist_lint.hpp"
 
 namespace {
@@ -23,6 +29,8 @@ void usage(std::ostream& out) {
     out << "usage: abm_lint [options] <netlist.cir> [...]\n"
            "\n"
            "options:\n"
+           "  --flow               inputs are campaign flow programs, not netlists;\n"
+           "                       run the flow-sensitive scan-program interpreter\n"
            "  --json               emit diagnostics as a JSON document\n"
            "  --werror             exit non-zero on warnings, not only errors\n"
            "  --no-erc             text-level checks only (skip parse + ERC)\n"
@@ -47,12 +55,15 @@ int main(int argc, char** argv) {
     bool json = false;
     bool werror = false;
     bool run_erc = true;
+    bool flow = false;
     std::vector<std::string> suppressions;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--json") {
+        if (arg == "--flow") {
+            flow = true;
+        } else if (arg == "--json") {
             json = true;
         } else if (arg == "--werror") {
             werror = true;
@@ -100,7 +111,14 @@ int main(int argc, char** argv) {
         }
         std::ostringstream text;
         text << in.rdbuf();
-        rfabm::lint::lint_netlist(text.str(), file, report, options);
+        if (flow) {
+            rfabm::lint::flow::CampaignProgram program;
+            if (rfabm::lint::flow::parse_program(text.str(), file, program, report)) {
+                rfabm::lint::flow::flow_lint(program, report);
+            }
+        } else {
+            rfabm::lint::lint_netlist(text.str(), file, report, options);
+        }
     }
 
     report.sort();

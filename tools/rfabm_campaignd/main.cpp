@@ -15,6 +15,15 @@
 //   rfabm_campaignd --journal STEM [--shards N] [--jobs J] [--resume]
 //                   [--out FILE] [--dies D] [--envs E] [--cell-ms M]
 //                   [--netlist FILE]       lint admission; errors exit 3
+//                   [--program FILE]       flow-lint admission of the campaign
+//                                          scan program (lint/flow); errors
+//                                          exit 3 before dispatch.  The clean
+//                                          verdict persists as an admission
+//                                          ticket in STEM.lintcache, so each
+//                                          worker re-admits with a hash lookup
+//                   [--triage FILE]        write the coordinator TriageReport
+//                                          JSON (incl. per-shard restart/
+//                                          backoff/attempt history) to FILE
 //                   [--poison D:E]         cell always fails -> quarantine
 //                   [--optional-env E]     cells with env E are optional
 //                   [--crash-in-shard S:N] SIGKILL shard S's worker at its
@@ -28,7 +37,8 @@
 //                   [--max-restarts R] [--watchdog-ms M] [--max-attempts A]
 //
 // Exit: 0 every cell completed; 1 campaign finished degraded (quarantined /
-// given-up cells); 2 usage or I/O error; 3 netlist rejected by lint.
+// given-up cells); 2 usage or I/O error; 3 netlist or scan program rejected
+// by lint.
 #include <unistd.h>
 
 #include <cinttypes>
@@ -50,6 +60,8 @@
 #include "exec/shard.hpp"
 #include "exec/supervisor.hpp"
 #include "faults/process_faults.hpp"
+#include "lint/flow/cache.hpp"
+#include "lint/flow/parser.hpp"
 #include "lint/netlist_lint.hpp"
 
 namespace {
@@ -60,6 +72,8 @@ struct Args {
     std::string journal_stem;
     std::string out;
     std::string netlist;
+    std::string program;     ///< flow-lint admission input (empty: skip)
+    std::string triage_out;  ///< coordinator triage JSON path (empty: skip)
     std::uint32_t shards = 1;
     std::size_t jobs = 1;
     std::uint32_t dies = 4;
@@ -99,6 +113,8 @@ bool parse_args(int argc, char** argv, Args* args) {
         if (std::strcmp(a, "--journal") == 0 && (v = next())) args->journal_stem = v;
         else if (std::strcmp(a, "--out") == 0 && (v = next())) args->out = v;
         else if (std::strcmp(a, "--netlist") == 0 && (v = next())) args->netlist = v;
+        else if (std::strcmp(a, "--program") == 0 && (v = next())) args->program = v;
+        else if (std::strcmp(a, "--triage") == 0 && (v = next())) args->triage_out = v;
         else if (std::strcmp(a, "--shards") == 0 && (v = next()))
             args->shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
         else if (std::strcmp(a, "--jobs") == 0 && (v = next()))
@@ -220,7 +236,8 @@ std::vector<exec::ResilientChain> build_chains(const Args& args, const exec::Sha
 /// Run one shard's campaign slice in this process.  Shared by the worker
 /// mode and the --shards 1 inline path.
 int run_shard_inline(const Args& args, const exec::ShardSpec& shard,
-                     const std::string& journal, bool resume) {
+                     const std::string& journal, bool resume,
+                     exec::TriageReport* triage_out = nullptr) {
     exec::HeartbeatEmitter heartbeat(args.heartbeat_fd);
     heartbeat.beat();
     std::atomic<std::uint64_t> computed{0};
@@ -247,6 +264,7 @@ int run_shard_inline(const Args& args, const exec::ShardSpec& shard,
     }
     const exec::ResilientResult result = exec::run_resilient_campaign(chains, copts, ropts);
     if (crash) crash->disarm();
+    if (triage_out != nullptr) *triage_out = result.triage;
 
     std::size_t cells_total = 0;
     for (const auto& chain : chains) cells_total += chain.cells.size();
@@ -278,6 +296,10 @@ pid_t spawn_worker(const Args& args, const exec::ShardSupervisor::Launch& launch
     };
     if (launch.resume) argstrs.push_back("--worker-resume");
     if (launch.shed_optional) argstrs.push_back("--shed-optional");
+    if (!args.program.empty()) {
+        argstrs.push_back("--program");
+        argstrs.push_back(args.program);
+    }
     if (args.poison_die >= 0) {
         argstrs.push_back("--poison");
         argstrs.push_back(std::to_string(args.poison_die) + ":" +
@@ -308,6 +330,33 @@ void coord_crash_point(const Args& args, const char* point) {
     if (args.coord_crash == point) std::raise(SIGKILL);
 }
 
+/// Flow-lint admission of the campaign scan program (--program).  The clean
+/// verdict persists as an admission ticket in STEM.lintcache, so the workers
+/// (and any resumed coordinator) re-admit the unchanged program with one
+/// hash lookup instead of re-interpreting it.  Returns 0 (admitted) or 3.
+int admit_program(const Args& args, bool is_worker) {
+    lint::flow::CampaignProgram program;
+    lint::Report report;
+    lint::flow::FlowLintCache cache;
+    const std::string cache_path = args.journal_stem + ".lintcache";
+    cache.load(cache_path);
+    if (lint::flow::parse_program_file(args.program, program, report)) {
+        cache.admit(program, report);
+    }
+    if (report.has_errors()) {
+        report.sort();
+        std::fprintf(stderr, "%s", report.to_text().c_str());
+        std::fprintf(stderr,
+                     is_worker
+                         ? "rfabm_campaignd: worker refused flow-rejected scan program\n"
+                         : "rfabm_campaignd: scan program rejected by flow lint, campaign "
+                           "not dispatched\n");
+        return 3;
+    }
+    if (!is_worker) cache.save(cache_path);
+    return 0;
+}
+
 int run_coordinator(const Args& args, const char* self) {
     // Lint admission: a campaign whose netlist fails static analysis is
     // rejected BEFORE any shard is dispatched — no worker is ever spawned
@@ -329,15 +378,23 @@ int run_coordinator(const Args& args, const char* self) {
             return 3;
         }
     }
+    // Flow admission: the campaign's scan-program sequence is symbolically
+    // executed before any shard is dispatched.  Zero cells run on a program
+    // with a crowbar window, bus contention, or an unpowered read in it.
+    if (!args.program.empty()) {
+        const int rc = admit_program(args, /*is_worker=*/false);
+        if (rc != 0) return rc;
+    }
     coord_crash_point(args, "pre-dispatch");
 
+    exec::TriageReport triage;
     bool degraded = false;
     if (args.shards == 1) {
         // Inline: no worker processes.  The journal is still compacted at
         // the end — folding attempt records and rewriting in canonical
         // order — so its bytes match a merged multi-shard run.
-        const int rc =
-            run_shard_inline(args, {0, 1}, campaign_journal_path(args), args.resume);
+        const int rc = run_shard_inline(args, {0, 1}, campaign_journal_path(args),
+                                        args.resume, &triage);
         if (rc > 1) return rc;
         degraded = rc != 0;
         coord_crash_point(args, "post-workers");
@@ -373,6 +430,8 @@ int run_coordinator(const Args& args, const char* self) {
                 return spawn_worker(args, launch, self);
             });
         degraded = !fleet.all_completed;
+        triage.breaker_tripped = fleet.breaker_tripped;
+        triage.shards = exec::shard_histories(fleet);
         coord_crash_point(args, "post-workers");
 
         std::vector<std::string> inputs;
@@ -420,6 +479,25 @@ int run_coordinator(const Args& args, const char* self) {
         std::fclose(f);
     }
     const std::uint64_t expected = std::uint64_t{args.dies} * args.envs;
+    if (!args.triage_out.empty()) {
+        // The multi-shard coordinator never saw per-cell outcomes (workers
+        // journal them); account from the canonical journal instead.
+        if (args.shards > 1) {
+            triage.cells_total = expected;
+            triage.counts[static_cast<std::size_t>(exec::CellOutcome::kOk)] =
+                replay.cells.size();
+            triage.counts[static_cast<std::size_t>(exec::CellOutcome::kQuarantined)] =
+                replay.quarantined.size();
+            triage.quarantined_cells = replay.quarantined;
+        }
+        std::ofstream triage_file(args.triage_out, std::ios::trunc);
+        if (!triage_file) {
+            std::fprintf(stderr, "rfabm_campaignd: cannot write %s\n",
+                         args.triage_out.c_str());
+            return 2;
+        }
+        triage_file << triage.to_json() << "\n";
+    }
     std::printf("cells %zu / %" PRIu64 " quarantined %zu\n", replay.cells.size(), expected,
                 replay.quarantined.size());
     return !degraded && replay.cells.size() == expected ? 0 : 1;
@@ -436,6 +514,14 @@ int main(int argc, char** argv) {
     if (args.worker) {
         const exec::ShardSpec shard{args.shard_index, args.shards};
         if (!shard.valid()) return 2;
+        // Per-shard re-admission: with the coordinator's admission ticket on
+        // disk this is one fingerprint lookup; without it (worker launched
+        // by hand) the program is re-interpreted.  Either way a flow-bad
+        // program never reaches the measurement loop.
+        if (!args.program.empty()) {
+            const int rc = admit_program(args, /*is_worker=*/true);
+            if (rc != 0) return rc;
+        }
         return run_shard_inline(args, shard,
                                 exec::shard_journal_path(args.journal_stem, shard.index),
                                 args.worker_resume);
