@@ -90,6 +90,10 @@ HarnessOptions parse_options(int argc, char** argv) {
             if (opts.shard_count == 0) opts.shard_count = 1;
         } else if (std::strcmp(argv[i], "--shard-index") == 0 && i + 1 < argc) {
             opts.shard_index = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--surrogate") == 0 && i + 1 < argc) {
+            opts.surrogate_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--surrogate-max-bound") == 0 && i + 1 < argc) {
+            opts.surrogate_max_bound = std::strtod(argv[++i], nullptr);
         }
     }
     return opts;
@@ -137,9 +141,68 @@ Exec::Exec(const HarnessOptions& opts)
         popts.workers = jobs_;
         pool_ = std::make_unique<rfabm::exec::ThreadPool>(popts);
     }
+    if (!opts_.surrogate_path.empty()) {
+        rfabm::rf::surrogate::StoreOptions sopts;
+        sopts.max_bound = opts_.surrogate_max_bound;
+        surrogate_ = std::make_unique<rfabm::rf::surrogate::SurrogateStore>(sopts);
+        // A missing file is a cold start; a corrupt one is rejected whole by
+        // load() (the store stays empty) and the campaign refits from full
+        // simulation — either way the run proceeds.  Completed-generation
+        // rule: only a loaded store serves (a saved store was refit over its
+        // full population, so every in-envelope query is in-sample and the
+        // published bound holds); a cold run trains without serving.
+        (void)surrogate_->load(opts_.surrogate_store_path());
+        surrogate_serve_ = surrogate_->surfaces() > 0;
+    }
 }
 
-Exec::~Exec() = default;
+Exec::~Exec() {
+    if (surrogate_) {
+        // Close the generation: refit every surface over its full retained
+        // population before persisting, so the next run serves in-sample.
+        surrogate_->merge_from({});
+        (void)surrogate_->save(opts_.surrogate_store_path());
+    }
+}
+
+core::SurrogateBinding Exec::surrogate_binding(const core::RfAbmChipConfig& config,
+                                               const circuit::ProcessCorner& corner,
+                                               const core::OperatingConditions& env) const {
+    core::SurrogateBinding b;
+    if (!surrogate_) return b;
+    b.store = surrogate_.get();
+    b.serve = surrogate_serve_;
+    rfabm::exec::FieldHasher die;
+    die.mix(rfabm::exec::hash_chip_config(config));
+    die.mix(rfabm::exec::hash_corner(corner));
+    b.die = die.value();
+    rfabm::exec::FieldHasher env_h;
+    env_h.mix(env.temperature_c);
+    b.corner = env_h.value();
+    return b;
+}
+
+void Exec::fold_surrogate_metrics() {
+    if (!surrogate_) return;
+    const auto c = surrogate_->counters();
+    metrics_.add_surrogate(c.hits - surrogate_folded_.hits,
+                           c.misses - surrogate_folded_.misses,
+                           c.out_of_envelope - surrogate_folded_.out_of_envelope,
+                           c.bound_too_loose - surrogate_folded_.bound_too_loose,
+                           c.refits - surrogate_folded_.refits);
+    surrogate_folded_ = c;
+    auto& s = last_triage_.surrogate;
+    s.enabled = true;
+    s.hits = c.hits;
+    s.misses = c.misses;
+    s.out_of_envelope = c.out_of_envelope;
+    s.bound_too_loose = c.bound_too_loose;
+    s.observed = c.observed;
+    s.refits = c.refits;
+    s.load_rejected = c.load_rejected;
+    s.surfaces = surrogate_->surfaces();
+    s.worst_error_bound = surrogate_->worst_error_bound();
+}
 
 DieCalibration Exec::calibrate(const core::RfAbmChipConfig& config,
                                const circuit::ProcessCorner& corner,
@@ -175,7 +238,9 @@ void Exec::run_cells(const core::RfAbmChipConfig& config,
             chain.measurements.push_back({[this, &config, &dies, &envs, &cell, mopts, d,
                                            e](rfabm::exec::TaskContext&) {
                 const DieCalibration cal = calibrate(config, dies[d]);
-                DutSession dut(config, cal, envs[e], mopts);
+                core::MeasureOptions cell_opts = mopts;
+                cell_opts.surrogate = surrogate_binding(config, dies[d], envs[e]);
+                DutSession dut(config, cal, envs[e], cell_opts);
                 metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
                 cell(dut, d, e);
                 metrics_.add_newton(dut.chip.engine().newton_iterations());
@@ -199,7 +264,9 @@ void Exec::run_cells_calibrated(
         for (std::size_t e = 0; e < envs.size(); ++e) {
             chain.measurements.push_back({[this, &config, &cals, &envs, &cell, mopts, d,
                                            e](rfabm::exec::TaskContext&) {
-                DutSession dut(config, cals[d], envs[e], mopts);
+                core::MeasureOptions cell_opts = mopts;
+                cell_opts.surrogate = surrogate_binding(config, cals[d].corner, envs[e]);
+                DutSession dut(config, cals[d], envs[e], cell_opts);
                 metrics_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
                 cell(dut, d, e);
                 metrics_.add_newton(dut.chip.engine().newton_iterations());
@@ -220,6 +287,7 @@ void Exec::run_chains(const std::vector<rfabm::exec::DieChain>& chains) {
         copts.metrics = &metrics_;
         last_result_ = rfabm::exec::run_campaign(chains, copts);
     }
+    fold_surrogate_metrics();
 }
 
 std::uint64_t Exec::campaign_identity(const core::RfAbmChipConfig& config,
@@ -283,6 +351,7 @@ void Exec::run_resilient_chains(const std::vector<rfabm::exec::ResilientChain>& 
     }
     last_result_ = rr.graph;
     last_triage_ = rr.triage;
+    fold_surrogate_metrics();
 
     if (!opts_.triage_path.empty()) {
         // One JSON object per campaign, line-delimited; truncate on the
@@ -380,6 +449,10 @@ void banner(const char* experiment, const char* paper_artifact, const HarnessOpt
     if (opts.shard_count > 1) {
         std::printf("shard: %zu of %zu  (die %% %zu == %zu)\n", opts.shard_index,
                     opts.shard_count, opts.shard_count, opts.shard_index);
+    }
+    if (!opts.surrogate_path.empty()) {
+        std::printf("surrogate: two-tier serving via %s\n",
+                    opts.surrogate_store_path().c_str());
     }
     std::printf("================================================================\n");
 }

@@ -39,6 +39,7 @@
 #include "exec/resilient.hpp"
 #include "exec/shard.hpp"
 #include "rf/curve.hpp"
+#include "rf/surrogate/store.hpp"
 
 namespace rfabm::bench {
 
@@ -76,6 +77,27 @@ struct HarnessOptions {
     std::size_t shard_count = 1;
     /// --shard-index I: which shard this process runs (0-based).
     std::size_t shard_index = 0;
+
+    // --- two-tier surrogate serving (docs/surrogate.md) ---------------------
+    /// --surrogate FILE: enable the surrogate tier, persisted at FILE.  The
+    /// store is loaded (and verified) at Exec construction and saved at
+    /// destruction; measurements consult it before any transient solve and
+    /// feed full-solve results back.  Sharded workers each persist to
+    /// FILE.shardI.sur; the coordinator merges them (SurrogateStore::
+    /// merge_from).  Empty = disabled: every measurement is bit-identical to
+    /// the pre-surrogate path.
+    std::string surrogate_path;
+    /// --surrogate-max-bound V: serve only surfaces whose published error
+    /// bound is at or under this budget, in volts (<= 0 disables the check);
+    /// out-of-budget surfaces fall back to full simulation.
+    double surrogate_max_bound = 20e-3;
+
+    /// The store file THIS process reads/writes (shard-suffixed when this
+    /// process is one shard of a fleet).
+    std::string surrogate_store_path() const {
+        if (surrogate_path.empty() || shard_count <= 1) return surrogate_path;
+        return surrogate_path + ".shard" + std::to_string(shard_index) + ".sur";
+    }
 
     /// Any resilience feature requested?  Campaigns then run through
     /// exec::run_resilient_campaign instead of the bare task graph.  Sharded
@@ -196,6 +218,21 @@ class Exec {
     std::size_t jobs() const { return jobs_; }
     rfabm::exec::CampaignMetrics& metrics() { return metrics_; }
     rfabm::exec::CalibrationCache& cache() { return cache_; }
+    /// The campaign's surrogate store (null when --surrogate is not given).
+    rfabm::rf::surrogate::SurrogateStore* surrogate() { return surrogate_.get(); }
+    /// Read-through binding for one campaign cell: die keyed by (chip
+    /// config, process corner), corner keyed by the environment's
+    /// temperature — the supplies are surrogate model INPUTS (the query's
+    /// VDD axis), not key components, so one surface interpolates across
+    /// them.  Null-store binding when the surrogate tier is disabled.
+    core::SurrogateBinding surrogate_binding(const core::RfAbmChipConfig& config,
+                                             const circuit::ProcessCorner& corner,
+                                             const core::OperatingConditions& env) const;
+    /// Fold the store's counter growth since the last fold into the campaign
+    /// metrics, and refresh the triage report's surrogate section.  The
+    /// campaign drivers call this at end of run; benches that hand-roll
+    /// their cells call it before reading metrics().
+    void fold_surrogate_metrics();
     rfabm::exec::CancellationToken token() const { return cancel_.token(); }
     /// Cancel the campaign: running cells finish, queued cells are skipped
     /// and the checked measurement pipeline stops retrying.
@@ -334,6 +371,7 @@ class Exec {
                                                    : (*cals)[d];
                     core::MeasureOptions mopts;
                     mopts.cancel = att.token;
+                    mopts.surrogate = surrogate_binding(config, cal.corner, envs[e]);
                     DutSession dut(config, cal, envs[e], mopts);
                     // Wire the watchdog into the solver: the token aborts a
                     // hung solve, the heartbeat proves per-step progress.
@@ -364,6 +402,9 @@ class Exec {
     HarnessOptions opts_;
     bool resilient_ = false;
     std::size_t jobs_ = 1;
+    std::unique_ptr<rfabm::rf::surrogate::SurrogateStore> surrogate_;
+    bool surrogate_serve_ = false;  ///< store held a completed generation at load
+    rfabm::rf::surrogate::StoreCounters surrogate_folded_{};  ///< already in metrics_
     rfabm::exec::CancellationSource cancel_;
     std::unique_ptr<rfabm::exec::ThreadPool> pool_;  ///< null when jobs == 1
     rfabm::exec::CalibrationCache cache_;

@@ -218,17 +218,79 @@ double MeasurementController::measure_freq_vout(bool use_fin) {
                        options_.freq_cycles_per_window, &last_settled_);
 }
 
+std::optional<rf::surrogate::Query> MeasurementController::surrogate_query(double vdd) const {
+    if (options_.surrogate.store == nullptr) return std::nullopt;
+    // Surfaces are parameterized by the applied stimulus; without a known
+    // generator setting there is no honest query (or training) point.
+    const auto dbm = chip_.rf_power_dbm();
+    const auto hz = chip_.rf_frequency();
+    if (!dbm || !hz) return std::nullopt;
+    rf::surrogate::Query q;
+    q.pin_dbm = *dbm;
+    q.freq_hz = *hz;
+    q.vdd = vdd;
+    return q;
+}
+
+bool MeasurementController::surrogate_serve(rf::surrogate::Quantity quantity, double vdd,
+                                            double* vout, double* bound) {
+    // Training-generation binding: observe-only, the tier is never consulted
+    // (see SurrogateBinding::serve).
+    if (!options_.surrogate.serve) return false;
+    const auto q = surrogate_query(vdd);
+    if (!q) return false;
+    const rf::surrogate::SurrogateKey key{static_cast<std::uint32_t>(quantity),
+                                          options_.surrogate.die, options_.surrogate.corner};
+    last_surrogate_ = options_.surrogate.store->try_serve(key, *q, vout, bound);
+    return last_surrogate_ == rf::surrogate::Decision::kHit;
+}
+
+void MeasurementController::surrogate_observe(rf::surrogate::Quantity quantity, double vdd,
+                                              double vout) {
+    const auto q = surrogate_query(vdd);
+    if (!q || !std::isfinite(vout)) return;
+    const rf::surrogate::SurrogateKey key{static_cast<std::uint32_t>(quantity),
+                                          options_.surrogate.die, options_.surrogate.corner};
+    options_.surrogate.store->observe(key, *q, vout);
+}
+
 PowerMeasurement MeasurementController::measure_power(const rfabm::rf::MonotoneCurve& cal) {
     PowerMeasurement m;
+    // Tier 1: serve the settled Vout from the fitted response surface when
+    // the query is in-envelope and the surface's error bound is in budget.
+    if (surrogate_serve(rf::surrogate::Quantity::kPowerVout, chip_.conditions().vdd_pdet,
+                        &m.vout, &m.surrogate_bound)) {
+        m.from_surrogate = true;
+        m.settled = true;
+        m.dbm = cal.invert(m.vout);
+        return m;
+    }
+    // Tier 2: the full transient solve, which also trains the surface.
     m.vout = measure_power_vout();
     m.settled = last_settled_;
     m.dbm = cal.invert(m.vout);
+    if (m.settled) {
+        surrogate_observe(rf::surrogate::Quantity::kPowerVout, chip_.conditions().vdd_pdet,
+                          m.vout);
+    }
     return m;
 }
 
 FrequencyMeasurement MeasurementController::measure_frequency(
     const rfabm::rf::MonotoneCurve& cal, bool use_fin) {
     FrequencyMeasurement m;
+    // Tier 1 (RF path only: the fin path measures a different input whose
+    // frequency the surrogate key does not describe).  Surfaces train only on
+    // valid reads, so a served reading counts as valid by construction.
+    if (!use_fin &&
+        surrogate_serve(rf::surrogate::Quantity::kFreqVout, chip_.conditions().vdd_fdet,
+                        &m.vout, &m.surrogate_bound)) {
+        m.from_surrogate = true;
+        m.settled = true;
+        m.valid = true;
+        m.ghz = cal.invert(m.vout);
+        return m;
+    }
     const std::uint64_t edges_before = chip_.fvc_edges();
     m.vout = measure_freq_vout(use_fin);
     m.settled = last_settled_;
@@ -236,6 +298,10 @@ FrequencyMeasurement MeasurementController::measure_frequency(
     m.ghz = cal.invert(m.vout);
     // A frequency read needs a live clock: demand a sensible edge count.
     m.valid = m.settled && m.edges >= 8;
+    if (!use_fin && m.valid) {
+        surrogate_observe(rf::surrogate::Quantity::kFreqVout, chip_.conditions().vdd_fdet,
+                          m.vout);
+    }
     return m;
 }
 
@@ -340,6 +406,18 @@ PowerMeasurement MeasurementController::measure_power_checked(
     PowerMeasurement m;
     MeasurementDiagnostics& d = m.diag;
     if (flow_admission_rejects(d)) return m;
+    // Two-tier serving: an in-envelope, in-budget surrogate hit needs none of
+    // the scan/select/liveness machinery below — those checks guard the
+    // physical read path, which a served reading never exercises.
+    if (surrogate_serve(rf::surrogate::Quantity::kPowerVout, chip_.conditions().vdd_pdet,
+                        &m.vout, &m.surrogate_bound)) {
+        m.from_surrogate = true;
+        m.settled = true;
+        m.dbm = cal.invert(m.vout);
+        d.status = MeasurementStatus::kOk;
+        d.detail = "served by surrogate surface";
+        return m;
+    }
     const RetryPolicy& policy = options_.retry;
     const std::uint8_t word = select_word(
         {SelectBit::kOutPlusToAb1, SelectBit::kOutMinusToAb2, SelectBit::kDetectorPower});
@@ -519,6 +597,12 @@ PowerMeasurement MeasurementController::measure_power_checked(
         if (d.status == MeasurementStatus::kDegraded && d.detail.empty()) {
             d.detail = "succeeded after retry";
         }
+        // Only a first-try clean read trains the surface: a Degraded value
+        // already tripped a check once and is not fit to serve others.
+        if (d.status == MeasurementStatus::kOk) {
+            surrogate_observe(rf::surrogate::Quantity::kPowerVout,
+                              chip_.conditions().vdd_pdet, m.vout);
+        }
         return m;
     }
     // Budget exhausted.  A plausibility failure still carries a best-effort
@@ -534,6 +618,18 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
     FrequencyMeasurement m;
     MeasurementDiagnostics& d = m.diag;
     if (flow_admission_rejects(d)) return m;
+    // Two-tier serving (RF path only; see measure_frequency).
+    if (!use_fin &&
+        surrogate_serve(rf::surrogate::Quantity::kFreqVout, chip_.conditions().vdd_fdet,
+                        &m.vout, &m.surrogate_bound)) {
+        m.from_surrogate = true;
+        m.settled = true;
+        m.valid = true;
+        m.ghz = cal.invert(m.vout);
+        d.status = MeasurementStatus::kOk;
+        d.detail = "served by surrogate surface";
+        return m;
+    }
     const RetryPolicy& policy = options_.retry;
     auto word = use_fin ? select_word({SelectBit::kFdetToAb1, SelectBit::kDetectorPower,
                                        SelectBit::kInputSelectFin})
@@ -695,6 +791,11 @@ FrequencyMeasurement MeasurementController::measure_frequency_checked(
                                                       : MeasurementStatus::kOk;
         if (d.status == MeasurementStatus::kDegraded && d.detail.empty()) {
             d.detail = "succeeded after retry";
+        }
+        // First-try clean reads only (see measure_power_checked).
+        if (!use_fin && d.status == MeasurementStatus::kOk) {
+            surrogate_observe(rf::surrogate::Quantity::kFreqVout,
+                              chip_.conditions().vdd_fdet, m.vout);
         }
         return m;
     }

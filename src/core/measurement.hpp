@@ -20,6 +20,7 @@
 #include "lint/abm_rules.hpp"
 #include "lint/diagnostics.hpp"
 #include "rf/curve.hpp"
+#include "rf/surrogate/store.hpp"
 
 namespace rfabm::lint::flow {
 struct CampaignProgram;
@@ -89,6 +90,8 @@ struct PowerMeasurement {
     double dbm = 0.0;        ///< estimated input power
     double vout = 0.0;       ///< raw settled detector output (V)
     bool settled = true;     ///< the DC read converged
+    bool from_surrogate = false;    ///< served by the surrogate tier, no solve
+    double surrogate_bound = 0.0;   ///< |vout error| bound when served (V)
     MeasurementDiagnostics diag{};  ///< populated by the checked pipeline
 };
 
@@ -99,7 +102,32 @@ struct FrequencyMeasurement {
     bool settled = true;
     std::uint64_t edges = 0;  ///< FVC clock activity during the read
     bool valid = false;       ///< edges seen and read settled
+    bool from_surrogate = false;    ///< served by the surrogate tier, no solve
+    double surrogate_bound = 0.0;   ///< |vout error| bound when served (V)
     MeasurementDiagnostics diag{};  ///< populated by the checked pipeline
+};
+
+/// Read-through binding of a controller to the two-tier surrogate store.
+/// When `store` is set, measure_power()/measure_frequency() (and their
+/// checked variants) first ask the store for the settled Vout at the current
+/// operating point — (Pin dBm, f Hz, VDD) under (die, corner) — and serve a
+/// hit without touching the transient solver.  Any non-hit (miss, query
+/// outside the fitted envelope, bound over budget) falls back to the full
+/// solve, whose settled result is fed back via observe() so the surface
+/// (re)fits.  The store outlives the controller (not owned) and is shared
+/// across the campaign's workers.
+struct SurrogateBinding {
+    rf::surrogate::SurrogateStore* store = nullptr;
+    std::uint64_t die = 0;     ///< process-identity hash (see exec::hash_corner)
+    std::uint64_t corner = 0;  ///< environment hash (temperature etc.)
+    /// Completed-generation rule (docs/surrogate.md): a campaign training a
+    /// fresh store binds with serve=false — full solves still feed observe(),
+    /// but no query is answered from a surface whose envelope this same run
+    /// is still extending (a freshly widened envelope edge has no held-out
+    /// evidence, so its residual can exceed the published bound).  Serving
+    /// turns on when a saved generation — always refit over its full
+    /// population before persisting — is loaded.
+    bool serve = true;
 };
 
 /// Settle/read tuning knobs.
@@ -130,6 +158,10 @@ struct MeasureOptions {
     /// instead of burning the remaining retry budget.  Default token never
     /// fires.
     exec::CancellationToken cancel{};
+    /// Two-tier serving: consult this surrogate store before any transient
+    /// solve and feed full-solve results back into it.  Default (null store)
+    /// leaves every measurement byte-identical to the pre-surrogate path.
+    SurrogateBinding surrogate{};
 };
 
 /// The lint-facing description of the paper's ".4 MUX" select word (see
@@ -223,6 +255,11 @@ class MeasurementController {
     bool session_open() const { return session_open_; }
     const MeasureOptions& options() const { return options_; }
 
+    /// Outcome of this controller's most recent surrogate consultation
+    /// (kMiss before any consultation or when no store is bound).  The
+    /// bound store's counters() carry the campaign-wide tallies.
+    rf::surrogate::Decision last_surrogate_decision() const { return last_surrogate_; }
+
   private:
     /// Campaign-level flow admission (options().admission_program).  Fills
     /// @p d and returns true when the campaign is statically rejected.
@@ -233,6 +270,14 @@ class MeasurementController {
                       void (RfAbmChip::*hold_setter)(double));
     /// Coarse, cheaply-bounded single-ended read for the pin-liveness check.
     double liveness_read(circuit::NodeId pin);
+    /// The current operating point as a surrogate query, or nullopt when the
+    /// RF stimulus is unknown (surrogate keys are meaningless without it).
+    std::optional<rf::surrogate::Query> surrogate_query(double vdd) const;
+    /// Tier-1 attempt: true (and fills *vout/*bound) only on a hit.
+    bool surrogate_serve(rf::surrogate::Quantity quantity, double vdd, double* vout,
+                         double* bound);
+    /// Tier-2 feedback: hand a settled full-solve Vout to the bound store.
+    void surrogate_observe(rf::surrogate::Quantity quantity, double vdd, double vout);
 
     RfAbmChip& chip_;
     MeasureOptions options_;
@@ -242,6 +287,7 @@ class MeasurementController {
     bool last_settled_ = true;
     bool tare_valid_ = false;
     double tare_ = 0.0;
+    rf::surrogate::Decision last_surrogate_ = rf::surrogate::Decision::kMiss;
 };
 
 }  // namespace rfabm::core

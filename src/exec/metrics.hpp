@@ -18,8 +18,26 @@ struct CampaignMetrics {
     std::atomic<std::uint64_t> cache_misses{0};     ///< calibrations computed
     std::atomic<std::uint64_t> newton_iterations{0};///< solver iterations, all workers
     std::atomic<std::uint64_t> sessions_opened{0};  ///< 1149.4 DUT sessions opened
+    // Two-tier surrogate serving decisions (rf::surrogate::Decision tallies,
+    // folded in from the campaign's SurrogateStore counters).
+    std::atomic<std::uint64_t> surrogate_hits{0};            ///< served, no solve
+    std::atomic<std::uint64_t> surrogate_misses{0};          ///< no fitted surface
+    std::atomic<std::uint64_t> surrogate_out_of_envelope{0}; ///< outside fitted domain
+    std::atomic<std::uint64_t> surrogate_bound_too_loose{0}; ///< bound over budget
+    std::atomic<std::uint64_t> surrogate_refits{0};          ///< surfaces (re)fitted
 
     void add_newton(std::uint64_t n) { newton_iterations.fetch_add(n, std::memory_order_relaxed); }
+
+    /// Fold a SurrogateStore counter delta (new totals minus already-folded
+    /// totals) into the campaign tallies.
+    void add_surrogate(std::uint64_t hits, std::uint64_t misses, std::uint64_t out_of_envelope,
+                       std::uint64_t bound_too_loose, std::uint64_t refits) {
+        surrogate_hits.fetch_add(hits, std::memory_order_relaxed);
+        surrogate_misses.fetch_add(misses, std::memory_order_relaxed);
+        surrogate_out_of_envelope.fetch_add(out_of_envelope, std::memory_order_relaxed);
+        surrogate_bound_too_loose.fetch_add(bound_too_loose, std::memory_order_relaxed);
+        surrogate_refits.fetch_add(refits, std::memory_order_relaxed);
+    }
 
     /// Value snapshot (atomics are not copyable; reports want plain numbers).
     struct Snapshot {
@@ -30,15 +48,33 @@ struct CampaignMetrics {
         std::uint64_t cache_misses = 0;
         std::uint64_t newton_iterations = 0;
         std::uint64_t sessions_opened = 0;
+        std::uint64_t surrogate_hits = 0;
+        std::uint64_t surrogate_misses = 0;
+        std::uint64_t surrogate_out_of_envelope = 0;
+        std::uint64_t surrogate_bound_too_loose = 0;
+        std::uint64_t surrogate_refits = 0;
+
+        std::uint64_t surrogate_lookups() const {
+            return surrogate_hits + surrogate_misses + surrogate_out_of_envelope +
+                   surrogate_bound_too_loose;
+        }
 
         std::string to_string() const {
-            return "tasks=" + std::to_string(tasks_run) +
-                   " skipped=" + std::to_string(tasks_skipped) +
-                   " steals=" + std::to_string(steals) +
-                   " cal_cache=" + std::to_string(cache_hits) + "/" +
-                   std::to_string(cache_hits + cache_misses) +
-                   " sessions=" + std::to_string(sessions_opened) +
-                   " newton_iters=" + std::to_string(newton_iterations);
+            std::string s = "tasks=" + std::to_string(tasks_run) +
+                            " skipped=" + std::to_string(tasks_skipped) +
+                            " steals=" + std::to_string(steals) +
+                            " cal_cache=" + std::to_string(cache_hits) + "/" +
+                            std::to_string(cache_hits + cache_misses) +
+                            " sessions=" + std::to_string(sessions_opened) +
+                            " newton_iters=" + std::to_string(newton_iterations);
+            if (surrogate_lookups() > 0 || surrogate_refits > 0) {
+                s += " surrogate=" + std::to_string(surrogate_hits) + "/" +
+                     std::to_string(surrogate_lookups()) +
+                     " (oob=" + std::to_string(surrogate_out_of_envelope) +
+                     " loose=" + std::to_string(surrogate_bound_too_loose) +
+                     " refits=" + std::to_string(surrogate_refits) + ")";
+            }
+            return s;
         }
     };
 
@@ -51,6 +87,11 @@ struct CampaignMetrics {
         s.cache_misses = cache_misses.load(std::memory_order_relaxed);
         s.newton_iterations = newton_iterations.load(std::memory_order_relaxed);
         s.sessions_opened = sessions_opened.load(std::memory_order_relaxed);
+        s.surrogate_hits = surrogate_hits.load(std::memory_order_relaxed);
+        s.surrogate_misses = surrogate_misses.load(std::memory_order_relaxed);
+        s.surrogate_out_of_envelope = surrogate_out_of_envelope.load(std::memory_order_relaxed);
+        s.surrogate_bound_too_loose = surrogate_bound_too_loose.load(std::memory_order_relaxed);
+        s.surrogate_refits = surrogate_refits.load(std::memory_order_relaxed);
         return s;
     }
 };

@@ -91,6 +91,17 @@ std::string TriageReport::to_string() const {
        << " replayed, " << journal.fsyncs << " fsyncs, " << journal.bytes_written << " bytes";
     if (journal.torn_tail) os << ", torn tail recovered";
     if (journal.checksum_mismatch) os << ", corrupt record truncated";
+    if (surrogate.enabled) {
+        os << "\n  surrogate: " << surrogate.hits << "/" << surrogate.lookups()
+           << " served (" << surrogate.misses << " miss, " << surrogate.out_of_envelope
+           << " out-of-envelope, " << surrogate.bound_too_loose << " bound-too-loose), "
+           << surrogate.observed << " observed, " << surrogate.refits << " refits, "
+           << surrogate.surfaces << " surfaces, worst bound " << surrogate.worst_error_bound
+           << " V";
+        if (surrogate.load_rejected > 0) {
+            os << ", " << surrogate.load_rejected << " persisted store(s) REJECTED at load";
+        }
+    }
     for (const auto& [key, attempts] : quarantined_cells) {
         os << "\n  quarantined: " << key.to_string() << " after " << attempts << " attempts";
     }
@@ -135,7 +146,15 @@ std::string TriageReport::to_json() const {
         os << "{\"die\": " << key.die << ", \"env\": " << key.env << ", \"meas\": " << key.meas
            << ", \"attempts\": " << attempts << "}";
     }
-    os << "], \"shards\": [";
+    os << "], \"surrogate\": {\"enabled\": " << (surrogate.enabled ? "true" : "false")
+       << ", \"hits\": " << surrogate.hits << ", \"misses\": " << surrogate.misses
+       << ", \"out_of_envelope\": " << surrogate.out_of_envelope
+       << ", \"bound_too_loose\": " << surrogate.bound_too_loose
+       << ", \"observed\": " << surrogate.observed << ", \"refits\": " << surrogate.refits
+       << ", \"load_rejected\": " << surrogate.load_rejected
+       << ", \"surfaces\": " << surrogate.surfaces
+       << ", \"worst_error_bound\": " << surrogate.worst_error_bound << "}";
+    os << ", \"shards\": [";
     for (std::size_t i = 0; i < shards.size(); ++i) {
         const ShardHistory& shard = shards[i];
         if (i != 0) os << ", ";

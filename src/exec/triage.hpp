@@ -104,6 +104,25 @@ struct ShardHistory {
     std::vector<ShardAttempt> attempts;
 };
 
+/// Two-tier surrogate serving tallies, as surfaced in the TriageReport
+/// (mirrors rf::surrogate::StoreCounters plus fit-quality reporting).
+struct SurrogateStats {
+    bool enabled = false;  ///< a store was bound to this campaign
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t out_of_envelope = 0;
+    std::uint64_t bound_too_loose = 0;
+    std::uint64_t observed = 0;       ///< full-solve samples fed back
+    std::uint64_t refits = 0;
+    std::uint64_t load_rejected = 0;  ///< persisted stores discarded at load
+    std::uint64_t surfaces = 0;       ///< keys holding a valid fitted surface
+    double worst_error_bound = 0.0;   ///< max published bound across surfaces
+
+    std::uint64_t lookups() const {
+        return hits + misses + out_of_envelope + bound_too_loose;
+    }
+};
+
 /// Structured end-of-campaign summary: per-outcome counts, the quarantine
 /// roster, watchdog and journal health, per-shard supervision history.
 /// Emitted as text (stderr) and JSON (machine triage).
@@ -119,6 +138,8 @@ struct TriageReport {
     /// Per-shard restart/backoff/attempt history (sharded campaigns only;
     /// empty for single-process runs).
     std::vector<ShardHistory> shards;
+    /// Two-tier surrogate serving decisions (all-zero when no store bound).
+    SurrogateStats surrogate;
 
     std::uint64_t count(CellOutcome outcome) const {
         return counts[static_cast<std::size_t>(outcome)];

@@ -23,9 +23,19 @@ struct CurvePoint {
 /// Strictly monotone piecewise-linear curve y = f(x) with inverse x = f^-1(y).
 ///
 /// Construction sorts points by x and verifies strict monotonicity in both
-/// coordinates; evaluation outside the table extrapolates linearly from the
-/// end segments (detector outputs slightly past the calibrated range still
-/// yield a usable reading, mirroring bench practice).
+/// coordinates.
+///
+/// Out-of-domain contract: EXTRAPOLATE, never clamp.  Both evaluate() and
+/// invert() continue the first/last segment's slope linearly for queries at
+/// or beyond the tabulated endpoints — a query exactly at an endpoint returns
+/// the tabulated value, and a query past it moves along the end segment's
+/// line (detector outputs slightly past the calibrated range still yield a
+/// usable, monotone reading, mirroring bench practice).  Callers that must
+/// not trust extrapolated values have to range-check against x_min()/x_max()
+/// themselves: the hardened measurement pipeline does so via its calibration
+/// range check, and the surrogate tier (rf/surrogate) never relies on this
+/// behavior because its envelope check refuses out-of-domain queries before
+/// any curve conversion happens.
 class MonotoneCurve {
   public:
     MonotoneCurve() = default;

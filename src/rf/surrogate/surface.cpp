@@ -1,0 +1,320 @@
+#include "rf/surrogate/surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rf/stats.hpp"
+
+namespace rfabm::rf::surrogate {
+
+namespace {
+
+/// Solve the dense symmetric system A x = b (n x n, row-major) by Gaussian
+/// elimination with partial pivoting.  Returns false when (near) singular.
+bool solve_dense(std::vector<double>& a, std::vector<double>& b, std::size_t n) {
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t piv = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::fabs(a[r * n + col]) > std::fabs(a[piv * n + col])) piv = r;
+        }
+        if (std::fabs(a[piv * n + col]) < 1e-12) return false;
+        if (piv != col) {
+            for (std::size_t c = 0; c < n; ++c) std::swap(a[piv * n + c], a[col * n + c]);
+            std::swap(b[piv], b[col]);
+        }
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double f = a[r * n + col] / a[col * n + col];
+            for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+            b[r] -= f * b[col];
+        }
+    }
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c) acc -= a[ri * n + c] * b[c];
+        b[ri] = acc / a[ri * n + ri];
+    }
+    return true;
+}
+
+bool all_finite(const std::vector<double>& v) {
+    for (double x : v) {
+        if (!std::isfinite(x)) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool Envelope::contains(const Query& q) const {
+    for (std::size_t i = 0; i < kNumInputs; ++i) {
+        const double x = q.axis(i);
+        if (!std::isfinite(x)) return false;
+        if (x < lo[i] || x > hi[i]) return false;
+    }
+    return true;
+}
+
+std::vector<ResponseSurface::Term> ResponseSurface::active_basis(
+    const bool degenerate[kNumInputs]) {
+    // Fixed menu matched to the physics: the detector's Vout(Pin) has
+    // curvature up to compression (cubic), the band response is quadratic
+    // around the tank centre, supply sensitivity is near-linear, plus the
+    // pairwise interactions.  Terms touching a degenerate axis are dropped.
+    static constexpr std::uint8_t kMenu[][kNumInputs] = {
+        {0, 0, 0},                        // 1
+        {1, 0, 0}, {2, 0, 0}, {3, 0, 0},  // p, p^2, p^3
+        {0, 1, 0}, {0, 2, 0},             // f, f^2
+        {0, 0, 1},                        // v
+        {1, 1, 0}, {1, 0, 1}, {0, 1, 1},  // pf, pv, fv
+        {2, 1, 0},                        // p^2 f (band-dependent compression)
+    };
+    std::vector<Term> terms;
+    for (const auto& m : kMenu) {
+        bool ok = true;
+        for (std::size_t i = 0; i < kNumInputs; ++i) {
+            if (m[i] != 0 && degenerate[i]) ok = false;
+        }
+        if (!ok) continue;
+        Term t;
+        for (std::size_t i = 0; i < kNumInputs; ++i) t.pow[i] = m[i];
+        terms.push_back(t);
+    }
+    return terms;
+}
+
+double ResponseSurface::normalized(std::size_t axis, double value) const {
+    return half_span_[axis] > 0.0 ? (value - centre_[axis]) / half_span_[axis] : 0.0;
+}
+
+double ResponseSurface::eval_terms(const Query& q) const {
+    double xn[kNumInputs];
+    for (std::size_t i = 0; i < kNumInputs; ++i) xn[i] = normalized(i, q.axis(i));
+    double acc = 0.0;
+    for (std::size_t t = 0; t < terms_.size(); ++t) {
+        double term = coeffs_[t];
+        for (std::size_t i = 0; i < kNumInputs; ++i) {
+            for (std::uint8_t p = 0; p < terms_[t].pow[i]; ++p) term *= xn[i];
+        }
+        acc += term;
+    }
+    return acc;
+}
+
+namespace {
+
+/// One least-squares solve over a subset of samples with a fixed basis
+/// layout.  Returns false on singular normal equations.
+bool fit_coeffs(const std::vector<Sample>& samples, const std::vector<bool>& use,
+                std::size_t nterms, const std::vector<std::vector<double>>& design,
+                std::vector<double>* coeffs) {
+    std::vector<double> ata(nterms * nterms, 0.0);
+    std::vector<double> aty(nterms, 0.0);
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+        if (!use[s]) continue;
+        const std::vector<double>& row = design[s];
+        for (std::size_t r = 0; r < nterms; ++r) {
+            aty[r] += row[r] * samples[s].value;
+            for (std::size_t c = r; c < nterms; ++c) ata[r * nterms + c] += row[r] * row[c];
+        }
+    }
+    for (std::size_t r = 0; r < nterms; ++r) {
+        for (std::size_t c = 0; c < r; ++c) ata[r * nterms + c] = ata[c * nterms + r];
+    }
+    if (!solve_dense(ata, aty, nterms)) return false;
+    *coeffs = aty;
+    return all_finite(aty);
+}
+
+}  // namespace
+
+ResponseSurface ResponseSurface::fit(const std::vector<Sample>& samples,
+                                     const FitOptions& options) {
+    ResponseSurface s;
+    if (samples.empty()) return s;
+    for (const Sample& sample : samples) {
+        if (!std::isfinite(sample.value)) return s;
+        for (std::size_t i = 0; i < kNumInputs; ++i) {
+            if (!std::isfinite(sample.where.axis(i))) return s;
+        }
+    }
+
+    // Envelope + normalization from the training bounding box.
+    double lo[kNumInputs];
+    double hi[kNumInputs];
+    for (std::size_t i = 0; i < kNumInputs; ++i) {
+        lo[i] = hi[i] = samples.front().where.axis(i);
+    }
+    for (const Sample& sample : samples) {
+        for (std::size_t i = 0; i < kNumInputs; ++i) {
+            lo[i] = std::min(lo[i], sample.where.axis(i));
+            hi[i] = std::max(hi[i], sample.where.axis(i));
+        }
+    }
+    bool degenerate[kNumInputs];
+    bool any_active = false;
+    for (std::size_t i = 0; i < kNumInputs; ++i) {
+        const double span = hi[i] - lo[i];
+        const double scale = std::max({std::fabs(lo[i]), std::fabs(hi[i]), 1.0});
+        degenerate[i] = span <= options.degenerate_rel_span * scale;
+        any_active = any_active || !degenerate[i];
+        s.centre_[i] = 0.5 * (lo[i] + hi[i]);
+        s.half_span_[i] = degenerate[i] ? 0.0 : 0.5 * span;
+        // Widen non-degenerate axes by the margin; give degenerate axes a
+        // hair of absolute slack so float round-trips stay inside.
+        const double margin =
+            degenerate[i] ? 1e-12 * scale : options.envelope_margin * span;
+        s.envelope_.lo[i] = lo[i] - margin;
+        s.envelope_.hi[i] = hi[i] + margin;
+        s.envelope_.degenerate[i] = degenerate[i];
+    }
+    if (!any_active) return ResponseSurface{};
+
+    s.terms_ = active_basis(degenerate);
+    const std::size_t nterms = s.terms_.size();
+    if (samples.size() < 2 * nterms) return ResponseSurface{};
+
+    // Design matrix over normalized inputs, shared by the CV refits.
+    std::vector<std::vector<double>> design(samples.size(),
+                                            std::vector<double>(nterms, 0.0));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        double xn[kNumInputs];
+        for (std::size_t a = 0; a < kNumInputs; ++a) {
+            xn[a] = s.normalized(a, samples[i].where.axis(a));
+        }
+        for (std::size_t t = 0; t < nterms; ++t) {
+            double v = 1.0;
+            for (std::size_t a = 0; a < kNumInputs; ++a) {
+                for (std::uint8_t p = 0; p < s.terms_[t].pow[a]; ++p) v *= xn[a];
+            }
+            design[i][t] = v;
+        }
+    }
+
+    // Full fit.
+    std::vector<bool> use_all(samples.size(), true);
+    if (!fit_coeffs(samples, use_all, nterms, design, &s.coeffs_)) {
+        return ResponseSurface{};
+    }
+
+    // Deterministic k-fold cross validation: held-out residuals measure the
+    // model's real generalization error on this population.  A fold that
+    // would starve the fit (or a singular fold) falls back to in-sample
+    // residuals only.
+    const int folds = std::max(
+        1, std::min<int>(options.folds, static_cast<int>(samples.size() / (2 * nterms))));
+    std::vector<double> held_out;
+    if (folds >= 2) {
+        for (int k = 0; k < folds; ++k) {
+            std::vector<bool> use(samples.size());
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                use[i] = static_cast<int>(i % static_cast<std::size_t>(folds)) != k;
+            }
+            std::vector<double> ck;
+            if (!fit_coeffs(samples, use, nterms, design, &ck)) {
+                held_out.clear();
+                break;
+            }
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                if (use[i]) continue;
+                double pred = 0.0;
+                for (std::size_t t = 0; t < nterms; ++t) pred += ck[t] * design[i][t];
+                held_out.push_back(std::fabs(pred - samples[i].value));
+            }
+        }
+    }
+
+    double worst = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        double pred = 0.0;
+        for (std::size_t t = 0; t < nterms; ++t) pred += s.coeffs_[t] * design[i][t];
+        worst = std::max(worst, std::fabs(pred - samples[i].value));
+    }
+    double inflation = options.bound_inflation;
+    if (!held_out.empty()) {
+        worst = std::max(worst, *std::max_element(held_out.begin(), held_out.end()));
+        s.cv_p95_ = percentile(held_out, 95.0);
+    } else {
+        // No honest held-out estimate: publish a deliberately looser bound.
+        inflation *= 2.0;
+        s.cv_p95_ = worst;
+    }
+    s.error_bound_ = worst * inflation;
+    s.sample_count_ = samples.size();
+    return s;
+}
+
+double ResponseSurface::evaluate(const Query& q) const { return eval_terms(q); }
+
+std::vector<double> ResponseSurface::evaluate(const std::vector<Query>& queries) const {
+    std::vector<double> out;
+    out.reserve(queries.size());
+    for (const Query& q : queries) out.push_back(eval_terms(q));
+    return out;
+}
+
+std::vector<double> ResponseSurface::encode() const {
+    // Layout: nterms, [pow triples], [coeffs], envelope lo/hi/degenerate,
+    // centre, half_span, error_bound, cv_p95, sample_count.  All doubles:
+    // the store's journal-style codec persists raw double bits.
+    std::vector<double> blob;
+    blob.push_back(static_cast<double>(terms_.size()));
+    for (const Term& t : terms_) {
+        for (std::size_t i = 0; i < kNumInputs; ++i) blob.push_back(t.pow[i]);
+    }
+    for (double c : coeffs_) blob.push_back(c);
+    for (std::size_t i = 0; i < kNumInputs; ++i) blob.push_back(envelope_.lo[i]);
+    for (std::size_t i = 0; i < kNumInputs; ++i) blob.push_back(envelope_.hi[i]);
+    for (std::size_t i = 0; i < kNumInputs; ++i) {
+        blob.push_back(envelope_.degenerate[i] ? 1.0 : 0.0);
+    }
+    for (std::size_t i = 0; i < kNumInputs; ++i) blob.push_back(centre_[i]);
+    for (std::size_t i = 0; i < kNumInputs; ++i) blob.push_back(half_span_[i]);
+    blob.push_back(error_bound_);
+    blob.push_back(cv_p95_);
+    blob.push_back(static_cast<double>(sample_count_));
+    return blob;
+}
+
+ResponseSurface ResponseSurface::decode(const std::vector<double>& blob) {
+    ResponseSurface s;
+    std::size_t at = 0;
+    auto take = [&](double* out) {
+        if (at >= blob.size()) return false;
+        *out = blob[at++];
+        return true;
+    };
+    double nterms_d = 0.0;
+    if (!take(&nterms_d) || nterms_d < 0.0 || nterms_d > 64.0) return ResponseSurface{};
+    const auto nterms = static_cast<std::size_t>(nterms_d);
+    const std::size_t expect = 1 + nterms * kNumInputs + nterms + 5 * kNumInputs + 3;
+    if (blob.size() != expect) return ResponseSurface{};
+    s.terms_.resize(nterms);
+    for (Term& t : s.terms_) {
+        for (std::size_t i = 0; i < kNumInputs; ++i) {
+            double p = 0.0;
+            take(&p);
+            if (p < 0.0 || p > 8.0) return ResponseSurface{};
+            t.pow[i] = static_cast<std::uint8_t>(p);
+        }
+    }
+    s.coeffs_.resize(nterms);
+    for (double& c : s.coeffs_) take(&c);
+    for (std::size_t i = 0; i < kNumInputs; ++i) take(&s.envelope_.lo[i]);
+    for (std::size_t i = 0; i < kNumInputs; ++i) take(&s.envelope_.hi[i]);
+    for (std::size_t i = 0; i < kNumInputs; ++i) {
+        double d = 0.0;
+        take(&d);
+        s.envelope_.degenerate[i] = d != 0.0;
+    }
+    for (std::size_t i = 0; i < kNumInputs; ++i) take(&s.centre_[i]);
+    for (std::size_t i = 0; i < kNumInputs; ++i) take(&s.half_span_[i]);
+    take(&s.error_bound_);
+    take(&s.cv_p95_);
+    double count = 0.0;
+    take(&count);
+    s.sample_count_ = static_cast<std::size_t>(count);
+    if (!all_finite(s.coeffs_) || !std::isfinite(s.error_bound_)) return ResponseSurface{};
+    return s;
+}
+
+}  // namespace rfabm::rf::surrogate

@@ -1,0 +1,138 @@
+// Behavioral response surfaces: the fast tier of the two-tier serving
+// architecture (see docs/surrogate.md).
+//
+// The RF quantities this repository measures — a detector's settled output
+// voltage against input power, stimulus frequency and supply — are smooth,
+// low-dimensional functions of their operating point.  A ResponseSurface is
+// a least-squares polynomial fit of such a function, acquired from completed
+// full transient solves, that can answer an in-envelope query in
+// microseconds instead of seconds.  Honesty is part of the contract: every
+// surface carries
+//   * the ENVELOPE it was fitted over (the axis-aligned bounding box of its
+//     training inputs, plus a small relative margin) — queries outside it
+//     are refused, never extrapolated, and
+//   * a cross-validated ERROR BOUND (held-out residuals of a deterministic
+//     k-fold refit, inflated) — so a caller can reject a surface whose
+//     uncertainty exceeds its accuracy budget and fall back to simulation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rfabm::rf::surrogate {
+
+/// Number of model inputs: (Pin/dBm, f/Hz, VDD/V) for the detector
+/// surfaces; callers may repurpose the axes for other smooth responses.
+inline constexpr std::size_t kNumInputs = 3;
+
+/// One query / training point in input space.
+struct Query {
+    double pin_dbm = 0.0;  ///< applied input power (or first axis)
+    double freq_hz = 0.0;  ///< stimulus frequency (or second axis)
+    double vdd = 0.0;      ///< supply voltage (or third axis)
+
+    double axis(std::size_t i) const {
+        return i == 0 ? pin_dbm : (i == 1 ? freq_hz : vdd);
+    }
+    bool operator==(const Query&) const = default;
+};
+
+/// One completed full-simulation observation: input point -> response.
+struct Sample {
+    Query where{};
+    double value = 0.0;  ///< e.g. the settled detector Vout (V)
+};
+
+/// Fitted-domain envelope: the axis-aligned bounding box of the training
+/// inputs, widened by `margin` (a fraction of each axis span) so queries on
+/// the exact training grid edge still count as inside.  An axis whose
+/// training spread is negligible is DEGENERATE: it contributes no basis
+/// terms, and only queries (numerically) at the fitted value are inside.
+struct Envelope {
+    double lo[kNumInputs] = {0.0, 0.0, 0.0};
+    double hi[kNumInputs] = {0.0, 0.0, 0.0};
+    bool degenerate[kNumInputs] = {false, false, false};
+
+    bool contains(const Query& q) const;
+};
+
+/// How a fit is performed and how its error bound is derived.
+struct FitOptions {
+    /// Deterministic k-fold cross-validation (fold = index mod folds).
+    /// Folds collapse automatically when there are too few samples.
+    int folds = 4;
+    /// The published bound is max(held-out residual, in-sample residual)
+    /// scaled by this safety factor.
+    double bound_inflation = 1.25;
+    /// Envelope widening, as a fraction of each axis' training span.
+    double envelope_margin = 0.02;
+    /// An axis whose span is below this fraction of its magnitude (or below
+    /// an absolute floor) is treated as degenerate.
+    double degenerate_rel_span = 1e-9;
+};
+
+/// A fitted response surface.  Value objects: cheap to copy, safe to share
+/// by value across threads once fitted.
+class ResponseSurface {
+  public:
+    ResponseSurface() = default;
+
+    /// Least-squares fit over @p samples.  Returns an invalid surface (see
+    /// valid()) when there are fewer than 2x the active basis size samples,
+    /// when every axis is degenerate, or when the normal equations are
+    /// singular.  Never throws on bad data.
+    static ResponseSurface fit(const std::vector<Sample>& samples, const FitOptions& options);
+
+    bool valid() const { return !coeffs_.empty(); }
+
+    /// Model prediction at @p q.  The caller is expected to have checked
+    /// envelope().contains(q); evaluation outside the envelope is the
+    /// polynomial's extrapolation and carries NO error bound.
+    double evaluate(const Query& q) const;
+
+    /// Batched evaluation for sweep-style campaigns: one basis setup, a tight
+    /// accumulation loop per point.  Returns predictions in input order.
+    std::vector<double> evaluate(const std::vector<Query>& queries) const;
+
+    const Envelope& envelope() const { return envelope_; }
+
+    /// Published absolute error bound (same unit as the fitted value): the
+    /// worst held-out/in-sample residual, inflated per FitOptions.
+    double error_bound() const { return error_bound_; }
+    /// 95th percentile of |held-out residual| — the typical error, for
+    /// reporting (the serving decision uses error_bound()).
+    double cv_p95() const { return cv_p95_; }
+
+    std::size_t sample_count() const { return sample_count_; }
+    std::size_t basis_size() const { return coeffs_.size(); }
+
+    // --- persistence (used by SurrogateStore's codec) ----------------------
+    /// Flat serialization as raw doubles/flags; decode() must round-trip
+    /// bit-exactly.
+    std::vector<double> encode() const;
+    static ResponseSurface decode(const std::vector<double>& blob);
+
+  private:
+    /// Active basis: exponent triples (p_pow, f_pow, v_pow) over the
+    /// NORMALIZED inputs; fixed menu filtered by per-axis degeneracy.
+    struct Term {
+        std::uint8_t pow[kNumInputs] = {0, 0, 0};
+    };
+    static std::vector<Term> active_basis(const bool degenerate[kNumInputs]);
+    double normalized(std::size_t axis, double value) const;
+    double eval_terms(const Query& q) const;
+
+    std::vector<Term> terms_;
+    std::vector<double> coeffs_;
+    Envelope envelope_{};
+    /// Normalization: x_norm = (x - centre) / half_span per axis (0 for a
+    /// degenerate axis).
+    double centre_[kNumInputs] = {0.0, 0.0, 0.0};
+    double half_span_[kNumInputs] = {1.0, 1.0, 1.0};
+    double error_bound_ = 0.0;
+    double cv_p95_ = 0.0;
+    std::size_t sample_count_ = 0;
+};
+
+}  // namespace rfabm::rf::surrogate

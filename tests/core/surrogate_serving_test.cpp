@@ -1,0 +1,138 @@
+// Two-tier serving through the measurement controller: an in-envelope hit is
+// answered entirely by the surrogate surface (the transient solver is
+// PROVABLY untouched — its Newton-iteration odometer does not move), while a
+// miss or out-of-envelope query provably falls back to the full solve, whose
+// settled result trains the surface for the next query.
+#include "core/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/curve.hpp"
+#include "rf/surrogate/store.hpp"
+
+namespace rfabm::core {
+namespace {
+
+using rf::surrogate::Decision;
+using rf::surrogate::StoreOptions;
+using rf::surrogate::SurrogateStore;
+
+class SurrogateServingFixture : public ::testing::Test {
+  protected:
+    static constexpr double kFreqHz = 1.5e9;
+
+    static void SetUpTestSuite() {
+        StoreOptions sopts;
+        sopts.refit_min_samples = 8;  // learn from a short training sweep
+        sopts.max_bound = 0.0;  // budget semantics are covered by surrogate_test
+        store_ = new SurrogateStore(sopts);
+
+        chip_ = new RfAbmChip{RfAbmChipConfig{}};
+        MeasureOptions mopts;
+        mopts.surrogate.store = store_;
+        mopts.surrogate.die = 0xD1E;
+        mopts.surrogate.corner = 0xC0E;
+        controller_ = new MeasurementController(*chip_, mopts);
+        controller_->open_session();
+
+        // The test only exercises serving semantics, so a synthetic monotone
+        // dBm -> V curve is enough to convert readings; accuracy against the
+        // applied power is covered by measurement_test.cpp.
+        curve_ = new rfabm::rf::MonotoneCurve({{-20.0, 0.0}, {7.0, 1.0}});
+
+        // Training sweep: every point extends the fitted envelope, so each
+        // one goes to the full solver and is observed back into the store.
+        for (int i = 0; i < 10; ++i) {
+            const double dbm = -10.0 + i;
+            chip_->set_rf(dbm, kFreqHz);
+            const PowerMeasurement m = controller_->measure_power(*curve_);
+            ASSERT_TRUE(m.settled);
+            ASSERT_FALSE(m.from_surrogate);
+            if (dbm == -6.0) trained_vout_ = m.vout;
+        }
+    }
+
+    static void TearDownTestSuite() {
+        delete curve_;
+        delete controller_;
+        delete chip_;
+        delete store_;
+        curve_ = nullptr;
+        controller_ = nullptr;
+        chip_ = nullptr;
+        store_ = nullptr;
+    }
+
+    std::uint64_t solver_odometer() const { return chip_->engine().newton_iterations(); }
+
+    static SurrogateStore* store_;
+    static RfAbmChip* chip_;
+    static MeasurementController* controller_;
+    static rfabm::rf::MonotoneCurve* curve_;
+    static double trained_vout_;
+};
+
+SurrogateStore* SurrogateServingFixture::store_ = nullptr;
+RfAbmChip* SurrogateServingFixture::chip_ = nullptr;
+MeasurementController* SurrogateServingFixture::controller_ = nullptr;
+rfabm::rf::MonotoneCurve* SurrogateServingFixture::curve_ = nullptr;
+double SurrogateServingFixture::trained_vout_ = 0.0;
+
+TEST_F(SurrogateServingFixture, TrainingSweepPopulatedTheStore) {
+    EXPECT_EQ(store_->surfaces(), 1u);
+    EXPECT_GE(store_->counters().observed, 10u);
+    EXPECT_GE(store_->counters().refits, 1u);
+}
+
+TEST_F(SurrogateServingFixture, InEnvelopeHitNeverTouchesTheSolver) {
+    chip_->set_rf(-6.0, kFreqHz);  // revisit a trained operating point
+    const std::uint64_t before = solver_odometer();
+    const PowerMeasurement m = controller_->measure_power(*curve_);
+    EXPECT_EQ(solver_odometer(), before);  // zero Newton iterations spent
+    EXPECT_TRUE(m.from_surrogate);
+    EXPECT_TRUE(m.settled);
+    EXPECT_EQ(controller_->last_surrogate_decision(), Decision::kHit);
+    EXPECT_GT(m.surrogate_bound, 0.0);
+    // Served value agrees with the recorded full solve within the bound.
+    EXPECT_LE(std::fabs(m.vout - trained_vout_), m.surrogate_bound);
+}
+
+TEST_F(SurrogateServingFixture, OutOfEnvelopeProvablyFallsBackToFullSolve) {
+    chip_->set_rf(5.0, kFreqHz);  // beyond the trained power range
+    const std::uint64_t before = solver_odometer();
+    const PowerMeasurement m = controller_->measure_power(*curve_);
+    EXPECT_FALSE(m.from_surrogate);
+    EXPECT_EQ(controller_->last_surrogate_decision(), Decision::kOutOfEnvelope);
+    EXPECT_GT(solver_odometer(), before);  // the full transient solve ran
+    EXPECT_TRUE(m.settled);
+}
+
+TEST_F(SurrogateServingFixture, CheckedPipelineServesHitsBeforeAnyCheck) {
+    chip_->set_rf(-6.0, kFreqHz);
+    const std::uint64_t before = solver_odometer();
+    const PowerMeasurement m = controller_->measure_power_checked(*curve_);
+    EXPECT_EQ(solver_odometer(), before);
+    EXPECT_TRUE(m.from_surrogate);
+    EXPECT_EQ(m.diag.status, MeasurementStatus::kOk);
+    EXPECT_EQ(m.diag.retries, 0);
+    EXPECT_EQ(m.diag.detail, "served by surrogate surface");
+}
+
+TEST_F(SurrogateServingFixture, UnboundControllerIsUntouchedByTheTier) {
+    // A controller without a store behaves exactly as before the surrogate
+    // existed: full solve, from_surrogate never set.
+    MeasurementController plain(*chip_);
+    plain.open_session();
+    chip_->set_rf(-6.0, kFreqHz);
+    const std::uint64_t before = solver_odometer();
+    const PowerMeasurement m = plain.measure_power(*curve_);
+    EXPECT_FALSE(m.from_surrogate);
+    EXPECT_EQ(m.surrogate_bound, 0.0);
+    EXPECT_GT(solver_odometer(), before);
+    EXPECT_EQ(plain.last_surrogate_decision(), Decision::kMiss);
+}
+
+}  // namespace
+}  // namespace rfabm::core

@@ -130,6 +130,45 @@ TEST(TriageReportTest, ShardHistorySchemaInTextAndJson) {
     EXPECT_NE(inline_report.to_json().find("\"shards\": []"), std::string::npos);
 }
 
+TEST(TriageReportTest, SurrogateSectionSchemaInTextAndJson) {
+    TriageReport report;
+    report.cells_total = 4;
+    report.counts[static_cast<std::size_t>(CellOutcome::kOk)] = 4;
+    report.surrogate.enabled = true;
+    report.surrogate.hits = 30;
+    report.surrogate.misses = 10;
+    report.surrogate.out_of_envelope = 5;
+    report.surrogate.bound_too_loose = 2;
+    report.surrogate.observed = 17;
+    report.surrogate.refits = 3;
+    report.surrogate.load_rejected = 1;
+    report.surrogate.surfaces = 6;
+    report.surrogate.worst_error_bound = 0.004;
+    EXPECT_EQ(report.surrogate.lookups(), 47u);
+
+    const std::string text = report.to_string();
+    EXPECT_NE(text.find("surrogate: 30/47 served"), std::string::npos) << text;
+    EXPECT_NE(text.find("5 out-of-envelope"), std::string::npos) << text;
+    // A rejected persisted store is a loud, triage-worthy event.
+    EXPECT_NE(text.find("1 persisted store(s) REJECTED at load"), std::string::npos) << text;
+
+    // The JSON schema campaign dashboards key on.
+    const std::string json = report.to_json();
+    EXPECT_NE(json.find("\"surrogate\": {\"enabled\": true"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"hits\": 30"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"out_of_envelope\": 5"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"bound_too_loose\": 2"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"load_rejected\": 1"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"surfaces\": 6"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"worst_error_bound\": 0.004"), std::string::npos) << json;
+
+    // Surrogate-disabled campaigns keep their human-readable report
+    // byte-stable (no surrogate line), while the JSON stays schema-complete.
+    TriageReport plain;
+    EXPECT_EQ(plain.to_string().find("surrogate"), std::string::npos);
+    EXPECT_NE(plain.to_json().find("\"surrogate\": {\"enabled\": false"), std::string::npos);
+}
+
 TEST(TriageReportTest, OutcomeNamesAreStable) {
     // The journal stores outcomes as raw integers; renames are format breaks.
     EXPECT_STREQ(to_string(CellOutcome::kOk), "ok");

@@ -46,6 +46,43 @@ TEST(MonotoneCurve, ExtrapolatesLinearly) {
     EXPECT_DOUBLE_EQ(c.evaluate(4.0), 12.0);   // slope 4 at the right end
 }
 
+// The out-of-domain contract pinned by src/rf/curve.hpp: queries AT an
+// endpoint return the tabulated value exactly, and queries beyond it
+// extrapolate the end segment — no clamping, in either direction, for either
+// evaluate() or invert().  The surrogate tier's envelope semantics are
+// designed against this (it refuses out-of-domain queries precisely because
+// the curve would happily extrapolate them).
+TEST(MonotoneCurve, EndpointQueriesAreExact) {
+    const MonotoneCurve inc = make_increasing();
+    EXPECT_DOUBLE_EQ(inc.evaluate(inc.x_min()), 1.0);
+    EXPECT_DOUBLE_EQ(inc.evaluate(inc.x_max()), 8.0);
+    EXPECT_DOUBLE_EQ(inc.invert(1.0), inc.x_min());
+    EXPECT_DOUBLE_EQ(inc.invert(8.0), inc.x_max());
+    const MonotoneCurve dec = make_decreasing();
+    EXPECT_DOUBLE_EQ(dec.evaluate(dec.x_min()), 1.0);
+    EXPECT_NEAR(dec.invert(1.0), dec.x_min(), 1e-12);
+}
+
+TEST(MonotoneCurve, NeverClampsBeyondEndpoints) {
+    const MonotoneCurve c = make_increasing();
+    // Monotone strictly past the ends: a clamped implementation would return
+    // the endpoint value for every out-of-range query.
+    EXPECT_LT(c.evaluate(-0.5), c.evaluate(0.0));
+    EXPECT_GT(c.evaluate(3.5), c.evaluate(3.0));
+    EXPECT_LT(c.invert(0.5), c.x_min());
+    EXPECT_GT(c.invert(10.0), c.x_max());
+    // Beyond-endpoint inversion continues the end segment's line exactly.
+    EXPECT_DOUBLE_EQ(c.invert(0.0), -1.0);    // left slope 1: y=0 -> x=-1
+    EXPECT_DOUBLE_EQ(c.invert(12.0), 4.0);    // right slope 4: y=12 -> x=4
+}
+
+TEST(MonotoneCurve, ExtrapolationIsContinuousAtEndpoints) {
+    const MonotoneCurve c = make_decreasing();
+    const double eps = 1e-9;
+    EXPECT_NEAR(c.evaluate(c.x_min() - eps), c.evaluate(c.x_min()), 1e-6);
+    EXPECT_NEAR(c.evaluate(c.x_max() + eps), c.evaluate(c.x_max()), 1e-6);
+}
+
 TEST(MonotoneCurve, InverseRoundTripIncreasing) {
     const MonotoneCurve c = make_increasing();
     for (double x = -0.5; x <= 3.5; x += 0.07) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 namespace rfabm::rf {
 namespace {
 
@@ -50,6 +53,45 @@ TEST(Stats, PercentileRejectsBadInput) {
 TEST(Stats, RmsOfConstantIsItsMagnitude) {
     EXPECT_DOUBLE_EQ(rms({-3.0, -3.0, -3.0}), 3.0);
     EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+// Edge-case contracts the surrogate's error-bound computation leans on: an
+// empty population is zeroed (not NaN), a single sample is its own
+// percentile, and NaN inputs poison the aggregate instead of vanishing.
+TEST(Stats, SingleSampleIsItsOwnPercentile) {
+    EXPECT_DOUBLE_EQ(percentile({7.5}, 0.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile({7.5}, 50.0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile({7.5}, 100.0), 7.5);
+}
+
+TEST(Stats, RmsOfSingleSample) {
+    EXPECT_DOUBLE_EQ(rms({-4.0}), 4.0);
+}
+
+TEST(Stats, NanPropagatesThroughSummary) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const Summary s = summarize({1.0, nan, 3.0});
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_TRUE(std::isnan(s.mean));
+    EXPECT_TRUE(std::isnan(s.stddev));
+}
+
+TEST(Stats, NanPropagatesThroughRms) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(rms({1.0, nan})));
+}
+
+TEST(Stats, NanLeavesSummaryExtremaFinite) {
+    // min/max/max_abs use std::min/std::max, whose NaN comparisons are all
+    // false: the extrema keep their finite values while mean/stddev go NaN.
+    // percentile() gives NO such guarantee (sorting NaN has no ordering), so
+    // callers — the surrogate's error-bound computation among them — must
+    // filter non-finite residuals before ranking them.
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const Summary s = summarize({1.0, nan, 3.0});
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 3.0);
+    EXPECT_DOUBLE_EQ(s.max_abs, 3.0);
 }
 
 }  // namespace

@@ -24,6 +24,18 @@
 //                   [--triage FILE]        write the coordinator TriageReport
 //                                          JSON (incl. per-shard restart/
 //                                          backoff/attempt history) to FILE
+//                   [--surrogate FILE]     two-tier surrogate store in shadow
+//                                          mode: every computed cell trains
+//                                          per-shard stores (FILE.shardN),
+//                                          hits are cross-checked against the
+//                                          full compute within the published
+//                                          error bound (a violation exits 4),
+//                                          and the coordinator merges the
+//                                          shard stores into FILE after the
+//                                          fleet drains.  Journaled payloads
+//                                          always come from the full compute,
+//                                          so outputs stay byte-identical
+//                                          with or without this flag
 //                   [--poison D:E]         cell always fails -> quarantine
 //                   [--optional-env E]     cells with env E are optional
 //                   [--crash-in-shard S:N] SIGKILL shard S's worker at its
@@ -38,7 +50,8 @@
 //
 // Exit: 0 every cell completed; 1 campaign finished degraded (quarantined /
 // given-up cells); 2 usage or I/O error; 3 netlist or scan program rejected
-// by lint.
+// by lint; 4 surrogate parity violation (a served value disagreed with the
+// full compute by more than the surface's published error bound).
 #include <unistd.h>
 
 #include <cinttypes>
@@ -63,6 +76,7 @@
 #include "lint/flow/cache.hpp"
 #include "lint/flow/parser.hpp"
 #include "lint/netlist_lint.hpp"
+#include "rf/surrogate/store.hpp"
 
 namespace {
 
@@ -74,6 +88,7 @@ struct Args {
     std::string netlist;
     std::string program;     ///< flow-lint admission input (empty: skip)
     std::string triage_out;  ///< coordinator triage JSON path (empty: skip)
+    std::string surrogate;   ///< merged surrogate store path (empty: no tier)
     std::uint32_t shards = 1;
     std::size_t jobs = 1;
     std::uint32_t dies = 4;
@@ -115,6 +130,7 @@ bool parse_args(int argc, char** argv, Args* args) {
         else if (std::strcmp(a, "--netlist") == 0 && (v = next())) args->netlist = v;
         else if (std::strcmp(a, "--program") == 0 && (v = next())) args->program = v;
         else if (std::strcmp(a, "--triage") == 0 && (v = next())) args->triage_out = v;
+        else if (std::strcmp(a, "--surrogate") == 0 && (v = next())) args->surrogate = v;
         else if (std::strcmp(a, "--shards") == 0 && (v = next()))
             args->shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
         else if (std::strcmp(a, "--jobs") == 0 && (v = next()))
@@ -178,11 +194,61 @@ std::vector<double> synth_payload(std::uint32_t die, std::uint32_t env) {
     return {a, std::exp(-a * a), a / (1.0 + die + env)};
 }
 
+/// Shadow-mode surrogate knobs: one surface per payload COMPONENT over the
+/// (die, env) grid, served purely for cross-checking (max_bound disabled —
+/// honesty is judged against the published bound, not an extra budget).
+rf::surrogate::StoreOptions shadow_store_options() {
+    rf::surrogate::StoreOptions sopts;
+    sopts.max_bound = 0.0;
+    sopts.refit_min_samples = 12;  // small synthetic grids still train
+    return sopts;
+}
+
+/// Per-shard store path; the coordinator's merge target is --surrogate itself.
+std::string shard_surrogate_path(const Args& args, std::uint32_t shard) {
+    return args.surrogate + ".shard" + std::to_string(shard);
+}
+
+/// Serve-and-verify one computed cell against the shadow store, then feed the
+/// computed truth back in.  Serving happens only when @p serve — i.e. the
+/// store holds a COMPLETED generation (loaded from a save, which always
+/// refits over its full population): a surface still mid-training would be
+/// queried at freshly-extended envelope corners its cross-validation never
+/// measured.  Returns the number of parity violations (served values
+/// disagreeing with the full compute beyond the published bound).
+std::uint64_t shadow_check_and_observe(rf::surrogate::SurrogateStore& store, bool serve,
+                                       std::uint32_t die, std::uint32_t env,
+                                       const std::vector<double>& payload) {
+    std::uint64_t violations = 0;
+    for (std::size_t c = 0; c < payload.size(); ++c) {
+        const rf::surrogate::SurrogateKey key{
+            static_cast<std::uint32_t>(rf::surrogate::Quantity::kCustom),
+            static_cast<std::uint64_t>(c), 0};
+        const rf::surrogate::Query q{static_cast<double>(die), static_cast<double>(env), 0.0};
+        double served = 0.0;
+        double bound = 0.0;
+        if (serve &&
+            store.try_serve(key, q, &served, &bound) == rf::surrogate::Decision::kHit &&
+            std::fabs(served - payload[c]) > bound + 1e-12) {
+            ++violations;
+            std::fprintf(stderr,
+                         "[campaignd] surrogate PARITY violation at die %" PRIu32 " env %" PRIu32
+                         " component %zu: served %.17g vs computed %.17g, bound %.3g\n",
+                         die, env, c, served, payload[c], bound);
+        }
+        store.observe(key, q, payload[c]);
+    }
+    return violations;
+}
+
 /// Build this process's slice of the campaign (the whole grid for the
 /// inline --shards 1 path; one shard's dies in worker mode).
 std::vector<exec::ResilientChain> build_chains(const Args& args, const exec::ShardSpec& shard,
                                                exec::HeartbeatEmitter* heartbeat,
-                                               std::atomic<std::uint64_t>* computed) {
+                                               std::atomic<std::uint64_t>* computed,
+                                               rf::surrogate::SurrogateStore* shadow,
+                                               bool shadow_serve,
+                                               std::atomic<std::uint64_t>* parity_failures) {
     std::vector<exec::ResilientChain> chains;
     for (std::uint32_t d = 0; d < args.dies; ++d) {
         if (exec::shard_of_die(d, shard.count) != shard.index) continue;
@@ -198,8 +264,8 @@ std::vector<exec::ResilientChain> build_chains(const Args& args, const exec::Sha
                                   static_cast<std::int64_t>(e) == args.poison_env;
             const bool hang_here = args.hang_shard == static_cast<std::int64_t>(shard.index) &&
                                    !args.worker_resume;
-            cell.compute = [d, e, poisoned, hang_here, &args, heartbeat,
-                            computed](const exec::CellAttempt& attempt) {
+            cell.compute = [d, e, poisoned, hang_here, &args, heartbeat, computed, shadow,
+                            shadow_serve, parity_failures](const exec::CellAttempt& attempt) {
                 if (args.cell_ms > 0) {
                     std::this_thread::sleep_for(std::chrono::milliseconds(args.cell_ms));
                 }
@@ -217,6 +283,14 @@ std::vector<exec::ResilientChain> build_chains(const Args& args, const exec::Sha
                 }
                 exec::CellComputeResult result;
                 result.payload = synth_payload(d, e);
+                // Shadow serving: the journaled payload is ALWAYS the full
+                // compute; a hit is only cross-checked against it so a
+                // dishonest bound is caught, never propagated.
+                if (shadow != nullptr && parity_failures != nullptr) {
+                    const std::uint64_t bad =
+                        shadow_check_and_observe(*shadow, shadow_serve, d, e, result.payload);
+                    if (bad > 0) parity_failures->fetch_add(bad, std::memory_order_relaxed);
+                }
                 return result;
             };
             cell.deliver = [heartbeat, computed](const std::vector<double>&, exec::CellOutcome,
@@ -241,7 +315,25 @@ int run_shard_inline(const Args& args, const exec::ShardSpec& shard,
     exec::HeartbeatEmitter heartbeat(args.heartbeat_fd);
     heartbeat.beat();
     std::atomic<std::uint64_t> computed{0};
-    std::vector<exec::ResilientChain> chains = build_chains(args, shard, &heartbeat, &computed);
+    // Shadow surrogate tier: load the previous generation (kill-and-resume
+    // runs keep sharpening one store), cross-check hits while the campaign
+    // runs, persist the refreshed store after it drains.
+    std::unique_ptr<rf::surrogate::SurrogateStore> shadow;
+    std::atomic<std::uint64_t> parity_failures{0};
+    std::string shadow_path;
+    bool shadow_serve = false;
+    if (!args.surrogate.empty()) {
+        shadow = std::make_unique<rf::surrogate::SurrogateStore>(shadow_store_options());
+        shadow_path =
+            shard.count == 1 ? args.surrogate : shard_surrogate_path(args, shard.index);
+        (void)shadow->load(shadow_path);  // rejected/missing: starts empty, refits
+        // Serve (and parity-check) only from a completed generation: a saved
+        // store was refit over its full population, so every grid query is an
+        // in-sample point whose residual the published bound covers.
+        shadow_serve = shadow->surfaces() > 0;
+    }
+    std::vector<exec::ResilientChain> chains = build_chains(
+        args, shard, &heartbeat, &computed, shadow.get(), shadow_serve, &parity_failures);
 
     exec::CampaignOptions copts;
     copts.jobs = args.jobs;
@@ -265,6 +357,37 @@ int run_shard_inline(const Args& args, const exec::ShardSpec& shard,
     const exec::ResilientResult result = exec::run_resilient_campaign(chains, copts, ropts);
     if (crash) crash->disarm();
     if (triage_out != nullptr) *triage_out = result.triage;
+
+    if (shadow) {
+        // Close the generation: refit every surface over the full retained
+        // population (merge_from with no inputs is exactly that), so the
+        // saved store serves the next run from complete surfaces.
+        shadow->merge_from({});
+        if (!shadow->save(shadow_path)) {
+            std::fprintf(stderr, "rfabm_campaignd: cannot persist surrogate store %s\n",
+                         shadow_path.c_str());
+            return 2;
+        }
+        if (triage_out != nullptr) {
+            const rf::surrogate::StoreCounters c = shadow->counters();
+            triage_out->surrogate.enabled = true;
+            triage_out->surrogate.hits = c.hits;
+            triage_out->surrogate.misses = c.misses;
+            triage_out->surrogate.out_of_envelope = c.out_of_envelope;
+            triage_out->surrogate.bound_too_loose = c.bound_too_loose;
+            triage_out->surrogate.observed = c.observed;
+            triage_out->surrogate.refits = c.refits;
+            triage_out->surrogate.load_rejected = c.load_rejected;
+            triage_out->surrogate.surfaces = shadow->surfaces();
+            triage_out->surrogate.worst_error_bound = shadow->worst_error_bound();
+        }
+        if (parity_failures.load(std::memory_order_relaxed) > 0) {
+            std::fprintf(stderr,
+                         "rfabm_campaignd: %" PRIu64 " surrogate parity violation(s)\n",
+                         parity_failures.load(std::memory_order_relaxed));
+            return 4;
+        }
+    }
 
     std::size_t cells_total = 0;
     for (const auto& chain : chains) cells_total += chain.cells.size();
@@ -299,6 +422,10 @@ pid_t spawn_worker(const Args& args, const exec::ShardSupervisor::Launch& launch
     if (!args.program.empty()) {
         argstrs.push_back("--program");
         argstrs.push_back(args.program);
+    }
+    if (!args.surrogate.empty()) {
+        argstrs.push_back("--surrogate");
+        argstrs.push_back(args.surrogate);
     }
     if (args.poison_die >= 0) {
         argstrs.push_back("--poison");
@@ -449,6 +576,33 @@ int run_coordinator(const Args& args, const char* self) {
                      " quarantined, %" PRIu64 " superseded dropped\n",
                      merged.journals_read, merged.cells, merged.quarantined,
                      merged.superseded_dropped);
+
+        // Fold the per-shard surrogate stores the same way the journals fold:
+        // pooled samples, one refit over the whole campaign's population,
+        // one canonical store next to the canonical journal.
+        if (!args.surrogate.empty()) {
+            rf::surrogate::SurrogateStore pooled(shadow_store_options());
+            std::vector<std::string> stores;
+            for (std::uint32_t s = 0; s < args.shards; ++s) {
+                stores.push_back(shard_surrogate_path(args, s));
+            }
+            const std::size_t folded = pooled.merge_from(stores);
+            if (!pooled.save(args.surrogate)) {
+                std::fprintf(stderr, "rfabm_campaignd: cannot persist surrogate store %s\n",
+                             args.surrogate.c_str());
+                return 2;
+            }
+            const rf::surrogate::StoreCounters c = pooled.counters();
+            triage.surrogate.enabled = true;
+            triage.surrogate.refits = c.refits;
+            triage.surrogate.load_rejected = c.load_rejected;
+            triage.surrogate.surfaces = pooled.surfaces();
+            triage.surrogate.worst_error_bound = pooled.worst_error_bound();
+            std::fprintf(stderr,
+                         "[campaignd] merged %zu surrogate shard store(s): %zu surfaces, "
+                         "worst bound %g\n",
+                         folded, pooled.surfaces(), pooled.worst_error_bound());
+        }
     }
     coord_crash_point(args, "post-merge");
 
